@@ -1,0 +1,66 @@
+// Shared scaffolding for the experiment benches: flag parsing, environment
+// construction, expert baselines, and paper-vs-measured table printing.
+// Every bench prints the paper's reported values next to our measured ones;
+// absolute numbers differ (our substrate is a simulator), the *shape* —
+// who wins, by roughly what factor — is the reproduction target.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "src/harness/env.h"
+#include "src/harness/runner.h"
+#include "src/util/logging.h"
+#include "src/util/stats_util.h"
+#include "src/util/table_printer.h"
+
+namespace balsa::bench {
+
+/// Builds an env for the flags, dying on error (benches are executables).
+inline std::unique_ptr<Env> MustMakeEnv(WorkloadKind kind,
+                                        const BenchFlags& flags,
+                                        double noise_factor = 0) {
+  EnvOptions options;
+  options.data_scale = flags.scale;
+  options.estimator_noise_factor = noise_factor;
+  auto env = MakeEnv(kind, options);
+  BALSA_CHECK(env.ok(), env.status().ToString());
+  return std::move(env).value();
+}
+
+struct Baselines {
+  ExpertBaseline train;
+  ExpertBaseline test;
+};
+
+inline Baselines MustExpertBaselines(Env& env, bool commdb) {
+  auto train = ComputeExpertBaseline(*env.expert(commdb), env.engine(commdb),
+                                     env.workload.TrainQueries());
+  BALSA_CHECK(train.ok(), train.status().ToString());
+  Baselines b;
+  b.train = std::move(train).value();
+  if (!env.workload.test_indices().empty()) {
+    auto test = ComputeExpertBaseline(*env.expert(commdb), env.engine(commdb),
+                                      env.workload.TestQueries());
+    BALSA_CHECK(test.ok(), test.status().ToString());
+    b.test = std::move(test).value();
+  }
+  return b;
+}
+
+inline void PrintHeader(const char* id, const char* paper_claim,
+                        const BenchFlags& flags) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", id);
+  std::printf("paper: %s\n", paper_claim);
+  std::printf("config: %s\n", flags.ToString().c_str());
+  std::printf("==============================================================\n");
+}
+
+inline std::string Speedup(double expert_ms, double agent_ms) {
+  if (agent_ms <= 0) return "n/a";
+  return TablePrinter::Fmt(expert_ms / agent_ms, 2) + "x";
+}
+
+}  // namespace balsa::bench

@@ -1,0 +1,50 @@
+// Figure 13: on-policy learning vs Neo-style full retraining. Paper:
+// on-policy reaches expert performance 2.1x faster because each update
+// trains on a constant-size (latest-iteration) dataset instead of an
+// ever-growing one; the time saved goes into exploration.
+#include "bench/bench_common.h"
+
+using namespace balsa;
+using namespace balsa::bench;
+
+int main(int argc, char** argv) {
+  BenchFlags flags = BenchFlags::Parse(argc, argv);
+  PrintHeader("Figure 13: on-policy vs full-retrain update scheme",
+              "on-policy ~2.1x faster to expert parity; more unique plans "
+              "in the same budget",
+              flags);
+  auto env = MustMakeEnv(WorkloadKind::kJobRandomSplit, flags);
+  Baselines expert = MustExpertBaselines(*env, false);
+
+  TablePrinter table({"scheme", "virtual min total", "expert-match (min)",
+                      "unique plans", "final train speedup"});
+  double on_policy_total = 0, retrain_total = 0;
+  for (TrainScheme scheme : {TrainScheme::kOnPolicy, TrainScheme::kRetrain}) {
+    BalsaAgentOptions options = DefaultBenchAgentOptions(flags);
+    options.train_scheme = scheme;
+    auto run = RunAgent(env.get(), false, env->cout_model.get(), options);
+    BALSA_CHECK(run.ok(), run.status().ToString());
+    double total_min = run->curve.back().virtual_seconds / 60.0;
+    double match = -1;
+    for (const IterationStats& s : run->curve) {
+      if (s.executed_runtime_ms <= expert.train.total_ms) {
+        match = s.virtual_seconds / 60.0;
+        break;
+      }
+    }
+    bool on_policy = scheme == TrainScheme::kOnPolicy;
+    (on_policy ? on_policy_total : retrain_total) = total_min;
+    table.AddRow({on_policy ? "on-policy (Balsa)" : "retrain (Neo-style)",
+                  TablePrinter::Fmt(total_min, 1),
+                  match < 0 ? "never" : TablePrinter::Fmt(match, 1),
+                  std::to_string(static_cast<long long>(
+                      run->curve.back().unique_plans)),
+                  Speedup(expert.train.total_ms, run->final_train_ms)});
+  }
+  table.Print();
+  std::printf("\nshape check: the same number of iterations costs less "
+              "virtual time on-policy (%.1f vs %.1f min): %s\n",
+              on_policy_total, retrain_total,
+              on_policy_total < retrain_total ? "PASS" : "FAIL");
+  return 0;
+}

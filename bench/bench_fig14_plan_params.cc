@@ -1,0 +1,62 @@
+// Figure 14: impact of beam search parameters (b, k) on per-query planning
+// time and test-workload runtime, measured on a trained checkpoint. Paper:
+// planning < 250 ms/query everywhere; b=1 (greedy) slightly hurts runtime;
+// all other settings are equivalent, so deployment can shrink b and k.
+#include "bench/bench_common.h"
+
+#include "src/balsa/agent.h"
+
+using namespace balsa;
+using namespace balsa::bench;
+
+int main(int argc, char** argv) {
+  BenchFlags flags = BenchFlags::Parse(argc, argv);
+  PrintHeader("Figure 14: planning time and runtime vs beam parameters",
+              "mean planning < 250ms/query; only b=1 degrades runtime",
+              flags);
+  auto env = MustMakeEnv(WorkloadKind::kJobRandomSplit, flags);
+  Baselines expert = MustExpertBaselines(*env, false);
+
+  // Train one checkpoint with the default b=20, k=10.
+  BalsaAgentOptions options = DefaultBenchAgentOptions(flags);
+  BalsaAgent agent(&env->schema(), env->pg_engine.get(),
+                   env->cout_model.get(), env->estimator.get(),
+                   &env->workload, options);
+  BALSA_CHECK(agent.Train().ok(), "train");
+
+  TablePrinter table({"b", "k", "mean plan time (ms)",
+                      "test runtime (norm.)"});
+  double greedy_norm = 0, default_norm = 0;
+  for (auto [b, k] : std::vector<std::pair<int, int>>{
+           {1, 1}, {5, 1}, {5, 5}, {10, 10}, {20, 10}}) {
+    PlannerOptions popts;
+    popts.beam_size = b;
+    popts.top_k = k;
+    BeamSearchPlanner planner(&env->schema(), &agent.featurizer(),
+                              &agent.value_network(), popts);
+    double total_plan_ms = 0, runtime = 0;
+    int n = 0;
+    for (const Query* q : env->workload.TestQueries()) {
+      auto planned = planner.TopK(*q);
+      BALSA_CHECK(planned.ok(), planned.status().ToString());
+      total_plan_ms += planned->planning_time_ms;
+      auto latency =
+          env->pg_engine->NoiselessLatency(*q, planned->plans[0].plan);
+      BALSA_CHECK(latency.ok(), "latency");
+      runtime += *latency;
+      n++;
+    }
+    double norm = runtime / expert.test.total_ms;
+    if (b == 1) greedy_norm = norm;
+    if (b == 20) default_norm = norm;
+    table.AddRow({std::to_string(b), std::to_string(k),
+                  TablePrinter::Fmt(total_plan_ms / n, 1),
+                  TablePrinter::Fmt(norm, 3)});
+  }
+  table.Print();
+  std::printf("\nshape check: greedy (b=1) no better than the default "
+              "(%.3f vs %.3f normalized): %s\n",
+              greedy_norm, default_norm,
+              greedy_norm >= default_norm * 0.95 ? "PASS" : "FAIL");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Figure 16: enhancing generalization with diversified experiences. Merging
+// several independently seeded agents' experience and retraining ("Balsa-Nx")
+// improves train and especially test speedups without any new execution.
+// Paper: test speedups improve in almost all cases, sometimes by 60-80%.
+#include "bench/bench_common.h"
+
+#include "src/balsa/agent.h"
+
+using namespace balsa;
+using namespace balsa::bench;
+
+int main(int argc, char** argv) {
+  BenchFlags flags = BenchFlags::Parse(argc, argv);
+  PrintHeader("Figure 16: diversified experiences (Balsa-Nx retraining)",
+              "merging N agents' experience and retraining improves test "
+              "speedups without new executions",
+              flags);
+  auto env = MustMakeEnv(WorkloadKind::kJobRandomSplit, flags);
+  Baselines expert = MustExpertBaselines(*env, false);
+  int num_agents = flags.full ? 8 : std::max(2, flags.seeds);
+
+  // Train the base agents; keep the first for retraining.
+  BalsaAgentOptions options = DefaultBenchAgentOptions(flags);
+  std::unique_ptr<BalsaAgent> first;
+  ExperienceBuffer merged;
+  std::vector<double> base_train, base_test;
+  for (int s = 0; s < num_agents; ++s) {
+    BalsaAgentOptions opts = options;
+    opts.seed = s;
+    auto agent = std::make_unique<BalsaAgent>(
+        &env->schema(), env->pg_engine.get(), env->cout_model.get(),
+        env->estimator.get(), &env->workload, opts);
+    BALSA_CHECK(agent->Train().ok(), "train");
+    merged.Merge(agent->experience());
+    auto train_ms = agent->EvaluateWorkload(env->workload.TrainQueries());
+    auto test_ms = agent->EvaluateWorkload(env->workload.TestQueries());
+    BALSA_CHECK(train_ms.ok() && test_ms.ok(), "eval");
+    base_train.push_back(expert.train.total_ms / *train_ms);
+    base_test.push_back(expert.test.total_ms / *test_ms);
+    std::printf("  agent %d: train %.2fx, test %.2fx, %zu unique plans\n", s,
+                base_train.back(), base_test.back(),
+                agent->experience().NumUniquePlans());
+    if (s == 0) first = std::move(agent);
+  }
+
+  // Balsa-Nx: retrain the first agent's network on the merged experience.
+  BALSA_CHECK(first->RetrainFromExperience(merged).ok(), "retrain");
+  auto nx_train = first->EvaluateWorkload(env->workload.TrainQueries());
+  auto nx_test = first->EvaluateWorkload(env->workload.TestQueries());
+  BALSA_CHECK(nx_train.ok() && nx_test.ok(), "eval");
+  double nx_train_speedup = expert.train.total_ms / *nx_train;
+  double nx_test_speedup = expert.test.total_ms / *nx_test;
+
+  TablePrinter table({"agent", "paper (JOB, PG)", "train speedup",
+                      "test speedup"});
+  table.AddRow({"Balsa-1x (median)", "2.1x / 1.7x",
+                TablePrinter::Fmt(Median(base_train), 2) + "x",
+                TablePrinter::Fmt(Median(base_test), 2) + "x"});
+  table.AddRow({"Balsa-" + std::to_string(num_agents) + "x", "2.6x / 2.2x",
+                TablePrinter::Fmt(nx_train_speedup, 2) + "x",
+                TablePrinter::Fmt(nx_test_speedup, 2) + "x"});
+  table.Print();
+  std::printf("\nmerged experience: %zu unique plans\n",
+              merged.NumUniquePlans());
+  std::printf("shape check: Balsa-Nx test speedup >= median base agent "
+              "(%.2fx vs %.2fx): %s\n",
+              nx_test_speedup, Median(base_test),
+              nx_test_speedup >= Median(base_test) * 0.9 ? "PASS" : "FAIL");
+  return 0;
+}

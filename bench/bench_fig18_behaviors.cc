@@ -1,0 +1,86 @@
+// Figure 18: behaviors learned by Balsa — operator and plan-shape
+// composition of the plans executed over training, compared against the
+// expert's plans. Paper: merge joins drop below 10% early; indexed nested
+// loops dominate; shapes drift away from the expert's one-size-fits-all
+// distribution.
+#include "bench/bench_common.h"
+
+#include "src/balsa/agent.h"
+
+using namespace balsa;
+using namespace balsa::bench;
+
+int main(int argc, char** argv) {
+  BenchFlags flags = BenchFlags::Parse(argc, argv);
+  PrintHeader("Figure 18: learned operator and plan-shape composition",
+              "agent shifts toward cheap operators for this engine; plan "
+              "shapes diverge from the expert's",
+              flags);
+  auto env = MustMakeEnv(WorkloadKind::kJobRandomSplit, flags);
+
+  // Expert composition for reference (dashed lines in the paper's figure).
+  std::vector<int> expert_joins(kNumJoinOps, 0);
+  int expert_bushy = 0, expert_left_deep = 0, expert_plans = 0;
+  {
+    auto baseline = ComputeExpertBaseline(*env->pg_expert,
+                                          env->pg_engine.get(),
+                                          env->workload.TrainQueries());
+    BALSA_CHECK(baseline.ok(), baseline.status().ToString());
+    for (const Plan& plan : baseline->plans) {
+      std::vector<int> joins, scans;
+      plan.CountOps(&joins, &scans);
+      for (int op = 0; op < kNumJoinOps; ++op) expert_joins[op] += joins[op];
+      expert_bushy += plan.IsBushy();
+      expert_left_deep += plan.IsLeftDeep();
+      expert_plans++;
+    }
+  }
+
+  BalsaAgentOptions options = DefaultBenchAgentOptions(flags);
+  BalsaAgent agent(&env->schema(), env->pg_engine.get(),
+                   env->cout_model.get(), env->estimator.get(),
+                   &env->workload, options);
+  BALSA_CHECK(agent.Train().ok(), "train");
+
+  std::printf("per-iteration operator fractions (of all joins executed):\n");
+  TablePrinter table({"iter", "merge", "hash", "indexNL", "NL", "bushy%",
+                      "left-deep%"});
+  auto add_row = [&](const std::string& label,
+                     const std::vector<int>& joins, int bushy, int left_deep,
+                     int plans) {
+    double total = 0;
+    for (int c : joins) total += c;
+    auto frac = [&](JoinOp op) {
+      return TablePrinter::Fmt(
+          100.0 * joins[static_cast<int>(op)] / std::max(1.0, total), 1);
+    };
+    table.AddRow({label, frac(JoinOp::kMergeJoin), frac(JoinOp::kHashJoin),
+                  frac(JoinOp::kIndexNLJoin), frac(JoinOp::kNLJoin),
+                  TablePrinter::Fmt(100.0 * bushy / std::max(1, plans), 1),
+                  TablePrinter::Fmt(100.0 * left_deep / std::max(1, plans),
+                                    1)});
+  };
+
+  int stride = std::max<size_t>(1, agent.curve().size() / 8);
+  int num_train = static_cast<int>(env->workload.train_indices().size());
+  for (size_t i = 0; i < agent.curve().size();
+       i += static_cast<size_t>(stride)) {
+    const IterationStats& s = agent.curve()[i];
+    add_row(std::to_string(s.iteration), s.join_op_counts, s.num_bushy_plans,
+            s.num_left_deep_plans, num_train);
+  }
+  add_row("expert", expert_joins, expert_bushy, expert_left_deep,
+          expert_plans);
+  table.Print();
+
+  // Shape: the final iteration's merge-join share stays low (paper: <10%).
+  const IterationStats& last = agent.curve().back();
+  double total = 0;
+  for (int c : last.join_op_counts) total += c;
+  double merge_frac =
+      last.join_op_counts[static_cast<int>(JoinOp::kMergeJoin)] /
+      std::max(1.0, total);
+  std::printf("\nshape check: final merge-join share %.1f%% (< 25%%): %s\n",
+              100 * merge_frac, merge_frac < 0.25 ? "PASS" : "FAIL");
+  return 0;
+}

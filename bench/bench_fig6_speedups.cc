@@ -1,0 +1,69 @@
+// Figure 6: Balsa's end-to-end train/test workload speedups over the expert
+// optimizer on both engines. Paper (median of 8 runs):
+//   PostgreSQL: JOB 2.1x/1.7x, JOB Slow 1.3x/1.3x, TPC-H 1.1x/1.2x
+//   CommDB:     JOB 2.8x/1.9x, JOB Slow 2.4x/1.5x, TPC-H 1.1x/1.0x
+// Default flags run JOB on both engines; --full adds JOB Slow and TPC-H.
+#include "bench/bench_common.h"
+
+using namespace balsa;
+using namespace balsa::bench;
+
+int main(int argc, char** argv) {
+  BenchFlags flags = BenchFlags::Parse(argc, argv);
+  PrintHeader("Figure 6: workload speedups over the expert optimizers",
+              "PostgreSQL JOB 2.1x train / 1.7x test; CommDB JOB 2.8x/1.9x; "
+              "smaller gains on JOB Slow and TPC-H",
+              flags);
+
+  struct Config {
+    const char* name;
+    WorkloadKind kind;
+    const char* paper_pg;
+    const char* paper_commdb;
+  };
+  std::vector<Config> configs{{"JOB", WorkloadKind::kJobRandomSplit,
+                               "2.1x / 1.7x", "2.8x / 1.9x"}};
+  if (flags.full) {
+    configs.push_back({"JOB Slow", WorkloadKind::kJobSlowSplit,
+                       "1.3x / 1.3x", "2.4x / 1.5x"});
+    configs.push_back(
+        {"TPC-H", WorkloadKind::kTpch, "1.1x / 1.2x", "1.1x / 1.0x"});
+  }
+
+  TablePrinter table({"workload", "engine", "paper (train/test)",
+                      "measured train", "measured test"});
+  for (const Config& config : configs) {
+    auto env = MustMakeEnv(config.kind, flags);
+    for (bool commdb : {false, true}) {
+      Baselines expert = MustExpertBaselines(*env, commdb);
+      BalsaAgentOptions options = DefaultBenchAgentOptions(flags);
+      // TPC-H has a much smaller search space; fewer iterations (§8.1).
+      if (config.kind == WorkloadKind::kTpch) {
+        options.iterations = std::max(5, options.iterations / 3);
+      }
+      auto runs = RunAgentSeeds(env.get(), commdb, env->cout_model.get(),
+                                options, flags.seeds);
+      BALSA_CHECK(runs.ok(), runs.status().ToString());
+      double train = MedianOf(*runs, [](const AgentRunResult& r) {
+        return r.final_train_ms;
+      });
+      double test = MedianOf(*runs, [](const AgentRunResult& r) {
+        return r.final_test_ms;
+      });
+      table.AddRow({config.name, commdb ? "CommDB-like" : "Postgres-like",
+                    commdb ? config.paper_commdb : config.paper_pg,
+                    Speedup(expert.train.total_ms, train),
+                    Speedup(expert.test.total_ms, test)});
+      std::printf("  [%s/%s] expert train %.1fs -> balsa %.1fs; "
+                  "expert test %.1fs -> balsa %.1fs\n",
+                  config.name, commdb ? "commdb" : "pg",
+                  expert.train.total_ms / 1000, train / 1000,
+                  expert.test.total_ms / 1000, test / 1000);
+    }
+  }
+  std::printf("\n");
+  table.Print();
+  std::printf("\nshape check: Balsa surpasses the expert on JOB training "
+              "queries on both engines (speedup > 1).\n");
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Figure 7: learning efficiency — normalized training-workload runtime vs
+// (a) elapsed virtual time and (b) number of unique plans executed. Paper:
+// Balsa starts several times slower than the expert after bootstrapping,
+// crosses expert parity within a few (virtual) hours / a few thousand
+// plans, then keeps improving.
+#include "bench/bench_common.h"
+
+using namespace balsa;
+using namespace balsa::bench;
+
+int main(int argc, char** argv) {
+  BenchFlags flags = BenchFlags::Parse(argc, argv);
+  PrintHeader("Figure 7: learning curves (wall-clock and data efficiency)",
+              "starts >1x (worse than expert), crosses 1.0 after a few "
+              "hours / ~3.2K plans on JOB, keeps improving to ~0.5",
+              flags);
+  auto env = MustMakeEnv(WorkloadKind::kJobRandomSplit, flags);
+  Baselines expert = MustExpertBaselines(*env, false);
+
+  BalsaAgentOptions options = DefaultBenchAgentOptions(flags);
+  auto run = RunAgent(env.get(), false, env->cout_model.get(), options);
+  BALSA_CHECK(run.ok(), run.status().ToString());
+
+  std::printf("normalized runtime = iteration executed runtime / expert "
+              "train runtime (%.1f s)\n\n", expert.train.total_ms / 1000);
+  TablePrinter table({"iter", "virtual min", "unique plans",
+                      "normalized runtime", "timeouts"});
+  double first_norm = -1, last_norm = -1, cross_minutes = -1,
+         cross_plans = -1;
+  for (const IterationStats& s : run->curve) {
+    double norm = s.executed_runtime_ms / expert.train.total_ms;
+    if (first_norm < 0) first_norm = norm;
+    last_norm = norm;
+    if (cross_minutes < 0 && norm <= 1.0) {
+      cross_minutes = s.virtual_seconds / 60.0;
+      cross_plans = static_cast<double>(s.unique_plans);
+    }
+    table.AddRow({std::to_string(s.iteration),
+                  TablePrinter::Fmt(s.virtual_seconds / 60.0, 1),
+                  std::to_string(static_cast<long long>(s.unique_plans)),
+                  TablePrinter::Fmt(norm, 3),
+                  std::to_string(s.num_timeouts)});
+  }
+  table.Print();
+
+  std::printf("\nfirst iteration: %.2fx expert; final: %.2fx\n", first_norm,
+              last_norm);
+  if (cross_minutes >= 0) {
+    std::printf("crossed expert parity at %.1f virtual minutes / %lld unique "
+                "plans (paper: ~1.4h, ~3.2K plans at full scale)\n",
+                cross_minutes, static_cast<long long>(cross_plans));
+  }
+  std::printf("shape check: final << first (learning works): %s\n",
+              last_norm < first_norm * 0.5 ? "PASS" : "FAIL");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Figure 8: wall-clock efficiency in non-parallel training mode (one
+// execution node instead of the ~2.5 average of Figure 7). Paper: peak
+// performance still reached within single-digit hours; time to match the
+// expert at most ~3 hours slower than the parallel mode.
+#include "bench/bench_common.h"
+
+using namespace balsa;
+using namespace balsa::bench;
+
+namespace {
+
+double CrossMinutes(const std::vector<IterationStats>& curve,
+                    double expert_ms) {
+  for (const IterationStats& s : curve) {
+    if (s.executed_runtime_ms <= expert_ms) return s.virtual_seconds / 60.0;
+  }
+  return -1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchFlags flags = BenchFlags::Parse(argc, argv);
+  PrintHeader("Figure 8: parallel vs non-parallel training wall clock",
+              "single execution node reaches the same final performance; "
+              "expert-match time a few hours later than parallel mode",
+              flags);
+  auto env = MustMakeEnv(WorkloadKind::kJobRandomSplit, flags);
+  Baselines expert = MustExpertBaselines(*env, false);
+
+  TablePrinter table({"mode", "workers", "virtual min total",
+                      "expert-match (min)", "final train speedup"});
+  double parallel_total = 0, serial_total = 0;
+  for (int workers : {3, 1}) {
+    BalsaAgentOptions options = DefaultBenchAgentOptions(flags);
+    options.num_workers = workers;
+    auto run = RunAgent(env.get(), false, env->cout_model.get(), options);
+    BALSA_CHECK(run.ok(), run.status().ToString());
+    double total_min = run->curve.back().virtual_seconds / 60.0;
+    (workers > 1 ? parallel_total : serial_total) = total_min;
+    table.AddRow({workers > 1 ? "parallel" : "non-parallel",
+                  std::to_string(workers), TablePrinter::Fmt(total_min, 1),
+                  TablePrinter::Fmt(
+                      CrossMinutes(run->curve, expert.train.total_ms), 1),
+                  Speedup(expert.train.total_ms, run->final_train_ms)});
+  }
+  table.Print();
+  std::printf("\nshape check: non-parallel takes longer in virtual time "
+              "(%.1f vs %.1f min): %s\n",
+              serial_total, parallel_total,
+              serial_total > parallel_total ? "PASS" : "FAIL");
+  return 0;
+}

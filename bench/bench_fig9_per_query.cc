@@ -1,0 +1,63 @@
+// Figure 9: breakdown of Balsa's per-query speedups vs expert runtime.
+// Paper: most queries improve; the slowest queries speed up considerably;
+// slowdowns concentrate on inherently fast queries, so they barely affect
+// workload runtime.
+#include "bench/bench_common.h"
+
+#include "src/balsa/agent.h"
+
+using namespace balsa;
+using namespace balsa::bench;
+
+int main(int argc, char** argv) {
+  BenchFlags flags = BenchFlags::Parse(argc, argv);
+  PrintHeader("Figure 9: per-query speedup vs expert runtime",
+              "slow queries sped up considerably; slowdowns mostly on "
+              "fast queries",
+              flags);
+  auto env = MustMakeEnv(WorkloadKind::kJobRandomSplit, flags);
+  Baselines expert = MustExpertBaselines(*env, false);
+
+  BalsaAgentOptions options = DefaultBenchAgentOptions(flags);
+  BalsaAgent agent(&env->schema(), env->pg_engine.get(),
+                   env->cout_model.get(), env->estimator.get(),
+                   &env->workload, options);
+  BALSA_CHECK(agent.Train().ok(), "train");
+
+  auto report = [&](const std::vector<const Query*>& queries,
+                    const ExpertBaseline& baseline, const char* split) {
+    std::printf("\n[%s] query, expert_ms, balsa_ms, speedup\n", split);
+    double slow_expert = 0, slow_balsa = 0;  // queries above median runtime
+    double fast_regressions = 0, total_regression_ms = 0;
+    double med = Median(baseline.runtimes_ms);
+    for (size_t i = 0; i < queries.size(); ++i) {
+      auto plan = agent.PlanBest(*queries[i]);
+      BALSA_CHECK(plan.ok(), "plan");
+      auto latency = env->pg_engine->NoiselessLatency(*queries[i], *plan);
+      BALSA_CHECK(latency.ok(), "latency");
+      double e = baseline.runtimes_ms[i], b = *latency;
+      std::printf("  %-8s %10.2f %10.2f %8.2fx\n",
+                  queries[i]->name().c_str(), e, b, e / b);
+      if (e >= med) {
+        slow_expert += e;
+        slow_balsa += b;
+      } else if (b > e) {
+        fast_regressions++;
+        total_regression_ms += b - e;
+      }
+    }
+    std::printf("[%s] slow half: expert %.1fs -> balsa %.1fs (%.2fx); "
+                "regressions on fast queries cost only %.1f ms total\n",
+                split, slow_expert / 1000, slow_balsa / 1000,
+                slow_expert / std::max(1.0, slow_balsa),
+                total_regression_ms);
+    return slow_expert / std::max(1.0, slow_balsa);
+  };
+
+  double train_slow_speedup =
+      report(env->workload.TrainQueries(), expert.train, "train");
+  report(env->workload.TestQueries(), expert.test, "test");
+  std::printf("\nshape check: the slow half of training queries speeds up "
+              "(> 1x): %s\n", train_slow_speedup > 1 ? "PASS" : "FAIL");
+  return 0;
+}

@@ -1,0 +1,38 @@
+// §10 robustness experiment: dividing the simulator's cardinality estimates
+// by random lognormal noise (median factor 5x) barely changes Balsa's final
+// plans — the simulator only needs to steer the agent away from disasters,
+// not be accurate.
+#include "bench/bench_common.h"
+
+using namespace balsa;
+using namespace balsa::bench;
+
+int main(int argc, char** argv) {
+  BenchFlags flags = BenchFlags::Parse(argc, argv);
+  PrintHeader("Section 10: noisy cardinality estimates in the simulator",
+              "injecting 5x-median noise into estimates has little impact "
+              "on Balsa's final performance",
+              flags);
+
+  TablePrinter table({"estimator", "final train speedup",
+                      "final test speedup"});
+  double clean_speedup = 0, noisy_speedup = 0;
+  for (double noise : {0.0, 5.0}) {
+    auto env = MustMakeEnv(WorkloadKind::kJobRandomSplit, flags, noise);
+    Baselines expert = MustExpertBaselines(*env, false);
+    BalsaAgentOptions options = DefaultBenchAgentOptions(flags);
+    auto run = RunAgent(env.get(), false, env->cout_model.get(), options);
+    BALSA_CHECK(run.ok(), run.status().ToString());
+    double speedup = expert.train.total_ms / run->final_train_ms;
+    (noise == 0.0 ? clean_speedup : noisy_speedup) = speedup;
+    table.AddRow({noise == 0.0 ? "clean estimates" : "5x lognormal noise",
+                  Speedup(expert.train.total_ms, run->final_train_ms),
+                  Speedup(expert.test.total_ms, run->final_test_ms)});
+  }
+  table.Print();
+  std::printf("\nshape check: noisy-simulator agent reaches at least 60%% "
+              "of the clean agent's speedup (%.2fx vs %.2fx): %s\n",
+              noisy_speedup, clean_speedup,
+              noisy_speedup >= 0.6 * clean_speedup ? "PASS" : "FAIL");
+  return 0;
+}

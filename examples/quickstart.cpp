@@ -1,0 +1,93 @@
+// Quickstart: train a Balsa agent on a small JOB-like workload and compare
+// its plans against the classical expert optimizer.
+//
+//   ./build/examples/quickstart [iterations] [data_scale]
+//
+// Walks through the full pipeline: build database -> ANALYZE -> simulation
+// bootstrap -> RL fine-tuning with safe execution/exploration -> evaluate
+// train/test speedups over the expert.
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/balsa/agent.h"
+#include "src/harness/env.h"
+#include "src/util/logging.h"
+
+int main(int argc, char** argv) {
+  using namespace balsa;
+  int iterations = argc > 1 ? std::atoi(argv[1]) : 10;
+  double scale = argc > 2 ? std::atof(argv[2]) : 0.25;
+
+  EnvOptions env_options;
+  env_options.data_scale = scale;
+  std::printf("Building IMDb-like database (scale %.2f) ...\n", scale);
+  auto env_or = MakeEnv(WorkloadKind::kJobRandomSplit, env_options);
+  if (!env_or.ok()) {
+    std::fprintf(stderr, "MakeEnv: %s\n", env_or.status().ToString().c_str());
+    return 1;
+  }
+  Env& env = **env_or;
+  std::printf("  %d queries (%zu train / %zu test), %.1f MB of data\n",
+              env.workload.num_queries(), env.workload.train_indices().size(),
+              env.workload.test_indices().size(),
+              static_cast<double>(env.db->DataBytes()) / 1e6);
+
+  std::printf("Planning the workload with the expert optimizer ...\n");
+  auto train_baseline = ComputeExpertBaseline(
+      *env.pg_expert, env.pg_engine.get(), env.workload.TrainQueries());
+  auto test_baseline = ComputeExpertBaseline(
+      *env.pg_expert, env.pg_engine.get(), env.workload.TestQueries());
+  if (!train_baseline.ok() || !test_baseline.ok()) {
+    std::fprintf(stderr, "expert baseline failed\n");
+    return 1;
+  }
+  std::printf("  expert train runtime %.1f s, test runtime %.1f s\n",
+              train_baseline->total_ms / 1000.0,
+              test_baseline->total_ms / 1000.0);
+
+  BalsaAgentOptions options;
+  options.iterations = iterations;
+  options.sim.max_points_per_query = 800;
+  BalsaAgent agent(&env.schema(), env.pg_engine.get(), env.cout_model.get(),
+                   env.estimator.get(), &env.workload, options);
+
+  std::printf("Bootstrapping from the C_out simulator ...\n");
+  if (Status st = agent.Bootstrap(); !st.ok()) {
+    std::fprintf(stderr, "Bootstrap: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("  %zu simulation points from %d queries in %.1f s\n",
+              agent.sim_stats().num_points, agent.sim_stats().num_queries_used,
+              agent.sim_stats().collect_seconds);
+
+  std::printf("Fine-tuning in real execution (%d iterations) ...\n",
+              iterations);
+  for (int i = 0; i < iterations; ++i) {
+    if (Status st = agent.RunIteration(); !st.ok()) {
+      std::fprintf(stderr, "iteration %d: %s\n", i, st.ToString().c_str());
+      return 1;
+    }
+    const IterationStats& s = agent.curve().back();
+    std::printf(
+        "  iter %2d: executed %8.1f ms, timeouts %d, unique plans %5lld, "
+        "virtual %.1f min\n",
+        s.iteration, s.executed_runtime_ms, s.num_timeouts,
+        static_cast<long long>(s.unique_plans), s.virtual_seconds / 60.0);
+  }
+
+  auto train_ms = agent.EvaluateWorkload(env.workload.TrainQueries());
+  auto test_ms = agent.EvaluateWorkload(env.workload.TestQueries());
+  if (!train_ms.ok() || !test_ms.ok()) {
+    std::fprintf(stderr, "evaluation failed\n");
+    return 1;
+  }
+  std::printf("\nWorkload runtime (train): expert %.1f s -> Balsa %.1f s "
+              "(speedup %.2fx)\n",
+              train_baseline->total_ms / 1000.0, *train_ms / 1000.0,
+              train_baseline->total_ms / *train_ms);
+  std::printf("Workload runtime (test):  expert %.1f s -> Balsa %.1f s "
+              "(speedup %.2fx)\n",
+              test_baseline->total_ms / 1000.0, *test_ms / 1000.0,
+              test_baseline->total_ms / *test_ms);
+  return 0;
+}

@@ -1,0 +1,75 @@
+// The agent's real-execution experience D_real (§4.1): executed plans with
+// measured latencies, subplan data augmentation (§3.2), best-latency label
+// correction over the entire buffer, and plan visit counts for safe
+// exploration (§5). Buffers from independently trained agents can be merged
+// to form diversified experiences (§6).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/model/featurizer.h"
+#include "src/model/value_network.h"
+#include "src/plan/plan.h"
+#include "src/workloads/workload.h"
+
+namespace balsa {
+
+/// One executed (or timed-out) plan.
+struct Execution {
+  int query_id = -1;
+  Plan plan;
+  /// The training label: measured latency, or the fixed relabel value for
+  /// timed-out plans (§4.3).
+  double label_ms = 0;
+  int iteration = 0;
+  bool timed_out = false;
+};
+
+class ExperienceBuffer {
+ public:
+  /// Records an execution; updates best-latency labels for all subplans and
+  /// the plan visit count.
+  void Add(Execution e);
+
+  const std::vector<Execution>& executions() const { return executions_; }
+  int64_t size() const { return static_cast<int64_t>(executions_.size()); }
+
+  /// Times the exact plan (by fingerprint) has been executed for the query.
+  int VisitCount(int query_id, uint64_t plan_fingerprint) const;
+
+  /// Number of distinct (query, plan) pairs ever executed (Table 1's metric).
+  size_t NumUniquePlans() const { return unique_plans_.size(); }
+
+  /// Best label over all executions of `query_id` that contain the subplan
+  /// with this fingerprint; `fallback` when never seen.
+  double CorrectedLabel(int query_id, uint64_t subplan_fingerprint,
+                        double fallback) const;
+
+  /// Merges another agent's experience into this one (§6).
+  void Merge(const ExperienceBuffer& other);
+
+  /// Builds training data with subplan augmentation and label correction.
+  /// `iteration` >= 0 restricts to that iteration's executions (on-policy,
+  /// §4.1); -1 uses the entire buffer (the retrain scheme).
+  std::vector<TrainingPoint> BuildDataset(const Featurizer& featurizer,
+                                          const Workload& workload,
+                                          int iteration = -1) const;
+
+ private:
+  static uint64_t Key(int query_id, uint64_t fingerprint) {
+    uint64_t h = static_cast<uint64_t>(query_id + 1) * 0x9E3779B97F4A7C15ULL;
+    return h ^ (fingerprint + 0xBF58476D1CE4E5B9ULL + (h << 6) + (h >> 2));
+  }
+
+  std::vector<Execution> executions_;
+  /// (query, subplan fingerprint) -> best label over the whole buffer.
+  std::unordered_map<uint64_t, double> best_subplan_label_;
+  /// (query, full-plan fingerprint) -> executions.
+  std::unordered_map<uint64_t, int> visit_counts_;
+  std::unordered_set<uint64_t> unique_plans_;
+};
+
+}  // namespace balsa

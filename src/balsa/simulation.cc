@@ -1,0 +1,78 @@
+#include "src/balsa/simulation.h"
+
+#include <chrono>
+
+#include "src/optimizer/dp_optimizer.h"
+#include "src/util/rng.h"
+
+namespace balsa {
+
+StatusOr<std::vector<TrainingPoint>> CollectSimulationData(
+    const std::vector<const Query*>& queries, const Schema& schema,
+    const CostModelInterface& simulator, const Featurizer& featurizer,
+    const SimulationOptions& options, SimulationStats* stats) {
+  auto start = std::chrono::steady_clock::now();
+  SimulationStats local;
+  SimulationStats& s = stats ? *stats : local;
+  s = SimulationStats();
+
+  DpOptimizerOptions dp_options;
+  dp_options.bushy = options.bushy;
+  if (options.canonical_operators_only) {
+    dp_options.enable_merge_join = false;
+    dp_options.enable_nl_join = false;
+    dp_options.enable_index_nl = false;
+  }
+  DpOptimizer enumerator(&schema, &simulator, dp_options);
+
+  Rng rng(options.seed);
+  std::vector<TrainingPoint> data;
+
+  for (const Query* query : queries) {
+    if (query->num_relations() >= options.skip_queries_with_relations_ge) {
+      s.num_queries_skipped++;
+      continue;
+    }
+    s.num_queries_used++;
+
+    // Per-query reservoir so large queries cannot drown out small ones.
+    std::vector<TrainingPoint> reservoir;
+    size_t seen = 0;
+    auto add_point = [&](TrainingPoint pt) {
+      seen++;
+      if (options.max_points_per_query == 0 ||
+          reservoir.size() < options.max_points_per_query) {
+        reservoir.push_back(std::move(pt));
+        return;
+      }
+      size_t slot = rng.Uniform(seen);
+      if (slot < reservoir.size()) reservoir[slot] = std::move(pt);
+    };
+
+    Status st = enumerator.EnumerateAll(
+        *query,
+        [&](const Query& q, TableSet scope, const Plan& plan, double cost) {
+          s.num_enumerated_plans++;
+          // Subplan augmentation (§3.2): every subtree of the enumerated
+          // plan yields a point with the same scope and total cost.
+          nn::Vec scope_feat = featurizer.QueryFeatures(q, scope);
+          for (int node = 0; node < plan.num_nodes(); ++node) {
+            TrainingPoint pt;
+            pt.query = scope_feat;
+            pt.plan = featurizer.PlanFeatures(q, plan, node);
+            pt.label = cost;
+            add_point(std::move(pt));
+          }
+        });
+    BALSA_RETURN_IF_ERROR(st);
+    data.insert(data.end(), std::make_move_iterator(reservoir.begin()),
+                std::make_move_iterator(reservoir.end()));
+  }
+
+  s.num_points = data.size();
+  auto end = std::chrono::steady_clock::now();
+  s.collect_seconds = std::chrono::duration<double>(end - start).count();
+  return data;
+}
+
+}  // namespace balsa

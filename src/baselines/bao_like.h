@@ -1,0 +1,81 @@
+// A Bao-like learned optimizer assistant (§8.4.1): instead of building plans
+// itself, it steers the expert optimizer by choosing a *hint set* per query
+// (subsets of enabled physical operators). A tree-convolution value model
+// predicts the latency of each hinted expert plan; the best-predicted arm is
+// executed and the model retrained. Following the paper's tuning of Bao, the
+// model bootstraps from the expert's unhinted plans and trains on all past
+// experience.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/balsa/experience.h"
+#include "src/cost/cost_model.h"
+#include "src/engine/execution_engine.h"
+#include "src/model/featurizer.h"
+#include "src/model/value_network.h"
+#include "src/optimizer/dp_optimizer.h"
+#include "src/workloads/workload.h"
+
+namespace balsa {
+
+struct BaoOptions {
+  int iterations = 30;
+  ValueNetConfig net;  // dims auto-filled
+  ValueNetwork::TrainOptions train{.max_epochs = 12, .patience = 2};
+  uint64_t seed = 0;
+};
+
+class BaoAgent {
+ public:
+  BaoAgent(const Schema* schema, ExecutionEngine* engine,
+           const CostModelInterface* expert_cost_model,
+           const CardinalityEstimatorInterface* estimator,
+           const Workload* workload, BaoOptions options);
+
+  /// Executes the expert's unhinted plans once and fits the initial model.
+  Status Bootstrap();
+
+  /// One round over the training queries: predict per-arm latencies, run
+  /// the best-predicted hinted plan, retrain on everything.
+  Status RunIteration();
+
+  Status Train();
+
+  /// Deployment: the arm with the lowest predicted latency for the query.
+  StatusOr<Plan> PlanBest(const Query& query) const;
+
+  /// Noiseless workload runtime under PlanBest.
+  StatusOr<double> EvaluateWorkload(
+      const std::vector<const Query*>& queries) const;
+
+  int num_arms() const { return static_cast<int>(arms_.size()); }
+
+ private:
+  /// The hint-set arms: operator-subset restrictions of the expert DP.
+  struct Arm {
+    DpOptimizerOptions dp;
+  };
+
+  StatusOr<Plan> ArmPlan(const Query& query, int arm) const;
+  StatusOr<int> BestPredictedArm(const Query& query) const;
+
+  const Schema* schema_;
+  ExecutionEngine* engine_;
+  const CostModelInterface* expert_cost_model_;
+  const Workload* workload_;
+  BaoOptions options_;
+
+  std::vector<Arm> arms_;
+  Featurizer featurizer_;
+  std::unique_ptr<ValueNetwork> network_;
+  ExperienceBuffer experience_;
+  /// (query id, arm) -> memoized expert plan (hinted DP is deterministic).
+  mutable std::unordered_map<uint64_t, Plan> arm_plan_cache_;
+  int iteration_ = 0;
+  bool bootstrapped_ = false;
+};
+
+}  // namespace balsa

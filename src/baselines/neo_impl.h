@@ -1,0 +1,22 @@
+// "Neo-impl" (§8.4): the paper's best-effort reproduction of Neo, a learned
+// optimizer that bootstraps from expert demonstrations. It shares Balsa's
+// modeling choices (architecture, featurization, beam search) but: learns
+// from the expert optimizer's executed plans instead of a simulator, fully
+// resets and retrains its network every iteration, and has no timeout or
+// exploration mechanism. Implemented as a BalsaAgent configuration.
+#pragma once
+
+#include "src/balsa/agent.h"
+
+namespace balsa {
+
+/// Options reproducing Neo-impl on top of `base` (Balsa defaults).
+inline BalsaAgentOptions NeoImplOptions(BalsaAgentOptions base = {}) {
+  base.bootstrap = BootstrapMode::kExpertDemos;
+  base.train_scheme = TrainScheme::kRetrain;
+  base.exploration = ExplorationMode::kNone;
+  base.timeout.enabled = false;
+  return base;
+}
+
+}  // namespace balsa

@@ -1,0 +1,33 @@
+// QuickPick-style random plan sampling (Waas & Pellenkoft): uniformly pick
+// joinable pairs and physical operators until the plan is complete. Used by
+// the §3 motivating experiment, the epsilon-greedy comparisons, and tests
+// (random plans are a cheap source of search-space coverage).
+#pragma once
+
+#include "src/catalog/schema.h"
+#include "src/plan/plan.h"
+#include "src/util/rng.h"
+#include "src/util/status.h"
+
+namespace balsa {
+
+struct RandomPlannerOptions {
+  bool bushy = true;
+  bool enable_index_nl = true;
+  bool enable_index_scan = true;
+};
+
+class RandomPlanner {
+ public:
+  RandomPlanner(const Schema* schema, RandomPlannerOptions options = {})
+      : schema_(schema), options_(options) {}
+
+  /// A uniformly random valid physical plan for `query`.
+  StatusOr<Plan> Sample(const Query& query, Rng* rng) const;
+
+ private:
+  const Schema* schema_;
+  RandomPlannerOptions options_;
+};
+
+}  // namespace balsa

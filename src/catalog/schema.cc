@@ -1,0 +1,64 @@
+#include "src/catalog/schema.h"
+
+namespace balsa {
+
+Status Schema::AddTable(TableDef table) {
+  if (name_to_index_.count(table.name) > 0) {
+    return Status::AlreadyExists("table " + table.name);
+  }
+  if (table.row_count <= 0) {
+    return Status::InvalidArgument("table " + table.name +
+                                   " must have positive row_count");
+  }
+  name_to_index_[table.name] = static_cast<int>(tables_.size());
+  tables_.push_back(std::move(table));
+  return Status::OK();
+}
+
+int Schema::TableIndex(const std::string& name) const {
+  auto it = name_to_index_.find(name);
+  return it == name_to_index_.end() ? -1 : it->second;
+}
+
+StatusOr<const TableDef*> Schema::FindTable(const std::string& name) const {
+  int idx = TableIndex(name);
+  if (idx < 0) return Status::NotFound("table " + name);
+  return &tables_[idx];
+}
+
+Status Schema::AddForeignKey(const std::string& from_table,
+                             const std::string& from_column,
+                             const std::string& to_table,
+                             const std::string& to_column) {
+  int from_idx = TableIndex(from_table);
+  int to_idx = TableIndex(to_table);
+  if (from_idx < 0) return Status::NotFound("FK from-table " + from_table);
+  if (to_idx < 0) return Status::NotFound("FK to-table " + to_table);
+  if (tables_[from_idx].ColumnIndex(from_column) < 0) {
+    return Status::NotFound("FK column " + from_table + "." + from_column);
+  }
+  if (tables_[to_idx].ColumnIndex(to_column) < 0) {
+    return Status::NotFound("FK column " + to_table + "." + to_column);
+  }
+  fks_.push_back({from_table, from_column, to_table, to_column});
+  return Status::OK();
+}
+
+bool Schema::IsForeignKeyJoin(const std::string& table_a,
+                              const std::string& col_a,
+                              const std::string& table_b,
+                              const std::string& col_b) const {
+  for (const auto& fk : fks_) {
+    if (fk.from_table == table_a && fk.from_column == col_a &&
+        fk.to_table == table_b && fk.to_column == col_b) {
+      return true;
+    }
+    if (fk.from_table == table_b && fk.from_column == col_b &&
+        fk.to_table == table_a && fk.to_column == col_a) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace balsa

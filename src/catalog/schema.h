@@ -1,0 +1,98 @@
+// Relational schema: tables, columns, and PK/FK edges. All data columns are
+// int64-valued; string attributes are represented dictionary-encoded by the
+// synthetic generator, which preserves everything a join-order optimizer
+// cares about (cardinalities, skew, correlation).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace balsa {
+
+/// How the synthetic generator fills a column.
+enum class ColumnKind {
+  kPrimaryKey,   // values 0..row_count-1 (unique, sorted)
+  kForeignKey,   // references another table's PK; Zipf-skewed fan-in
+  kAttribute,    // categorical/numeric attribute over a fixed domain
+};
+
+struct ColumnDef {
+  std::string name;
+  ColumnKind kind = ColumnKind::kAttribute;
+
+  // kForeignKey: referenced table/column (by name).
+  std::string ref_table;
+  std::string ref_column;
+
+  // kAttribute / kForeignKey: domain size and Zipf skew of generated values.
+  int64_t domain_size = 100;
+  double zipf_skew = 0.0;
+
+  // Optional correlation: value derived from `corr_column` of the same table
+  // with probability `corr_strength` (else drawn independently). Correlated
+  // columns are what break the estimator's independence assumption.
+  std::string corr_column;
+  double corr_strength = 0.0;
+
+  // Fraction of rows with NULL (encoded as -1).
+  double null_fraction = 0.0;
+};
+
+struct TableDef {
+  std::string name;
+  int64_t row_count = 0;
+  std::vector<ColumnDef> columns;
+
+  int ColumnIndex(const std::string& column_name) const {
+    for (size_t i = 0; i < columns.size(); ++i) {
+      if (columns[i].name == column_name) return static_cast<int>(i);
+    }
+    return -1;
+  }
+};
+
+/// A PK/FK edge in the schema's join graph.
+struct ForeignKeyEdge {
+  std::string from_table;   // referencing (fact) side
+  std::string from_column;
+  std::string to_table;     // referenced (dimension) side, PK
+  std::string to_column;
+};
+
+/// The full database schema. Owns table definitions and the FK graph.
+class Schema {
+ public:
+  /// Adds a table; fails on duplicate names.
+  Status AddTable(TableDef table);
+
+  int num_tables() const { return static_cast<int>(tables_.size()); }
+  const std::vector<TableDef>& tables() const { return tables_; }
+  const std::vector<ForeignKeyEdge>& foreign_keys() const { return fks_; }
+
+  /// Index of a table by name, or -1.
+  int TableIndex(const std::string& name) const;
+  const TableDef& table(int idx) const { return tables_[idx]; }
+  StatusOr<const TableDef*> FindTable(const std::string& name) const;
+
+  /// Registers a FK edge; validates both endpoints exist.
+  Status AddForeignKey(const std::string& from_table,
+                       const std::string& from_column,
+                       const std::string& to_table,
+                       const std::string& to_column);
+
+  /// True if (a.col_a = b.col_b) is a declared PK/FK edge in either direction.
+  bool IsForeignKeyJoin(const std::string& table_a, const std::string& col_a,
+                        const std::string& table_b,
+                        const std::string& col_b) const;
+
+ private:
+  std::vector<TableDef> tables_;
+  std::vector<ForeignKeyEdge> fks_;
+  std::unordered_map<std::string, int> name_to_index_;
+};
+
+}  // namespace balsa

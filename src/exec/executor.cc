@@ -1,0 +1,177 @@
+#include "src/exec/executor.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace balsa {
+
+int64_t Executor::ColumnValue(const Query& query, int rel, int col,
+                              uint32_t row) const {
+  int table_idx = query.relations()[rel].table_idx;
+  return db_->table_data(table_idx).columns[col][row];
+}
+
+bool Executor::EvalFilter(const Query& query, const FilterPredicate& f,
+                          uint32_t row) const {
+  int64_t v = ColumnValue(query, f.col.relation, f.col.column, row);
+  if (v < 0) return false;  // NULL fails every predicate
+  switch (f.op) {
+    case PredOp::kEq: return v == f.value;
+    case PredOp::kNe: return v != f.value;
+    case PredOp::kLt: return v < f.value;
+    case PredOp::kLe: return v <= f.value;
+    case PredOp::kGt: return v > f.value;
+    case PredOp::kGe: return v >= f.value;
+    case PredOp::kIn:
+      return std::find(f.in_values.begin(), f.in_values.end(), v) !=
+             f.in_values.end();
+  }
+  return false;
+}
+
+StatusOr<Intermediate> Executor::Scan(const Query& query, int rel) const {
+  if (rel < 0 || rel >= query.num_relations()) {
+    return Status::OutOfRange("relation " + std::to_string(rel));
+  }
+  int table_idx = query.relations()[rel].table_idx;
+  if (!db_->HasData(table_idx)) {
+    return Status::FailedPrecondition("no data for table index " +
+                                      std::to_string(table_idx));
+  }
+  const TableData& data = db_->table_data(table_idx);
+  auto filters = query.FiltersOn(rel);
+
+  Intermediate out;
+  out.rels = {rel};
+  out.tuples.resize(1);
+  auto& rows = out.tuples[0];
+  for (uint32_t r = 0; r < static_cast<uint32_t>(data.row_count); ++r) {
+    bool pass = true;
+    for (const auto& f : filters) {
+      if (!EvalFilter(query, f, r)) {
+        pass = false;
+        break;
+      }
+    }
+    if (pass) {
+      rows.push_back(r);
+      if (static_cast<int64_t>(rows.size()) >= options_.row_cap) {
+        out.capped = true;
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+StatusOr<Intermediate> Executor::Join(const Query& query,
+                                      const Intermediate& left,
+                                      const Intermediate& right) const {
+  TableSet lset, rset;
+  for (int r : left.rels) lset = lset.With(r);
+  for (int r : right.rels) rset = rset.With(r);
+  auto preds = query.JoinsBetween(lset, rset);
+  if (preds.empty()) {
+    return Status::InvalidArgument("no join predicate between " +
+                                   lset.ToString() + " and " +
+                                   rset.ToString());
+  }
+
+  // Build a hash table on the smaller input, keyed by the first predicate.
+  const bool build_left = left.NumRows() <= right.NumRows();
+  const Intermediate& build = build_left ? left : right;
+  const Intermediate& probe = build_left ? right : left;
+
+  // Orient predicates so .left refers to the build side.
+  std::vector<JoinPredicate> oriented;
+  for (auto p : preds) {
+    if (!build_left) std::swap(p.left, p.right);
+    oriented.push_back(p);
+  }
+  const JoinPredicate& key = oriented[0];
+  int build_slot = build.RelSlot(key.left.relation);
+  int probe_slot = probe.RelSlot(key.right.relation);
+
+  std::unordered_map<int64_t, std::vector<uint32_t>> ht;
+  ht.reserve(static_cast<size_t>(build.NumRows()));
+  for (int64_t i = 0; i < build.NumRows(); ++i) {
+    uint32_t row = build.tuples[build_slot][i];
+    int64_t v = ColumnValue(query, key.left.relation, key.left.column, row);
+    if (v < 0) continue;  // NULL keys never match
+    ht[v].push_back(static_cast<uint32_t>(i));
+  }
+
+  Intermediate out;
+  out.rels = left.rels;
+  out.rels.insert(out.rels.end(), right.rels.begin(), right.rels.end());
+  out.tuples.resize(out.rels.size());
+  out.capped = left.capped || right.capped;
+
+  // Slots of the extra predicates for verification.
+  struct ExtraPred {
+    int build_slot, probe_slot;
+    ColumnRef build_col, probe_col;
+  };
+  std::vector<ExtraPred> extras;
+  for (size_t i = 1; i < oriented.size(); ++i) {
+    extras.push_back({build.RelSlot(oriented[i].left.relation),
+                      probe.RelSlot(oriented[i].right.relation),
+                      oriented[i].left, oriented[i].right});
+  }
+
+  const size_t n_left = left.rels.size();
+  for (int64_t pi = 0; pi < probe.NumRows(); ++pi) {
+    uint32_t prow = probe.tuples[probe_slot][pi];
+    int64_t v = ColumnValue(query, key.right.relation, key.right.column, prow);
+    if (v < 0) continue;
+    auto it = ht.find(v);
+    if (it == ht.end()) continue;
+    for (uint32_t bi : it->second) {
+      bool pass = true;
+      for (const auto& e : extras) {
+        int64_t bv = ColumnValue(query, e.build_col.relation,
+                                 e.build_col.column,
+                                 build.tuples[e.build_slot][bi]);
+        int64_t pv = ColumnValue(query, e.probe_col.relation,
+                                 e.probe_col.column,
+                                 probe.tuples[e.probe_slot][pi]);
+        if (bv < 0 || pv < 0 || bv != pv) {
+          pass = false;
+          break;
+        }
+      }
+      if (!pass) continue;
+      // Emit the combined tuple in (left rels..., right rels...) order.
+      const Intermediate& lsrc = build_left ? build : probe;
+      const Intermediate& rsrc = build_left ? probe : build;
+      int64_t li = build_left ? bi : pi;
+      int64_t ri = build_left ? pi : bi;
+      for (size_t s = 0; s < n_left; ++s) {
+        out.tuples[s].push_back(lsrc.tuples[s][li]);
+      }
+      for (size_t s = 0; s < right.rels.size(); ++s) {
+        out.tuples[n_left + s].push_back(rsrc.tuples[s][ri]);
+      }
+      if (out.NumRows() >= options_.row_cap) {
+        out.capped = true;
+        return out;
+      }
+    }
+  }
+  return out;
+}
+
+StatusOr<Intermediate> Executor::Execute(const Query& query, const Plan& plan,
+                                         int node_idx) const {
+  if (node_idx < 0) node_idx = plan.root();
+  if (node_idx < 0) return Status::InvalidArgument("empty plan");
+  const PlanNode& n = plan.node(node_idx);
+  if (!n.is_join) return Scan(query, n.relation);
+  BALSA_ASSIGN_OR_RETURN(Intermediate left,
+                         Execute(query, plan, n.left));
+  BALSA_ASSIGN_OR_RETURN(Intermediate right,
+                         Execute(query, plan, n.right));
+  return Join(query, left, right);
+}
+
+}  // namespace balsa

@@ -1,0 +1,76 @@
+// A real in-memory executor over the column store. It evaluates filters and
+// equi-joins to produce exact intermediate results; the cardinality oracle
+// and the engine latency models are grounded in the row counts it measures.
+//
+// Intermediate relations are materialized as row-id tuples (one row id per
+// participating base relation), so no data copying occurs beyond ids.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/plan/plan.h"
+#include "src/plan/query_graph.h"
+#include "src/storage/column_store.h"
+#include "src/util/status.h"
+
+namespace balsa {
+
+/// An intermediate result: for each tuple, the contributing row id of every
+/// base relation in `rels`. Column-major: tuples[i] is the row-id column for
+/// rels[i].
+struct Intermediate {
+  std::vector<int> rels;                       // query relation indices
+  std::vector<std::vector<uint32_t>> tuples;   // one column per rel
+  bool capped = false;                         // result truncated at row cap
+
+  int64_t NumRows() const {
+    return tuples.empty() ? 0 : static_cast<int64_t>(tuples[0].size());
+  }
+  int RelSlot(int rel) const {
+    for (size_t i = 0; i < rels.size(); ++i) {
+      if (rels[i] == rel) return static_cast<int>(i);
+    }
+    return -1;
+  }
+};
+
+struct ExecutorOptions {
+  /// Intermediates larger than this are truncated and flagged `capped`.
+  /// Plans that hit the cap are "disastrous" in the paper's sense.
+  int64_t row_cap = 4'000'000;
+};
+
+/// Evaluates scans and joins of a query against the database. All physical
+/// join operators produce identical results; the executor implements them
+/// with hash joins (the oracle cares about cardinality, not timing).
+class Executor {
+ public:
+  Executor(const Database* db, ExecutorOptions options = {})
+      : db_(db), options_(options) {}
+
+  /// Scans relation `rel` of `query`, applying all its filters.
+  StatusOr<Intermediate> Scan(const Query& query, int rel) const;
+
+  /// Equi-joins two intermediates on all join predicates crossing them.
+  /// Fails if no predicate connects them (no cross products in SPJ plans).
+  StatusOr<Intermediate> Join(const Query& query, const Intermediate& left,
+                              const Intermediate& right) const;
+
+  /// Executes a whole plan subtree, returning the final intermediate.
+  StatusOr<Intermediate> Execute(const Query& query, const Plan& plan,
+                                 int node_idx = -1) const;
+
+  /// True if `row` of the relation's base table passes filter `f`.
+  bool EvalFilter(const Query& query, const FilterPredicate& f,
+                  uint32_t row) const;
+
+ private:
+  int64_t ColumnValue(const Query& query, int rel, int col,
+                      uint32_t row) const;
+
+  const Database* db_;
+  ExecutorOptions options_;
+};
+
+}  // namespace balsa

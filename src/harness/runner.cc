@@ -1,0 +1,119 @@
+#include "src/harness/runner.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "src/util/stats_util.h"
+
+namespace balsa {
+
+BenchFlags BenchFlags::Parse(int argc, char** argv) {
+  BenchFlags flags;
+  for (int i = 1; i < argc; ++i) {
+    auto value = [&](const char* name) -> const char* {
+      size_t len = std::strlen(name);
+      if (std::strncmp(argv[i], name, len) == 0 && argv[i][len] == '=') {
+        return argv[i] + len + 1;
+      }
+      return nullptr;
+    };
+    if (const char* v = value("--scale")) flags.scale = std::atof(v);
+    else if (const char* v = value("--iters")) flags.iters = std::atoi(v);
+    else if (const char* v = value("--seeds")) flags.seeds = std::atoi(v);
+    else if (std::strcmp(argv[i], "--full") == 0) flags.full = true;
+  }
+  if (flags.full) {
+    flags.scale = 1.0;
+    flags.iters = 100;
+    flags.seeds = 8;
+  }
+  return flags;
+}
+
+std::string BenchFlags::ToString() const {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "scale=%.2f iters=%d seeds=%d%s", scale,
+                iters, seeds, full ? " (full)" : "");
+  return buf;
+}
+
+BalsaAgentOptions DefaultBenchAgentOptions(const BenchFlags& flags) {
+  BalsaAgentOptions options;
+  options.iterations = flags.iters;
+  options.sim.max_points_per_query = flags.full ? 6000 : 800;
+  options.eval_test_every = 5;
+  if (!flags.full) {
+    // Scaled-down planning and training: the paper's Figure 14 shows small
+    // beams lose no plan quality, and reduced sim budgets preserve the
+    // bootstrap's purpose (avoiding disasters, not expertise). --full
+    // restores the paper's b=20, k=10 and full simulation budgets.
+    options.planner.beam_size = 10;
+    options.planner.top_k = 5;
+    options.real_train.max_epochs = 8;
+    options.sim.max_points_per_query = 350;
+    options.sim_train.max_epochs = 8;
+  }
+  return options;
+}
+
+StatusOr<AgentRunResult> RunAgent(Env* env, bool commdb,
+                                  const CostModelInterface* simulator,
+                                  BalsaAgentOptions options) {
+  BalsaAgent agent(&env->schema(), env->engine(commdb), simulator,
+                   env->estimator.get(), &env->workload, options,
+                   env->expert(commdb));
+  BALSA_RETURN_IF_ERROR(agent.Train());
+
+  AgentRunResult result;
+  result.curve = agent.curve();
+  result.sim_collect_seconds = agent.sim_stats().collect_seconds;
+  result.sim_points = agent.sim_stats().num_points;
+  BALSA_ASSIGN_OR_RETURN(result.final_train_ms,
+                         agent.EvaluateWorkload(env->workload.TrainQueries()));
+  if (!env->workload.test_indices().empty()) {
+    BALSA_ASSIGN_OR_RETURN(result.final_test_ms,
+                           agent.EvaluateWorkload(env->workload.TestQueries()));
+  }
+  result.experience = agent.experience();
+  return result;
+}
+
+StatusOr<std::vector<AgentRunResult>> RunAgentSeeds(
+    Env* env, bool commdb, const CostModelInterface* simulator,
+    BalsaAgentOptions options, int seeds) {
+  std::vector<AgentRunResult> runs;
+  for (int s = 0; s < seeds; ++s) {
+    BalsaAgentOptions opts = options;
+    opts.seed = options.seed + static_cast<uint64_t>(s);
+    BALSA_ASSIGN_OR_RETURN(AgentRunResult run,
+                           RunAgent(env, commdb, simulator, opts));
+    runs.push_back(std::move(run));
+  }
+  return runs;
+}
+
+double MedianOf(const std::vector<AgentRunResult>& runs,
+                const std::function<double(const AgentRunResult&)>& get) {
+  std::vector<double> values;
+  values.reserve(runs.size());
+  for (const AgentRunResult& run : runs) values.push_back(get(run));
+  return Median(values);
+}
+
+void PrintCurve(const std::string& label,
+                const std::vector<IterationStats>& curve,
+                double expert_train_ms, int stride) {
+  std::printf("%s: iteration, virtual_min, normalized_runtime, unique_plans, "
+              "timeouts\n", label.c_str());
+  for (size_t i = 0; i < curve.size(); i += static_cast<size_t>(stride)) {
+    const IterationStats& s = curve[i];
+    std::printf("  %4d  %8.1f  %8.3f  %6lld  %3d\n", s.iteration,
+                s.virtual_seconds / 60.0,
+                expert_train_ms > 0 ? s.executed_runtime_ms / expert_train_ms
+                                    : 0.0,
+                static_cast<long long>(s.unique_plans), s.num_timeouts);
+  }
+}
+
+}  // namespace balsa

@@ -1,0 +1,217 @@
+#include "src/model/value_network.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace balsa {
+
+struct ValueNetwork::Activations {
+  std::vector<nn::Vec> inputs;   // per node: concat(query, node features)
+  std::vector<nn::Vec> h1;       // post-ReLU tree conv 1
+  std::vector<nn::Vec> h2;       // post-ReLU tree conv 2
+  nn::Vec pooled;
+  std::vector<int> argmax;
+  nn::Vec m1;                    // post-ReLU fc1
+  nn::Vec out;                   // fc2 output (size 1)
+};
+
+ValueNetwork::ValueNetwork(ValueNetConfig config) : config_(config) {
+  InitWeights(config_.init_seed);
+}
+
+void ValueNetwork::InitWeights(uint64_t seed) {
+  Rng rng(seed);
+  int in = config_.query_dim + config_.node_dim;
+  tc1_ = nn::TreeConvLayer(in, config_.tree_hidden1, &rng);
+  tc2_ = nn::TreeConvLayer(config_.tree_hidden1, config_.tree_hidden2, &rng);
+  fc1_ = nn::Linear(config_.tree_hidden2, config_.mlp_hidden, &rng);
+  fc2_ = nn::Linear(config_.mlp_hidden, 1, &rng);
+}
+
+std::vector<nn::Param*> ValueNetwork::Params() {
+  std::vector<nn::Param*> params;
+  tc1_.CollectParams(&params);
+  tc2_.CollectParams(&params);
+  fc1_.CollectParams(&params);
+  fc2_.CollectParams(&params);
+  return params;
+}
+
+std::vector<const nn::Param*> ValueNetwork::Params() const {
+  auto* self = const_cast<ValueNetwork*>(this);
+  std::vector<nn::Param*> mutable_params = self->Params();
+  return {mutable_params.begin(), mutable_params.end()};
+}
+
+size_t ValueNetwork::NumWeights() const {
+  size_t total = 0;
+  for (const nn::Param* p : Params()) total += p->NumWeights();
+  return total;
+}
+
+double ValueNetwork::ToLabelSpace(double y) const {
+  return config_.log_transform ? std::log1p(std::max(0.0, y)) : y;
+}
+
+double ValueNetwork::FromLabelSpace(double z) const {
+  if (!config_.log_transform) return z;
+  // Clamp to avoid overflow on wild early-training outputs.
+  return std::expm1(std::min(z, 40.0));
+}
+
+double ValueNetwork::ForwardTransformed(const nn::Vec& query,
+                                        const nn::TreeSample& plan,
+                                        Activations* acts) const {
+  Activations local;
+  Activations& a = acts ? *acts : local;
+  size_t n = plan.features.size();
+  a.inputs.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    nn::Vec& in = a.inputs[i];
+    in.reserve(query.size() + plan.features[i].size());
+    in.assign(query.begin(), query.end());
+    in.insert(in.end(), plan.features[i].begin(), plan.features[i].end());
+  }
+  tc1_.Forward(a.inputs, plan.left, plan.right, &a.h1);
+  for (auto& v : a.h1) nn::ReluForward(&v);
+  tc2_.Forward(a.h1, plan.left, plan.right, &a.h2);
+  for (auto& v : a.h2) nn::ReluForward(&v);
+  nn::DynamicMaxPool(a.h2, &a.pooled, &a.argmax);
+  fc1_.Forward(a.pooled, &a.m1);
+  nn::ReluForward(&a.m1);
+  fc2_.Forward(a.m1, &a.out);
+  return a.out[0];
+}
+
+void ValueNetwork::Backward(const nn::Vec& query, const nn::TreeSample& plan,
+                            const Activations& acts, double dout) {
+  nn::Vec dy_out{static_cast<float>(dout)};
+  nn::Vec dm1(acts.m1.size(), 0.f);
+  fc2_.Backward(acts.m1, dy_out, &dm1);
+  nn::ReluBackward(acts.m1, &dm1);
+  nn::Vec dpooled(acts.pooled.size(), 0.f);
+  fc1_.Backward(acts.pooled, dm1, &dpooled);
+
+  std::vector<nn::Vec> dh2(acts.h2.size(),
+                           nn::Vec(acts.pooled.size(), 0.f));
+  nn::DynamicMaxPoolBackward(dpooled, acts.argmax, &dh2);
+  for (size_t i = 0; i < dh2.size(); ++i) nn::ReluBackward(acts.h2[i], &dh2[i]);
+
+  std::vector<nn::Vec> dh1(acts.h1.size(),
+                           nn::Vec(acts.h1.empty() ? 0 : acts.h1[0].size(),
+                                   0.f));
+  tc2_.Backward(acts.h1, plan.left, plan.right, dh2, &dh1);
+  for (size_t i = 0; i < dh1.size(); ++i) nn::ReluBackward(acts.h1[i], &dh1[i]);
+  tc1_.Backward(acts.inputs, plan.left, plan.right, dh1, nullptr);
+}
+
+double ValueNetwork::Predict(const nn::Vec& query,
+                             const nn::TreeSample& plan) const {
+  return FromLabelSpace(ForwardTransformed(query, plan, nullptr));
+}
+
+ValueNetwork::TrainResult ValueNetwork::Train(
+    const std::vector<TrainingPoint>& data, const TrainOptions& options) {
+  TrainResult result;
+  if (data.empty()) return result;
+
+  std::vector<int> order(data.size());
+  std::iota(order.begin(), order.end(), 0);
+  Rng rng(options.shuffle_seed);
+  rng.Shuffle(&order);
+
+  size_t num_val = static_cast<size_t>(
+      static_cast<double>(data.size()) * options.val_fraction);
+  // Keep at least one training example.
+  num_val = std::min(num_val, data.size() - 1);
+  std::vector<int> val(order.begin(), order.begin() + num_val);
+  std::vector<int> train(order.begin() + num_val, order.end());
+
+  nn::Adam::Options adam_opts;
+  adam_opts.lr = options.lr;
+  nn::Adam adam(Params(), adam_opts);
+
+  auto eval_loss = [&](const std::vector<int>& idx) {
+    if (idx.empty()) return 0.0;
+    double total = 0;
+    for (int i : idx) {
+      double z = ToLabelSpace(data[i].label);
+      double pred = ForwardTransformed(data[i].query, data[i].plan, nullptr);
+      total += (pred - z) * (pred - z);
+    }
+    return total / static_cast<double>(idx.size());
+  };
+
+  double best_val = std::numeric_limits<double>::infinity();
+  int stale_epochs = 0;
+  // Snapshot of the best-so-far weights for early-stopping restoration.
+  std::vector<nn::Mat> best_weights;
+  auto snapshot = [&] {
+    best_weights.clear();
+    for (nn::Param* p : Params()) best_weights.push_back(p->value);
+  };
+  auto restore = [&] {
+    if (best_weights.empty()) return;
+    auto params = Params();
+    for (size_t i = 0; i < params.size(); ++i) {
+      params[i]->value = best_weights[i];
+    }
+  };
+
+  for (int epoch = 0; epoch < options.max_epochs; ++epoch) {
+    rng.Shuffle(&train);
+    double epoch_loss = 0;
+    size_t pos = 0;
+    while (pos < train.size()) {
+      size_t batch_end =
+          std::min(pos + static_cast<size_t>(options.batch_size),
+                   train.size());
+      int batch = static_cast<int>(batch_end - pos);
+      for (size_t b = pos; b < batch_end; ++b) {
+        const TrainingPoint& pt = data[train[b]];
+        Activations acts;
+        double pred = ForwardTransformed(pt.query, pt.plan, &acts);
+        double residual = pred - ToLabelSpace(pt.label);
+        epoch_loss += residual * residual;
+        Backward(pt.query, pt.plan, acts, 2.0 * residual);
+      }
+      adam.Step(batch);
+      result.sgd_samples += batch;
+      pos = batch_end;
+    }
+    result.epochs_run = epoch + 1;
+    result.final_train_loss =
+        epoch_loss / static_cast<double>(std::max<size_t>(1, train.size()));
+
+    if (!val.empty()) {
+      double val_loss = eval_loss(val);
+      if (val_loss < best_val - 1e-9) {
+        best_val = val_loss;
+        stale_epochs = 0;
+        snapshot();
+      } else if (epoch + 1 >= options.min_epochs &&
+                 ++stale_epochs >= options.patience) {
+        break;
+      }
+    }
+  }
+  if (!val.empty()) restore();
+  result.best_val_loss = val.empty() ? result.final_train_loss : best_val;
+  return result;
+}
+
+Status ValueNetwork::CopyWeightsFrom(const ValueNetwork& other) {
+  auto* mutable_other = const_cast<ValueNetwork*>(&other);
+  return nn::CopyParams(mutable_other->Params(), Params());
+}
+
+Status ValueNetwork::Save(const std::string& path) {
+  return nn::SaveParams(Params(), path);
+}
+
+Status ValueNetwork::Load(const std::string& path) {
+  return nn::LoadParams(Params(), path);
+}
+
+}  // namespace balsa

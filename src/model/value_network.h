@@ -1,0 +1,107 @@
+// The learned value function V(query, plan) -> overall cost or latency (§2.1,
+// §7): a tree convolution network over the plan tree, where every node's
+// input is the concatenation of the query feature vector and the node's
+// operator/table features, followed by dynamic max pooling and an MLP head.
+// Trained with L2 loss in log space (latencies span orders of magnitude).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/model/featurizer.h"
+#include "src/nn/nn.h"
+#include "src/util/status.h"
+
+namespace balsa {
+
+struct ValueNetConfig {
+  int query_dim = 0;
+  int node_dim = 0;
+  int tree_hidden1 = 64;
+  int tree_hidden2 = 32;
+  int mlp_hidden = 32;
+  /// Train on log1p(label) rather than raw values.
+  bool log_transform = true;
+  uint64_t init_seed = 1;
+};
+
+/// One supervised example: featurized (query, plan) with a scalar label
+/// (cost in simulation, latency in ms in real execution).
+struct TrainingPoint {
+  nn::Vec query;
+  nn::TreeSample plan;
+  double label = 0;
+};
+
+class ValueNetwork {
+ public:
+  explicit ValueNetwork(ValueNetConfig config);
+
+  // Copyable (diversified-experience retraining clones architectures).
+  ValueNetwork(const ValueNetwork&) = default;
+  ValueNetwork& operator=(const ValueNetwork&) = default;
+
+  /// Predicted label (original units) for a featurized (query, plan).
+  double Predict(const nn::Vec& query, const nn::TreeSample& plan) const;
+
+  struct TrainOptions {
+    int max_epochs = 100;
+    int min_epochs = 1;
+    int batch_size = 64;
+    double lr = 1e-3;
+    /// Fraction of data held out as a validation set for early stopping
+    /// (the paper uses 10%).
+    double val_fraction = 0.1;
+    /// Stop after this many epochs without validation improvement.
+    int patience = 3;
+    uint64_t shuffle_seed = 3;
+  };
+
+  struct TrainResult {
+    int epochs_run = 0;
+    double final_train_loss = 0;
+    double best_val_loss = 0;
+    int64_t sgd_samples = 0;  // total examples processed (for virtual time)
+  };
+
+  /// Trains on `data` with minibatch Adam and early stopping. Loss is L2 in
+  /// (optionally log-transformed) label space.
+  TrainResult Train(const std::vector<TrainingPoint>& data,
+                    const TrainOptions& options);
+
+  /// Re-initializes all weights (the full-retrain scheme, §8.3.4).
+  void InitWeights(uint64_t seed);
+
+  /// Copies weights from another network of identical architecture
+  /// (V_real <- V_sim initialization, §2.1).
+  Status CopyWeightsFrom(const ValueNetwork& other);
+
+  Status Save(const std::string& path);
+  Status Load(const std::string& path);
+
+  size_t NumWeights() const;
+  const ValueNetConfig& config() const { return config_; }
+
+ private:
+  struct Activations;
+
+  /// Forward pass in transformed label space; fills `acts` when non-null.
+  double ForwardTransformed(const nn::Vec& query, const nn::TreeSample& plan,
+                            Activations* acts) const;
+  /// Backward pass for d(loss)/d(output) = dout; accumulates gradients.
+  void Backward(const nn::Vec& query, const nn::TreeSample& plan,
+                const Activations& acts, double dout);
+
+  std::vector<nn::Param*> Params();
+  std::vector<const nn::Param*> Params() const;
+
+  double ToLabelSpace(double y) const;
+  double FromLabelSpace(double z) const;
+
+  ValueNetConfig config_;
+  nn::TreeConvLayer tc1_, tc2_;
+  nn::Linear fc1_, fc2_;
+};
+
+}  // namespace balsa

@@ -1,0 +1,75 @@
+// Classical bushy Selinger-style dynamic-programming optimizer over physical
+// operators, with a pluggable cost model. Serves two roles:
+//
+//  1. The *expert optimizer* baseline for each engine (with that engine's
+//     expert cost model), standing in for PostgreSQL's / CommDB's planners.
+//  2. The *simulation data collector* (§3.2): enumerates every candidate
+//     plan of every DP level and reports (plan, cost) pairs to a callback —
+//     the raw material of D_sim.
+//
+// Queries larger than `max_exact_relations` fall back to a greedy builder
+// (cheapest next join), mirroring DQ's partial-DP suggestion in the paper.
+#pragma once
+
+#include <functional>
+#include <limits>
+
+#include "src/cost/cost_model.h"
+#include "src/plan/plan.h"
+
+namespace balsa {
+
+struct DpOptimizerOptions {
+  /// Allow bushy shapes; when false the planner only considers left-deep
+  /// trees (inner side always a base relation).
+  bool bushy = true;
+  bool enable_index_nl = true;
+  bool enable_merge_join = true;
+  bool enable_nl_join = true;
+  bool enable_hash_join = true;
+  /// DP is exact up to this many relations; larger queries use greedy
+  /// completion.
+  int max_exact_relations = 13;
+};
+
+struct OptimizedPlan {
+  Plan plan;
+  double cost = std::numeric_limits<double>::infinity();
+};
+
+class DpOptimizer {
+ public:
+  DpOptimizer(const Schema* schema, const CostModelInterface* cost_model,
+              DpOptimizerOptions options = {})
+      : schema_(schema), cost_model_(cost_model), options_(options) {}
+
+  /// Best plan for the full query under the cost model.
+  StatusOr<OptimizedPlan> Optimize(const Query& query) const;
+
+  /// Visits every enumerated candidate plan (all DP cells, all operator
+  /// choices — not just the winners), with its total cost. `scope` is the
+  /// candidate's table set (the "query=T" restriction of §3.2).
+  using EnumerationCallback = std::function<void(
+      const Query& query, TableSet scope, const Plan& plan, double cost)>;
+
+  /// Runs DP while streaming all enumerated plans to `callback`.
+  Status EnumerateAll(const Query& query, EnumerationCallback callback) const;
+
+ private:
+  Status RunDp(const Query& query, OptimizedPlan* best,
+               const EnumerationCallback* callback) const;
+  StatusOr<OptimizedPlan> GreedyPlan(const Query& query) const;
+
+  /// Cost of joining best(L) and best(R) with `op`; also outputs the
+  /// composed plan when `compose` is set.
+  double CandidateCost(const Query& query, TableSet left, TableSet right,
+                       JoinOp op, double left_cost, double right_cost,
+                       double left_rows, double right_rows, double out_rows,
+                       bool right_is_single_rel, bool* valid) const;
+
+  const Schema* schema_;
+  const CostModelInterface* cost_model_;
+  DpOptimizerOptions options_;
+};
+
+}  // namespace balsa

@@ -1,0 +1,48 @@
+// Fluent builder that resolves "alias.column" strings against a schema to
+// construct Query objects. Used by the workload generators, the SQL parser,
+// and tests.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/catalog/schema.h"
+#include "src/plan/query_graph.h"
+#include "src/util/status.h"
+
+namespace balsa {
+
+class QueryBuilder {
+ public:
+  QueryBuilder(const Schema* schema, std::string name)
+      : schema_(schema), name_(std::move(name)) {}
+
+  /// Adds `table` under `alias` (alias defaults to the table name).
+  QueryBuilder& From(const std::string& table, const std::string& alias = "");
+
+  /// Adds an equi-join predicate between two "alias.column" references.
+  QueryBuilder& JoinEq(const std::string& left, const std::string& right);
+
+  /// Adds a comparison filter on an "alias.column" reference.
+  QueryBuilder& Filter(const std::string& col, PredOp op, int64_t value);
+
+  /// Adds an IN-list filter.
+  QueryBuilder& FilterIn(const std::string& col, std::vector<int64_t> values);
+
+  /// Finalizes the query. Fails if any reference did not resolve or the join
+  /// graph is disconnected.
+  StatusOr<Query> Build();
+
+ private:
+  StatusOr<ColumnRef> Resolve(const std::string& dotted);
+
+  const Schema* schema_;
+  std::string name_;
+  std::vector<QueryRelation> relations_;
+  std::vector<JoinPredicate> joins_;
+  std::vector<FilterPredicate> filters_;
+  Status deferred_error_;
+};
+
+}  // namespace balsa

@@ -1,0 +1,223 @@
+#include "src/sql/parser.h"
+
+#include <cctype>
+#include <vector>
+
+#include "src/plan/query_builder.h"
+
+namespace balsa {
+
+namespace {
+
+enum class TokenKind { kIdent, kNumber, kSymbol, kEnd };
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;   // identifiers lower-cased; symbols verbatim
+  int64_t number = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& input) : input_(input) { Advance(); }
+
+  const Token& Peek() const { return current_; }
+
+  Token Take() {
+    Token t = current_;
+    Advance();
+    return t;
+  }
+
+  /// Consumes the next token if it is the given keyword (case-insensitive).
+  bool TakeKeyword(const std::string& kw) {
+    if (current_.kind == TokenKind::kIdent && current_.text == kw) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+
+  bool TakeSymbol(const std::string& sym) {
+    if (current_.kind == TokenKind::kSymbol && current_.text == sym) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+
+ private:
+  void Advance() {
+    while (pos_ < input_.size() &&
+           std::isspace(static_cast<unsigned char>(input_[pos_]))) {
+      pos_++;
+    }
+    current_ = Token();
+    if (pos_ >= input_.size()) return;
+    char c = input_[pos_];
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = pos_;
+      while (pos_ < input_.size() &&
+             (std::isalnum(static_cast<unsigned char>(input_[pos_])) ||
+              input_[pos_] == '_')) {
+        pos_++;
+      }
+      current_.kind = TokenKind::kIdent;
+      current_.text = input_.substr(start, pos_ - start);
+      for (char& ch : current_.text) {
+        ch = static_cast<char>(std::tolower(static_cast<unsigned char>(ch)));
+      }
+      return;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && pos_ + 1 < input_.size() &&
+         std::isdigit(static_cast<unsigned char>(input_[pos_ + 1])))) {
+      size_t start = pos_;
+      pos_++;
+      while (pos_ < input_.size() &&
+             std::isdigit(static_cast<unsigned char>(input_[pos_]))) {
+        pos_++;
+      }
+      current_.kind = TokenKind::kNumber;
+      current_.text = input_.substr(start, pos_ - start);
+      current_.number = std::stoll(current_.text);
+      return;
+    }
+    // Multi-character comparison operators.
+    static const char* kTwoCharOps[] = {"<=", ">=", "<>", "!="};
+    for (const char* op : kTwoCharOps) {
+      if (input_.compare(pos_, 2, op) == 0) {
+        current_.kind = TokenKind::kSymbol;
+        current_.text = op;
+        pos_ += 2;
+        return;
+      }
+    }
+    current_.kind = TokenKind::kSymbol;
+    current_.text = std::string(1, c);
+    pos_++;
+  }
+
+  const std::string& input_;
+  size_t pos_ = 0;
+  Token current_;
+};
+
+StatusOr<std::string> ParseColumnRef(Lexer* lex) {
+  Token alias = lex->Take();
+  if (alias.kind != TokenKind::kIdent) {
+    return Status::InvalidArgument("expected column reference, got '" +
+                                   alias.text + "'");
+  }
+  if (!lex->TakeSymbol(".")) {
+    return Status::InvalidArgument("expected '.' after '" + alias.text + "'");
+  }
+  Token col = lex->Take();
+  if (col.kind != TokenKind::kIdent) {
+    return Status::InvalidArgument("expected column name after '" +
+                                   alias.text + ".'");
+  }
+  return alias.text + "." + col.text;
+}
+
+StatusOr<PredOp> SymbolToOp(const std::string& sym) {
+  if (sym == "=") return PredOp::kEq;
+  if (sym == "<") return PredOp::kLt;
+  if (sym == "<=") return PredOp::kLe;
+  if (sym == ">") return PredOp::kGt;
+  if (sym == ">=") return PredOp::kGe;
+  if (sym == "<>" || sym == "!=") return PredOp::kNe;
+  return Status::InvalidArgument("unsupported operator '" + sym + "'");
+}
+
+}  // namespace
+
+StatusOr<Query> ParseSql(const Schema& schema, const std::string& sql,
+                         const std::string& name) {
+  Lexer lex(sql);
+  QueryBuilder builder(&schema, name);
+
+  if (!lex.TakeKeyword("select")) {
+    return Status::InvalidArgument("expected SELECT");
+  }
+  // Projection list: '*' or a comma-separated list of column refs (ignored —
+  // SPJ optimization is projection-agnostic).
+  if (!lex.TakeSymbol("*")) {
+    while (true) {
+      BALSA_ASSIGN_OR_RETURN(std::string ref, ParseColumnRef(&lex));
+      (void)ref;
+      if (!lex.TakeSymbol(",")) break;
+    }
+  }
+
+  if (!lex.TakeKeyword("from")) {
+    return Status::InvalidArgument("expected FROM");
+  }
+  while (true) {
+    Token table = lex.Take();
+    if (table.kind != TokenKind::kIdent) {
+      return Status::InvalidArgument("expected table name in FROM");
+    }
+    lex.TakeKeyword("as");
+    std::string alias = table.text;
+    if (lex.Peek().kind == TokenKind::kIdent && lex.Peek().text != "where") {
+      alias = lex.Take().text;
+    }
+    builder.From(table.text, alias);
+    if (!lex.TakeSymbol(",")) break;
+  }
+
+  if (lex.TakeKeyword("where")) {
+    while (true) {
+      BALSA_ASSIGN_OR_RETURN(std::string lhs, ParseColumnRef(&lex));
+      if (lex.TakeKeyword("in")) {
+        if (!lex.TakeSymbol("(")) {
+          return Status::InvalidArgument("expected '(' after IN");
+        }
+        std::vector<int64_t> values;
+        while (true) {
+          Token v = lex.Take();
+          if (v.kind != TokenKind::kNumber) {
+            return Status::InvalidArgument("expected number in IN list");
+          }
+          values.push_back(v.number);
+          if (!lex.TakeSymbol(",")) break;
+        }
+        if (!lex.TakeSymbol(")")) {
+          return Status::InvalidArgument("expected ')' closing IN list");
+        }
+        builder.FilterIn(lhs, std::move(values));
+      } else {
+        Token op = lex.Take();
+        if (op.kind != TokenKind::kSymbol) {
+          return Status::InvalidArgument("expected comparison operator");
+        }
+        if (lex.Peek().kind == TokenKind::kNumber) {
+          Token v = lex.Take();
+          if (op.text != "=") {
+            BALSA_ASSIGN_OR_RETURN(PredOp pred, SymbolToOp(op.text));
+            builder.Filter(lhs, pred, v.number);
+          } else {
+            builder.Filter(lhs, PredOp::kEq, v.number);
+          }
+        } else {
+          if (op.text != "=") {
+            return Status::InvalidArgument(
+                "only equality joins are supported between columns");
+          }
+          BALSA_ASSIGN_OR_RETURN(std::string rhs, ParseColumnRef(&lex));
+          builder.JoinEq(lhs, rhs);
+        }
+      }
+      if (!lex.TakeKeyword("and")) break;
+    }
+  }
+  lex.TakeSymbol(";");
+  if (lex.Peek().kind != TokenKind::kEnd) {
+    return Status::InvalidArgument("unexpected trailing token '" +
+                                   lex.Peek().text + "'");
+  }
+  return builder.Build();
+}
+
+}  // namespace balsa

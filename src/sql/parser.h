@@ -1,0 +1,27 @@
+// A minimal SQL front-end for SPJ blocks, enough to express every query in
+// the JOB-like and TPC-H-like workloads:
+//
+//   SELECT * FROM title t, movie_companies mc, company_name cn
+//   WHERE mc.movie_id = t.id AND mc.company_id = cn.id
+//     AND cn.country_code = 3 AND t.production_year > 90
+//     AND mc.note IN (1, 5, 7);
+//
+// Aliases are optional ("FROM title" uses the table name). Literals are
+// integers (the storage layer is dictionary-encoded int64). Produces a
+// Query via QueryBuilder, so all name resolution and connectivity checks
+// apply.
+#pragma once
+
+#include <string>
+
+#include "src/catalog/schema.h"
+#include "src/plan/query_graph.h"
+#include "src/util/status.h"
+
+namespace balsa {
+
+/// Parses one SPJ statement against `schema`. `name` labels the query.
+StatusOr<Query> ParseSql(const Schema& schema, const std::string& sql,
+                         const std::string& name = "query");
+
+}  // namespace balsa

@@ -1,0 +1,94 @@
+#include "src/stats/card_oracle.h"
+
+#include <algorithm>
+
+namespace balsa {
+
+StatusOr<TrueCard> CardOracle::Cardinality(const Query& query, TableSet set) {
+  if (query.id() < 0) {
+    return Status::InvalidArgument("query " + query.name() + " has no id");
+  }
+  if (set.empty()) return Status::InvalidArgument("empty table set");
+  auto it = cache_.find(Key(query.id(), set));
+  if (it != cache_.end()) return it->second;
+  return ComputeBySteps(query, set);
+}
+
+StatusOr<TrueCard> CardOracle::ComputeBySteps(const Query& query,
+                                              TableSet set) {
+  // Join the set left-deep in a connected, smallest-first order, caching
+  // every prefix cardinality along the way.
+  std::vector<std::pair<int64_t, int>> bases;  // (filtered rows, rel)
+  std::vector<Intermediate> scans(query.num_relations());
+  for (int rel : set) {
+    BALSA_ASSIGN_OR_RETURN(scans[rel], executor_.Scan(query, rel));
+    bases.push_back({scans[rel].NumRows(), rel});
+    cache_[Key(query.id(), TableSet::Single(rel))] = {
+        static_cast<double>(scans[rel].NumRows()), false};
+  }
+  std::sort(bases.begin(), bases.end());
+
+  // Start from the smallest relation; grow by the smallest connected one.
+  Intermediate current = std::move(scans[bases[0].second]);
+  TableSet done = TableSet::Single(bases[0].second);
+  num_executions_++;
+  while (done != set) {
+    int next = -1;
+    for (const auto& [rows, rel] : bases) {
+      if (done.Contains(rel)) continue;
+      if (query.CanJoin(done, TableSet::Single(rel))) {
+        next = rel;
+        break;
+      }
+    }
+    if (next < 0) {
+      return Status::InvalidArgument("table set " + set.ToString() +
+                                     " is not join-connected in query " +
+                                     query.name());
+    }
+    TableSet grown = done.With(next);
+    uint64_t key = Key(query.id(), grown);
+    auto hit = cache_.find(key);
+    // Even on a cache hit we must materialize the intermediate to continue,
+    // unless the grown set is the final target.
+    if (hit != cache_.end() && grown == set) return hit->second;
+    BALSA_ASSIGN_OR_RETURN(current,
+                           executor_.Join(query, current, scans[next]));
+    num_executions_++;
+    TrueCard card{static_cast<double>(current.NumRows()), current.capped};
+    if (hit == cache_.end() || (hit->second.capped && !card.capped)) {
+      cache_[key] = card;
+    }
+    done = grown;
+    if (current.capped) {
+      // Everything above a capped intermediate is also capped; don't keep
+      // joining a truncated result.
+      return TrueCard{static_cast<double>(current.NumRows()), true};
+    }
+  }
+  return cache_[Key(query.id(), set)];
+}
+
+StatusOr<std::vector<TrueCard>> CardOracle::PlanCardinalities(
+    const Query& query, const Plan& plan) {
+  std::vector<TrueCard> out(plan.num_nodes());
+  // Fast path: every node's set already cached.
+  bool all_cached = true;
+  for (int i = 0; i < plan.num_nodes() && all_cached; ++i) {
+    all_cached = cache_.count(Key(query.id(), plan.node(i).tables)) > 0;
+  }
+  if (all_cached) {
+    for (int i = 0; i < plan.num_nodes(); ++i) {
+      out[i] = cache_[Key(query.id(), plan.node(i).tables)];
+    }
+    return out;
+  }
+  for (int i = 0; i < plan.num_nodes(); ++i) {
+    BALSA_ASSIGN_OR_RETURN(TrueCard card,
+                           Cardinality(query, plan.node(i).tables));
+    out[i] = card;
+  }
+  return out;
+}
+
+}  // namespace balsa

@@ -1,0 +1,55 @@
+// True-cardinality oracle: measures exact intermediate result sizes by
+// actually executing joins on the stored data, with memoization per
+// (query, table set). The engine latency models are grounded in these
+// measurements, so "reality" diverges from the estimator exactly as it does
+// between PostgreSQL's planner and its executor.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "src/exec/executor.h"
+#include "src/plan/plan.h"
+#include "src/util/status.h"
+
+namespace balsa {
+
+struct TrueCard {
+  double rows = 0;
+  /// The executor hit its row cap: the true size is >= rows. Plans through
+  /// capped intermediates are "disastrous" in the paper's sense.
+  bool capped = false;
+};
+
+class CardOracle {
+ public:
+  explicit CardOracle(const Database* db, ExecutorOptions exec_options = {})
+      : executor_(db, exec_options) {}
+
+  /// True cardinality of the join of `set` (with filters). Queries must have
+  /// unique, non-negative ids.
+  StatusOr<TrueCard> Cardinality(const Query& query, TableSet set);
+
+  /// True cardinalities for every node of `plan`, indexed by arena position.
+  /// One bottom-up execution fills the cache for all subtrees.
+  StatusOr<std::vector<TrueCard>> PlanCardinalities(const Query& query,
+                                                    const Plan& plan);
+
+  size_t CacheSize() const { return cache_.size(); }
+  int64_t NumExecutions() const { return num_executions_; }
+
+ private:
+  static uint64_t Key(int query_id, TableSet set) {
+    uint64_t h = static_cast<uint64_t>(query_id + 1) * 0x9E3779B97F4A7C15ULL;
+    h ^= set.bits() + 0xBF58476D1CE4E5B9ULL + (h << 6) + (h >> 2);
+    return h;
+  }
+
+  StatusOr<TrueCard> ComputeBySteps(const Query& query, TableSet set);
+
+  Executor executor_;
+  std::unordered_map<uint64_t, TrueCard> cache_;
+  int64_t num_executions_ = 0;
+};
+
+}  // namespace balsa

@@ -1,0 +1,82 @@
+// A PostgreSQL-style cardinality estimator: per-column histograms + MCVs,
+// the independence assumption for conjunctive filters, and the
+// 1/max(ndv_l, ndv_r) rule for equi-join selectivity. Deliberately simple
+// and inaccurate under skew/correlation — exactly the estimator class the
+// paper uses for Balsa's simulator (§3.3).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/plan/query_graph.h"
+#include "src/stats/table_stats.h"
+#include "src/util/rng.h"
+
+namespace balsa {
+
+/// Interface so the simulator can swap in noisy or oracle-backed estimators.
+class CardinalityEstimatorInterface {
+ public:
+  virtual ~CardinalityEstimatorInterface() = default;
+
+  /// Estimated rows of relation `rel` of `query` after its filters.
+  virtual double EstimateScanRows(const Query& query, int rel) const = 0;
+
+  /// Estimated rows of the join of the relations in `set` (with filters).
+  virtual double EstimateJoinRows(const Query& query, TableSet set) const = 0;
+
+  /// Estimated selectivity of relation `rel`'s filters in [0, 1].
+  virtual double EstimateSelectivity(const Query& query, int rel) const = 0;
+};
+
+class CardinalityEstimator : public CardinalityEstimatorInterface {
+ public:
+  CardinalityEstimator(const Schema* schema, std::vector<TableStats> stats)
+      : schema_(schema), stats_(std::move(stats)) {}
+
+  double EstimateScanRows(const Query& query, int rel) const override;
+  double EstimateJoinRows(const Query& query, TableSet set) const override;
+  double EstimateSelectivity(const Query& query, int rel) const override;
+
+  /// Selectivity of a single filter predicate.
+  double FilterSelectivity(const Query& query,
+                           const FilterPredicate& f) const;
+
+  /// Selectivity of a single equi-join predicate (1/max ndv rule).
+  double JoinSelectivity(const Query& query, const JoinPredicate& j) const;
+
+  const std::vector<TableStats>& stats() const { return stats_; }
+
+  /// The "magic constant" PostgreSQL falls back to for unsupported
+  /// predicates (DEFAULT_EQ_SEL-like).
+  static constexpr double kDefaultSelectivity = 0.005;
+
+ private:
+  const ColumnStats& ColStats(const Query& query, const ColumnRef& col) const;
+
+  const Schema* schema_;
+  std::vector<TableStats> stats_;
+};
+
+/// Wraps an estimator and divides its join estimates by random lognormal
+/// noise factors (median `median_noise_factor`), reproducing the §10
+/// robustness experiment. Noise is deterministic per (query, table set).
+class NoisyCardinalityEstimator : public CardinalityEstimatorInterface {
+ public:
+  NoisyCardinalityEstimator(std::shared_ptr<CardinalityEstimatorInterface> base,
+                            double median_noise_factor, uint64_t seed = 7);
+
+  double EstimateScanRows(const Query& query, int rel) const override;
+  double EstimateJoinRows(const Query& query, TableSet set) const override;
+  double EstimateSelectivity(const Query& query, int rel) const override;
+
+ private:
+  double NoiseFor(int query_id, uint64_t key) const;
+
+  std::shared_ptr<CardinalityEstimatorInterface> base_;
+  double sigma_;
+  uint64_t seed_;
+};
+
+}  // namespace balsa

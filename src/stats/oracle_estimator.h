@@ -1,0 +1,40 @@
+// An estimator backed by the true-cardinality oracle. Not part of Balsa's
+// learning loop (the paper's point is that learning works with *inaccurate*
+// estimates); used by tests and analyses to compute near-optimal reference
+// plans ("how much headroom above the expert exists?").
+#pragma once
+
+#include "src/stats/card_oracle.h"
+#include "src/stats/cardinality_estimator.h"
+
+namespace balsa {
+
+class OracleCardinalityEstimator : public CardinalityEstimatorInterface {
+ public:
+  OracleCardinalityEstimator(const Database* db, CardOracle* oracle)
+      : db_(db), oracle_(oracle) {}
+
+  double EstimateScanRows(const Query& query, int rel) const override {
+    auto card = oracle_->Cardinality(query, TableSet::Single(rel));
+    return card.ok() ? card->rows : 0;
+  }
+
+  double EstimateJoinRows(const Query& query, TableSet set) const override {
+    auto card = oracle_->Cardinality(query, set);
+    // Capped sets are at least the cap; return the observed lower bound.
+    return card.ok() ? card->rows : 0;
+  }
+
+  double EstimateSelectivity(const Query& query, int rel) const override {
+    double base = static_cast<double>(
+        db_->table_data(query.relations()[rel].table_idx).row_count);
+    if (base <= 0) return 1.0;
+    return EstimateScanRows(query, rel) / base;
+  }
+
+ private:
+  const Database* db_;
+  mutable CardOracle* oracle_;
+};
+
+}  // namespace balsa

@@ -1,0 +1,127 @@
+#include "src/stats/table_stats.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "src/util/rng.h"
+
+namespace balsa {
+
+namespace {
+
+ColumnStats AnalyzeColumn(const std::vector<int64_t>& column,
+                          const AnalyzeOptions& options, Rng* rng) {
+  ColumnStats stats;
+  std::vector<int64_t> values;
+  values.reserve(column.size());
+  int64_t nulls = 0;
+  if (options.sample_rows > 0 &&
+      static_cast<int64_t>(column.size()) > options.sample_rows) {
+    for (int64_t i = 0; i < options.sample_rows; ++i) {
+      int64_t v = column[rng->Uniform(column.size())];
+      if (v < 0) {
+        nulls++;
+      } else {
+        values.push_back(v);
+      }
+    }
+    stats.null_fraction =
+        static_cast<double>(nulls) / static_cast<double>(options.sample_rows);
+  } else {
+    for (int64_t v : column) {
+      if (v < 0) {
+        nulls++;
+      } else {
+        values.push_back(v);
+      }
+    }
+    stats.null_fraction = column.empty()
+                              ? 0.0
+                              : static_cast<double>(nulls) /
+                                    static_cast<double>(column.size());
+  }
+  if (values.empty()) {
+    stats.num_distinct = 0;
+    return stats;
+  }
+
+  std::sort(values.begin(), values.end());
+  stats.min_value = values.front();
+  stats.max_value = values.back();
+
+  // Count frequencies via the sorted run lengths.
+  std::vector<std::pair<int64_t, int64_t>> freq;  // (count, value)
+  int64_t run = 1;
+  for (size_t i = 1; i <= values.size(); ++i) {
+    if (i < values.size() && values[i] == values[i - 1]) {
+      run++;
+    } else {
+      freq.push_back({run, values[i - 1]});
+      run = 1;
+    }
+  }
+  stats.num_distinct = static_cast<int64_t>(freq.size());
+
+  // MCVs: the top-k most frequent values (only those above average freq,
+  // like PostgreSQL).
+  std::sort(freq.begin(), freq.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  double n = static_cast<double>(values.size());
+  double avg_freq = 1.0 / static_cast<double>(freq.size());
+  double mcv_total = 0;
+  for (int i = 0; i < options.num_mcvs && i < static_cast<int>(freq.size());
+       ++i) {
+    double f = static_cast<double>(freq[i].first) / n;
+    if (f <= avg_freq * 1.25 && i > 0) break;
+    stats.mcv_values.push_back(freq[i].second);
+    stats.mcv_freqs.push_back(f);
+    mcv_total += f;
+  }
+  stats.non_mcv_fraction = std::max(0.0, 1.0 - mcv_total);
+
+  // Equi-depth histogram over values excluding MCVs.
+  std::vector<int64_t> rest;
+  rest.reserve(values.size());
+  for (int64_t v : values) {
+    if (std::find(stats.mcv_values.begin(), stats.mcv_values.end(), v) ==
+        stats.mcv_values.end()) {
+      rest.push_back(v);
+    }
+  }
+  if (!rest.empty()) {
+    int buckets = std::min<int>(options.num_histogram_buckets,
+                                static_cast<int>(rest.size()));
+    stats.histogram_bounds.resize(buckets + 1);
+    for (int b = 0; b <= buckets; ++b) {
+      size_t idx = static_cast<size_t>(
+          static_cast<double>(b) / buckets * (rest.size() - 1));
+      stats.histogram_bounds[b] = rest[idx];
+    }
+  }
+  return stats;
+}
+
+}  // namespace
+
+StatusOr<std::vector<TableStats>> Analyze(const Database& db,
+                                          const AnalyzeOptions& options) {
+  std::vector<TableStats> out;
+  Rng rng(0xA11A1FE);
+  for (int t = 0; t < db.schema().num_tables(); ++t) {
+    if (!db.HasData(t)) {
+      return Status::FailedPrecondition("table " + db.schema().table(t).name +
+                                        " has no data; generate first");
+    }
+    const TableData& data = db.table_data(t);
+    TableStats ts;
+    ts.row_count = data.row_count;
+    ts.columns.reserve(data.columns.size());
+    for (const auto& col : data.columns) {
+      ts.columns.push_back(AnalyzeColumn(col, options, &rng));
+    }
+    out.push_back(std::move(ts));
+  }
+  return out;
+}
+
+}  // namespace balsa

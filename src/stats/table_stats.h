@@ -1,0 +1,50 @@
+// ANALYZE-style statistics: per-column equi-depth histograms, most-common
+// values, distinct counts, and null fractions — the inputs to the
+// PostgreSQL-style cardinality estimator.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/storage/column_store.h"
+#include "src/util/status.h"
+
+namespace balsa {
+
+struct ColumnStats {
+  int64_t min_value = 0;
+  int64_t max_value = 0;
+  int64_t num_distinct = 0;
+  double null_fraction = 0.0;
+
+  /// Most common values and their frequencies (fractions of non-null rows).
+  std::vector<int64_t> mcv_values;
+  std::vector<double> mcv_freqs;
+
+  /// Equi-depth histogram bucket boundaries over non-MCV values
+  /// (boundaries.size() == num_buckets + 1). Empty for all-MCV columns.
+  std::vector<int64_t> histogram_bounds;
+
+  /// Fraction of non-null rows not covered by the MCV list.
+  double non_mcv_fraction = 1.0;
+};
+
+struct TableStats {
+  int64_t row_count = 0;
+  std::vector<ColumnStats> columns;
+};
+
+struct AnalyzeOptions {
+  int num_mcvs = 8;
+  int num_histogram_buckets = 32;
+  /// Sample at most this many rows per table (0 = full scan). Sampling is
+  /// what makes real ANALYZE stats inaccurate; we default to full scans and
+  /// let skew/correlation supply the estimation error, as in the paper.
+  int64_t sample_rows = 0;
+};
+
+/// Computes statistics for every table in the database.
+StatusOr<std::vector<TableStats>> Analyze(const Database& db,
+                                          const AnalyzeOptions& options = {});
+
+}  // namespace balsa

@@ -1,0 +1,62 @@
+#include "src/storage/column_store.h"
+
+namespace balsa {
+
+const std::vector<uint32_t> HashIndex::kEmpty;
+
+HashIndex::HashIndex(const std::vector<int64_t>& column) {
+  buckets_.reserve(column.size() / 2 + 1);
+  for (size_t row = 0; row < column.size(); ++row) {
+    if (column[row] < 0) continue;  // NULLs are not indexed.
+    buckets_[column[row]].push_back(static_cast<uint32_t>(row));
+  }
+}
+
+const std::vector<uint32_t>& HashIndex::Lookup(int64_t value) const {
+  auto it = buckets_.find(value);
+  return it == buckets_.end() ? kEmpty : it->second;
+}
+
+Status Database::SetTableData(int table_idx, TableData data) {
+  if (table_idx < 0 || table_idx >= schema_.num_tables()) {
+    return Status::OutOfRange("table index " + std::to_string(table_idx));
+  }
+  const TableDef& def = schema_.table(table_idx);
+  if (static_cast<int>(data.columns.size()) !=
+      static_cast<int>(def.columns.size())) {
+    return Status::InvalidArgument("column count mismatch for " + def.name);
+  }
+  for (const auto& col : data.columns) {
+    if (static_cast<int64_t>(col.size()) != data.row_count) {
+      return Status::InvalidArgument("ragged columns in " + def.name);
+    }
+  }
+  if (static_cast<int>(tables_.size()) < schema_.num_tables()) {
+    tables_.resize(schema_.num_tables());
+  }
+  tables_[table_idx] = std::move(data);
+  return Status::OK();
+}
+
+const HashIndex& Database::GetIndex(int table_idx, int column_idx) const {
+  uint64_t key = (static_cast<uint64_t>(table_idx) << 32) |
+                 static_cast<uint32_t>(column_idx);
+  auto it = indexes_.find(key);
+  if (it == indexes_.end()) {
+    it = indexes_
+             .emplace(key, std::make_unique<HashIndex>(
+                               tables_[table_idx].columns[column_idx]))
+             .first;
+  }
+  return *it->second;
+}
+
+size_t Database::DataBytes() const {
+  size_t total = 0;
+  for (const auto& t : tables_) {
+    for (const auto& c : t.columns) total += c.size() * sizeof(int64_t);
+  }
+  return total;
+}
+
+}  // namespace balsa

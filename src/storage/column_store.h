@@ -1,0 +1,66 @@
+// In-memory column store holding the synthetic database, plus hash indexes
+// used by the executor's indexed nested-loop join and the card oracle.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/catalog/schema.h"
+#include "src/util/status.h"
+
+namespace balsa {
+
+/// One materialized table: column-major int64 data. NULL is encoded as -1.
+struct TableData {
+  std::vector<std::vector<int64_t>> columns;
+  int64_t row_count = 0;
+};
+
+/// Hash index: value -> row ids. Built lazily per (table, column).
+class HashIndex {
+ public:
+  explicit HashIndex(const std::vector<int64_t>& column);
+
+  /// Row ids whose column value equals `value` (empty if none).
+  const std::vector<uint32_t>& Lookup(int64_t value) const;
+
+  size_t num_distinct() const { return buckets_.size(); }
+
+ private:
+  std::unordered_map<int64_t, std::vector<uint32_t>> buckets_;
+  static const std::vector<uint32_t> kEmpty;
+};
+
+/// The database: schema + materialized tables + lazily built indexes.
+class Database {
+ public:
+  explicit Database(Schema schema) : schema_(std::move(schema)) {}
+
+  const Schema& schema() const { return schema_; }
+
+  /// Installs generated data for table `table_idx`.
+  Status SetTableData(int table_idx, TableData data);
+
+  const TableData& table_data(int table_idx) const {
+    return tables_[table_idx];
+  }
+  bool HasData(int table_idx) const {
+    return table_idx >= 0 && table_idx < static_cast<int>(tables_.size()) &&
+           tables_[table_idx].row_count > 0;
+  }
+
+  /// Returns (building on first use) the hash index on (table, column).
+  const HashIndex& GetIndex(int table_idx, int column_idx) const;
+
+  /// Total bytes of materialized column data.
+  size_t DataBytes() const;
+
+ private:
+  Schema schema_;
+  std::vector<TableData> tables_;
+  mutable std::unordered_map<uint64_t, std::unique_ptr<HashIndex>> indexes_;
+};
+
+}  // namespace balsa

@@ -1,0 +1,104 @@
+#include "src/storage/data_generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace balsa {
+
+namespace {
+
+// Deterministic mixing used to derive correlated values: a correlated column
+// equals Mix(corr_value) % domain with probability corr_strength, so the
+// joint distribution is far from independent.
+int64_t Mix(int64_t x) {
+  uint64_t z = static_cast<uint64_t>(x) + 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return static_cast<int64_t>((z ^ (z >> 31)) & 0x7FFFFFFFFFFFFFFFULL);
+}
+
+}  // namespace
+
+Status GenerateData(Database* db, const DataGeneratorOptions& options) {
+  const Schema& schema = db->schema();
+  Rng rng(options.seed);
+
+  for (int t = 0; t < schema.num_tables(); ++t) {
+    const TableDef& def = schema.table(t);
+    int64_t rows = std::max<int64_t>(
+        1, static_cast<int64_t>(std::llround(
+               static_cast<double>(def.row_count) * options.scale)));
+
+    TableData data;
+    data.row_count = rows;
+    data.columns.resize(def.columns.size());
+
+    for (size_t c = 0; c < def.columns.size(); ++c) {
+      const ColumnDef& col = def.columns[c];
+      auto& values = data.columns[c];
+      values.resize(rows);
+
+      // Validate correlation dependency ordering.
+      int corr_idx = -1;
+      if (!col.corr_column.empty()) {
+        corr_idx = def.ColumnIndex(col.corr_column);
+        if (corr_idx < 0 || corr_idx >= static_cast<int>(c)) {
+          return Status::InvalidArgument(
+              "corr_column " + col.corr_column + " of " + def.name + "." +
+              col.name + " must be an earlier column of the same table");
+        }
+      }
+
+      switch (col.kind) {
+        case ColumnKind::kPrimaryKey: {
+          for (int64_t r = 0; r < rows; ++r) values[r] = r;
+          break;
+        }
+        case ColumnKind::kForeignKey: {
+          int ref_idx = schema.TableIndex(col.ref_table);
+          if (ref_idx < 0) {
+            return Status::NotFound("FK target table " + col.ref_table);
+          }
+          int64_t ref_rows = std::max<int64_t>(
+              1, static_cast<int64_t>(std::llround(
+                     static_cast<double>(schema.table(ref_idx).row_count) *
+                     options.scale)));
+          // Restrict the referenced prefix if domain_size is smaller: models
+          // fact tables that touch only part of a dimension.
+          int64_t domain = ref_rows;
+          if (col.domain_size > 0) domain = std::min(domain, col.domain_size);
+          ZipfGenerator zipf(static_cast<uint64_t>(domain), col.zipf_skew);
+          for (int64_t r = 0; r < rows; ++r) {
+            if (col.null_fraction > 0 && rng.Bernoulli(col.null_fraction)) {
+              values[r] = -1;
+              continue;
+            }
+            values[r] = static_cast<int64_t>(zipf.Sample(&rng));
+          }
+          break;
+        }
+        case ColumnKind::kAttribute: {
+          int64_t domain = std::max<int64_t>(1, col.domain_size);
+          ZipfGenerator zipf(static_cast<uint64_t>(domain), col.zipf_skew);
+          for (int64_t r = 0; r < rows; ++r) {
+            if (col.null_fraction > 0 && rng.Bernoulli(col.null_fraction)) {
+              values[r] = -1;
+              continue;
+            }
+            if (corr_idx >= 0 && rng.Bernoulli(col.corr_strength)) {
+              int64_t base = data.columns[corr_idx][r];
+              values[r] = base < 0 ? -1 : Mix(base) % domain;
+            } else {
+              values[r] = static_cast<int64_t>(zipf.Sample(&rng));
+            }
+          }
+          break;
+        }
+      }
+    }
+    BALSA_RETURN_IF_ERROR(db->SetTableData(t, std::move(data)));
+  }
+  return Status::OK();
+}
+
+}  // namespace balsa

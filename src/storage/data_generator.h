@@ -1,0 +1,23 @@
+// Synthetic data generation following each ColumnDef's distribution spec.
+// Reproduces the data properties JOB exploits: Zipf-skewed FK fan-in,
+// correlated attributes (which defeat independence-based estimators), and
+// NULLs.
+#pragma once
+
+#include "src/storage/column_store.h"
+#include "src/util/rng.h"
+#include "src/util/status.h"
+
+namespace balsa {
+
+struct DataGeneratorOptions {
+  uint64_t seed = 42;
+  /// Global multiplier on every table's row_count (scale factor).
+  double scale = 1.0;
+};
+
+/// Fills every table of `db` according to its schema's ColumnDefs.
+/// Correlated columns must appear after their corr_column in the TableDef.
+Status GenerateData(Database* db, const DataGeneratorOptions& options = {});
+
+}  // namespace balsa

@@ -1,0 +1,43 @@
+// Minimal leveled logging to stderr with a global verbosity switch.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace balsa {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global log verbosity; messages below this level are dropped.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+void LogMessage(LogLevel level, const char* file, int line,
+                const std::string& msg);
+std::string FormatV(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+}  // namespace internal
+
+}  // namespace balsa
+
+#define BALSA_LOG(level, ...)                                              \
+  do {                                                                     \
+    if (static_cast<int>(::balsa::LogLevel::level) >=                      \
+        static_cast<int>(::balsa::GetLogLevel())) {                        \
+      ::balsa::internal::LogMessage(                                       \
+          ::balsa::LogLevel::level, __FILE__, __LINE__,                    \
+          ::balsa::internal::FormatV(__VA_ARGS__));                        \
+    }                                                                      \
+  } while (0)
+
+#define BALSA_CHECK(cond, msg)                                             \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      ::balsa::internal::LogMessage(::balsa::LogLevel::kError, __FILE__,   \
+                                    __LINE__,                              \
+                                    std::string("CHECK failed: ") + msg);  \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)

@@ -1,0 +1,57 @@
+// Fixed-width ASCII table printing for bench/harness output.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace balsa {
+
+/// Accumulates rows of strings and prints an aligned table to stdout.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  void AddRow(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  void Print() const {
+    std::vector<size_t> widths(header_.size(), 0);
+    for (size_t i = 0; i < header_.size(); ++i) widths[i] = header_[i].size();
+    for (const auto& row : rows_) {
+      for (size_t i = 0; i < row.size() && i < widths.size(); ++i) {
+        widths[i] = std::max(widths[i], row[i].size());
+      }
+    }
+    PrintRow(header_, widths);
+    std::string sep;
+    for (size_t i = 0; i < widths.size(); ++i) {
+      sep += std::string(widths[i] + 2, '-');
+      if (i + 1 < widths.size()) sep += "+";
+    }
+    std::printf("%s\n", sep.c_str());
+    for (const auto& row : rows_) PrintRow(row, widths);
+  }
+
+  static std::string Fmt(double value, int precision = 2) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+    return buf;
+  }
+
+ private:
+  static void PrintRow(const std::vector<std::string>& row,
+                       const std::vector<size_t>& widths) {
+    for (size_t i = 0; i < widths.size(); ++i) {
+      const std::string& cell = i < row.size() ? row[i] : std::string();
+      std::printf(" %-*s ", static_cast<int>(widths[i]), cell.c_str());
+      if (i + 1 < widths.size()) std::printf("|");
+    }
+    std::printf("\n");
+  }
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace balsa

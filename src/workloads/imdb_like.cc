@@ -1,0 +1,199 @@
+#include "src/workloads/imdb_like.h"
+
+#include <cmath>
+
+namespace balsa {
+
+namespace {
+
+ColumnDef Pk(const std::string& name) {
+  ColumnDef c;
+  c.name = name;
+  c.kind = ColumnKind::kPrimaryKey;
+  return c;
+}
+
+ColumnDef Fk(const std::string& name, const std::string& ref_table,
+             double zipf_skew, double null_fraction = 0.0,
+             int64_t domain_size = 0) {
+  ColumnDef c;
+  c.name = name;
+  c.kind = ColumnKind::kForeignKey;
+  c.ref_table = ref_table;
+  c.ref_column = "id";
+  c.zipf_skew = zipf_skew;
+  c.null_fraction = null_fraction;
+  c.domain_size = domain_size;  // 0 = full referenced table
+  return c;
+}
+
+ColumnDef Attr(const std::string& name, int64_t domain, double zipf_skew,
+               const std::string& corr_column = "", double corr_strength = 0,
+               double null_fraction = 0) {
+  ColumnDef c;
+  c.name = name;
+  c.kind = ColumnKind::kAttribute;
+  c.domain_size = domain;
+  c.zipf_skew = zipf_skew;
+  c.corr_column = corr_column;
+  c.corr_strength = corr_strength;
+  c.null_fraction = null_fraction;
+  return c;
+}
+
+int64_t Scaled(double scale, int64_t rows) {
+  return std::max<int64_t>(1, static_cast<int64_t>(std::llround(rows * scale)));
+}
+
+}  // namespace
+
+StatusOr<Schema> BuildImdbLikeSchema(const ImdbLikeOptions& options) {
+  const double s = options.scale;
+  Schema schema;
+
+  // --- Dimension tables -----------------------------------------------
+  BALSA_RETURN_IF_ERROR(
+      schema.AddTable({"kind_type", 7, {Pk("id"), Attr("kind", 7, 0.0)}}));
+  BALSA_RETURN_IF_ERROR(
+      schema.AddTable({"info_type", 113, {Pk("id"), Attr("info", 113, 0.0)}}));
+  BALSA_RETURN_IF_ERROR(schema.AddTable(
+      {"company_type", 4, {Pk("id"), Attr("kind", 4, 0.0)}}));
+  BALSA_RETURN_IF_ERROR(
+      schema.AddTable({"role_type", 12, {Pk("id"), Attr("role", 12, 0.0)}}));
+  BALSA_RETURN_IF_ERROR(
+      schema.AddTable({"link_type", 18, {Pk("id"), Attr("link", 18, 0.0)}}));
+  BALSA_RETURN_IF_ERROR(schema.AddTable(
+      {"comp_cast_type", 4, {Pk("id"), Attr("kind", 4, 0.0)}}));
+  BALSA_RETURN_IF_ERROR(schema.AddTable(
+      {"keyword",
+       Scaled(s, 6000),
+       {Pk("id"), Attr("phonetic_code", 400, 0.8)}}));
+  BALSA_RETURN_IF_ERROR(schema.AddTable(
+      {"company_name",
+       Scaled(s, 8000),
+       {Pk("id"), Attr("country_code", 90, 1.1),
+        Attr("name_pcode", 600, 0.7, "country_code", 0.5)}}));
+  BALSA_RETURN_IF_ERROR(schema.AddTable(
+      {"name",
+       Scaled(s, 40000),
+       {Pk("id"), Attr("gender", 3, 0.6, "", 0, 0.15),
+        Attr("name_pcode_cf", 700, 0.8)}}));
+  BALSA_RETURN_IF_ERROR(schema.AddTable(
+      {"char_name",
+       Scaled(s, 25000),
+       {Pk("id"), Attr("name_pcode_nf", 700, 0.9)}}));
+
+  // --- The fact spine: title -------------------------------------------
+  BALSA_RETURN_IF_ERROR(schema.AddTable(
+      {"title",
+       Scaled(s, 30000),
+       {Pk("id"), Fk("kind_id", "kind_type", 1.2),
+        // Years cluster on recent values; episodes correlate with kind.
+        Attr("production_year", 130, 0.9),
+        Attr("episode_nr", 200, 1.4, "kind_id", 0.7, 0.4),
+        Attr("phonetic_code", 900, 0.8)}}));
+
+  // --- Movie-linked fact tables ----------------------------------------
+  BALSA_RETURN_IF_ERROR(schema.AddTable(
+      {"aka_title",
+       Scaled(s, 8000),
+       {Pk("id"), Fk("movie_id", "title", 0.65),
+        Attr("kind_id", 7, 1.0)}}));
+  BALSA_RETURN_IF_ERROR(schema.AddTable(
+      {"movie_companies",
+       Scaled(s, 40000),
+       {Pk("id"), Fk("movie_id", "title", 0.6),
+        Fk("company_id", "company_name", 1.1),
+        Fk("company_type_id", "company_type", 0.8),
+        Attr("note", 1200, 1.1, "company_type_id", 0.6)}}));
+  BALSA_RETURN_IF_ERROR(schema.AddTable(
+      {"movie_info",
+       Scaled(s, 60000),
+       {Pk("id"), Fk("movie_id", "title", 0.6),
+        Fk("info_type_id", "info_type", 1.3),
+        Attr("info", 2500, 1.2, "info_type_id", 0.65)}}));
+  BALSA_RETURN_IF_ERROR(schema.AddTable(
+      {"movie_info_idx",
+       Scaled(s, 20000),
+       {Pk("id"), Fk("movie_id", "title", 0.55),
+        Fk("info_type_id", "info_type", 1.5, 0.0, 8),
+        Attr("info", 101, 0.3, "info_type_id", 0.5)}}));
+  BALSA_RETURN_IF_ERROR(schema.AddTable(
+      {"movie_keyword",
+       Scaled(s, 45000),
+       {Pk("id"), Fk("movie_id", "title", 0.65),
+        Fk("keyword_id", "keyword", 1.1)}}));
+  BALSA_RETURN_IF_ERROR(schema.AddTable(
+      {"cast_info",
+       Scaled(s, 120000),
+       {Pk("id"), Fk("movie_id", "title", 0.55),
+        Fk("person_id", "name", 0.7),
+        Fk("person_role_id", "char_name", 0.7, 0.35),
+        Fk("role_id", "role_type", 1.0),
+        Attr("note", 1500, 1.3, "role_id", 0.5, 0.3)}}));
+  BALSA_RETURN_IF_ERROR(schema.AddTable(
+      {"complete_cast",
+       Scaled(s, 10000),
+       {Pk("id"), Fk("movie_id", "title", 0.6),
+        Fk("subject_id", "comp_cast_type", 0.5),
+        Fk("status_id", "comp_cast_type", 0.5)}}));
+  BALSA_RETURN_IF_ERROR(schema.AddTable(
+      {"movie_link",
+       Scaled(s, 6000),
+       {Pk("id"), Fk("movie_id", "title", 0.7),
+        Fk("linked_movie_id", "title", 0.7),
+        Fk("link_type_id", "link_type", 0.7)}}));
+
+  // --- Person-linked fact tables ----------------------------------------
+  BALSA_RETURN_IF_ERROR(schema.AddTable(
+      {"aka_name",
+       Scaled(s, 15000),
+       {Pk("id"), Fk("person_id", "name", 0.7),
+        Attr("name_pcode_cf", 700, 0.8)}}));
+  BALSA_RETURN_IF_ERROR(schema.AddTable(
+      {"person_info",
+       Scaled(s, 50000),
+       {Pk("id"), Fk("person_id", "name", 0.7),
+        Fk("info_type_id", "info_type", 1.4),
+        Attr("info", 2000, 1.1, "info_type_id", 0.6)}}));
+
+  // --- Foreign-key edges (the join graph JOB queries traverse) ----------
+  struct Edge {
+    const char* from_table;
+    const char* from_col;
+    const char* to_table;
+  };
+  const Edge edges[] = {
+      {"title", "kind_id", "kind_type"},
+      {"aka_title", "movie_id", "title"},
+      {"movie_companies", "movie_id", "title"},
+      {"movie_companies", "company_id", "company_name"},
+      {"movie_companies", "company_type_id", "company_type"},
+      {"movie_info", "movie_id", "title"},
+      {"movie_info", "info_type_id", "info_type"},
+      {"movie_info_idx", "movie_id", "title"},
+      {"movie_info_idx", "info_type_id", "info_type"},
+      {"movie_keyword", "movie_id", "title"},
+      {"movie_keyword", "keyword_id", "keyword"},
+      {"cast_info", "movie_id", "title"},
+      {"cast_info", "person_id", "name"},
+      {"cast_info", "person_role_id", "char_name"},
+      {"cast_info", "role_id", "role_type"},
+      {"complete_cast", "movie_id", "title"},
+      {"complete_cast", "subject_id", "comp_cast_type"},
+      {"complete_cast", "status_id", "comp_cast_type"},
+      {"movie_link", "movie_id", "title"},
+      {"movie_link", "linked_movie_id", "title"},
+      {"movie_link", "link_type_id", "link_type"},
+      {"aka_name", "person_id", "name"},
+      {"person_info", "person_id", "name"},
+      {"person_info", "info_type_id", "info_type"},
+  };
+  for (const Edge& e : edges) {
+    BALSA_RETURN_IF_ERROR(
+        schema.AddForeignKey(e.from_table, e.from_col, e.to_table, "id"));
+  }
+  return schema;
+}
+
+}  // namespace balsa

@@ -1,0 +1,22 @@
+// An IMDb-like schema and data distribution mirroring the Join Order
+// Benchmark's database (Leis et al.): 21 tables centered on `title`, with
+// Zipf-skewed foreign-key fan-in and correlated attributes. Row counts are
+// scaled down from the real 3.6 GB IMDb so the in-memory executor can
+// measure true cardinalities quickly; the *relative* sizes, skew, and
+// correlation — what makes join ordering matter — are preserved.
+#pragma once
+
+#include "src/catalog/schema.h"
+#include "src/util/status.h"
+
+namespace balsa {
+
+struct ImdbLikeOptions {
+  /// Multiplier on all row counts (1.0 = the default reduced scale).
+  double scale = 1.0;
+};
+
+/// Builds the 21-table IMDb-like schema with PK/FK edges.
+StatusOr<Schema> BuildImdbLikeSchema(const ImdbLikeOptions& options = {});
+
+}  // namespace balsa

@@ -1,0 +1,610 @@
+#include "src/workloads/job_workload.h"
+
+#include <string>
+#include <vector>
+
+#include "src/plan/query_builder.h"
+#include "src/util/rng.h"
+
+namespace balsa {
+
+namespace {
+
+// A filter slot of a template: instantiated with different constants (and
+// sometimes different operators) per query variant.
+struct FilterSlot {
+  const char* column;  // "alias.column"
+  // Allowed operator kinds for this slot: 'e' eq, 'r' range (< or >),
+  // 'i' IN-list. A variant picks one uniformly from this string.
+  const char* ops = "e";
+};
+
+struct TemplateSpec {
+  const char* name;
+  std::vector<std::pair<const char*, const char*>> rels;  // (table, alias)
+  std::vector<std::pair<const char*, const char*>> joins;
+  std::vector<FilterSlot> filters;
+};
+
+// Domain size of an "alias.column" reference for constant sampling.
+StatusOr<int64_t> DomainOf(const Schema& schema, const TemplateSpec& spec,
+                           const std::string& dotted) {
+  size_t dot = dotted.find('.');
+  std::string alias = dotted.substr(0, dot);
+  std::string column = dotted.substr(dot + 1);
+  for (const auto& [table, a] : spec.rels) {
+    if (alias != a) continue;
+    BALSA_ASSIGN_OR_RETURN(const TableDef* def, schema.FindTable(table));
+    int c = def->ColumnIndex(column);
+    if (c < 0) return Status::NotFound("column " + dotted);
+    const ColumnDef& col = def->columns[c];
+    if (col.kind == ColumnKind::kPrimaryKey) return def->row_count;
+    if (col.kind == ColumnKind::kForeignKey) {
+      BALSA_ASSIGN_OR_RETURN(const TableDef* ref,
+                             schema.FindTable(col.ref_table));
+      int64_t d = ref->row_count;
+      if (col.domain_size > 0) d = std::min(d, col.domain_size);
+      return d;
+    }
+    return col.domain_size;
+  }
+  return Status::NotFound("alias " + alias + " in template " + spec.name);
+}
+
+// Samples a constant: mostly uniform over the domain (selective under Zipf
+// data), sometimes a low rank (a common value, unselective) — giving the
+// estimator both easy and hard cases.
+int64_t SampleConstant(Rng* rng, int64_t domain) {
+  if (domain <= 1) return 0;
+  if (rng->Bernoulli(0.15)) {
+    return rng->UniformInt(0, std::min<int64_t>(9, domain - 1));
+  }
+  // On very large domains, uniform ranks would almost always select values
+  // with a handful of matching rows; restrict to the more frequent third so
+  // query weights span a broad range instead of collapsing to "tiny".
+  int64_t hi = domain > 500 ? domain / 8 : domain - 1;
+  return rng->UniformInt(0, hi);
+}
+
+StatusOr<Query> InstantiateVariant(const Schema& schema,
+                                   const TemplateSpec& spec, char suffix,
+                                   Rng* rng) {
+  QueryBuilder builder(&schema, std::string(spec.name) + suffix);
+  for (const auto& [table, alias] : spec.rels) builder.From(table, alias);
+  for (const auto& [l, r] : spec.joins) builder.JoinEq(l, r);
+  for (const FilterSlot& slot : spec.filters) {
+    BALSA_ASSIGN_OR_RETURN(int64_t domain, DomainOf(schema, spec, slot.column));
+    std::string ops = slot.ops;
+    char op = ops[rng->Uniform(ops.size())];
+    switch (op) {
+      case 'e':
+        builder.Filter(slot.column, PredOp::kEq, SampleConstant(rng, domain));
+        break;
+      case 'r': {
+        // A threshold in the middle quantiles, either < or >.
+        int64_t v = rng->UniformInt(domain / 8, std::max<int64_t>(1, domain - 1));
+        builder.Filter(slot.column, rng->Bernoulli(0.5) ? PredOp::kLt
+                                                        : PredOp::kGt, v);
+        break;
+      }
+      case 'i': {
+        int n = static_cast<int>(rng->UniformInt(2, 5));
+        std::vector<int64_t> vals;
+        for (int i = 0; i < n; ++i) vals.push_back(SampleConstant(rng, domain));
+        builder.FilterIn(slot.column, std::move(vals));
+        break;
+      }
+      default:
+        return Status::InvalidArgument("bad op kind in template " +
+                                       std::string(spec.name));
+    }
+  }
+  return builder.Build();
+}
+
+StatusOr<Workload> Instantiate(const Schema& schema, const char* name,
+                               const std::vector<TemplateSpec>& specs,
+                               const std::vector<int>& variant_counts,
+                               uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Query> queries;
+  for (size_t i = 0; i < specs.size(); ++i) {
+    for (int v = 0; v < variant_counts[i]; ++v) {
+      BALSA_ASSIGN_OR_RETURN(
+          Query q, InstantiateVariant(schema, specs[i],
+                                      static_cast<char>('a' + v), &rng));
+      queries.push_back(std::move(q));
+    }
+  }
+  return Workload(name, std::move(queries));
+}
+
+// The 33 JOB-like join templates. Aliases follow JOB conventions: t=title,
+// mc=movie_companies, cn=company_name, ct=company_type, mi=movie_info,
+// it=info_type, midx=movie_info_idx, mk=movie_keyword, k=keyword,
+// ci=cast_info, n=name, chn=char_name, rt=role_type, cc=complete_cast,
+// cct=comp_cast_type, ml=movie_link, lt=link_type, at=aka_title,
+// an=aka_name, pi=person_info, kt=kind_type.
+std::vector<TemplateSpec> JobTemplates() {
+  using R = std::vector<std::pair<const char*, const char*>>;
+  using J = std::vector<std::pair<const char*, const char*>>;
+  using F = std::vector<FilterSlot>;
+  std::vector<TemplateSpec> s;
+
+  // -- Small (3-4 joins) --------------------------------------------------
+  s.push_back({"q1",
+               R{{"title", "t"}, {"movie_companies", "mc"},
+                 {"company_type", "ct"}, {"company_name", "cn"}},
+               J{{"mc.movie_id", "t.id"}, {"mc.company_type_id", "ct.id"},
+                 {"mc.company_id", "cn.id"}},
+               F{{"ct.kind", "e"}, {"cn.country_code", "ei"},
+                 {"t.production_year", "r"}}});
+  s.push_back({"q2",
+               R{{"title", "t"}, {"movie_keyword", "mk"}, {"keyword", "k"},
+                 {"kind_type", "kt"}},
+               J{{"mk.movie_id", "t.id"}, {"mk.keyword_id", "k.id"},
+                 {"t.kind_id", "kt.id"}},
+               F{{"k.phonetic_code", "ei"}, {"kt.kind", "e"}}});
+  s.push_back({"q3",
+               R{{"title", "t"}, {"movie_info", "mi"}, {"info_type", "it"},
+                 {"kind_type", "kt"}},
+               J{{"mi.movie_id", "t.id"}, {"mi.info_type_id", "it.id"},
+                 {"t.kind_id", "kt.id"}},
+               F{{"mi.info", "ei"}, {"t.production_year", "r"}}});
+  s.push_back({"q4",
+               R{{"title", "t"}, {"movie_info_idx", "midx"},
+                 {"info_type", "it"}, {"movie_info", "mi"}},
+               J{{"midx.movie_id", "t.id"}, {"midx.info_type_id", "it.id"},
+                 {"mi.movie_id", "t.id"}},
+               F{{"midx.info", "r"}, {"mi.info", "e"}}});
+  s.push_back({"q5",
+               R{{"title", "t"}, {"cast_info", "ci"}, {"role_type", "rt"},
+                 {"name", "n"}},
+               J{{"ci.movie_id", "t.id"}, {"ci.role_id", "rt.id"},
+                 {"ci.person_id", "n.id"}},
+               F{{"rt.role", "e"}, {"n.gender", "e"},
+                 {"t.production_year", "r"}}});
+  s.push_back({"q6",
+               R{{"title", "t"}, {"movie_keyword", "mk"}, {"keyword", "k"},
+                 {"cast_info", "ci"}, {"name", "n"}},
+               J{{"mk.movie_id", "t.id"}, {"mk.keyword_id", "k.id"},
+                 {"ci.movie_id", "t.id"}, {"ci.person_id", "n.id"}},
+               F{{"k.phonetic_code", "e"}, {"n.name_pcode_cf", "ei"}}});
+
+  // -- Medium (5-8 joins) ---------------------------------------------------
+  s.push_back({"q7",
+               R{{"title", "t"}, {"cast_info", "ci"}, {"name", "n"},
+                 {"aka_name", "an"}, {"person_info", "pi"},
+                 {"info_type", "it"}},
+               J{{"ci.movie_id", "t.id"}, {"ci.person_id", "n.id"},
+                 {"an.person_id", "n.id"}, {"pi.person_id", "n.id"},
+                 {"pi.info_type_id", "it.id"}},
+               F{{"pi.info", "e"}, {"n.gender", "e"},
+                 {"t.production_year", "r"}}});
+  s.push_back({"q8",
+               R{{"title", "t"}, {"movie_companies", "mc"},
+                 {"company_name", "cn"}, {"company_type", "ct"},
+                 {"cast_info", "ci"}, {"name", "n"}, {"role_type", "rt"}},
+               J{{"mc.movie_id", "t.id"}, {"mc.company_id", "cn.id"},
+                 {"mc.company_type_id", "ct.id"}, {"ci.movie_id", "t.id"},
+                 {"ci.person_id", "n.id"}, {"ci.role_id", "rt.id"}},
+               F{{"cn.country_code", "e"}, {"rt.role", "e"},
+                 {"ci.note", "ei"}}});
+  s.push_back({"q9",
+               R{{"title", "t"}, {"cast_info", "ci"}, {"char_name", "chn"},
+                 {"name", "n"}, {"role_type", "rt"},
+                 {"movie_companies", "mc"}, {"company_name", "cn"}},
+               J{{"ci.movie_id", "t.id"}, {"ci.person_role_id", "chn.id"},
+                 {"ci.person_id", "n.id"}, {"ci.role_id", "rt.id"},
+                 {"mc.movie_id", "t.id"}, {"mc.company_id", "cn.id"}},
+               F{{"cn.country_code", "e"}, {"n.gender", "e"},
+                 {"rt.role", "e"}}});
+  s.push_back({"q10",
+               R{{"title", "t"}, {"cast_info", "ci"}, {"char_name", "chn"},
+                 {"role_type", "rt"}, {"movie_companies", "mc"},
+                 {"company_name", "cn"}, {"company_type", "ct"}},
+               J{{"ci.movie_id", "t.id"}, {"ci.person_role_id", "chn.id"},
+                 {"ci.role_id", "rt.id"}, {"mc.movie_id", "t.id"},
+                 {"mc.company_id", "cn.id"}, {"mc.company_type_id", "ct.id"}},
+               F{{"ci.note", "e"}, {"t.production_year", "r"},
+                 {"cn.country_code", "ei"}}});
+  s.push_back({"q11",
+               R{{"title", "t"}, {"movie_link", "ml"}, {"link_type", "lt"},
+                 {"movie_companies", "mc"}, {"company_name", "cn"},
+                 {"company_type", "ct"}},
+               J{{"ml.movie_id", "t.id"}, {"ml.link_type_id", "lt.id"},
+                 {"mc.movie_id", "t.id"}, {"mc.company_id", "cn.id"},
+                 {"mc.company_type_id", "ct.id"}},
+               F{{"lt.link", "ei"}, {"cn.country_code", "e"},
+                 {"t.production_year", "r"}}});
+  s.push_back({"q12",
+               R{{"title", "t"}, {"movie_info", "mi"}, {"info_type", "it"},
+                 {"movie_info_idx", "midx"}, {"info_type", "it2"},
+                 {"movie_companies", "mc"}, {"company_name", "cn"},
+                 {"company_type", "ct"}},
+               J{{"mi.movie_id", "t.id"}, {"mi.info_type_id", "it.id"},
+                 {"midx.movie_id", "t.id"}, {"midx.info_type_id", "it2.id"},
+                 {"mc.movie_id", "t.id"}, {"mc.company_id", "cn.id"},
+                 {"mc.company_type_id", "ct.id"}},
+               F{{"mi.info", "e"}, {"midx.info", "r"},
+                 {"cn.country_code", "e"}}});
+  s.push_back({"q13",
+               R{{"title", "t"}, {"kind_type", "kt"}, {"movie_info", "mi"},
+                 {"info_type", "it"}, {"movie_info_idx", "midx"},
+                 {"info_type", "it2"}, {"movie_companies", "mc"},
+                 {"company_name", "cn"}, {"company_type", "ct"}},
+               J{{"t.kind_id", "kt.id"}, {"mi.movie_id", "t.id"},
+                 {"mi.info_type_id", "it.id"}, {"midx.movie_id", "t.id"},
+                 {"midx.info_type_id", "it2.id"}, {"mc.movie_id", "t.id"},
+                 {"mc.company_id", "cn.id"}, {"mc.company_type_id", "ct.id"}},
+               F{{"kt.kind", "e"}, {"mi.info", "ei"},
+                 {"cn.country_code", "e"}}});
+  s.push_back({"q14",
+               R{{"title", "t"}, {"kind_type", "kt"}, {"movie_info", "mi"},
+                 {"info_type", "it"}, {"movie_info_idx", "midx"},
+                 {"info_type", "it2"}, {"movie_keyword", "mk"},
+                 {"keyword", "k"}},
+               J{{"t.kind_id", "kt.id"}, {"mi.movie_id", "t.id"},
+                 {"mi.info_type_id", "it.id"}, {"midx.movie_id", "t.id"},
+                 {"midx.info_type_id", "it2.id"}, {"mk.movie_id", "t.id"},
+                 {"mk.keyword_id", "k.id"}},
+               F{{"kt.kind", "e"}, {"k.phonetic_code", "e"},
+                 {"midx.info", "r"}, {"t.production_year", "r"}}});
+  s.push_back({"q15",
+               R{{"title", "t"}, {"aka_title", "at"}, {"movie_info", "mi"},
+                 {"info_type", "it"}, {"movie_companies", "mc"},
+                 {"company_name", "cn"}, {"company_type", "ct"}},
+               J{{"at.movie_id", "t.id"}, {"mi.movie_id", "t.id"},
+                 {"mi.info_type_id", "it.id"}, {"mc.movie_id", "t.id"},
+                 {"mc.company_id", "cn.id"}, {"mc.company_type_id", "ct.id"}},
+               F{{"cn.country_code", "e"}, {"mi.info", "e"},
+                 {"t.production_year", "r"}}});
+  s.push_back({"q16",
+               R{{"title", "t"}, {"aka_name", "an"}, {"name", "n"},
+                 {"cast_info", "ci"}, {"movie_keyword", "mk"},
+                 {"keyword", "k"}, {"movie_companies", "mc"},
+                 {"company_name", "cn"}},
+               J{{"an.person_id", "n.id"}, {"ci.person_id", "n.id"},
+                 {"ci.movie_id", "t.id"}, {"mk.movie_id", "t.id"},
+                 {"mk.keyword_id", "k.id"}, {"mc.movie_id", "t.id"},
+                 {"mc.company_id", "cn.id"}},
+               F{{"k.phonetic_code", "e"}, {"cn.country_code", "e"},
+                 {"t.episode_nr", "r"}}});
+  s.push_back({"q17",
+               R{{"title", "t"}, {"name", "n"}, {"cast_info", "ci"},
+                 {"movie_keyword", "mk"}, {"keyword", "k"},
+                 {"movie_companies", "mc"}},
+               J{{"ci.person_id", "n.id"}, {"ci.movie_id", "t.id"},
+                 {"mk.movie_id", "t.id"}, {"mk.keyword_id", "k.id"},
+                 {"mc.movie_id", "t.id"}},
+               F{{"k.phonetic_code", "e"}, {"n.name_pcode_cf", "ei"}}});
+  s.push_back({"q18",
+               R{{"title", "t"}, {"movie_info", "mi"}, {"info_type", "it"},
+                 {"movie_info_idx", "midx"}, {"info_type", "it2"},
+                 {"cast_info", "ci"}, {"name", "n"}},
+               J{{"mi.movie_id", "t.id"}, {"mi.info_type_id", "it.id"},
+                 {"midx.movie_id", "t.id"}, {"midx.info_type_id", "it2.id"},
+                 {"ci.movie_id", "t.id"}, {"ci.person_id", "n.id"}},
+               F{{"n.gender", "e"}, {"midx.info", "r"}, {"mi.info", "e"}}});
+  s.push_back({"q19",
+               R{{"title", "t"}, {"movie_info", "mi"}, {"info_type", "it"},
+                 {"cast_info", "ci"}, {"name", "n"}, {"aka_name", "an"},
+                 {"role_type", "rt"}, {"char_name", "chn"}},
+               J{{"mi.movie_id", "t.id"}, {"mi.info_type_id", "it.id"},
+                 {"ci.movie_id", "t.id"}, {"ci.person_id", "n.id"},
+                 {"an.person_id", "n.id"}, {"ci.role_id", "rt.id"},
+                 {"ci.person_role_id", "chn.id"}},
+               F{{"n.gender", "e"}, {"rt.role", "e"}, {"mi.info", "e"},
+                 {"t.production_year", "r"}}});
+  s.push_back({"q20",
+               R{{"title", "t"}, {"complete_cast", "cc"},
+                 {"comp_cast_type", "cct1"}, {"comp_cast_type", "cct2"},
+                 {"cast_info", "ci"}, {"char_name", "chn"},
+                 {"movie_keyword", "mk"}, {"keyword", "k"},
+                 {"kind_type", "kt"}},
+               J{{"cc.movie_id", "t.id"}, {"cc.subject_id", "cct1.id"},
+                 {"cc.status_id", "cct2.id"}, {"ci.movie_id", "t.id"},
+                 {"ci.person_role_id", "chn.id"}, {"mk.movie_id", "t.id"},
+                 {"mk.keyword_id", "k.id"}, {"t.kind_id", "kt.id"}},
+               F{{"cct1.kind", "e"}, {"kt.kind", "e"},
+                 {"k.phonetic_code", "e"}}});
+  s.push_back({"q21",
+               R{{"title", "t"}, {"movie_link", "ml"}, {"link_type", "lt"},
+                 {"movie_companies", "mc"}, {"company_name", "cn"},
+                 {"company_type", "ct"}, {"movie_info", "mi"},
+                 {"info_type", "it"}},
+               J{{"ml.movie_id", "t.id"}, {"ml.link_type_id", "lt.id"},
+                 {"mc.movie_id", "t.id"}, {"mc.company_id", "cn.id"},
+                 {"mc.company_type_id", "ct.id"}, {"mi.movie_id", "t.id"},
+                 {"mi.info_type_id", "it.id"}},
+               F{{"cn.country_code", "e"}, {"lt.link", "i"},
+                 {"mi.info", "e"}}});
+  s.push_back({"q22",
+               R{{"title", "t"}, {"kind_type", "kt"}, {"movie_info", "mi"},
+                 {"info_type", "it"}, {"movie_info_idx", "midx"},
+                 {"info_type", "it2"}, {"movie_keyword", "mk"},
+                 {"keyword", "k"}, {"movie_companies", "mc"},
+                 {"company_name", "cn"}},
+               J{{"t.kind_id", "kt.id"}, {"mi.movie_id", "t.id"},
+                 {"mi.info_type_id", "it.id"}, {"midx.movie_id", "t.id"},
+                 {"midx.info_type_id", "it2.id"}, {"mk.movie_id", "t.id"},
+                 {"mk.keyword_id", "k.id"}, {"mc.movie_id", "t.id"},
+                 {"mc.company_id", "cn.id"}},
+               F{{"kt.kind", "e"}, {"cn.country_code", "e"},
+                 {"midx.info", "r"}, {"k.phonetic_code", "e"}}});
+  s.push_back({"q23",
+               R{{"title", "t"}, {"kind_type", "kt"},
+                 {"complete_cast", "cc"}, {"comp_cast_type", "cct1"},
+                 {"movie_info", "mi"}, {"info_type", "it"},
+                 {"movie_companies", "mc"}, {"company_name", "cn"},
+                 {"company_type", "ct"}},
+               J{{"t.kind_id", "kt.id"}, {"cc.movie_id", "t.id"},
+                 {"cc.subject_id", "cct1.id"}, {"mi.movie_id", "t.id"},
+                 {"mi.info_type_id", "it.id"}, {"mc.movie_id", "t.id"},
+                 {"mc.company_id", "cn.id"}, {"mc.company_type_id", "ct.id"}},
+               F{{"kt.kind", "e"}, {"cct1.kind", "e"},
+                 {"cn.country_code", "e"}, {"t.production_year", "r"}}});
+  s.push_back({"q24",
+               R{{"title", "t"}, {"movie_info", "mi"}, {"info_type", "it"},
+                 {"cast_info", "ci"}, {"name", "n"}, {"role_type", "rt"},
+                 {"char_name", "chn"}, {"movie_keyword", "mk"},
+                 {"keyword", "k"}},
+               J{{"mi.movie_id", "t.id"}, {"mi.info_type_id", "it.id"},
+                 {"ci.movie_id", "t.id"}, {"ci.person_id", "n.id"},
+                 {"ci.role_id", "rt.id"}, {"ci.person_role_id", "chn.id"},
+                 {"mk.movie_id", "t.id"}, {"mk.keyword_id", "k.id"}},
+               F{{"n.gender", "e"}, {"rt.role", "e"},
+                 {"k.phonetic_code", "e"}, {"ci.note", "e"}}});
+
+  // -- Large (9-16 joins) --------------------------------------------------
+  s.push_back({"q25",
+               R{{"title", "t"}, {"movie_info", "mi"}, {"info_type", "it"},
+                 {"movie_info_idx", "midx"}, {"info_type", "it2"},
+                 {"cast_info", "ci"}, {"name", "n"},
+                 {"movie_keyword", "mk"}, {"keyword", "k"},
+                 {"role_type", "rt"}},
+               J{{"mi.movie_id", "t.id"}, {"mi.info_type_id", "it.id"},
+                 {"midx.movie_id", "t.id"}, {"midx.info_type_id", "it2.id"},
+                 {"ci.movie_id", "t.id"}, {"ci.person_id", "n.id"},
+                 {"mk.movie_id", "t.id"}, {"mk.keyword_id", "k.id"},
+                 {"ci.role_id", "rt.id"}},
+               F{{"n.gender", "e"}, {"k.phonetic_code", "e"},
+                 {"midx.info", "r"}, {"mi.info", "e"}}});
+  s.push_back({"q26",
+               R{{"title", "t"}, {"kind_type", "kt"},
+                 {"complete_cast", "cc"}, {"comp_cast_type", "cct1"},
+                 {"cast_info", "ci"}, {"char_name", "chn"}, {"name", "n"},
+                 {"movie_keyword", "mk"}, {"keyword", "k"},
+                 {"movie_info_idx", "midx"}, {"info_type", "it2"}},
+               J{{"t.kind_id", "kt.id"}, {"cc.movie_id", "t.id"},
+                 {"cc.subject_id", "cct1.id"}, {"ci.movie_id", "t.id"},
+                 {"ci.person_role_id", "chn.id"}, {"ci.person_id", "n.id"},
+                 {"mk.movie_id", "t.id"}, {"mk.keyword_id", "k.id"},
+                 {"midx.movie_id", "t.id"}, {"midx.info_type_id", "it2.id"}},
+               F{{"kt.kind", "e"}, {"cct1.kind", "e"},
+                 {"k.phonetic_code", "e"}, {"midx.info", "r"}}});
+  s.push_back({"q27",
+               R{{"title", "t"}, {"movie_link", "ml"}, {"link_type", "lt"},
+                 {"movie_companies", "mc"}, {"company_name", "cn"},
+                 {"company_type", "ct"}, {"movie_info", "mi"},
+                 {"info_type", "it"}, {"complete_cast", "cc"},
+                 {"comp_cast_type", "cct1"}, {"comp_cast_type", "cct2"}},
+               J{{"ml.movie_id", "t.id"}, {"ml.link_type_id", "lt.id"},
+                 {"mc.movie_id", "t.id"}, {"mc.company_id", "cn.id"},
+                 {"mc.company_type_id", "ct.id"}, {"mi.movie_id", "t.id"},
+                 {"mi.info_type_id", "it.id"}, {"cc.movie_id", "t.id"},
+                 {"cc.subject_id", "cct1.id"}, {"cc.status_id", "cct2.id"}},
+               F{{"cn.country_code", "e"}, {"cct1.kind", "e"},
+                 {"lt.link", "i"}, {"t.production_year", "r"}}});
+  s.push_back({"q28",
+               R{{"title", "t"}, {"kind_type", "kt"},
+                 {"complete_cast", "cc"}, {"comp_cast_type", "cct1"},
+                 {"comp_cast_type", "cct2"}, {"movie_info", "mi"},
+                 {"info_type", "it"}, {"movie_info_idx", "midx"},
+                 {"info_type", "it2"}, {"movie_keyword", "mk"},
+                 {"keyword", "k"}, {"movie_companies", "mc"},
+                 {"company_name", "cn"}, {"company_type", "ct"}},
+               J{{"t.kind_id", "kt.id"}, {"cc.movie_id", "t.id"},
+                 {"cc.subject_id", "cct1.id"}, {"cc.status_id", "cct2.id"},
+                 {"mi.movie_id", "t.id"}, {"mi.info_type_id", "it.id"},
+                 {"midx.movie_id", "t.id"}, {"midx.info_type_id", "it2.id"},
+                 {"mk.movie_id", "t.id"}, {"mk.keyword_id", "k.id"},
+                 {"mc.movie_id", "t.id"}, {"mc.company_id", "cn.id"},
+                 {"mc.company_type_id", "ct.id"}},
+               F{{"kt.kind", "e"}, {"cct1.kind", "e"},
+                 {"cn.country_code", "e"}, {"midx.info", "r"},
+                 {"k.phonetic_code", "e"}}});
+  s.push_back({"q29",
+               R{{"title", "t"}, {"kind_type", "kt"}, {"aka_title", "at"},
+                 {"complete_cast", "cc"}, {"comp_cast_type", "cct1"},
+                 {"comp_cast_type", "cct2"}, {"cast_info", "ci"},
+                 {"char_name", "chn"}, {"name", "n"}, {"role_type", "rt"},
+                 {"aka_name", "an"}, {"person_info", "pi"},
+                 {"info_type", "it"}, {"movie_keyword", "mk"},
+                 {"keyword", "k"}, {"movie_info", "mi"},
+                 {"info_type", "it2"}},
+               J{{"t.kind_id", "kt.id"}, {"at.movie_id", "t.id"},
+                 {"cc.movie_id", "t.id"}, {"cc.subject_id", "cct1.id"},
+                 {"cc.status_id", "cct2.id"}, {"ci.movie_id", "t.id"},
+                 {"ci.person_role_id", "chn.id"}, {"ci.person_id", "n.id"},
+                 {"ci.role_id", "rt.id"}, {"an.person_id", "n.id"},
+                 {"pi.person_id", "n.id"}, {"pi.info_type_id", "it.id"},
+                 {"mk.movie_id", "t.id"}, {"mk.keyword_id", "k.id"},
+                 {"mi.movie_id", "t.id"}, {"mi.info_type_id", "it2.id"}},
+               F{{"kt.kind", "e"}, {"rt.role", "e"}, {"n.gender", "e"},
+                 {"k.phonetic_code", "e"}, {"mi.info", "e"}}});
+  s.push_back({"q30",
+               R{{"title", "t"}, {"complete_cast", "cc"},
+                 {"comp_cast_type", "cct1"}, {"comp_cast_type", "cct2"},
+                 {"movie_info", "mi"}, {"info_type", "it"},
+                 {"movie_info_idx", "midx"}, {"info_type", "it2"},
+                 {"cast_info", "ci"}, {"name", "n"},
+                 {"movie_keyword", "mk"}, {"keyword", "k"}},
+               J{{"cc.movie_id", "t.id"}, {"cc.subject_id", "cct1.id"},
+                 {"cc.status_id", "cct2.id"}, {"mi.movie_id", "t.id"},
+                 {"mi.info_type_id", "it.id"}, {"midx.movie_id", "t.id"},
+                 {"midx.info_type_id", "it2.id"}, {"ci.movie_id", "t.id"},
+                 {"ci.person_id", "n.id"}, {"mk.movie_id", "t.id"},
+                 {"mk.keyword_id", "k.id"}},
+               F{{"cct1.kind", "e"}, {"n.gender", "e"},
+                 {"k.phonetic_code", "e"}, {"mi.info", "e"},
+                 {"midx.info", "r"}}});
+  s.push_back({"q31",
+               R{{"title", "t"}, {"movie_info", "mi"}, {"info_type", "it"},
+                 {"movie_info_idx", "midx"}, {"info_type", "it2"},
+                 {"cast_info", "ci"}, {"name", "n"}, {"char_name", "chn"},
+                 {"role_type", "rt"}, {"movie_companies", "mc"},
+                 {"company_name", "cn"}},
+               J{{"mi.movie_id", "t.id"}, {"mi.info_type_id", "it.id"},
+                 {"midx.movie_id", "t.id"}, {"midx.info_type_id", "it2.id"},
+                 {"ci.movie_id", "t.id"}, {"ci.person_id", "n.id"},
+                 {"ci.person_role_id", "chn.id"}, {"ci.role_id", "rt.id"},
+                 {"mc.movie_id", "t.id"}, {"mc.company_id", "cn.id"}},
+               F{{"n.gender", "e"}, {"rt.role", "e"},
+                 {"cn.country_code", "e"}, {"midx.info", "r"}}});
+  s.push_back({"q32",
+               R{{"title", "t"}, {"movie_link", "ml"}, {"title", "t2"},
+                 {"link_type", "lt"}, {"movie_keyword", "mk"},
+                 {"keyword", "k"}},
+               J{{"ml.movie_id", "t.id"}, {"ml.linked_movie_id", "t2.id"},
+                 {"ml.link_type_id", "lt.id"}, {"mk.movie_id", "t.id"},
+                 {"mk.keyword_id", "k.id"}},
+               F{{"k.phonetic_code", "e"}, {"lt.link", "i"}}});
+  s.push_back({"q33",
+               R{{"title", "t"}, {"movie_link", "ml"}, {"title", "t2"},
+                 {"link_type", "lt"}, {"movie_info_idx", "midx"},
+                 {"info_type", "it"}, {"movie_info_idx", "midx2"},
+                 {"info_type", "it2"}, {"movie_companies", "mc"},
+                 {"company_name", "cn"}, {"kind_type", "kt"},
+                 {"kind_type", "kt2"}},
+               J{{"ml.movie_id", "t.id"}, {"ml.linked_movie_id", "t2.id"},
+                 {"ml.link_type_id", "lt.id"}, {"midx.movie_id", "t.id"},
+                 {"midx.info_type_id", "it.id"}, {"midx2.movie_id", "t2.id"},
+                 {"midx2.info_type_id", "it2.id"}, {"mc.movie_id", "t.id"},
+                 {"mc.company_id", "cn.id"}, {"t.kind_id", "kt.id"},
+                 {"t2.kind_id", "kt2.id"}},
+               F{{"kt.kind", "e"}, {"kt2.kind", "e"}, {"midx.info", "r"},
+                 {"cn.country_code", "e"}}});
+  return s;
+}
+
+// 12 Ext-JOB-like templates: join graphs not present in JobTemplates()
+// (person-centric chains, double movie_link hops, aka_title pivots, ...).
+std::vector<TemplateSpec> ExtJobTemplates() {
+  using R = std::vector<std::pair<const char*, const char*>>;
+  using J = std::vector<std::pair<const char*, const char*>>;
+  using F = std::vector<FilterSlot>;
+  std::vector<TemplateSpec> s;
+  s.push_back({"e1",
+               R{{"name", "n"}, {"person_info", "pi"}, {"info_type", "it"}},
+               J{{"pi.person_id", "n.id"}, {"pi.info_type_id", "it.id"}},
+               F{{"n.gender", "e"}, {"pi.info", "ei"}}});
+  s.push_back({"e2",
+               R{{"name", "n"}, {"aka_name", "an"}, {"person_info", "pi"},
+                 {"info_type", "it"}},
+               J{{"an.person_id", "n.id"}, {"pi.person_id", "n.id"},
+                 {"pi.info_type_id", "it.id"}},
+               F{{"an.name_pcode_cf", "e"}, {"pi.info", "e"}}});
+  s.push_back({"e3",
+               R{{"title", "t"}, {"aka_title", "at"}, {"kind_type", "kt"},
+                 {"movie_keyword", "mk"}},
+               J{{"at.movie_id", "t.id"}, {"t.kind_id", "kt.id"},
+                 {"mk.movie_id", "t.id"}},
+               F{{"at.kind_id", "e"}, {"kt.kind", "e"}}});
+  s.push_back({"e4",
+               R{{"title", "t"}, {"movie_link", "ml"}, {"title", "t2"},
+                 {"movie_link", "ml2"}, {"title", "t3"}},
+               J{{"ml.movie_id", "t.id"}, {"ml.linked_movie_id", "t2.id"},
+                 {"ml2.movie_id", "t2.id"}, {"ml2.linked_movie_id", "t3.id"}},
+               F{{"t.production_year", "r"}, {"t3.production_year", "r"}}});
+  s.push_back({"e5",
+               R{{"title", "t"}, {"cast_info", "ci"}, {"name", "n"},
+                 {"cast_info", "ci2"}, {"title", "t2"}},
+               J{{"ci.movie_id", "t.id"}, {"ci.person_id", "n.id"},
+                 {"ci2.person_id", "n.id"}, {"ci2.movie_id", "t2.id"}},
+               F{{"n.gender", "e"}, {"t.production_year", "r"},
+                 {"t2.production_year", "r"}}});
+  s.push_back({"e6",
+               R{{"title", "t"}, {"complete_cast", "cc"},
+                 {"comp_cast_type", "cct1"}, {"aka_title", "at"},
+                 {"movie_companies", "mc"}},
+               J{{"cc.movie_id", "t.id"}, {"cc.subject_id", "cct1.id"},
+                 {"at.movie_id", "t.id"}, {"mc.movie_id", "t.id"}},
+               F{{"cct1.kind", "e"}, {"mc.note", "e"}}});
+  s.push_back({"e7",
+               R{{"name", "n"}, {"cast_info", "ci"}, {"title", "t"},
+                 {"movie_info", "mi"}, {"info_type", "it"},
+                 {"person_info", "pi"}, {"info_type", "it2"}},
+               J{{"ci.person_id", "n.id"}, {"ci.movie_id", "t.id"},
+                 {"mi.movie_id", "t.id"}, {"mi.info_type_id", "it.id"},
+                 {"pi.person_id", "n.id"}, {"pi.info_type_id", "it2.id"}},
+               F{{"mi.info", "e"}, {"pi.info", "e"}}});
+  s.push_back({"e8",
+               R{{"title", "t"}, {"movie_info", "mi"},
+                 {"movie_info", "mi2"}, {"info_type", "it"},
+                 {"info_type", "it2"}, {"kind_type", "kt"}},
+               J{{"mi.movie_id", "t.id"}, {"mi2.movie_id", "t.id"},
+                 {"mi.info_type_id", "it.id"}, {"mi2.info_type_id", "it2.id"},
+                 {"t.kind_id", "kt.id"}},
+               F{{"mi.info", "e"}, {"mi2.info", "e"}, {"kt.kind", "e"}}});
+  s.push_back({"e9",
+               R{{"title", "t"}, {"movie_keyword", "mk"}, {"keyword", "k"},
+                 {"movie_keyword", "mk2"}, {"keyword", "k2"},
+                 {"movie_companies", "mc"}, {"company_name", "cn"}},
+               J{{"mk.movie_id", "t.id"}, {"mk.keyword_id", "k.id"},
+                 {"mk2.movie_id", "t.id"}, {"mk2.keyword_id", "k2.id"},
+                 {"mc.movie_id", "t.id"}, {"mc.company_id", "cn.id"}},
+               F{{"k.phonetic_code", "e"}, {"k2.phonetic_code", "e"},
+                 {"cn.country_code", "e"}}});
+  s.push_back({"e10",
+               R{{"title", "t"}, {"movie_link", "ml"}, {"title", "t2"},
+                 {"cast_info", "ci"}, {"name", "n"}, {"cast_info", "ci2"}},
+               J{{"ml.movie_id", "t.id"}, {"ml.linked_movie_id", "t2.id"},
+                 {"ci.movie_id", "t.id"}, {"ci.person_id", "n.id"},
+                 {"ci2.movie_id", "t2.id"}, {"ci2.person_id", "n.id"}},
+               F{{"n.gender", "e"}, {"t.production_year", "r"}}});
+  s.push_back({"e11",
+               R{{"title", "t"}, {"aka_title", "at"}, {"cast_info", "ci"},
+                 {"char_name", "chn"}, {"complete_cast", "cc"},
+                 {"comp_cast_type", "cct1"}, {"movie_info_idx", "midx"},
+                 {"info_type", "it"}},
+               J{{"at.movie_id", "t.id"}, {"ci.movie_id", "t.id"},
+                 {"ci.person_role_id", "chn.id"}, {"cc.movie_id", "t.id"},
+                 {"cc.subject_id", "cct1.id"}, {"midx.movie_id", "t.id"},
+                 {"midx.info_type_id", "it.id"}},
+               F{{"cct1.kind", "e"}, {"midx.info", "r"},
+                 {"at.kind_id", "e"}}});
+  s.push_back({"e12",
+               R{{"name", "n"}, {"aka_name", "an"}, {"cast_info", "ci"},
+                 {"title", "t"}, {"movie_companies", "mc"},
+                 {"company_name", "cn"}, {"movie_link", "ml"},
+                 {"title", "t2"}, {"kind_type", "kt2"}},
+               J{{"an.person_id", "n.id"}, {"ci.person_id", "n.id"},
+                 {"ci.movie_id", "t.id"}, {"mc.movie_id", "t.id"},
+                 {"mc.company_id", "cn.id"}, {"ml.movie_id", "t.id"},
+                 {"ml.linked_movie_id", "t2.id"}, {"t2.kind_id", "kt2.id"}},
+               F{{"cn.country_code", "e"}, {"kt2.kind", "e"},
+                 {"n.gender", "e"}}});
+  return s;
+}
+
+}  // namespace
+
+StatusOr<Workload> GenerateJobWorkload(const Schema& schema,
+                                       const JobWorkloadOptions& options) {
+  std::vector<TemplateSpec> specs = JobTemplates();
+  // 113 queries: the first 14 templates get 4 variants, the rest 3.
+  std::vector<int> variants(specs.size(), 3);
+  for (size_t i = 0; i < 14 && i < specs.size(); ++i) variants[i] = 4;
+  return Instantiate(schema, "JOB-like", specs, variants, options.seed);
+}
+
+StatusOr<Workload> GenerateExtJobWorkload(const Schema& schema,
+                                          const JobWorkloadOptions& options) {
+  std::vector<TemplateSpec> specs = ExtJobTemplates();
+  std::vector<int> variants(specs.size(), 2);  // 24 queries
+  return Instantiate(schema, "Ext-JOB-like", specs, variants,
+                     options.seed + 101);
+}
+
+}  // namespace balsa

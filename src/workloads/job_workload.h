@@ -1,0 +1,27 @@
+// Generator for the Join Order Benchmark-like workload over the IMDb-like
+// schema: 113 queries drawn from 33 join templates (3-16 joins, averaging
+// ~8), plus the Ext-JOB-like out-of-distribution set (24 queries on 12
+// entirely new join templates, 2-10 joins). Variants of a template share
+// the join graph but differ in filter predicates, as in JOB's 1a/1b/1c.
+#pragma once
+
+#include "src/catalog/schema.h"
+#include "src/util/status.h"
+#include "src/workloads/workload.h"
+
+namespace balsa {
+
+struct JobWorkloadOptions {
+  uint64_t seed = 7;
+};
+
+/// The 113-query JOB-like workload (no split installed; callers pick one).
+StatusOr<Workload> GenerateJobWorkload(const Schema& schema,
+                                       const JobWorkloadOptions& options = {});
+
+/// The 24-query Ext-JOB-like workload: join templates and predicates
+/// disjoint from GenerateJobWorkload's, on the same schema (§8.5).
+StatusOr<Workload> GenerateExtJobWorkload(
+    const Schema& schema, const JobWorkloadOptions& options = {});
+
+}  // namespace balsa

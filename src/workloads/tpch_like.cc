@@ -1,0 +1,221 @@
+#include "src/workloads/tpch_like.h"
+
+#include <cmath>
+
+#include "src/plan/query_builder.h"
+#include "src/util/rng.h"
+
+namespace balsa {
+
+namespace {
+
+ColumnDef Pk(const std::string& name) {
+  ColumnDef c;
+  c.name = name;
+  c.kind = ColumnKind::kPrimaryKey;
+  return c;
+}
+
+// TPC-H data is uniform: FK skew 0.
+ColumnDef Fk(const std::string& name, const std::string& ref_table) {
+  ColumnDef c;
+  c.name = name;
+  c.kind = ColumnKind::kForeignKey;
+  c.ref_table = ref_table;
+  c.ref_column = "id";
+  c.zipf_skew = 0.0;
+  return c;
+}
+
+ColumnDef Attr(const std::string& name, int64_t domain) {
+  ColumnDef c;
+  c.name = name;
+  c.kind = ColumnKind::kAttribute;
+  c.domain_size = domain;
+  c.zipf_skew = 0.0;
+  return c;
+}
+
+int64_t Scaled(double scale, int64_t rows) {
+  return std::max<int64_t>(1, static_cast<int64_t>(std::llround(rows * scale)));
+}
+
+}  // namespace
+
+StatusOr<Schema> BuildTpchLikeSchema(const TpchLikeOptions& options) {
+  const double s = options.scale;
+  Schema schema;
+  BALSA_RETURN_IF_ERROR(
+      schema.AddTable({"region", 5, {Pk("id"), Attr("name", 5)}}));
+  BALSA_RETURN_IF_ERROR(schema.AddTable(
+      {"nation", 25, {Pk("id"), Fk("region_id", "region"), Attr("name", 25)}}));
+  BALSA_RETURN_IF_ERROR(schema.AddTable(
+      {"supplier",
+       Scaled(s, 800),
+       {Pk("id"), Fk("nation_id", "nation"), Attr("acctbal", 1000)}}));
+  BALSA_RETURN_IF_ERROR(schema.AddTable(
+      {"customer",
+       Scaled(s, 6000),
+       {Pk("id"), Fk("nation_id", "nation"), Attr("mktsegment", 5),
+        Attr("acctbal", 1000)}}));
+  BALSA_RETURN_IF_ERROR(schema.AddTable(
+      {"part",
+       Scaled(s, 8000),
+       {Pk("id"), Attr("brand", 25), Attr("type", 150),
+        Attr("container", 40), Attr("size", 50)}}));
+  BALSA_RETURN_IF_ERROR(schema.AddTable(
+      {"partsupp",
+       Scaled(s, 32000),
+       {Pk("id"), Fk("part_id", "part"), Fk("supplier_id", "supplier"),
+        Attr("supplycost", 1000)}}));
+  BALSA_RETURN_IF_ERROR(schema.AddTable(
+      {"orders",
+       Scaled(s, 60000),
+       {Pk("id"), Fk("customer_id", "customer"),
+        // Order dates span ~2400 days (1992-1998), uniform.
+        Attr("orderdate", 2400), Attr("orderpriority", 5),
+        Attr("orderstatus", 3)}}));
+  BALSA_RETURN_IF_ERROR(schema.AddTable(
+      {"lineitem",
+       Scaled(s, 240000),
+       {Pk("id"), Fk("order_id", "orders"), Fk("part_id", "part"),
+        Fk("supplier_id", "supplier"), Attr("shipdate", 2500),
+        Attr("shipmode", 7), Attr("quantity", 50), Attr("discount", 11),
+        Attr("returnflag", 3)}}));
+
+  struct Edge {
+    const char* from_table;
+    const char* from_col;
+    const char* to_table;
+  };
+  const Edge edges[] = {
+      {"nation", "region_id", "region"},
+      {"supplier", "nation_id", "nation"},
+      {"customer", "nation_id", "nation"},
+      {"partsupp", "part_id", "part"},
+      {"partsupp", "supplier_id", "supplier"},
+      {"orders", "customer_id", "customer"},
+      {"lineitem", "order_id", "orders"},
+      {"lineitem", "part_id", "part"},
+      {"lineitem", "supplier_id", "supplier"},
+  };
+  for (const Edge& e : edges) {
+    BALSA_RETURN_IF_ERROR(
+        schema.AddForeignKey(e.from_table, e.from_col, e.to_table, "id"));
+  }
+  return schema;
+}
+
+StatusOr<Workload> GenerateTpchWorkload(const Schema& schema,
+                                        const TpchLikeOptions& options) {
+  Rng rng(options.seed);
+  std::vector<Query> queries;
+  std::vector<int> train, test;
+  constexpr int kInstances = 10;
+
+  // Template ids in workload order; 10 is the test template.
+  const int template_ids[] = {3, 5, 7, 8, 12, 13, 14, 10};
+
+  for (int tid : template_ids) {
+    for (int inst = 0; inst < kInstances; ++inst) {
+      std::string name = "tpch_q" + std::to_string(tid) + "_" +
+                         std::to_string(inst);
+      QueryBuilder b(&schema, name);
+      switch (tid) {
+        case 3:  // customer x orders x lineitem, segment + date filters.
+          b.From("customer", "c").From("orders", "o").From("lineitem", "l")
+              .JoinEq("o.customer_id", "c.id")
+              .JoinEq("l.order_id", "o.id")
+              .Filter("c.mktsegment", PredOp::kEq, rng.UniformInt(0, 4))
+              .Filter("o.orderdate", PredOp::kLt,
+                      rng.UniformInt(800, 2200))
+              .Filter("l.shipdate", PredOp::kGt, rng.UniformInt(200, 1600));
+          break;
+        case 5:  // customer x orders x lineitem x supplier x nation x region.
+          b.From("customer", "c").From("orders", "o").From("lineitem", "l")
+              .From("supplier", "s").From("nation", "n").From("region", "r")
+              .JoinEq("o.customer_id", "c.id")
+              .JoinEq("l.order_id", "o.id")
+              .JoinEq("l.supplier_id", "s.id")
+              .JoinEq("c.nation_id", "n.id")
+              .JoinEq("s.nation_id", "n.id")
+              .JoinEq("n.region_id", "r.id")
+              .Filter("r.name", PredOp::kEq, rng.UniformInt(0, 4))
+              .Filter("o.orderdate", PredOp::kGt, rng.UniformInt(200, 1800));
+          break;
+        case 7:  // supplier x lineitem x orders x customer x nation x nation.
+          b.From("supplier", "s").From("lineitem", "l").From("orders", "o")
+              .From("customer", "c").From("nation", "n1").From("nation", "n2")
+              .JoinEq("l.supplier_id", "s.id")
+              .JoinEq("l.order_id", "o.id")
+              .JoinEq("o.customer_id", "c.id")
+              .JoinEq("s.nation_id", "n1.id")
+              .JoinEq("c.nation_id", "n2.id")
+              .Filter("n1.name", PredOp::kEq, rng.UniformInt(0, 24))
+              .Filter("n2.name", PredOp::kEq, rng.UniformInt(0, 24))
+              .Filter("l.shipdate", PredOp::kGt, rng.UniformInt(800, 2000));
+          break;
+        case 8:  // part x lineitem x orders x customer x supplier x 2 nations
+                 // x region.
+          b.From("part", "p").From("lineitem", "l").From("orders", "o")
+              .From("customer", "c").From("supplier", "s")
+              .From("nation", "n1").From("nation", "n2").From("region", "r")
+              .JoinEq("l.part_id", "p.id")
+              .JoinEq("l.order_id", "o.id")
+              .JoinEq("l.supplier_id", "s.id")
+              .JoinEq("o.customer_id", "c.id")
+              .JoinEq("c.nation_id", "n1.id")
+              .JoinEq("n1.region_id", "r.id")
+              .JoinEq("s.nation_id", "n2.id")
+              .Filter("p.type", PredOp::kEq, rng.UniformInt(0, 149))
+              .Filter("r.name", PredOp::kEq, rng.UniformInt(0, 4))
+              .Filter("o.orderdate", PredOp::kGt, rng.UniformInt(400, 1600));
+          break;
+        case 12:  // orders x lineitem, shipmode + date filters.
+          b.From("orders", "o").From("lineitem", "l")
+              .JoinEq("l.order_id", "o.id")
+              .FilterIn("l.shipmode",
+                        {rng.UniformInt(0, 6), rng.UniformInt(0, 6)})
+              .Filter("l.shipdate", PredOp::kGt, rng.UniformInt(400, 2000))
+              .Filter("o.orderpriority", PredOp::kEq, rng.UniformInt(0, 4));
+          break;
+        case 13:  // customer x orders (left-join skeleton as inner SPJ).
+          b.From("customer", "c").From("orders", "o").From("nation", "n")
+              .JoinEq("o.customer_id", "c.id")
+              .JoinEq("c.nation_id", "n.id")
+              .Filter("o.orderpriority", PredOp::kNe, rng.UniformInt(0, 4))
+              .Filter("c.acctbal", PredOp::kGt, rng.UniformInt(100, 900));
+          break;
+        case 14:  // lineitem x part, date window.
+          b.From("lineitem", "l").From("part", "p").From("orders", "o")
+              .JoinEq("l.part_id", "p.id")
+              .JoinEq("l.order_id", "o.id")
+              .Filter("l.shipdate", PredOp::kGt, rng.UniformInt(800, 2200))
+              .Filter("p.container", PredOp::kEq, rng.UniformInt(0, 39));
+          break;
+        case 10:  // customer x orders x lineitem x nation, returns.
+          b.From("customer", "c").From("orders", "o").From("lineitem", "l")
+              .From("nation", "n")
+              .JoinEq("o.customer_id", "c.id")
+              .JoinEq("l.order_id", "o.id")
+              .JoinEq("c.nation_id", "n.id")
+              .Filter("l.returnflag", PredOp::kEq, rng.UniformInt(0, 2))
+              .Filter("o.orderdate", PredOp::kGt, rng.UniformInt(600, 2000));
+          break;
+        default:
+          return Status::Internal("unknown TPC-H template");
+      }
+      BALSA_ASSIGN_OR_RETURN(Query q, b.Build());
+      int idx = static_cast<int>(queries.size());
+      (tid == 10 ? test : train).push_back(idx);
+      queries.push_back(std::move(q));
+    }
+  }
+  // The paper uses 70 train / 10 test; we emit 70 train and keep all ten
+  // test-template instances (test set size 10).
+  Workload workload("TPCH-like", std::move(queries));
+  BALSA_RETURN_IF_ERROR(workload.SetSplit(std::move(train), std::move(test)));
+  return workload;
+}
+
+}  // namespace balsa

@@ -1,0 +1,27 @@
+// A TPC-H-like schema and workload: the 8-table star/snowflake schema with
+// uniform data distributions (as in the standard benchmark), and the SPJ
+// skeletons of the templates the paper trains on (3, 5, 7, 8, 12, 13, 14)
+// plus the held-out test template (10), with 10 instances per template
+// differing in filter constants (§8.1, footnote 9).
+#pragma once
+
+#include "src/catalog/schema.h"
+#include "src/util/status.h"
+#include "src/workloads/workload.h"
+
+namespace balsa {
+
+struct TpchLikeOptions {
+  /// Multiplier on all row counts (1.0 = the default reduced scale).
+  double scale = 1.0;
+  uint64_t seed = 11;
+};
+
+StatusOr<Schema> BuildTpchLikeSchema(const TpchLikeOptions& options = {});
+
+/// 80 queries (8 templates x 10); installs the paper's split: templates
+/// 3, 5, 7, 8, 12, 13, 14 train / template 10 test.
+StatusOr<Workload> GenerateTpchWorkload(const Schema& schema,
+                                        const TpchLikeOptions& options = {});
+
+}  // namespace balsa

@@ -1,0 +1,100 @@
+#include "src/workloads/workload.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+#include "src/util/rng.h"
+
+namespace balsa {
+
+Status Workload::SetSplit(std::vector<int> train, std::vector<int> test) {
+  std::vector<bool> used(queries_.size(), false);
+  for (const auto* list : {&train, &test}) {
+    for (int i : *list) {
+      if (i < 0 || i >= num_queries()) {
+        return Status::OutOfRange("split index out of range");
+      }
+      if (used[i]) return Status::InvalidArgument("split indices overlap");
+      used[i] = true;
+    }
+  }
+  train_ = std::move(train);
+  test_ = std::move(test);
+  return Status::OK();
+}
+
+Status Workload::RandomSplit(int num_test, uint64_t seed) {
+  if (num_test < 0 || num_test > num_queries()) {
+    return Status::OutOfRange("num_test out of range");
+  }
+  std::vector<int> order(queries_.size());
+  std::iota(order.begin(), order.end(), 0);
+  Rng rng(seed);
+  rng.Shuffle(&order);
+  std::vector<int> test(order.begin(), order.begin() + num_test);
+  std::vector<int> train(order.begin() + num_test, order.end());
+  std::sort(test.begin(), test.end());
+  std::sort(train.begin(), train.end());
+  return SetSplit(std::move(train), std::move(test));
+}
+
+Status Workload::SlowSplit(int num_test,
+                           const std::vector<double>& runtimes_ms) {
+  if (runtimes_ms.size() != queries_.size()) {
+    return Status::InvalidArgument("runtimes size mismatch");
+  }
+  std::vector<int> order(queries_.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return runtimes_ms[a] > runtimes_ms[b];
+  });
+  std::vector<int> test(order.begin(), order.begin() + num_test);
+  std::vector<int> train(order.begin() + num_test, order.end());
+  std::sort(test.begin(), test.end());
+  std::sort(train.begin(), train.end());
+  return SetSplit(std::move(train), std::move(test));
+}
+
+Status Workload::SlowestTemplateSplit(int min_test,
+                                      const std::vector<double>& runtimes_ms,
+                                      const Schema& schema) {
+  if (runtimes_ms.size() != queries_.size()) {
+    return Status::InvalidArgument("runtimes size mismatch");
+  }
+  // Group by join-template signature; rank templates by total runtime.
+  std::map<uint64_t, std::vector<int>> groups;
+  for (size_t i = 0; i < queries_.size(); ++i) {
+    groups[queries_[i].TemplateSignature(schema)].push_back(
+        static_cast<int>(i));
+  }
+  std::vector<std::pair<double, const std::vector<int>*>> ranked;
+  for (const auto& [sig, members] : groups) {
+    double total = 0;
+    for (int i : members) total += runtimes_ms[i];
+    ranked.emplace_back(total, &members);
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  std::vector<int> test;
+  for (const auto& [total, members] : ranked) {
+    if (static_cast<int>(test.size()) >= min_test) break;
+    test.insert(test.end(), members->begin(), members->end());
+  }
+  std::vector<bool> in_test(queries_.size(), false);
+  for (int i : test) in_test[i] = true;
+  std::vector<int> train;
+  for (size_t i = 0; i < queries_.size(); ++i) {
+    if (!in_test[i]) train.push_back(static_cast<int>(i));
+  }
+  std::sort(test.begin(), test.end());
+  return SetSplit(std::move(train), std::move(test));
+}
+
+void Workload::UseAllForTraining() {
+  train_.resize(queries_.size());
+  std::iota(train_.begin(), train_.end(), 0);
+  test_.clear();
+}
+
+}  // namespace balsa

@@ -1,0 +1,71 @@
+// A benchmark workload: a set of queries over one schema plus a train/test
+// split. Mirrors the paper's methodology (§8.1): train on one set, evaluate
+// generalization on held-out queries of the same dataset.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/plan/query_graph.h"
+#include "src/util/status.h"
+
+namespace balsa {
+
+class Workload {
+ public:
+  Workload() = default;
+  Workload(std::string name, std::vector<Query> queries)
+      : name_(std::move(name)), queries_(std::move(queries)) {
+    for (size_t i = 0; i < queries_.size(); ++i) {
+      queries_[i].set_id(static_cast<int>(i));
+    }
+  }
+
+  const std::string& name() const { return name_; }
+  int num_queries() const { return static_cast<int>(queries_.size()); }
+  const std::vector<Query>& queries() const { return queries_; }
+  const Query& query(int idx) const { return queries_[idx]; }
+
+  const std::vector<int>& train_indices() const { return train_; }
+  const std::vector<int>& test_indices() const { return test_; }
+
+  std::vector<const Query*> TrainQueries() const { return Gather(train_); }
+  std::vector<const Query*> TestQueries() const { return Gather(test_); }
+
+  /// Installs an explicit split. Indices must be valid and disjoint.
+  Status SetSplit(std::vector<int> train, std::vector<int> test);
+
+  /// Random split with `num_test` held-out queries (paper's "Random Split").
+  Status RandomSplit(int num_test, uint64_t seed);
+
+  /// Puts the `num_test` queries with the largest `runtimes_ms[i]` in the
+  /// test set (paper's "Slow Split": slowest under the expert optimizer).
+  Status SlowSplit(int num_test, const std::vector<double>& runtimes_ms);
+
+  /// Groups queries by join-template signature and holds out the templates
+  /// with the largest total runtime until >= `min_test` queries are held
+  /// out (paper's slowest-templates split, §8.5).
+  Status SlowestTemplateSplit(int min_test,
+                              const std::vector<double>& runtimes_ms,
+                              const Schema& schema);
+
+  /// Uses every query of `this` for training and an external workload's
+  /// queries for testing is handled by the caller (Ext-JOB, §8.5); this
+  /// helper marks all queries as training.
+  void UseAllForTraining();
+
+ private:
+  std::vector<const Query*> Gather(const std::vector<int>& idx) const {
+    std::vector<const Query*> out;
+    out.reserve(idx.size());
+    for (int i : idx) out.push_back(&queries_[i]);
+    return out;
+  }
+
+  std::string name_;
+  std::vector<Query> queries_;
+  std::vector<int> train_;
+  std::vector<int> test_;
+};
+
+}  // namespace balsa

@@ -1,0 +1,115 @@
+#include "src/stats/card_oracle.h"
+
+#include <gtest/gtest.h>
+
+#include "src/stats/oracle_estimator.h"
+#include "test_util.h"
+
+namespace balsa {
+namespace {
+
+class CardOracleTest : public ::testing::Test {
+ protected:
+  CardOracleTest()
+      : fixture_(testing::MakeStarFixture()),
+        query_(testing::MakeStarQuery(fixture_.schema())) {}
+
+  testing::StarFixture fixture_;
+  Query query_;
+};
+
+TEST_F(CardOracleTest, SingleRelationMatchesExecutor) {
+  Executor executor(fixture_.db.get());
+  auto scan = executor.Scan(query_, 1);
+  auto card = fixture_.oracle->Cardinality(query_, TableSet::Single(1));
+  ASSERT_TRUE(card.ok());
+  EXPECT_EQ(card->rows, static_cast<double>(scan->NumRows()));
+  EXPECT_FALSE(card->capped);
+}
+
+TEST_F(CardOracleTest, JoinCardinalityMatchesExecutor) {
+  Executor executor(fixture_.db.get());
+  auto s = executor.Scan(query_, 0);
+  auto c = executor.Scan(query_, 1);
+  auto j = executor.Join(query_, *s, *c);
+  auto card = fixture_.oracle->Cardinality(query_,
+                                           TableSet::Single(0).With(1));
+  ASSERT_TRUE(card.ok());
+  EXPECT_EQ(card->rows, static_cast<double>(j->NumRows()));
+}
+
+TEST_F(CardOracleTest, CachesResults) {
+  TableSet set = query_.AllTables();
+  auto first = fixture_.oracle->Cardinality(query_, set);
+  ASSERT_TRUE(first.ok());
+  int64_t execs = fixture_.oracle->NumExecutions();
+  auto second = fixture_.oracle->Cardinality(query_, set);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(fixture_.oracle->NumExecutions(), execs);  // no new executions
+  EXPECT_EQ(first->rows, second->rows);
+}
+
+TEST_F(CardOracleTest, RejectsQueriesWithoutIds) {
+  Query no_id = query_;
+  no_id.set_id(-1);
+  auto card = fixture_.oracle->Cardinality(no_id, TableSet::Single(0));
+  EXPECT_FALSE(card.ok());
+}
+
+TEST_F(CardOracleTest, RejectsDisconnectedSets) {
+  auto card = fixture_.oracle->Cardinality(query_,
+                                           TableSet::Single(1).With(2));
+  EXPECT_FALSE(card.ok());
+}
+
+TEST_F(CardOracleTest, PlanCardinalitiesCoverAllNodes) {
+  Plan plan;
+  int s = plan.AddScan(0, ScanOp::kSeqScan);
+  int c = plan.AddScan(1, ScanOp::kSeqScan);
+  int sc = plan.AddJoin(s, c, JoinOp::kHashJoin);
+  int p = plan.AddScan(2, ScanOp::kSeqScan);
+  plan.AddJoin(sc, p, JoinOp::kHashJoin);
+
+  auto cards = fixture_.oracle->PlanCardinalities(query_, plan);
+  ASSERT_TRUE(cards.ok());
+  ASSERT_EQ(cards->size(), static_cast<size_t>(plan.num_nodes()));
+  // Each node's cardinality matches a direct oracle query.
+  for (int i = 0; i < plan.num_nodes(); ++i) {
+    auto direct = fixture_.oracle->Cardinality(query_, plan.node(i).tables);
+    EXPECT_EQ((*cards)[i].rows, direct->rows) << "node " << i;
+  }
+}
+
+TEST_F(CardOracleTest, CardinalityIsPlanShapeInvariant) {
+  // Any join order over the same table set yields the same cardinality.
+  auto c1 = fixture_.oracle->Cardinality(query_, query_.AllTables());
+  // Force recomputation through a different path: new oracle, different
+  // stepwise order comes from its smallest-first heuristic on a plan walk.
+  CardOracle fresh(fixture_.db.get());
+  Plan plan;
+  int st = plan.AddScan(3, ScanOp::kSeqScan);
+  int s = plan.AddScan(0, ScanOp::kSeqScan);
+  int j1 = plan.AddJoin(st, s, JoinOp::kHashJoin);
+  int p = plan.AddScan(2, ScanOp::kSeqScan);
+  int j2 = plan.AddJoin(j1, p, JoinOp::kHashJoin);
+  int c = plan.AddScan(1, ScanOp::kSeqScan);
+  plan.AddJoin(j2, c, JoinOp::kHashJoin);
+  auto cards = fresh.PlanCardinalities(query_, plan);
+  ASSERT_TRUE(cards.ok());
+  EXPECT_EQ(cards->back().rows, c1->rows);
+}
+
+TEST(OracleEstimatorTest, MatchesOracle) {
+  auto fixture = testing::MakeStarFixture();
+  Query query = testing::MakeStarQuery(fixture.schema());
+  OracleCardinalityEstimator est(fixture.db.get(), fixture.oracle.get());
+  auto direct = fixture.oracle->Cardinality(query, TableSet::Single(0).With(1));
+  EXPECT_EQ(est.EstimateJoinRows(query, TableSet::Single(0).With(1)),
+            direct->rows);
+  double sel = est.EstimateSelectivity(query, 1);
+  EXPECT_GT(sel, 0);
+  EXPECT_LT(sel, 1);  // customer has a filter
+}
+
+}  // namespace
+}  // namespace balsa

@@ -1,0 +1,176 @@
+#include "src/storage/data_generator.h"
+
+#include <set>
+#include <unordered_map>
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace balsa {
+namespace {
+
+class DataGeneratorTest : public ::testing::Test {
+ protected:
+  DataGeneratorTest() : fixture_(testing::MakeStarFixture(/*seed=*/5)) {}
+
+  const std::vector<int64_t>& Column(const char* table, const char* column) {
+    int t = fixture_.schema().TableIndex(table);
+    int c = fixture_.schema().table(t).ColumnIndex(column);
+    return fixture_.db->table_data(t).columns[c];
+  }
+
+  testing::StarFixture fixture_;
+};
+
+TEST_F(DataGeneratorTest, PrimaryKeysAreDenseAndUnique) {
+  const auto& pk = Column("customer", "id");
+  for (size_t i = 0; i < pk.size(); ++i) {
+    EXPECT_EQ(pk[i], static_cast<int64_t>(i));
+  }
+}
+
+TEST_F(DataGeneratorTest, ForeignKeysreferenceValidRows) {
+  const auto& fk = Column("sales", "customer_id");
+  int cust = fixture_.schema().TableIndex("customer");
+  int64_t cust_rows = fixture_.db->table_data(cust).row_count;
+  for (int64_t v : fk) {
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, cust_rows);
+  }
+}
+
+TEST_F(DataGeneratorTest, AttributesStayInDomain) {
+  const auto& region = Column("customer", "region");
+  for (int64_t v : region) {
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 10);
+  }
+}
+
+TEST_F(DataGeneratorTest, ZipfSkewConcentratesFanIn) {
+  // product_id has skew 0.9: the hottest product gets far more than the
+  // uniform share of sales rows.
+  const auto& fk = Column("sales", "product_id");
+  std::unordered_map<int64_t, int> counts;
+  for (int64_t v : fk) counts[v]++;
+  int hottest = 0;
+  for (const auto& [v, c] : counts) hottest = std::max(hottest, c);
+  double uniform_share = static_cast<double>(fk.size()) / 200.0;
+  EXPECT_GT(hottest, 4 * uniform_share);
+}
+
+TEST_F(DataGeneratorTest, DeterministicForSeed) {
+  auto again = testing::MakeStarFixture(/*seed=*/5);
+  int t = fixture_.schema().TableIndex("sales");
+  EXPECT_EQ(fixture_.db->table_data(t).columns,
+            again.db->table_data(t).columns);
+  auto different = testing::MakeStarFixture(/*seed=*/6);
+  EXPECT_NE(fixture_.db->table_data(t).columns,
+            different.db->table_data(t).columns);
+}
+
+TEST_F(DataGeneratorTest, ScaleMultipliesRowCounts) {
+  Database db(testing::MakeStarSchema(/*fact_rows=*/4000));
+  DataGeneratorOptions options;
+  options.scale = 0.5;
+  ASSERT_TRUE(GenerateData(&db, options).ok());
+  int t = db.schema().TableIndex("sales");
+  EXPECT_EQ(db.table_data(t).row_count, 2000);
+}
+
+TEST_F(DataGeneratorTest, NullFractionRespected) {
+  // Build a schema with a nullable FK and check the realized fraction.
+  Schema schema;
+  ColumnDef pk;
+  pk.name = "id";
+  pk.kind = ColumnKind::kPrimaryKey;
+  ASSERT_TRUE(schema.AddTable({"dim", 100, {pk}}).ok());
+  ColumnDef fk;
+  fk.name = "dim_id";
+  fk.kind = ColumnKind::kForeignKey;
+  fk.ref_table = "dim";
+  fk.ref_column = "id";
+  fk.null_fraction = 0.4;
+  ASSERT_TRUE(schema.AddTable({"fact", 10000, {pk, fk}}).ok());
+  Database db(std::move(schema));
+  ASSERT_TRUE(GenerateData(&db).ok());
+  const auto& col = db.table_data(1).columns[1];
+  double nulls = 0;
+  for (int64_t v : col) nulls += v == -1;
+  EXPECT_NEAR(nulls / static_cast<double>(col.size()), 0.4, 0.05);
+}
+
+TEST_F(DataGeneratorTest, CorrelatedColumnBreaksIndependence) {
+  // In a correlated pair, P(b | a) concentrates: for the most common value
+  // of a, one b value dominates well beyond its marginal frequency.
+  Schema schema;
+  ColumnDef pk;
+  pk.name = "id";
+  pk.kind = ColumnKind::kPrimaryKey;
+  ColumnDef a;
+  a.name = "a";
+  a.kind = ColumnKind::kAttribute;
+  a.domain_size = 20;
+  a.zipf_skew = 0.8;
+  ColumnDef b;
+  b.name = "b";
+  b.kind = ColumnKind::kAttribute;
+  b.domain_size = 50;
+  b.corr_column = "a";
+  b.corr_strength = 0.9;
+  ASSERT_TRUE(schema.AddTable({"t", 20000, {pk, a, b}}).ok());
+  Database db(std::move(schema));
+  ASSERT_TRUE(GenerateData(&db).ok());
+  const auto& col_a = db.table_data(0).columns[1];
+  const auto& col_b = db.table_data(0).columns[2];
+  std::unordered_map<int64_t, int> b_given_a0;
+  int n_a0 = 0;
+  for (size_t i = 0; i < col_a.size(); ++i) {
+    if (col_a[i] == 0) {
+      b_given_a0[col_b[i]]++;
+      n_a0++;
+    }
+  }
+  int top = 0;
+  for (const auto& [v, c] : b_given_a0) top = std::max(top, c);
+  // Under independence the top conditional share would be ~the marginal
+  // (< 20%); correlation pushes it near corr_strength.
+  EXPECT_GT(static_cast<double>(top) / n_a0, 0.5);
+}
+
+TEST_F(DataGeneratorTest, CorrelationOrderingValidated) {
+  Schema schema;
+  ColumnDef pk;
+  pk.name = "id";
+  pk.kind = ColumnKind::kPrimaryKey;
+  ColumnDef bad;
+  bad.name = "x";
+  bad.kind = ColumnKind::kAttribute;
+  bad.corr_column = "later";  // references a column that comes after it
+  bad.corr_strength = 0.5;
+  ColumnDef later;
+  later.name = "later";
+  later.kind = ColumnKind::kAttribute;
+  ASSERT_TRUE(schema.AddTable({"t", 10, {pk, bad, later}}).ok());
+  Database db(std::move(schema));
+  EXPECT_FALSE(GenerateData(&db).ok());
+}
+
+TEST_F(DataGeneratorTest, HashIndexLookupsMatchScans) {
+  int sales = fixture_.schema().TableIndex("sales");
+  int cust_col = fixture_.schema().table(sales).ColumnIndex("customer_id");
+  const HashIndex& index = fixture_.db->GetIndex(sales, cust_col);
+  const auto& column = fixture_.db->table_data(sales).columns[cust_col];
+  // Every row id returned by the index holds the looked-up value, and the
+  // total count matches a scan.
+  int64_t scan_count = 0;
+  for (int64_t v : column) scan_count += v == 17;
+  const auto& rows = index.Lookup(17);
+  EXPECT_EQ(static_cast<int64_t>(rows.size()), scan_count);
+  for (uint32_t r : rows) EXPECT_EQ(column[r], 17);
+  EXPECT_TRUE(index.Lookup(999999).empty());
+}
+
+}  // namespace
+}  // namespace balsa

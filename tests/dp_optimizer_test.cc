@@ -1,0 +1,146 @@
+#include "src/optimizer/dp_optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include "src/baselines/random_planner.h"
+#include "test_util.h"
+
+namespace balsa {
+namespace {
+
+class DpOptimizerTest : public ::testing::Test {
+ protected:
+  DpOptimizerTest()
+      : fixture_(testing::MakeStarFixture()),
+        query_(testing::MakeStarQuery(fixture_.schema())),
+        cout_(fixture_.estimator, &fixture_.schema()) {}
+
+  testing::StarFixture fixture_;
+  Query query_;
+  CoutCostModel cout_;
+};
+
+TEST_F(DpOptimizerTest, ProducesValidCompletePlan) {
+  DpOptimizer dp(&fixture_.schema(), &cout_);
+  auto best = dp.Optimize(query_);
+  ASSERT_TRUE(best.ok()) << best.status().ToString();
+  EXPECT_TRUE(best->plan.Validate());
+  EXPECT_EQ(best->plan.RootTables(), query_.AllTables());
+  EXPECT_GT(best->cost, 0);
+}
+
+TEST_F(DpOptimizerTest, BeatsRandomPlansOnAverage) {
+  DpOptimizer dp(&fixture_.schema(), &cout_);
+  auto best = dp.Optimize(query_);
+  ASSERT_TRUE(best.ok());
+  RandomPlanner random(&fixture_.schema());
+  Rng rng(3);
+  int not_worse = 0;
+  const int kTrials = 20;
+  for (int i = 0; i < kTrials; ++i) {
+    auto plan = random.Sample(query_, &rng);
+    ASSERT_TRUE(plan.ok());
+    not_worse += cout_.PlanCost(query_, *plan) >= best->cost - 1e-6;
+  }
+  EXPECT_EQ(not_worse, kTrials);  // DP is exact under the cost model
+}
+
+TEST_F(DpOptimizerTest, LeftDeepRestrictionHolds) {
+  DpOptimizerOptions opts;
+  opts.bushy = false;
+  DpOptimizer dp(&fixture_.schema(), &cout_, opts);
+  auto best = dp.Optimize(query_);
+  ASSERT_TRUE(best.ok());
+  EXPECT_TRUE(best->plan.IsLeftDeep());
+}
+
+TEST_F(DpOptimizerTest, BushyCostNeverAboveLeftDeep) {
+  DpOptimizer bushy(&fixture_.schema(), &cout_);
+  DpOptimizerOptions ld_opts;
+  ld_opts.bushy = false;
+  DpOptimizer left_deep(&fixture_.schema(), &cout_, ld_opts);
+  auto b = bushy.Optimize(query_);
+  auto l = left_deep.Optimize(query_);
+  ASSERT_TRUE(b.ok() && l.ok());
+  EXPECT_LE(b->cost, l->cost + 1e-9);  // superset search space
+}
+
+TEST_F(DpOptimizerTest, OperatorRestrictionsRespected) {
+  DpOptimizerOptions opts;
+  opts.enable_hash_join = false;
+  opts.enable_merge_join = false;
+  opts.enable_index_nl = false;
+  DpOptimizer dp(&fixture_.schema(), &cout_, opts);
+  auto best = dp.Optimize(query_);
+  ASSERT_TRUE(best.ok());
+  std::vector<int> joins, scans;
+  best->plan.CountOps(&joins, &scans);
+  EXPECT_EQ(joins[static_cast<int>(JoinOp::kHashJoin)], 0);
+  EXPECT_EQ(joins[static_cast<int>(JoinOp::kMergeJoin)], 0);
+  EXPECT_EQ(joins[static_cast<int>(JoinOp::kIndexNLJoin)], 0);
+  EXPECT_EQ(joins[static_cast<int>(JoinOp::kNLJoin)], 3);
+}
+
+TEST_F(DpOptimizerTest, EnumerateAllStreamsEveryDpCell) {
+  DpOptimizerOptions opts;
+  opts.enable_merge_join = false;
+  opts.enable_index_nl = false;
+  opts.enable_nl_join = false;
+  DpOptimizer dp(&fixture_.schema(), &cout_, opts);
+  std::set<uint64_t> scopes;
+  int num_plans = 0;
+  double first_cost = -1;
+  auto st = dp.EnumerateAll(
+      query_, [&](const Query& q, TableSet scope, const Plan& plan,
+                  double cost) {
+        EXPECT_EQ(plan.RootTables(), scope);
+        EXPECT_GT(cost, 0);
+        scopes.insert(scope.bits());
+        num_plans++;
+        if (first_cost < 0) first_cost = cost;
+      });
+  ASSERT_TRUE(st.ok());
+  // All connected subsets of the star join appear: the fact alone, each
+  // dim alone, fact+dims combos: 4 singles + 3 pairs + 3 triples + 1 full.
+  EXPECT_EQ(scopes.size(), 11u);
+  // Far more plans than cells (suboptimal candidates are streamed too).
+  EXPECT_GT(num_plans, static_cast<int>(scopes.size()));
+}
+
+TEST_F(DpOptimizerTest, EnumerationIncludesSuboptimalPlans) {
+  DpOptimizer dp(&fixture_.schema(), &cout_);
+  double best_cost = dp.Optimize(query_)->cost;
+  bool saw_suboptimal = false;
+  auto st = dp.EnumerateAll(
+      query_, [&](const Query&, TableSet scope, const Plan&, double cost) {
+        if (scope == query_.AllTables() && cost > best_cost * 1.01) {
+          saw_suboptimal = true;
+        }
+      });
+  ASSERT_TRUE(st.ok());
+  EXPECT_TRUE(saw_suboptimal);
+}
+
+TEST_F(DpOptimizerTest, GreedyFallbackForLargeQueries) {
+  DpOptimizerOptions opts;
+  opts.max_exact_relations = 2;  // force greedy on the 4-way star
+  DpOptimizer dp(&fixture_.schema(), &cout_, opts);
+  auto best = dp.Optimize(query_);
+  ASSERT_TRUE(best.ok());
+  EXPECT_TRUE(best->plan.Validate());
+  EXPECT_EQ(best->plan.RootTables(), query_.AllTables());
+}
+
+TEST_F(DpOptimizerTest, SingleRelationQuery) {
+  QueryBuilder b(&fixture_.schema(), "single");
+  auto q = b.From("customer", "c").Filter("c.region", PredOp::kEq, 1).Build();
+  ASSERT_TRUE(q.ok());
+  q->set_id(30);
+  DpOptimizer dp(&fixture_.schema(), &cout_);
+  auto best = dp.Optimize(*q);
+  ASSERT_TRUE(best.ok());
+  EXPECT_EQ(best->plan.NumJoins(), 0);
+}
+
+}  // namespace
+}  // namespace balsa

@@ -1,0 +1,112 @@
+#include "src/harness/env.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "src/harness/runner.h"
+
+namespace balsa {
+namespace {
+
+EnvOptions Tiny() {
+  EnvOptions options;
+  options.data_scale = 0.05;
+  return options;
+}
+
+TEST(EnvTest, JobRandomSplitEnv) {
+  auto env = MakeEnv(WorkloadKind::kJobRandomSplit, Tiny());
+  ASSERT_TRUE(env.ok()) << env.status().ToString();
+  EXPECT_EQ((*env)->workload.num_queries(), 113);
+  EXPECT_EQ((*env)->workload.test_indices().size(), 19u);
+  EXPECT_EQ((*env)->ext_workload.num_queries(), 24);
+  EXPECT_EQ((*env)->schema().num_tables(), 21);
+  EXPECT_TRUE((*env)->pg_engine->options().accepts_bushy);
+  EXPECT_FALSE((*env)->commdb_engine->options().accepts_bushy);
+}
+
+TEST(EnvTest, SlowSplitHoldsOutSlowestExpertQueries) {
+  auto env = MakeEnv(WorkloadKind::kJobSlowSplit, Tiny());
+  ASSERT_TRUE(env.ok()) << env.status().ToString();
+  Env& e = **env;
+  ASSERT_EQ(e.workload.test_indices().size(), 19u);
+  // Every held-out query's expert runtime >= every training query's.
+  std::vector<const Query*> all;
+  for (const Query& q : e.workload.queries()) all.push_back(&q);
+  auto baseline =
+      ComputeExpertBaseline(*e.pg_expert, e.pg_engine.get(), all);
+  ASSERT_TRUE(baseline.ok());
+  double min_test = 1e300, max_train = 0;
+  for (int i : e.workload.test_indices()) {
+    min_test = std::min(min_test, baseline->runtimes_ms[i]);
+  }
+  for (int i : e.workload.train_indices()) {
+    max_train = std::max(max_train, baseline->runtimes_ms[i]);
+  }
+  EXPECT_GE(min_test, max_train * 0.999);
+}
+
+TEST(EnvTest, SlowestTemplateSplitIsTemplateDisjoint) {
+  auto env = MakeEnv(WorkloadKind::kJobSlowestTemplates, Tiny());
+  ASSERT_TRUE(env.ok());
+  Env& e = **env;
+  std::set<uint64_t> train_sigs, test_sigs;
+  for (int i : e.workload.train_indices()) {
+    train_sigs.insert(e.workload.query(i).TemplateSignature(e.schema()));
+  }
+  for (int i : e.workload.test_indices()) {
+    test_sigs.insert(e.workload.query(i).TemplateSignature(e.schema()));
+  }
+  for (uint64_t sig : test_sigs) {
+    EXPECT_EQ(train_sigs.count(sig), 0u);
+  }
+}
+
+TEST(EnvTest, TpchEnv) {
+  auto env = MakeEnv(WorkloadKind::kTpch, Tiny());
+  ASSERT_TRUE(env.ok()) << env.status().ToString();
+  EXPECT_EQ((*env)->workload.num_queries(), 80);
+  EXPECT_EQ((*env)->schema().num_tables(), 8);
+  EXPECT_EQ((*env)->ext_workload.num_queries(), 0);
+}
+
+TEST(EnvTest, NoisyEstimatorWiring) {
+  EnvOptions options = Tiny();
+  options.estimator_noise_factor = 5.0;
+  auto env = MakeEnv(WorkloadKind::kJobRandomSplit, options);
+  ASSERT_TRUE(env.ok());
+  const Query& q = (*env)->workload.query(0);
+  double noisy = (*env)->estimator->EstimateJoinRows(q, q.AllTables());
+  double base =
+      (*env)->base_estimator->EstimateJoinRows(q, q.AllTables());
+  EXPECT_NE(noisy, base);
+}
+
+TEST(EnvTest, ExpertBaselineIsDeterministic) {
+  auto env = MakeEnv(WorkloadKind::kJobRandomSplit, Tiny());
+  ASSERT_TRUE(env.ok());
+  Env& e = **env;
+  auto queries = e.workload.TrainQueries();
+  std::vector<const Query*> few(queries.begin(), queries.begin() + 5);
+  auto a = ComputeExpertBaseline(*e.pg_expert, e.pg_engine.get(), few);
+  auto b = ComputeExpertBaseline(*e.pg_expert, e.pg_engine.get(), few);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->total_ms, b->total_ms);
+}
+
+TEST(BenchFlagsTest, ParseAndFullMode) {
+  const char* argv[] = {"bench", "--scale=0.5", "--iters=7", "--seeds=3"};
+  BenchFlags flags = BenchFlags::Parse(4, const_cast<char**>(argv));
+  EXPECT_DOUBLE_EQ(flags.scale, 0.5);
+  EXPECT_EQ(flags.iters, 7);
+  EXPECT_EQ(flags.seeds, 3);
+  const char* argv_full[] = {"bench", "--full"};
+  BenchFlags full = BenchFlags::Parse(2, const_cast<char**>(argv_full));
+  EXPECT_TRUE(full.full);
+  EXPECT_EQ(full.iters, 100);
+  EXPECT_EQ(full.seeds, 8);
+}
+
+}  // namespace
+}  // namespace balsa

@@ -1,0 +1,168 @@
+#include "src/exec/executor.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace balsa {
+namespace {
+
+class ExecutorTest : public ::testing::Test {
+ protected:
+  ExecutorTest()
+      : fixture_(testing::MakeStarFixture()),
+        query_(testing::MakeStarQuery(fixture_.schema())),
+        executor_(fixture_.db.get()) {}
+
+  // Brute-force filtered count of relation `rel`.
+  int64_t BruteForceScanCount(int rel) {
+    const TableData& data =
+        fixture_.db->table_data(query_.relations()[rel].table_idx);
+    int64_t count = 0;
+    for (uint32_t r = 0; r < data.row_count; ++r) {
+      bool pass = true;
+      for (const FilterPredicate& f : query_.FiltersOn(rel)) {
+        pass = pass && executor_.EvalFilter(query_, f, r);
+      }
+      count += pass;
+    }
+    return count;
+  }
+
+  testing::StarFixture fixture_;
+  Query query_;
+  Executor executor_;
+};
+
+TEST_F(ExecutorTest, ScanAppliesFilters) {
+  auto scan = executor_.Scan(query_, 1);  // customer, region = 2
+  ASSERT_TRUE(scan.ok());
+  EXPECT_EQ(scan->NumRows(), BruteForceScanCount(1));
+  EXPECT_LT(scan->NumRows(),
+            fixture_.db->table_data(query_.relations()[1].table_idx)
+                .row_count);
+  EXPECT_GT(scan->NumRows(), 0);
+}
+
+TEST_F(ExecutorTest, UnfilteredScanReturnsAllRows) {
+  auto scan = executor_.Scan(query_, 0);  // sales, no filters
+  ASSERT_TRUE(scan.ok());
+  EXPECT_EQ(scan->NumRows(),
+            fixture_.db->table_data(query_.relations()[0].table_idx)
+                .row_count);
+}
+
+TEST_F(ExecutorTest, JoinMatchesBruteForce) {
+  auto sales = executor_.Scan(query_, 0);
+  auto customer = executor_.Scan(query_, 1);
+  ASSERT_TRUE(sales.ok() && customer.ok());
+  auto joined = executor_.Join(query_, *sales, *customer);
+  ASSERT_TRUE(joined.ok());
+
+  // Brute force: count sales rows whose customer_id passes customer's filter.
+  const TableData& sales_data = fixture_.db->table_data(
+      query_.relations()[0].table_idx);
+  int cust_col = fixture_.schema()
+                     .table(query_.relations()[0].table_idx)
+                     .ColumnIndex("customer_id");
+  int64_t expected = 0;
+  for (uint32_t r = 0; r < sales_data.row_count; ++r) {
+    int64_t cid = sales_data.columns[cust_col][r];
+    if (cid < 0) continue;
+    bool pass = true;
+    for (const FilterPredicate& f : query_.FiltersOn(1)) {
+      pass = pass && executor_.EvalFilter(query_, f,
+                                          static_cast<uint32_t>(cid));
+    }
+    expected += pass;
+  }
+  EXPECT_EQ(joined->NumRows(), expected);
+}
+
+TEST_F(ExecutorTest, JoinWithoutPredicateFails) {
+  auto customer = executor_.Scan(query_, 1);
+  auto product = executor_.Scan(query_, 2);
+  ASSERT_TRUE(customer.ok() && product.ok());
+  auto joined = executor_.Join(query_, *customer, *product);
+  EXPECT_FALSE(joined.ok());  // no cross products in SPJ plans
+}
+
+TEST_F(ExecutorTest, ExecutePlanEqualsStepwiseJoins) {
+  Plan plan;
+  int s = plan.AddScan(0, ScanOp::kSeqScan);
+  int c = plan.AddScan(1, ScanOp::kSeqScan);
+  int sc = plan.AddJoin(s, c, JoinOp::kHashJoin);
+  int p = plan.AddScan(2, ScanOp::kIndexScan);
+  plan.AddJoin(sc, p, JoinOp::kMergeJoin);
+
+  auto by_plan = executor_.Execute(query_, plan);
+  ASSERT_TRUE(by_plan.ok());
+
+  auto s1 = executor_.Scan(query_, 0);
+  auto s2 = executor_.Scan(query_, 1);
+  auto j1 = executor_.Join(query_, *s1, *s2);
+  auto s3 = executor_.Scan(query_, 2);
+  auto j2 = executor_.Join(query_, *j1, *s3);
+  ASSERT_TRUE(j2.ok());
+  EXPECT_EQ(by_plan->NumRows(), j2->NumRows());
+}
+
+TEST_F(ExecutorTest, PhysicalOperatorChoiceDoesNotChangeResult) {
+  // The executor measures cardinality; all join operators are equivalent.
+  for (JoinOp op : {JoinOp::kHashJoin, JoinOp::kMergeJoin, JoinOp::kNLJoin,
+                    JoinOp::kIndexNLJoin}) {
+    Plan plan;
+    int s = plan.AddScan(0, ScanOp::kSeqScan);
+    int c = plan.AddScan(1, ScanOp::kSeqScan);
+    plan.AddJoin(s, c, op);
+    auto result = executor_.Execute(query_, plan);
+    ASSERT_TRUE(result.ok());
+    static int64_t reference = -1;
+    if (reference < 0) reference = result->NumRows();
+    EXPECT_EQ(result->NumRows(), reference) << JoinOpName(op);
+  }
+}
+
+TEST_F(ExecutorTest, RowCapFlagsIntermediate) {
+  ExecutorOptions opts;
+  opts.row_cap = 10;
+  Executor capped(fixture_.db.get(), opts);
+  auto scan = capped.Scan(query_, 0);
+  ASSERT_TRUE(scan.ok());
+  EXPECT_TRUE(scan->capped);
+  EXPECT_LE(scan->NumRows(), 10 + 1);
+}
+
+TEST_F(ExecutorTest, InFilter) {
+  QueryBuilder b(&fixture_.schema(), "in_q");
+  auto q = b.From("customer", "c").FilterIn("c.region", {0, 1}).Build();
+  ASSERT_TRUE(q.ok());
+  q->set_id(77);
+  auto scan = executor_.Scan(*q, 0);
+  ASSERT_TRUE(scan.ok());
+  // Matches eq(0) + eq(1).
+  QueryBuilder b0(&fixture_.schema(), "q0");
+  auto q0 = b0.From("customer", "c").Filter("c.region", PredOp::kEq, 0).Build();
+  QueryBuilder b1(&fixture_.schema(), "q1");
+  auto q1 = b1.From("customer", "c").Filter("c.region", PredOp::kEq, 1).Build();
+  q0->set_id(78);
+  q1->set_id(79);
+  auto s0 = executor_.Scan(*q0, 0);
+  auto s1 = executor_.Scan(*q1, 0);
+  EXPECT_EQ(scan->NumRows(), s0->NumRows() + s1->NumRows());
+}
+
+TEST_F(ExecutorTest, NullsNeverMatchJoins) {
+  // person_role-style FK with nulls: verified via the star schema by
+  // filtering to negative values (none should pass an Eq filter).
+  QueryBuilder b(&fixture_.schema(), "nullq");
+  auto q = b.From("sales", "s").Filter("s.amount", PredOp::kEq, -1).Build();
+  ASSERT_TRUE(q.ok());
+  q->set_id(80);
+  auto scan = executor_.Scan(*q, 0);
+  ASSERT_TRUE(scan.ok());
+  EXPECT_EQ(scan->NumRows(), 0);
+}
+
+}  // namespace
+}  // namespace balsa

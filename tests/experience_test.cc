@@ -1,0 +1,155 @@
+#include "src/balsa/experience.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace balsa {
+namespace {
+
+Plan TwoWayPlan(JoinOp op = JoinOp::kHashJoin) {
+  Plan p;
+  int a = p.AddScan(0, ScanOp::kSeqScan);
+  int b = p.AddScan(1, ScanOp::kSeqScan);
+  p.AddJoin(a, b, op);
+  return p;
+}
+
+Plan ThreeWayPlan(JoinOp top = JoinOp::kHashJoin) {
+  Plan p;
+  int a = p.AddScan(0, ScanOp::kSeqScan);
+  int b = p.AddScan(1, ScanOp::kSeqScan);
+  int ab = p.AddJoin(a, b, JoinOp::kHashJoin);
+  int c = p.AddScan(2, ScanOp::kSeqScan);
+  p.AddJoin(ab, c, top);
+  return p;
+}
+
+Execution Exec(int query_id, Plan plan, double label, int iteration,
+               bool timed_out = false) {
+  Execution e;
+  e.query_id = query_id;
+  e.plan = std::move(plan);
+  e.label_ms = label;
+  e.iteration = iteration;
+  e.timed_out = timed_out;
+  return e;
+}
+
+TEST(ExperienceTest, VisitCounts) {
+  ExperienceBuffer buffer;
+  Plan p = TwoWayPlan();
+  EXPECT_EQ(buffer.VisitCount(1, p.Fingerprint()), 0);
+  buffer.Add(Exec(1, p, 100, 0));
+  buffer.Add(Exec(1, p, 110, 1));
+  EXPECT_EQ(buffer.VisitCount(1, p.Fingerprint()), 2);
+  // Same plan, different query: independent count.
+  EXPECT_EQ(buffer.VisitCount(2, p.Fingerprint()), 0);
+}
+
+TEST(ExperienceTest, UniquePlanCounting) {
+  ExperienceBuffer buffer;
+  buffer.Add(Exec(1, TwoWayPlan(JoinOp::kHashJoin), 100, 0));
+  buffer.Add(Exec(1, TwoWayPlan(JoinOp::kHashJoin), 90, 1));  // same plan
+  buffer.Add(Exec(1, TwoWayPlan(JoinOp::kMergeJoin), 80, 1));
+  buffer.Add(Exec(2, TwoWayPlan(JoinOp::kHashJoin), 70, 0));
+  EXPECT_EQ(buffer.NumUniquePlans(), 3u);
+}
+
+TEST(ExperienceTest, LabelCorrectionUsesBestOverBuffer) {
+  // The same subplan Join(0,1) appears in a slow and a fast execution; its
+  // corrected label is the fast one (§4.1's best-latency correction).
+  ExperienceBuffer buffer;
+  Plan slow = ThreeWayPlan(JoinOp::kNLJoin);
+  Plan fast = ThreeWayPlan(JoinOp::kHashJoin);
+  buffer.Add(Exec(1, slow, 1000, 0));
+  buffer.Add(Exec(1, fast, 100, 1));
+
+  // The shared subplan: Join(0,1) subtree (node index 2 in both plans).
+  uint64_t sub_fp = slow.Fingerprint(2);
+  ASSERT_EQ(sub_fp, fast.Fingerprint(2));
+  EXPECT_EQ(buffer.CorrectedLabel(1, sub_fp, -1), 100);
+
+  // The slow plan's root keeps its own label (it appears only once).
+  EXPECT_EQ(buffer.CorrectedLabel(1, slow.Fingerprint(), -1), 1000);
+}
+
+TEST(ExperienceTest, CorrectionIsPerQuery) {
+  ExperienceBuffer buffer;
+  buffer.Add(Exec(1, TwoWayPlan(), 500, 0));
+  buffer.Add(Exec(2, TwoWayPlan(), 50, 0));
+  uint64_t fp = TwoWayPlan().Fingerprint();
+  EXPECT_EQ(buffer.CorrectedLabel(1, fp, -1), 500);
+  EXPECT_EQ(buffer.CorrectedLabel(2, fp, -1), 50);
+}
+
+TEST(ExperienceTest, MergeCombinesEverything) {
+  ExperienceBuffer a, b;
+  a.Add(Exec(1, TwoWayPlan(JoinOp::kHashJoin), 100, 0));
+  b.Add(Exec(1, TwoWayPlan(JoinOp::kMergeJoin), 50, 0));
+  b.Add(Exec(1, TwoWayPlan(JoinOp::kHashJoin), 80, 1));
+  a.Merge(b);
+  EXPECT_EQ(a.size(), 3);
+  EXPECT_EQ(a.NumUniquePlans(), 2u);
+  EXPECT_EQ(a.VisitCount(1, TwoWayPlan(JoinOp::kHashJoin).Fingerprint()), 2);
+  // Best label across both buffers: the subplan scan(0) appeared in all
+  // three executions; min label is 50.
+  uint64_t scan_fp = TwoWayPlan().Fingerprint(0);
+  EXPECT_EQ(a.CorrectedLabel(1, scan_fp, -1), 50);
+}
+
+class ExperienceDatasetTest : public ::testing::Test {
+ protected:
+  ExperienceDatasetTest()
+      : fixture_(testing::MakeStarFixture()),
+        featurizer_(&fixture_.schema(), fixture_.estimator.get()) {
+    std::vector<Query> queries;
+    queries.push_back(testing::MakeStarQuery(fixture_.schema()));
+    workload_ = Workload("test", std::move(queries));
+  }
+
+  testing::StarFixture fixture_;
+  Featurizer featurizer_;
+  Workload workload_;
+};
+
+TEST_F(ExperienceDatasetTest, SubplanAugmentation) {
+  ExperienceBuffer buffer;
+  buffer.Add(Exec(0, ThreeWayPlan(), 200, 0));
+  auto data = buffer.BuildDataset(featurizer_, workload_);
+  // One data point per plan node (2 joins + 3 scans).
+  EXPECT_EQ(data.size(), 5u);
+  for (const TrainingPoint& pt : data) {
+    EXPECT_EQ(pt.label, 200);
+    EXPECT_EQ(pt.query.size(),
+              static_cast<size_t>(featurizer_.query_dim()));
+    EXPECT_FALSE(pt.plan.features.empty());
+  }
+}
+
+TEST_F(ExperienceDatasetTest, OnPolicyScopeFiltersIterations) {
+  ExperienceBuffer buffer;
+  buffer.Add(Exec(0, ThreeWayPlan(JoinOp::kHashJoin), 200, 0));
+  buffer.Add(Exec(0, ThreeWayPlan(JoinOp::kMergeJoin), 150, 1));
+  auto all = buffer.BuildDataset(featurizer_, workload_, -1);
+  auto latest = buffer.BuildDataset(featurizer_, workload_, 1);
+  EXPECT_EQ(all.size(), 10u);
+  EXPECT_EQ(latest.size(), 5u);
+}
+
+TEST_F(ExperienceDatasetTest, LabelsAreCorrectedInDataset) {
+  ExperienceBuffer buffer;
+  buffer.Add(Exec(0, ThreeWayPlan(JoinOp::kNLJoin), 1000, 0));
+  buffer.Add(Exec(0, ThreeWayPlan(JoinOp::kHashJoin), 100, 1));
+  // Build only iteration 0's data: its shared subplans should already use
+  // the better label discovered at iteration 1 (correction spans the
+  // whole buffer even under on-policy scoping).
+  auto data = buffer.BuildDataset(featurizer_, workload_, 0);
+  ASSERT_EQ(data.size(), 5u);
+  int corrected = 0;
+  for (const TrainingPoint& pt : data) corrected += pt.label == 100;
+  EXPECT_EQ(corrected, 4);  // all shared subplans; only the root differs
+}
+
+}  // namespace
+}  // namespace balsa

@@ -1,0 +1,40 @@
+#include "src/util/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace balsa {
+namespace {
+
+TEST(LoggingTest, LevelRoundTrip) {
+  LogLevel before = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(before);
+}
+
+TEST(LoggingTest, MacroCompilesForAllLevels) {
+  LogLevel before = GetLogLevel();
+  SetLogLevel(LogLevel::kError);  // suppress output during tests
+  BALSA_LOG(kDebug, "debug %d", 1);
+  BALSA_LOG(kInfo, "info %s", "x");
+  BALSA_LOG(kWarn, "warn %f", 1.5);
+  SetLogLevel(before);
+}
+
+TEST(LoggingTest, FormatV) {
+  EXPECT_EQ(internal::FormatV("%d-%s", 7, "ok"), "7-ok");
+  EXPECT_EQ(internal::FormatV("plain"), "plain");
+}
+
+TEST(LoggingDeathTest, CheckAbortsOnFailure) {
+  EXPECT_DEATH(BALSA_CHECK(false, "boom"), "boom");
+}
+
+TEST(LoggingTest, CheckPassesOnSuccess) {
+  BALSA_CHECK(true, "never printed");
+}
+
+}  // namespace
+}  // namespace balsa

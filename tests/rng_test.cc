@@ -1,0 +1,114 @@
+#include "src/util/rng.h"
+
+#include <gtest/gtest.h>
+
+namespace balsa {
+namespace {
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(7), b(7), c(8);
+  for (int i = 0; i < 100; ++i) {
+    uint64_t va = a.Next();
+    EXPECT_EQ(va, b.Next());
+    (void)c.Next();
+  }
+  Rng a2(7), c2(8);
+  EXPECT_NE(a2.Next(), c2.Next());
+}
+
+TEST(RngTest, UniformDoubleInRange) {
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    double u = rng.UniformDouble();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformIntCoversInclusiveRange) {
+  Rng rng(2);
+  bool hit_lo = false, hit_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    int64_t v = rng.UniformInt(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+    hit_lo |= v == 3;
+    hit_hi |= v == 7;
+  }
+  EXPECT_TRUE(hit_lo);
+  EXPECT_TRUE(hit_hi);
+}
+
+TEST(RngTest, NormalMomentsApproximatelyStandard) {
+  Rng rng(3);
+  double sum = 0, sq = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    double x = rng.Normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(4);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(RngTest, CategoricalProportions) {
+  Rng rng(5);
+  std::vector<double> weights{1.0, 3.0};
+  int ones = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) ones += rng.Categorical(weights) == 1;
+  EXPECT_NEAR(static_cast<double>(ones) / n, 0.75, 0.02);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(6);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+  auto sorted = v;
+  rng.Shuffle(&v);
+  auto shuffled_sorted = v;
+  std::sort(shuffled_sorted.begin(), shuffled_sorted.end());
+  EXPECT_EQ(shuffled_sorted, sorted);
+}
+
+TEST(ZipfTest, UniformWhenSkewZero) {
+  ZipfGenerator zipf(10, 0.0);
+  Rng rng(7);
+  std::vector<int> counts(10, 0);
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) counts[zipf.Sample(&rng)]++;
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / n, 0.1, 0.02);
+  }
+}
+
+TEST(ZipfTest, SkewConcentratesOnLowRanks) {
+  ZipfGenerator zipf(1000, 1.2);
+  Rng rng(8);
+  int rank0 = 0, tail = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    uint64_t v = zipf.Sample(&rng);
+    rank0 += v == 0;
+    tail += v >= 500;
+  }
+  EXPECT_GT(rank0, n / 20);  // rank 0 is very common
+  EXPECT_LT(tail, n / 10);   // the tail is rare
+}
+
+TEST(ZipfTest, SamplesAlwaysInDomain) {
+  ZipfGenerator zipf(17, 0.9);
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(zipf.Sample(&rng), 17u);
+}
+
+}  // namespace
+}  // namespace balsa

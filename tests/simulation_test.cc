@@ -1,0 +1,112 @@
+#include "src/balsa/simulation.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace balsa {
+namespace {
+
+class SimulationTest : public ::testing::Test {
+ protected:
+  SimulationTest()
+      : fixture_(testing::MakeStarFixture()),
+        query_(testing::MakeStarQuery(fixture_.schema())),
+        featurizer_(&fixture_.schema(), fixture_.estimator.get()),
+        cout_(fixture_.estimator, &fixture_.schema()) {}
+
+  testing::StarFixture fixture_;
+  Query query_;
+  Featurizer featurizer_;
+  CoutCostModel cout_;
+};
+
+TEST_F(SimulationTest, CollectsAugmentedPoints) {
+  SimulationOptions options;
+  options.max_points_per_query = 0;  // unlimited
+  SimulationStats stats;
+  auto data = CollectSimulationData({&query_}, fixture_.schema(), cout_,
+                                    featurizer_, options, &stats);
+  ASSERT_TRUE(data.ok()) << data.status().ToString();
+  EXPECT_GT(data->size(), 0u);
+  EXPECT_EQ(stats.num_points, data->size());
+  EXPECT_EQ(stats.num_queries_used, 1);
+  // Augmentation multiplies enumerated plans into more points.
+  EXPECT_GT(stats.num_points, stats.num_enumerated_plans);
+  for (const TrainingPoint& pt : *data) {
+    EXPECT_GT(pt.label, 0);
+    EXPECT_EQ(pt.query.size(), static_cast<size_t>(featurizer_.query_dim()));
+  }
+}
+
+TEST_F(SimulationTest, ReservoirCapsPerQuery) {
+  SimulationOptions options;
+  options.max_points_per_query = 50;
+  auto data = CollectSimulationData({&query_}, fixture_.schema(), cout_,
+                                    featurizer_, options);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->size(), 50u);
+}
+
+TEST_F(SimulationTest, SkipsLargeQueries) {
+  SimulationOptions options;
+  options.skip_queries_with_relations_ge = 4;  // the star query has 4
+  SimulationStats stats;
+  auto data = CollectSimulationData({&query_}, fixture_.schema(), cout_,
+                                    featurizer_, options, &stats);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(stats.num_queries_skipped, 1);
+  EXPECT_TRUE(data->empty());
+}
+
+TEST_F(SimulationTest, CanonicalOperatorsReduceEnumeration) {
+  SimulationOptions canonical;
+  canonical.max_points_per_query = 0;
+  SimulationStats stats_canonical;
+  ASSERT_TRUE(CollectSimulationData({&query_}, fixture_.schema(), cout_,
+                                    featurizer_, canonical, &stats_canonical)
+                  .ok());
+  SimulationOptions physical = canonical;
+  physical.canonical_operators_only = false;
+  SimulationStats stats_physical;
+  ASSERT_TRUE(CollectSimulationData({&query_}, fixture_.schema(), cout_,
+                                    featurizer_, physical, &stats_physical)
+                  .ok());
+  EXPECT_LT(stats_canonical.num_enumerated_plans,
+            stats_physical.num_enumerated_plans);
+}
+
+TEST_F(SimulationTest, ScopedQueryFeaturesRestrictTables) {
+  SimulationOptions options;
+  options.max_points_per_query = 0;
+  auto data = CollectSimulationData({&query_}, fixture_.schema(), cout_,
+                                    featurizer_, options);
+  ASSERT_TRUE(data.ok());
+  // Some points must have scoped (partial) query features: at least one
+  // table slot zero while others are set.
+  bool found_scoped = false;
+  for (const TrainingPoint& pt : *data) {
+    int nonzero = 0;
+    for (float v : pt.query) nonzero += v != 0.f;
+    if (nonzero > 0 && nonzero < 4) found_scoped = true;
+  }
+  EXPECT_TRUE(found_scoped);
+}
+
+TEST_F(SimulationTest, DeterministicForSeed) {
+  SimulationOptions options;
+  options.max_points_per_query = 100;
+  options.seed = 9;
+  auto a = CollectSimulationData({&query_}, fixture_.schema(), cout_,
+                                 featurizer_, options);
+  auto b = CollectSimulationData({&query_}, fixture_.schema(), cout_,
+                                 featurizer_, options);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a->size(), b->size());
+  for (size_t i = 0; i < a->size(); ++i) {
+    EXPECT_EQ((*a)[i].label, (*b)[i].label);
+  }
+}
+
+}  // namespace
+}  // namespace balsa

@@ -1,0 +1,50 @@
+#include "src/util/stats_util.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/table_printer.h"
+
+namespace balsa {
+namespace {
+
+TEST(StatsUtilTest, MedianOddEven) {
+  EXPECT_DOUBLE_EQ(Median({3, 1, 2}), 2);
+  EXPECT_DOUBLE_EQ(Median({4, 1, 2, 3}), 2.5);
+  EXPECT_DOUBLE_EQ(Median({}), 0);
+  EXPECT_DOUBLE_EQ(Median({7}), 7);
+}
+
+TEST(StatsUtilTest, MeanAndStdDev) {
+  EXPECT_DOUBLE_EQ(Mean({2, 4, 6}), 4);
+  EXPECT_DOUBLE_EQ(Mean({}), 0);
+  EXPECT_NEAR(StdDev({2, 4, 6}), 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(StdDev({5}), 0);
+}
+
+TEST(StatsUtilTest, MinMax) {
+  EXPECT_DOUBLE_EQ(Min({3, 1, 2}), 1);
+  EXPECT_DOUBLE_EQ(Max({3, 1, 2}), 3);
+  EXPECT_DOUBLE_EQ(Min({}), 0);
+  EXPECT_DOUBLE_EQ(Max({}), 0);
+}
+
+TEST(StatsUtilTest, PercentileInterpolates) {
+  std::vector<double> v{10, 20, 30, 40, 50};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0), 10);
+  EXPECT_DOUBLE_EQ(Percentile(v, 100), 50);
+  EXPECT_DOUBLE_EQ(Percentile(v, 50), 30);
+  EXPECT_DOUBLE_EQ(Percentile(v, 25), 20);
+  EXPECT_DOUBLE_EQ(Percentile(v, 62.5), 35);  // between 30 and 40
+}
+
+TEST(StatsUtilTest, PercentileUnsortedInput) {
+  EXPECT_DOUBLE_EQ(Percentile({50, 10, 30, 20, 40}, 50), 30);
+}
+
+TEST(TablePrinterTest, FmtPrecision) {
+  EXPECT_EQ(TablePrinter::Fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::Fmt(2.0, 0), "2");
+}
+
+}  // namespace
+}  // namespace balsa

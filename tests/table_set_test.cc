@@ -1,0 +1,93 @@
+#include "src/util/table_set.h"
+
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace balsa {
+namespace {
+
+TEST(TableSetTest, EmptyAndSingle) {
+  TableSet empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(empty.size(), 0);
+
+  TableSet s = TableSet::Single(5);
+  EXPECT_FALSE(s.empty());
+  EXPECT_EQ(s.size(), 1);
+  EXPECT_TRUE(s.Contains(5));
+  EXPECT_FALSE(s.Contains(4));
+  EXPECT_EQ(s.First(), 5);
+}
+
+TEST(TableSetTest, FirstN) {
+  EXPECT_EQ(TableSet::FirstN(0).size(), 0);
+  EXPECT_EQ(TableSet::FirstN(3).size(), 3);
+  EXPECT_EQ(TableSet::FirstN(64).size(), 64);
+  EXPECT_TRUE(TableSet::FirstN(17).Contains(16));
+  EXPECT_FALSE(TableSet::FirstN(17).Contains(17));
+}
+
+TEST(TableSetTest, SetAlgebra) {
+  TableSet a = TableSet::Single(1).With(3).With(5);
+  TableSet b = TableSet::Single(3).With(7);
+  EXPECT_EQ(a.Union(b).size(), 4);
+  EXPECT_EQ(a.Intersect(b), TableSet::Single(3));
+  EXPECT_EQ(a.Minus(b), TableSet::Single(1).With(5));
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_FALSE(a.Intersects(TableSet::Single(0)));
+  EXPECT_TRUE(a.ContainsAll(TableSet::Single(1).With(5)));
+  EXPECT_FALSE(a.ContainsAll(b));
+  EXPECT_EQ(a.Without(3), TableSet::Single(1).With(5));
+  EXPECT_EQ(a.Without(2), a);  // removing a non-member is a no-op
+}
+
+TEST(TableSetTest, IterationMatchesToVector) {
+  TableSet s = TableSet::Single(0).With(7).With(63);
+  std::vector<int> from_iter;
+  for (int t : s) from_iter.push_back(t);
+  EXPECT_EQ(from_iter, s.ToVector());
+  EXPECT_EQ(from_iter, (std::vector<int>{0, 7, 63}));
+}
+
+TEST(TableSetTest, ToString) {
+  EXPECT_EQ(TableSet().ToString(), "{}");
+  EXPECT_EQ(TableSet::Single(2).With(4).ToString(), "{2,4}");
+}
+
+TEST(TableSetTest, ProperSubsetEnumeration) {
+  TableSet s = TableSet::Single(1).With(4).With(9);
+  std::set<uint64_t> seen;
+  ForEachProperSubset(s, [&](TableSet sub) {
+    EXPECT_TRUE(s.ContainsAll(sub));
+    EXPECT_NE(sub, s);
+    EXPECT_FALSE(sub.empty());
+    seen.insert(sub.bits());
+  });
+  // 2^3 - 2 proper non-empty subsets.
+  EXPECT_EQ(seen.size(), 6u);
+}
+
+class TableSetSizeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TableSetSizeTest, SubsetCountIsTwoToNMinusTwo) {
+  int n = GetParam();
+  TableSet s = TableSet::FirstN(n);
+  int count = 0;
+  ForEachProperSubset(s, [&](TableSet) { count++; });
+  EXPECT_EQ(count, (1 << n) - 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TableSetSizeTest,
+                         ::testing::Values(2, 3, 5, 8, 12));
+
+TEST(TableSetTest, HashDistinguishesSets) {
+  TableSetHash hash;
+  std::set<size_t> hashes;
+  for (int i = 0; i < 64; ++i) hashes.insert(hash(TableSet::Single(i)));
+  EXPECT_EQ(hashes.size(), 64u);
+}
+
+}  // namespace
+}  // namespace balsa

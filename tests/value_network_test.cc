@@ -1,0 +1,165 @@
+#include "src/model/value_network.h"
+
+#include <gtest/gtest.h>
+
+namespace balsa {
+namespace {
+
+ValueNetConfig SmallConfig() {
+  ValueNetConfig config;
+  config.query_dim = 4;
+  config.node_dim = 6;
+  config.tree_hidden1 = 16;
+  config.tree_hidden2 = 8;
+  config.mlp_hidden = 8;
+  config.init_seed = 7;
+  return config;
+}
+
+nn::TreeSample Leaf(int node_dim, float fill) {
+  nn::TreeSample t;
+  t.features = {nn::Vec(static_cast<size_t>(node_dim), fill)};
+  t.left = {-1};
+  t.right = {-1};
+  return t;
+}
+
+nn::TreeSample Join(int node_dim, float a, float b) {
+  nn::TreeSample t;
+  t.features = {nn::Vec(static_cast<size_t>(node_dim), 0.5f),
+                nn::Vec(static_cast<size_t>(node_dim), a),
+                nn::Vec(static_cast<size_t>(node_dim), b)};
+  t.left = {1, -1, -1};
+  t.right = {2, -1, -1};
+  return t;
+}
+
+TEST(ValueNetworkTest, PredictIsDeterministic) {
+  ValueNetwork net(SmallConfig());
+  nn::Vec q(4, 0.2f);
+  auto plan = Join(6, 0.1f, 0.9f);
+  EXPECT_EQ(net.Predict(q, plan), net.Predict(q, plan));
+}
+
+TEST(ValueNetworkTest, PredictionsNonNegativeUnderLogTransform) {
+  ValueNetwork net(SmallConfig());
+  nn::Vec q(4, 0.2f);
+  // expm1 of any finite output >= -1; labels are latencies >= 0, so the
+  // inverse transform keeps predictions above -1.
+  EXPECT_GT(net.Predict(q, Leaf(6, -3.f)), -1.0);
+}
+
+TEST(ValueNetworkTest, OverfitsTinyDataset) {
+  ValueNetwork net(SmallConfig());
+  std::vector<TrainingPoint> data;
+  for (int i = 0; i < 8; ++i) {
+    TrainingPoint pt;
+    pt.query = nn::Vec(4, static_cast<float>(i) / 8.f);
+    pt.plan = Join(6, static_cast<float>(i % 3), 0.4f);
+    pt.label = 10.0 + 100.0 * i;
+    data.push_back(std::move(pt));
+  }
+  ValueNetwork::TrainOptions opts;
+  opts.max_epochs = 400;
+  opts.val_fraction = 0;  // train on everything; no early stop
+  opts.batch_size = 8;
+  opts.lr = 5e-3;
+  auto result = net.Train(data, opts);
+  EXPECT_EQ(result.epochs_run, 400);
+  // Predictions land within 30% of labels on this trivially small set.
+  for (const TrainingPoint& pt : data) {
+    double pred = net.Predict(pt.query, pt.plan);
+    EXPECT_NEAR(pred, pt.label, pt.label * 0.3 + 10)
+        << "label " << pt.label;
+  }
+}
+
+TEST(ValueNetworkTest, EarlyStoppingHaltsBeforeMaxEpochs) {
+  ValueNetwork net(SmallConfig());
+  // Pure noise labels: validation loss cannot improve for long.
+  std::vector<TrainingPoint> data;
+  Rng rng(3);
+  for (int i = 0; i < 60; ++i) {
+    TrainingPoint pt;
+    pt.query = nn::Vec(4, static_cast<float>(rng.UniformDouble()));
+    pt.plan = Leaf(6, static_cast<float>(rng.UniformDouble()));
+    pt.label = rng.UniformDouble() * 1000;
+    data.push_back(std::move(pt));
+  }
+  ValueNetwork::TrainOptions opts;
+  opts.max_epochs = 500;
+  opts.patience = 2;
+  auto result = net.Train(data, opts);
+  EXPECT_LT(result.epochs_run, 500);
+}
+
+TEST(ValueNetworkTest, SgdSampleAccounting) {
+  ValueNetwork net(SmallConfig());
+  std::vector<TrainingPoint> data(10);
+  for (auto& pt : data) {
+    pt.query = nn::Vec(4, 0.1f);
+    pt.plan = Leaf(6, 0.2f);
+    pt.label = 5;
+  }
+  ValueNetwork::TrainOptions opts;
+  opts.max_epochs = 3;
+  opts.val_fraction = 0;
+  opts.patience = 1000;
+  auto result = net.Train(data, opts);
+  EXPECT_EQ(result.sgd_samples, 3 * 10);
+}
+
+TEST(ValueNetworkTest, CopyWeightsMakesPredictionsAgree) {
+  ValueNetwork a(SmallConfig());
+  ValueNetConfig cfg = SmallConfig();
+  cfg.init_seed = 99;
+  ValueNetwork b(cfg);
+  nn::Vec q(4, 0.3f);
+  auto plan = Join(6, 0.2f, 0.8f);
+  EXPECT_NE(a.Predict(q, plan), b.Predict(q, plan));
+  ASSERT_TRUE(b.CopyWeightsFrom(a).ok());
+  EXPECT_EQ(a.Predict(q, plan), b.Predict(q, plan));
+}
+
+TEST(ValueNetworkTest, InitWeightsChangesPredictions) {
+  ValueNetwork net(SmallConfig());
+  nn::Vec q(4, 0.3f);
+  auto plan = Join(6, 0.2f, 0.8f);
+  double before = net.Predict(q, plan);
+  net.InitWeights(12345);
+  EXPECT_NE(net.Predict(q, plan), before);
+}
+
+TEST(ValueNetworkTest, SaveLoadRoundTrip) {
+  ValueNetwork a(SmallConfig());
+  ValueNetConfig cfg = SmallConfig();
+  cfg.init_seed = 55;
+  ValueNetwork b(cfg);
+  std::string path = ::testing::TempDir() + "/value_net.bin";
+  ASSERT_TRUE(a.Save(path).ok());
+  ASSERT_TRUE(b.Load(path).ok());
+  nn::Vec q(4, 0.4f);
+  auto plan = Join(6, 0.7f, 0.1f);
+  EXPECT_EQ(a.Predict(q, plan), b.Predict(q, plan));
+}
+
+TEST(ValueNetworkTest, RawLabelSpaceSupported) {
+  ValueNetConfig cfg = SmallConfig();
+  cfg.log_transform = false;
+  ValueNetwork net(cfg);
+  std::vector<TrainingPoint> data(12);
+  for (auto& pt : data) {
+    pt.query = nn::Vec(4, 0.1f);
+    pt.plan = Leaf(6, 0.2f);
+    pt.label = 7.0;
+  }
+  ValueNetwork::TrainOptions opts;
+  opts.max_epochs = 200;
+  opts.val_fraction = 0;
+  opts.lr = 5e-3;
+  net.Train(data, opts);
+  EXPECT_NEAR(net.Predict(data[0].query, data[0].plan), 7.0, 1.0);
+}
+
+}  // namespace
+}  // namespace balsa

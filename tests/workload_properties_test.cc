@@ -1,0 +1,103 @@
+// Property sweeps over the generated JOB-like workload on a tiny database:
+// every query must survive estimation, random planning, DP optimization,
+// and execution, and the executor's result cardinality must be invariant to
+// plan shape. These invariants are what the learning loop silently relies
+// on for all 113 queries.
+#include <gtest/gtest.h>
+
+#include "src/baselines/random_planner.h"
+#include "src/harness/env.h"
+#include "src/util/logging.h"
+
+namespace balsa {
+namespace {
+
+Env& SharedEnv() {
+  static Env* env = [] {
+    EnvOptions options;
+    options.data_scale = 0.03;  // tiny: property sweeps visit many queries
+    auto result = MakeEnv(WorkloadKind::kJobRandomSplit, options);
+    BALSA_CHECK(result.ok(), result.status().ToString());
+    return result->release();
+  }();
+  return *env;
+}
+
+class QueryPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(QueryPropertyTest, EstimatesFiniteAndPositive) {
+  Env& env = SharedEnv();
+  const Query& q = env.workload.query(GetParam());
+  for (int rel = 0; rel < q.num_relations(); ++rel) {
+    double rows = env.estimator->EstimateScanRows(q, rel);
+    EXPECT_GE(rows, 0) << q.name();
+    double sel = env.estimator->EstimateSelectivity(q, rel);
+    EXPECT_GE(sel, 0);
+    EXPECT_LE(sel, 1.0 + 1e-9);
+  }
+  double joined = env.estimator->EstimateJoinRows(q, q.AllTables());
+  EXPECT_TRUE(std::isfinite(joined)) << q.name();
+  EXPECT_GE(joined, 0);
+}
+
+TEST_P(QueryPropertyTest, RandomAndExpertPlansExecuteToSameCardinality) {
+  Env& env = SharedEnv();
+  const Query& q = env.workload.query(GetParam());
+  auto expert = env.pg_expert->Optimize(q);
+  ASSERT_TRUE(expert.ok()) << q.name();
+  RandomPlanner random(&env.schema());
+  Rng rng(GetParam());
+  auto rnd = random.Sample(q, &rng);
+  ASSERT_TRUE(rnd.ok()) << q.name();
+
+  auto cards_a = env.oracle->PlanCardinalities(q, expert->plan);
+  auto cards_b = env.oracle->PlanCardinalities(q, *rnd);
+  ASSERT_TRUE(cards_a.ok() && cards_b.ok()) << q.name();
+  // Root cardinality is plan-shape invariant (unless capped).
+  if (!cards_a->at(expert->plan.root()).capped &&
+      !cards_b->at(rnd->root()).capped) {
+    EXPECT_EQ(cards_a->at(expert->plan.root()).rows,
+              cards_b->at(rnd->root()).rows)
+        << q.name();
+  }
+}
+
+TEST_P(QueryPropertyTest, ExpertPlanIsValidAndExecutable) {
+  Env& env = SharedEnv();
+  const Query& q = env.workload.query(GetParam());
+  auto expert = env.pg_expert->Optimize(q);
+  ASSERT_TRUE(expert.ok()) << q.name();
+  EXPECT_TRUE(expert->plan.Validate()) << q.name();
+  auto latency = env.pg_engine->NoiselessLatency(q, expert->plan);
+  ASSERT_TRUE(latency.ok()) << q.name();
+  EXPECT_GT(*latency, 0);
+
+  // The CommDB expert must emit left-deep plans its engine accepts.
+  auto commdb = env.commdb_expert->Optimize(q);
+  ASSERT_TRUE(commdb.ok()) << q.name();
+  EXPECT_TRUE(env.commdb_engine->AcceptsPlan(commdb->plan)) << q.name();
+}
+
+// Sweep a representative sample: all sizes appear (every 7th query).
+INSTANTIATE_TEST_SUITE_P(JobSample, QueryPropertyTest,
+                         ::testing::Range(0, 113, 5));
+
+TEST(WorkloadPropertyTest, EveryQueryIdMatchesIndex) {
+  Env& env = SharedEnv();
+  for (int i = 0; i < env.workload.num_queries(); ++i) {
+    EXPECT_EQ(env.workload.query(i).id(), i);
+  }
+}
+
+TEST(WorkloadPropertyTest, ExtJobQueriesEstimateAndPlan) {
+  Env& env = SharedEnv();
+  for (const Query& q : env.ext_workload.queries()) {
+    auto expert = env.pg_expert->Optimize(q);
+    ASSERT_TRUE(expert.ok()) << q.name();
+    auto latency = env.pg_engine->NoiselessLatency(q, expert->plan);
+    EXPECT_TRUE(latency.ok()) << q.name();
+  }
+}
+
+}  // namespace
+}  // namespace balsa

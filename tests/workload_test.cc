@@ -1,0 +1,182 @@
+#include "src/workloads/workload.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "src/util/logging.h"
+#include "src/workloads/imdb_like.h"
+#include "src/workloads/job_workload.h"
+#include "src/workloads/tpch_like.h"
+
+namespace balsa {
+namespace {
+
+class JobWorkloadTest : public ::testing::Test {
+ protected:
+  JobWorkloadTest() {
+    auto schema = BuildImdbLikeSchema();
+    BALSA_CHECK(schema.ok(), "schema");
+    schema_ = std::move(schema).value();
+    auto workload = GenerateJobWorkload(schema_);
+    BALSA_CHECK(workload.ok(), "workload");
+    workload_ = std::move(workload).value();
+  }
+
+  Schema schema_;
+  Workload workload_;
+};
+
+TEST_F(JobWorkloadTest, Has113Queries) {
+  EXPECT_EQ(workload_.num_queries(), 113);
+}
+
+TEST_F(JobWorkloadTest, QueriesAssignedSequentialIds) {
+  for (int i = 0; i < workload_.num_queries(); ++i) {
+    EXPECT_EQ(workload_.query(i).id(), i);
+  }
+}
+
+TEST_F(JobWorkloadTest, JoinCountsMatchPaperRange) {
+  int total_joins = 0;
+  for (const Query& q : workload_.queries()) {
+    int joins = q.num_relations() - 1;  // connected SPJ
+    EXPECT_GE(joins, 2);
+    EXPECT_LE(joins, 16);
+    total_joins += joins;
+    EXPECT_TRUE(q.IsConnected(q.AllTables())) << q.name();
+  }
+  double avg = static_cast<double>(total_joins) / workload_.num_queries();
+  // JOB averages ~8 joins per query.
+  EXPECT_GT(avg, 5.0);
+  EXPECT_LT(avg, 10.0);
+}
+
+TEST_F(JobWorkloadTest, Has33Templates) {
+  std::set<uint64_t> signatures;
+  for (const Query& q : workload_.queries()) {
+    signatures.insert(q.TemplateSignature(schema_));
+  }
+  EXPECT_EQ(signatures.size(), 33u);
+}
+
+TEST_F(JobWorkloadTest, VariantsDifferInFiltersNotJoins) {
+  // q1a and q1b share a template signature but not filter constants.
+  const Query& a = workload_.query(0);
+  const Query& b = workload_.query(1);
+  EXPECT_EQ(a.TemplateSignature(schema_), b.TemplateSignature(schema_));
+  EXPECT_EQ(a.joins().size(), b.joins().size());
+}
+
+TEST_F(JobWorkloadTest, RandomSplitPartitions) {
+  ASSERT_TRUE(workload_.RandomSplit(19, 1).ok());
+  EXPECT_EQ(workload_.test_indices().size(), 19u);
+  EXPECT_EQ(workload_.train_indices().size(), 94u);
+  std::set<int> all;
+  for (int i : workload_.train_indices()) all.insert(i);
+  for (int i : workload_.test_indices()) all.insert(i);
+  EXPECT_EQ(all.size(), 113u);
+}
+
+TEST_F(JobWorkloadTest, SlowSplitTakesSlowest) {
+  std::vector<double> runtimes(113, 1.0);
+  runtimes[5] = 100;
+  runtimes[50] = 90;
+  runtimes[112] = 80;
+  ASSERT_TRUE(workload_.SlowSplit(3, runtimes).ok());
+  EXPECT_EQ(workload_.test_indices(), (std::vector<int>{5, 50, 112}));
+}
+
+TEST_F(JobWorkloadTest, SlowestTemplateSplitHoldsOutWholeTemplates) {
+  std::vector<double> runtimes(113, 1.0);
+  runtimes[0] = 1000;  // template q1 becomes the slowest
+  ASSERT_TRUE(workload_.SlowestTemplateSplit(2, runtimes, schema_).ok());
+  // All q1 variants (4) are held out together.
+  ASSERT_GE(workload_.test_indices().size(), 4u);
+  uint64_t sig = workload_.query(0).TemplateSignature(schema_);
+  int with_sig = 0;
+  for (int i : workload_.test_indices()) {
+    with_sig += workload_.query(i).TemplateSignature(schema_) == sig;
+  }
+  EXPECT_EQ(with_sig, 4);
+}
+
+TEST_F(JobWorkloadTest, SplitRejectsOverlap) {
+  EXPECT_FALSE(workload_.SetSplit({0, 1}, {1, 2}).ok());
+  EXPECT_FALSE(workload_.SetSplit({0, 200}, {}).ok());
+}
+
+TEST_F(JobWorkloadTest, ExtJobTemplatesAreDisjointFromJob) {
+  auto ext = GenerateExtJobWorkload(schema_);
+  ASSERT_TRUE(ext.ok());
+  EXPECT_EQ(ext->num_queries(), 24);
+  std::set<uint64_t> job_sigs, ext_sigs;
+  for (const Query& q : workload_.queries()) {
+    job_sigs.insert(q.TemplateSignature(schema_));
+  }
+  for (const Query& q : ext->queries()) {
+    ext_sigs.insert(q.TemplateSignature(schema_));
+    EXPECT_GE(q.num_relations(), 3);
+    EXPECT_LE(q.num_relations() - 1, 10);  // 2-10 joins (§8.5)
+  }
+  EXPECT_EQ(ext_sigs.size(), 12u);
+  for (uint64_t sig : ext_sigs) {
+    EXPECT_EQ(job_sigs.count(sig), 0u) << "Ext-JOB template found in JOB";
+  }
+}
+
+TEST_F(JobWorkloadTest, DeterministicForSeed) {
+  auto again = GenerateJobWorkload(schema_);
+  ASSERT_TRUE(again.ok());
+  for (int i = 0; i < workload_.num_queries(); ++i) {
+    EXPECT_EQ(workload_.query(i).name(), again->query(i).name());
+    ASSERT_EQ(workload_.query(i).filters().size(),
+              again->query(i).filters().size());
+    for (size_t f = 0; f < workload_.query(i).filters().size(); ++f) {
+      EXPECT_EQ(workload_.query(i).filters()[f].value,
+                again->query(i).filters()[f].value);
+    }
+  }
+}
+
+TEST(TpchWorkloadTest, TemplateSplitMatchesPaper) {
+  auto schema = BuildTpchLikeSchema();
+  ASSERT_TRUE(schema.ok());
+  auto workload = GenerateTpchWorkload(*schema);
+  ASSERT_TRUE(workload.ok());
+  EXPECT_EQ(workload->num_queries(), 80);
+  EXPECT_EQ(workload->train_indices().size(), 70u);  // 7 templates x 10
+  EXPECT_EQ(workload->test_indices().size(), 10u);   // template 10
+  // All test queries share the q10 template.
+  std::set<uint64_t> test_sigs;
+  for (int i : workload->test_indices()) {
+    test_sigs.insert(workload->query(i).TemplateSignature(*schema));
+  }
+  EXPECT_EQ(test_sigs.size(), 1u);
+}
+
+TEST(TpchWorkloadTest, FewerJoinsThanJob) {
+  auto schema = BuildTpchLikeSchema();
+  auto workload = GenerateTpchWorkload(*schema);
+  ASSERT_TRUE(workload.ok());
+  for (const Query& q : workload->queries()) {
+    EXPECT_LE(q.num_relations(), 8);  // TPC-H has much fewer joins (§8.2)
+  }
+}
+
+TEST(ImdbSchemaTest, TwentyOneTablesWithFks) {
+  auto schema = BuildImdbLikeSchema();
+  ASSERT_TRUE(schema.ok());
+  EXPECT_EQ(schema->num_tables(), 21);
+  EXPECT_GE(schema->foreign_keys().size(), 20u);
+  // Spot-check an FK edge used by every JOB query family.
+  EXPECT_TRUE(schema->IsForeignKeyJoin("movie_companies", "movie_id",
+                                       "title", "id"));
+  EXPECT_TRUE(
+      schema->IsForeignKeyJoin("title", "id", "movie_companies", "movie_id"));
+  EXPECT_FALSE(
+      schema->IsForeignKeyJoin("title", "id", "company_name", "id"));
+}
+
+}  // namespace
+}  // namespace balsa
