@@ -1,0 +1,21 @@
+# Helper for declaring one static library per src/ subsystem.
+#
+#   balsa_add_library(<name>
+#     SOURCES <files...>     # .cc files, relative to the calling directory
+#     HEADERS <files...>     # public headers, listed for IDEs/installs
+#     DEPS <subsystems...>)  # lower-layer subsystems this one may include
+#
+# The target is named balsa_<name>. DEPS are PUBLIC so include paths and
+# transitive link requirements flow upward, but the layering itself is
+# enforced by review: a subsystem's CMakeLists.txt may only name DEPS from
+# strictly lower layers (see the DAG in the top-level CMakeLists.txt).
+function(balsa_add_library name)
+  cmake_parse_arguments(ARG "" "" "SOURCES;HEADERS;DEPS" ${ARGN})
+  if(NOT ARG_SOURCES)
+    message(FATAL_ERROR "balsa_add_library(${name}) needs SOURCES")
+  endif()
+  add_library(balsa_${name} STATIC ${ARG_SOURCES} ${ARG_HEADERS})
+  foreach(dep IN LISTS ARG_DEPS)
+    target_link_libraries(balsa_${name} PUBLIC balsa_${dep})
+  endforeach()
+endfunction()

@@ -1,0 +1,20 @@
+#!/usr/bin/env sh
+# Runs every paper-reproduction bench binary in build/bench/ sequentially.
+# Usage: scripts/run_benches.sh [build_dir]   (default: build)
+set -eu
+
+build_dir=${1:-build}
+if [ ! -d "$build_dir/bench" ]; then
+  echo "error: $build_dir/bench not found; build first:" >&2
+  echo "  cmake -B $build_dir -S . && cmake --build $build_dir -j" >&2
+  exit 1
+fi
+
+# Binaries share build/bench/ with CMake's own files (CMakeFiles/, Makefile);
+# keep only executable regular files.
+for bin in "$build_dir"/bench/*; do
+  [ -f "$bin" ] && [ -x "$bin" ] || continue
+  echo "==> $(basename "$bin")"
+  "$bin"
+  echo
+done

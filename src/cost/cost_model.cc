@@ -121,7 +121,7 @@ double WalkCost(const Schema& schema,
 
 }  // namespace
 
-double CoutCostModel::NodeCost(const Query& query,
+double CoutCostModel::NodeCost(const Query& /*query*/,
                                const OperatorCostInput& in) const {
   // C_out ignores physical operators entirely: every node contributes its
   // estimated output size.
@@ -138,7 +138,7 @@ double CoutCostModel::PlanCost(const Query& query, const Plan& plan,
                   });
 }
 
-double CmmCostModel::NodeCost(const Query& query,
+double CmmCostModel::NodeCost(const Query& /*query*/,
                               const OperatorCostInput& in) const {
   return in.is_join ? in.out_rows : scan_weight_ * in.out_rows;
 }
@@ -153,7 +153,7 @@ double CmmCostModel::PlanCost(const Query& query, const Plan& plan,
                   });
 }
 
-double EngineCostModel::NodeCost(const Query& query,
+double EngineCostModel::NodeCost(const Query& /*query*/,
                                  const OperatorCostInput& in) const {
   return OperatorCost(params_, in);
 }

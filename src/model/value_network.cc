@@ -84,7 +84,8 @@ double ValueNetwork::ForwardTransformed(const nn::Vec& query,
   return a.out[0];
 }
 
-void ValueNetwork::Backward(const nn::Vec& query, const nn::TreeSample& plan,
+void ValueNetwork::Backward(const nn::Vec& /*query*/,
+                            const nn::TreeSample& plan,
                             const Activations& acts, double dout) {
   nn::Vec dy_out{static_cast<float>(dout)};
   nn::Vec dm1(acts.m1.size(), 0.f);

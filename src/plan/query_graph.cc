@@ -85,7 +85,7 @@ std::vector<FilterPredicate> Query::FiltersOn(int rel) const {
   return out;
 }
 
-uint64_t Query::TemplateSignature(const Schema& schema) const {
+uint64_t Query::TemplateSignature(const Schema& /*schema*/) const {
   // Hash the sorted multiset of base-table ids and the sorted list of join
   // edges expressed in base-table/column terms (aliases erased).
   auto mix = [](uint64_t h, uint64_t v) {

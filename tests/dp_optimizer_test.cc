@@ -91,7 +91,7 @@ TEST_F(DpOptimizerTest, EnumerateAllStreamsEveryDpCell) {
   int num_plans = 0;
   double first_cost = -1;
   auto st = dp.EnumerateAll(
-      query_, [&](const Query& q, TableSet scope, const Plan& plan,
+      query_, [&](const Query& /*q*/, TableSet scope, const Plan& plan,
                   double cost) {
         EXPECT_EQ(plan.RootTables(), scope);
         EXPECT_GT(cost, 0);

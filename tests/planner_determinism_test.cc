@@ -1,0 +1,110 @@
+// Determinism guarantees of the beam search planner: with
+// epsilon_collapse == 0 the search is a pure function of (query, network),
+// results come back sorted ascending by predicted latency, and top_k is a
+// hard cap. These properties are what make simulation experience replayable
+// across training iterations (§4.2, §6.1).
+#include "src/balsa/planner.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace balsa {
+namespace {
+
+class PlannerDeterminismTest : public ::testing::Test {
+ protected:
+  PlannerDeterminismTest()
+      : fixture_(testing::MakeStarFixture()),
+        query_(testing::MakeStarQuery(fixture_.schema())),
+        featurizer_(&fixture_.schema(), fixture_.estimator.get()) {
+    ValueNetConfig config;
+    config.query_dim = featurizer_.query_dim();
+    config.node_dim = featurizer_.node_dim();
+    config.tree_hidden1 = 16;
+    config.tree_hidden2 = 8;
+    config.mlp_hidden = 8;
+    config.init_seed = 11;
+    network_ = std::make_unique<ValueNetwork>(config);
+  }
+
+  BeamSearchPlanner MakePlanner(PlannerOptions options = {}) {
+    return BeamSearchPlanner(&fixture_.schema(), &featurizer_,
+                             network_.get(), options);
+  }
+
+  testing::StarFixture fixture_;
+  Query query_;
+  Featurizer featurizer_;
+  std::unique_ptr<ValueNetwork> network_;
+};
+
+TEST_F(PlannerDeterminismTest, AscendingPredictedLatency) {
+  PlannerOptions options;
+  options.beam_size = 10;
+  options.top_k = 8;
+  auto result = MakePlanner(options).TopK(query_);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_GE(result->plans.size(), 2u);
+  for (size_t i = 1; i < result->plans.size(); ++i) {
+    EXPECT_LE(result->plans[i - 1].predicted_ms,
+              result->plans[i].predicted_ms)
+        << "plans out of order at index " << i;
+  }
+}
+
+TEST_F(PlannerDeterminismTest, RespectsTopK) {
+  for (int k : {1, 3, 7}) {
+    PlannerOptions options;
+    options.beam_size = 10;
+    options.top_k = k;
+    auto result = MakePlanner(options).TopK(query_);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_LE(static_cast<int>(result->plans.size()), k);
+    EXPECT_GE(result->plans.size(), 1u);
+  }
+}
+
+TEST_F(PlannerDeterminismTest, DeterministicWithoutEpsilonCollapse) {
+  PlannerOptions options;
+  options.beam_size = 10;
+  options.top_k = 5;
+  options.epsilon_collapse = 0.0;
+  BeamSearchPlanner planner = MakePlanner(options);
+
+  auto first = planner.TopK(query_);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  for (int run = 0; run < 3; ++run) {
+    auto repeat = planner.TopK(query_);
+    ASSERT_TRUE(repeat.ok()) << repeat.status().ToString();
+    ASSERT_EQ(repeat->plans.size(), first->plans.size());
+    for (size_t i = 0; i < first->plans.size(); ++i) {
+      EXPECT_EQ(repeat->plans[i].plan.Fingerprint(),
+                first->plans[i].plan.Fingerprint())
+          << "run " << run << " diverged at plan " << i;
+      EXPECT_DOUBLE_EQ(repeat->plans[i].predicted_ms,
+                       first->plans[i].predicted_ms);
+    }
+  }
+}
+
+TEST_F(PlannerDeterminismTest, DeterministicAcrossPlannerInstances) {
+  // A freshly constructed planner over the same schema/network must agree
+  // with the first: no hidden per-instance state may leak into the search.
+  PlannerOptions options;
+  options.beam_size = 10;
+  options.top_k = 5;
+  auto a = MakePlanner(options).TopK(query_);
+  auto b = MakePlanner(options).TopK(query_);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->plans.size(), b->plans.size());
+  for (size_t i = 0; i < a->plans.size(); ++i) {
+    EXPECT_EQ(a->plans[i].plan.Fingerprint(), b->plans[i].plan.Fingerprint());
+  }
+}
+
+}  // namespace
+}  // namespace balsa
