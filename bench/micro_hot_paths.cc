@@ -80,6 +80,25 @@ void BM_ValueNetworkPredict(benchmark::State& state) {
 }
 BENCHMARK(BM_ValueNetworkPredict);
 
+void BM_ValueNetworkForwardBatch(benchmark::State& state) {
+  MicroEnv& env = GlobalEnv();
+  Plan plan;
+  int s = plan.AddScan(0, ScanOp::kSeqScan);
+  int c = plan.AddScan(1, ScanOp::kSeqScan);
+  int sc = plan.AddJoin(s, c, JoinOp::kHashJoin);
+  int p = plan.AddScan(2, ScanOp::kSeqScan);
+  plan.AddJoin(sc, p, JoinOp::kHashJoin);
+  nn::Vec qf = env.featurizer.QueryFeatures(env.query);
+  nn::TreeSample tree = env.featurizer.PlanFeatures(env.query, plan);
+  std::vector<const nn::TreeSample*> batch(
+      static_cast<size_t>(state.range(0)), &tree);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(env.net->ForwardBatch(qf, batch));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ValueNetworkForwardBatch)->Arg(8)->Arg(32)->Arg(128);
+
 void BM_BeamSearchPlanQuery(benchmark::State& state) {
   MicroEnv& env = GlobalEnv();
   PlannerOptions options;

@@ -10,10 +10,20 @@ if [ ! -d "$build_dir/bench" ]; then
   exit 1
 fi
 
+# bench_inference_batching gates the runtime's batched-inference speedup
+# (>= 2x evals/sec at batch 32 vs per-item Predict); run it first so a
+# kernel regression surfaces before the long figure reproductions.
+if [ -x "$build_dir/bench/bench_inference_batching" ]; then
+  echo "==> bench_inference_batching"
+  "$build_dir/bench/bench_inference_batching"
+  echo
+fi
+
 # Binaries share build/bench/ with CMake's own files (CMakeFiles/, Makefile);
 # keep only executable regular files.
 for bin in "$build_dir"/bench/*; do
   [ -f "$bin" ] && [ -x "$bin" ] || continue
+  [ "$(basename "$bin")" = "bench_inference_batching" ] && continue
   echo "==> $(basename "$bin")"
   "$bin"
   echo

@@ -1,10 +1,26 @@
 #include "src/balsa/agent.h"
 
 #include <algorithm>
+#include <optional>
 
 #include "src/util/logging.h"
 
 namespace balsa {
+
+namespace {
+
+/// Seed of the per-(iteration, query) planning rng: parallel planning
+/// cannot share one rng stream, so each task derives its own — a pure
+/// function of (agent seed, iteration, query index), independent of thread
+/// scheduling.
+uint64_t PlanningSeed(uint64_t seed, int iteration, size_t qi) {
+  uint64_t h = seed * 0x9E3779B97F4A7C15ULL + 0xD1B54A32D192ED03ULL;
+  h ^= (static_cast<uint64_t>(iteration) + 1) * 0xBF58476D1CE4E5B9ULL;
+  h ^= (qi + 1) * 0x94D049BB133111EBULL;
+  return h;
+}
+
+}  // namespace
 
 BalsaAgent::BalsaAgent(const Schema* schema, ExecutionEngine* engine,
                        const CostModelInterface* simulator,
@@ -19,8 +35,7 @@ BalsaAgent::BalsaAgent(const Schema* schema, ExecutionEngine* engine,
       featurizer_(schema, estimator),
       planner_(schema, nullptr, nullptr, options_.planner),
       timeout_(options_.timeout),
-      pool_(options_.num_workers),
-      rng_(options_.seed * 0x9E3779B97F4A7C15ULL + 17) {
+      pool_(options_.num_workers) {
   // Engines refusing bushy plans shrink the search space (§8.2).
   if (!engine_->options().accepts_bushy) {
     options_.planner.bushy = false;
@@ -32,8 +47,16 @@ BalsaAgent::BalsaAgent(const Schema* schema, ExecutionEngine* engine,
   options_.net.node_dim = featurizer_.node_dim();
   options_.net.init_seed = options_.seed + 1;
   network_ = std::make_unique<ValueNetwork>(options_.net);
+  inference_ =
+      std::make_unique<InferenceService>(network_.get(), options_.inference);
+  executor_ = std::make_unique<ParallelExecutor>(
+      ParallelExecutorOptions{options_.num_threads});
+  if (options_.sim.num_threads == 0) {
+    options_.sim.num_threads = options_.num_threads;
+  }
   planner_ = BeamSearchPlanner(schema, &featurizer_, network_.get(),
                                options_.planner);
+  planner_.set_inference_service(inference_.get());
 }
 
 Status BalsaAgent::Bootstrap() {
@@ -100,8 +123,9 @@ Status BalsaAgent::Bootstrap() {
 }
 
 StatusOr<BeamSearchPlanner::PlanningResult> BalsaAgent::PlanForTraining(
-    const Query& query) {
-  return planner_.TopK(query, &rng_);
+    const Query& query, uint64_t rng_seed) const {
+  Rng rng(rng_seed);
+  return planner_.TopK(query, &rng);
 }
 
 const Plan* BalsaAgent::ChoosePlanToExecute(
@@ -131,12 +155,31 @@ Status BalsaAgent::RunIteration() {
   stats.scan_op_counts.assign(kNumScanOps, 0);
 
   // --- Execute phase (§4.1): plan every training query, run it ---------
+  // Planning fans out across the runtime's real threads (network scoring is
+  // the hot path; it is const and micro-batched by the inference service).
+  // Executions then run in deterministic query order: the engine's noise
+  // stream, plan cache, and the experience buffer stay sequential, so an
+  // iteration's outcome is independent of the thread count.
+  const std::vector<const Query*> queries = workload_->TrainQueries();
+  std::vector<std::optional<StatusOr<BeamSearchPlanner::PlanningResult>>>
+      planned_all(queries.size());
+  BALSA_RETURN_IF_ERROR(executor_->ForEach(
+      queries.size(), [&](size_t qi) -> Status {
+        planned_all[qi] = PlanForTraining(
+            *queries[qi], PlanningSeed(options_.seed, iteration_, qi));
+        return planned_all[qi]->ok() ? Status::OK()
+                                     : planned_all[qi]->status();
+      }));
+
   std::vector<double> latencies;
   double max_runtime = 0;
-  for (const Query* query : workload_->TrainQueries()) {
-    BALSA_ASSIGN_OR_RETURN(BeamSearchPlanner::PlanningResult planned,
-                           PlanForTraining(*query));
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    const Query* query = queries[qi];
+    BeamSearchPlanner::PlanningResult planned =
+        std::move(*planned_all[qi]).value();
     stats.planning_time_ms += planned.planning_time_ms;
+    stats.network_evals += planned.network_evals;
+    stats.inference_batches += planned.batch_calls;
     const Plan* chosen = ChoosePlanToExecute(*query, planned.plans);
     if (chosen == nullptr) {
       return Status::Internal("no plan produced for " + query->name());
@@ -227,11 +270,19 @@ StatusOr<Plan> BalsaAgent::PlanBest(const Query& query) const {
 
 StatusOr<double> BalsaAgent::EvaluateWorkload(
     const std::vector<const Query*>& queries) const {
+  // Plan in parallel (pure network inference), then measure sequentially:
+  // the engine and card oracle are the stateful substrate.
+  std::vector<std::optional<StatusOr<Plan>>> plans(queries.size());
+  BALSA_RETURN_IF_ERROR(
+      executor_->ForEach(queries.size(), [&](size_t qi) -> Status {
+        plans[qi] = PlanBest(*queries[qi]);
+        return plans[qi]->ok() ? Status::OK() : plans[qi]->status();
+      }));
   double total = 0;
-  for (const Query* query : queries) {
-    BALSA_ASSIGN_OR_RETURN(Plan plan, PlanBest(*query));
-    BALSA_ASSIGN_OR_RETURN(double latency,
-                           engine_->NoiselessLatency(*query, plan));
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    BALSA_ASSIGN_OR_RETURN(
+        double latency,
+        engine_->NoiselessLatency(*queries[qi], plans[qi]->value()));
     total += latency;
   }
   return total;

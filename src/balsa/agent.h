@@ -19,6 +19,8 @@
 #include "src/model/featurizer.h"
 #include "src/model/value_network.h"
 #include "src/optimizer/dp_optimizer.h"
+#include "src/runtime/inference_service.h"
+#include "src/runtime/parallel_executor.h"
 #include "src/workloads/workload.h"
 
 namespace balsa {
@@ -60,6 +62,14 @@ struct BalsaAgentOptions {
   int iterations = 100;
   /// Parallel execution VMs modeled by the virtual clock (§7).
   int num_workers = 2;
+  /// Real threads for planning and simulation data collection
+  /// (0 = hardware concurrency). Distinct from num_workers, which is the
+  /// virtual-clock accounting model; results are identical for any thread
+  /// count — tasks merge in deterministic (query) order and scoring is
+  /// batch-composition independent.
+  int num_threads = 0;
+  /// Micro-batching of concurrent value-network requests.
+  InferenceServiceOptions inference;
   /// Virtual seconds charged per SGD sample processed during updates; this
   /// is what makes the retrain scheme progressively slower (§8.3.4).
   double update_seconds_per_sample = 2e-4;
@@ -92,7 +102,13 @@ struct IterationStats {
   std::vector<int> scan_op_counts;   // size kNumScanOps
   int num_bushy_plans = 0;
   int num_left_deep_plans = 0;
-  double planning_time_ms = 0;  // real wall clock spent planning
+  /// Wall clock spent planning, summed over per-query planning tasks (they
+  /// overlap in time when planned across threads).
+  double planning_time_ms = 0;
+  /// Value-network forward passes this iteration's planning actually ran,
+  /// and the batched inference calls that served them.
+  int64_t network_evals = 0;
+  int64_t inference_batches = 0;
 };
 
 class BalsaAgent {
@@ -136,8 +152,10 @@ class BalsaAgent {
   const BalsaAgentOptions& options() const { return options_; }
 
  private:
+  /// Plans one training query; `rng_seed` derives the per-query planning
+  /// rng (epsilon-greedy only), making parallel planning deterministic.
   StatusOr<BeamSearchPlanner::PlanningResult> PlanForTraining(
-      const Query& query);
+      const Query& query, uint64_t rng_seed) const;
   const Plan* ChoosePlanToExecute(
       const Query& query, const std::vector<BeamSearchPlanner::ScoredPlan>&
                               candidates) const;
@@ -152,12 +170,17 @@ class BalsaAgent {
   std::unique_ptr<ValueNetwork> network_;
   /// Post-bootstrap weights, for diversified-experience retraining.
   std::unique_ptr<ValueNetwork> bootstrap_snapshot_;
+  /// Micro-batches concurrent planning threads' scoring requests into
+  /// fused forward passes.
+  std::unique_ptr<InferenceService> inference_;
+  /// Real planning/collection threads (the virtual clock still accounts
+  /// execution time via pool_).
+  std::unique_ptr<ParallelExecutor> executor_;
   BeamSearchPlanner planner_;
   TimeoutPolicy timeout_;
   ExperienceBuffer experience_;
   SimulationStats sim_stats_;
   ExecutionPoolModel pool_;
-  Rng rng_;
 
   std::vector<IterationStats> curve_;
   int iteration_ = 0;

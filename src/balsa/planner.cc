@@ -50,15 +50,53 @@ StatusOr<BeamSearchPlanner::PlanningResult> BeamSearchPlanner::TopK(
   nn::Vec query_feat = featurizer_->QueryFeatures(query);
   // Per-call score memoization: composed subplans recur across states.
   std::unordered_map<uint64_t, double> score_cache;
-  auto score_plan = [&](const Plan& plan) {
-    uint64_t fp = plan.Fingerprint();
-    auto it = score_cache.find(fp);
-    if (it != score_cache.end()) return it->second;
-    double s = network_->Predict(query_feat,
-                                 featurizer_->PlanFeatures(query, plan));
-    result.network_evals++;
-    score_cache.emplace(fp, s);
-    return s;
+
+  // Scores every plan in `pending` that the cache has not seen — in one
+  // batched forward pass (batch_scoring) or one Predict per plan. Both
+  // paths produce identical scores (nn's batched kernels accumulate in
+  // MatVec's exact order), so the search below is oblivious to the mode.
+  auto score_pending = [&](const std::vector<const Plan*>& pending) {
+    std::vector<const Plan*> need;
+    std::vector<uint64_t> need_fps;
+    std::unordered_set<uint64_t> queued;
+    for (const Plan* plan : pending) {
+      uint64_t fp = plan->Fingerprint();
+      if (score_cache.count(fp) || !queued.insert(fp).second) continue;
+      need.push_back(plan);
+      need_fps.push_back(fp);
+    }
+    if (need.empty()) return;
+    if (options_.batch_scoring) {
+      std::vector<nn::TreeSample> feats;
+      feats.reserve(need.size());
+      for (const Plan* plan : need) {
+        feats.push_back(featurizer_->PlanFeatures(query, *plan));
+      }
+      std::vector<const nn::TreeSample*> ptrs;
+      ptrs.reserve(feats.size());
+      for (const nn::TreeSample& f : feats) ptrs.push_back(&f);
+      std::vector<double> scores =
+          service_ ? service_->ScoreBatch(query_feat, ptrs)
+                   : network_->ForwardBatch(query_feat, ptrs);
+      for (size_t i = 0; i < need.size(); ++i) {
+        score_cache.emplace(need_fps[i], scores[i]);
+      }
+      result.batch_calls++;
+    } else {
+      for (size_t i = 0; i < need.size(); ++i) {
+        score_cache.emplace(
+            need_fps[i],
+            network_->Predict(query_feat,
+                              featurizer_->PlanFeatures(query, *need[i])));
+        result.batch_calls++;
+      }
+    }
+    result.network_evals += static_cast<int64_t>(need.size());
+  };
+
+  auto lookup_score = [&](const Plan& plan) {
+    result.scored_states++;
+    return score_cache.at(plan.Fingerprint());
   };
 
   // Scan-operator variants of a base relation used as a join side.
@@ -81,11 +119,18 @@ StatusOr<BeamSearchPlanner::PlanningResult> BeamSearchPlanner::TopK(
   for (int rel = 0; rel < query.num_relations(); ++rel) {
     Entry e;
     e.plan.set_root(e.plan.AddScan(rel, ScanOp::kSeqScan));
-    e.score = score_plan(e.plan);
     root.entries.push_back(std::move(e));
   }
+  {
+    std::vector<const Plan*> pending;
+    for (const Entry& e : root.entries) pending.push_back(&e.plan);
+    score_pending(pending);
+  }
   root.score = 0;
-  for (const Entry& e : root.entries) root.score = std::max(root.score, e.score);
+  for (Entry& e : root.entries) {
+    e.score = lookup_score(e.plan);
+    root.score = std::max(root.score, e.score);
+  }
   if (query.num_relations() == 1) {
     result.plans.push_back({root.entries[0].plan, root.entries[0].score});
     auto end = std::chrono::steady_clock::now();
@@ -112,6 +157,8 @@ StatusOr<BeamSearchPlanner::PlanningResult> BeamSearchPlanner::TopK(
     beam.erase(best_it);
     expansions++;
 
+    // Build the expansion frontier structurally; every child's new joined
+    // plan is its last entry, scored below in one batch.
     std::vector<State> children;
     const int n = static_cast<int>(state.entries.size());
 
@@ -167,16 +214,29 @@ StatusOr<BeamSearchPlanner::PlanningResult> BeamSearchPlanner::TopK(
               }
               Entry joined;
               joined.plan = ComposeJoin(l, r, op);
-              joined.score = score_plan(joined.plan);
               child.entries.push_back(std::move(joined));
-              child.score = 0;
-              for (const Entry& e : child.entries) {
-                child.score = std::max(child.score, e.score);
-              }
               children.push_back(std::move(child));
             }
           }
         }
+      }
+    }
+
+    // Score the frontier's new plans (one ForwardBatch in batch mode).
+    {
+      std::vector<const Plan*> pending;
+      pending.reserve(children.size());
+      for (const State& child : children) {
+        pending.push_back(&child.entries.back().plan);
+      }
+      score_pending(pending);
+    }
+    for (State& child : children) {
+      Entry& joined = child.entries.back();
+      joined.score = lookup_score(joined.plan);
+      child.score = 0;
+      for (const Entry& e : child.entries) {
+        child.score = std::max(child.score, e.score);
       }
     }
 

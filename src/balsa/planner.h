@@ -13,6 +13,7 @@
 #include "src/model/featurizer.h"
 #include "src/model/value_network.h"
 #include "src/plan/plan.h"
+#include "src/runtime/inference_service.h"
 #include "src/util/rng.h"
 #include "src/util/status.h"
 
@@ -34,6 +35,11 @@ struct PlannerOptions {
   double epsilon_collapse = 0.0;
   /// Safety bound on state expansions per query.
   int max_expansions = 20000;
+  /// Score each expansion's whole frontier with one batched network call
+  /// (ValueNetwork::ForwardBatch, optionally via an InferenceService)
+  /// instead of one Predict per plan. Scores — and therefore the plans
+  /// found — are identical either way; batching only changes throughput.
+  bool batch_scoring = true;
 };
 
 class BeamSearchPlanner {
@@ -54,7 +60,14 @@ class BeamSearchPlanner {
     /// Up to k distinct complete plans, ascending by predicted latency.
     std::vector<ScoredPlan> plans;
     double planning_time_ms = 0;  // real wall clock
+    /// Value-network forward passes actually run (score-cache misses).
     int64_t network_evals = 0;
+    /// Plan-scoring requests the search issued, including score-cache hits
+    /// (network_evals counts only the misses).
+    int64_t scored_states = 0;
+    /// Inference invocations that served the misses: one per batched call
+    /// with batch_scoring, one per Predict without (== network_evals then).
+    int64_t batch_calls = 0;
   };
 
   /// Plans `query`. `rng` is only used when epsilon_collapse > 0.
@@ -63,10 +76,19 @@ class BeamSearchPlanner {
   const PlannerOptions& options() const { return options_; }
   void set_options(const PlannerOptions& options) { options_ = options; }
 
+  /// Routes batched scoring through a shared micro-batching service so
+  /// concurrent planners fuse their frontiers into shared forward passes.
+  /// Null (the default) scores via the network directly. The service must
+  /// wrap the same network.
+  void set_inference_service(InferenceService* service) {
+    service_ = service;
+  }
+
  private:
   const Schema* schema_;
   const Featurizer* featurizer_;
   const ValueNetwork* network_;
+  InferenceService* service_ = nullptr;
   PlannerOptions options_;
 };
 

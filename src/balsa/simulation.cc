@@ -1,8 +1,10 @@
 #include "src/balsa/simulation.h"
 
 #include <chrono>
+#include <utility>
 
 #include "src/optimizer/dp_optimizer.h"
+#include "src/runtime/parallel_executor.h"
 #include "src/util/rng.h"
 
 namespace balsa {
@@ -25,34 +27,47 @@ StatusOr<std::vector<TrainingPoint>> CollectSimulationData(
   }
   DpOptimizer enumerator(&schema, &simulator, dp_options);
 
-  Rng rng(options.seed);
-  std::vector<TrainingPoint> data;
-
+  std::vector<const Query*> used;
   for (const Query* query : queries) {
     if (query->num_relations() >= options.skip_queries_with_relations_ge) {
       s.num_queries_skipped++;
       continue;
     }
-    s.num_queries_used++;
+    used.push_back(query);
+  }
+  s.num_queries_used = static_cast<int>(used.size());
 
-    // Per-query reservoir so large queries cannot drown out small ones.
+  // Per-query collection tasks, fanned across the runtime's thread pool.
+  // The enumerator, cost model, and featurizer are shared read-only; each
+  // task owns its reservoir and rng, and results merge in query order.
+  struct PerQuery {
     std::vector<TrainingPoint> reservoir;
+    size_t num_enumerated = 0;
+  };
+  std::vector<PerQuery> collected(used.size());
+  ParallelExecutor executor(ParallelExecutorOptions{options.num_threads});
+  Status st = executor.ForEach(used.size(), [&](size_t qi) -> Status {
+    const Query* query = used[qi];
+    PerQuery& out = collected[qi];
+    // Per-query reservoir so large queries cannot drown out small ones;
+    // the rng is a pure function of (seed, query index).
+    Rng rng(options.seed ^ ((qi + 1) * 0x9E3779B97F4A7C15ULL));
     size_t seen = 0;
     auto add_point = [&](TrainingPoint pt) {
       seen++;
       if (options.max_points_per_query == 0 ||
-          reservoir.size() < options.max_points_per_query) {
-        reservoir.push_back(std::move(pt));
+          out.reservoir.size() < options.max_points_per_query) {
+        out.reservoir.push_back(std::move(pt));
         return;
       }
       size_t slot = rng.Uniform(seen);
-      if (slot < reservoir.size()) reservoir[slot] = std::move(pt);
+      if (slot < out.reservoir.size()) out.reservoir[slot] = std::move(pt);
     };
 
-    Status st = enumerator.EnumerateAll(
+    return enumerator.EnumerateAll(
         *query,
         [&](const Query& q, TableSet scope, const Plan& plan, double cost) {
-          s.num_enumerated_plans++;
+          out.num_enumerated++;
           // Subplan augmentation (§3.2): every subtree of the enumerated
           // plan yields a point with the same scope and total cost.
           nn::Vec scope_feat = featurizer.QueryFeatures(q, scope);
@@ -64,9 +79,14 @@ StatusOr<std::vector<TrainingPoint>> CollectSimulationData(
             add_point(std::move(pt));
           }
         });
-    BALSA_RETURN_IF_ERROR(st);
-    data.insert(data.end(), std::make_move_iterator(reservoir.begin()),
-                std::make_move_iterator(reservoir.end()));
+  });
+  BALSA_RETURN_IF_ERROR(st);
+
+  std::vector<TrainingPoint> data;
+  for (PerQuery& per : collected) {
+    s.num_enumerated_plans += per.num_enumerated;
+    data.insert(data.end(), std::make_move_iterator(per.reservoir.begin()),
+                std::make_move_iterator(per.reservoir.end()));
   }
 
   s.num_points = data.size();

@@ -26,6 +26,11 @@ struct SimulationOptions {
   bool canonical_operators_only = true;
   bool bushy = true;
   uint64_t seed = 5;
+  /// Real threads collecting queries in parallel (0 = hardware
+  /// concurrency). Each query's enumeration and reservoir rng derive only
+  /// from (seed, query index) and results merge in query order, so the
+  /// dataset is identical for any thread count.
+  int num_threads = 0;
 };
 
 struct SimulationStats {

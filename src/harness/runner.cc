@@ -3,7 +3,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 
+#include "src/runtime/parallel_executor.h"
 #include "src/util/stats_util.h"
 
 namespace balsa {
@@ -21,6 +23,7 @@ BenchFlags BenchFlags::Parse(int argc, char** argv) {
     if (const char* v = value("--scale")) flags.scale = std::atof(v);
     else if (const char* v = value("--iters")) flags.iters = std::atoi(v);
     else if (const char* v = value("--seeds")) flags.seeds = std::atoi(v);
+    else if (const char* v = value("--threads")) flags.threads = std::atoi(v);
     else if (std::strcmp(argv[i], "--full") == 0) flags.full = true;
   }
   if (flags.full) {
@@ -33,14 +36,15 @@ BenchFlags BenchFlags::Parse(int argc, char** argv) {
 
 std::string BenchFlags::ToString() const {
   char buf[128];
-  std::snprintf(buf, sizeof(buf), "scale=%.2f iters=%d seeds=%d%s", scale,
-                iters, seeds, full ? " (full)" : "");
+  std::snprintf(buf, sizeof(buf), "scale=%.2f iters=%d seeds=%d threads=%d%s",
+                scale, iters, seeds, threads, full ? " (full)" : "");
   return buf;
 }
 
 BalsaAgentOptions DefaultBenchAgentOptions(const BenchFlags& flags) {
   BalsaAgentOptions options;
   options.iterations = flags.iters;
+  options.num_threads = flags.threads;
   options.sim.max_points_per_query = flags.full ? 6000 : 800;
   options.eval_test_every = 5;
   if (!flags.full) {
@@ -57,12 +61,14 @@ BalsaAgentOptions DefaultBenchAgentOptions(const BenchFlags& flags) {
   return options;
 }
 
-StatusOr<AgentRunResult> RunAgent(Env* env, bool commdb,
-                                  const CostModelInterface* simulator,
-                                  BalsaAgentOptions options) {
-  BalsaAgent agent(&env->schema(), env->engine(commdb), simulator,
-                   env->estimator.get(), &env->workload, options,
-                   env->expert(commdb));
+namespace {
+
+StatusOr<AgentRunResult> RunAgentOnEngine(Env* env, ExecutionEngine* engine,
+                                          bool commdb,
+                                          const CostModelInterface* simulator,
+                                          BalsaAgentOptions options) {
+  BalsaAgent agent(&env->schema(), engine, simulator, env->estimator.get(),
+                   &env->workload, std::move(options), env->expert(commdb));
   BALSA_RETURN_IF_ERROR(agent.Train());
 
   AgentRunResult result;
@@ -79,18 +85,50 @@ StatusOr<AgentRunResult> RunAgent(Env* env, bool commdb,
   return result;
 }
 
+}  // namespace
+
+StatusOr<AgentRunResult> RunAgent(Env* env, bool commdb,
+                                  const CostModelInterface* simulator,
+                                  BalsaAgentOptions options) {
+  return RunAgentOnEngine(env, env->engine(commdb), commdb, simulator,
+                          std::move(options));
+}
+
 StatusOr<std::vector<AgentRunResult>> RunAgentSeeds(
     Env* env, bool commdb, const CostModelInterface* simulator,
     BalsaAgentOptions options, int seeds) {
-  std::vector<AgentRunResult> runs;
-  for (int s = 0; s < seeds; ++s) {
-    BalsaAgentOptions opts = options;
-    opts.seed = options.seed + static_cast<uint64_t>(s);
-    BALSA_ASSIGN_OR_RETURN(AgentRunResult run,
-                           RunAgent(env, commdb, simulator, opts));
-    runs.push_back(std::move(run));
-  }
-  return runs;
+  // Fan the runs across real threads — the paper's "8 parallel runs"
+  // methodology executed as actual parallelism. Every run gets a private
+  // engine (own plan cache + noise stream keyed off the run seed) so the
+  // result vector is a pure function of (env, options, seeds): independent
+  // of the thread count and of the other runs. The card oracle is shared;
+  // its memoization is thread-safe and execution-order independent.
+  std::vector<std::optional<StatusOr<AgentRunResult>>> runs(
+      static_cast<size_t>(seeds));
+  ParallelExecutor executor(ParallelExecutorOptions{options.num_threads});
+  // Each agent spins its own planning pool; slice the thread budget across
+  // the runs executing concurrently instead of oversubscribing the machine
+  // by seeds x hardware_concurrency.
+  const int concurrent = std::max(1, std::min(seeds, executor.num_threads()));
+  const int threads_per_run =
+      std::max(1, executor.num_threads() / concurrent);
+  BALSA_RETURN_IF_ERROR(executor.ForEach(
+      static_cast<size_t>(seeds), [&](size_t s) -> Status {
+        BalsaAgentOptions opts = options;
+        opts.seed = options.seed + s;
+        opts.num_threads = threads_per_run;
+        EngineOptions engine_opts = env->engine(commdb)->options();
+        engine_opts.noise_seed += s * 0x9E3779B9ULL;
+        ExecutionEngine run_engine(env->db.get(), env->oracle.get(),
+                                   std::move(engine_opts));
+        runs[s] = RunAgentOnEngine(env, &run_engine, commdb, simulator,
+                                   std::move(opts));
+        return runs[s]->ok() ? Status::OK() : runs[s]->status();
+      }));
+  std::vector<AgentRunResult> out;
+  out.reserve(runs.size());
+  for (auto& run : runs) out.push_back(std::move(*run).value());
+  return out;
 }
 
 double MedianOf(const std::vector<AgentRunResult>& runs,

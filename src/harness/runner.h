@@ -19,6 +19,9 @@ struct BenchFlags {
   double scale = 0.25;  // data scale
   int iters = 15;       // RL iterations
   int seeds = 1;        // independent runs
+  /// Real threads for planning / simulation collection / seed fan-out
+  /// (0 = hardware concurrency). Results are thread-count independent.
+  int threads = 0;
   bool full = false;
 
   static BenchFlags Parse(int argc, char** argv);
@@ -41,6 +44,10 @@ StatusOr<AgentRunResult> RunAgent(Env* env, bool commdb,
                                   BalsaAgentOptions options);
 
 /// Runs `seeds` agents with seeds 0..n-1; options.seed is added per run.
+/// Runs fan out across the runtime's thread pool (options.num_threads),
+/// each against its own ExecutionEngine instance (fresh plan cache, its own
+/// noise stream derived from the run seed) over the shared card oracle, so
+/// results are independent of the thread count and of each other.
 StatusOr<std::vector<AgentRunResult>> RunAgentSeeds(
     Env* env, bool commdb, const CostModelInterface* simulator,
     BalsaAgentOptions options, int seeds);

@@ -112,6 +112,58 @@ double ValueNetwork::Predict(const nn::Vec& query,
   return FromLabelSpace(ForwardTransformed(query, plan, nullptr));
 }
 
+std::vector<double> ValueNetwork::ForwardBatch(
+    const std::vector<const nn::Vec*>& queries,
+    const std::vector<const nn::TreeSample*>& plans) const {
+  const int items = static_cast<int>(plans.size());
+  std::vector<double> out(static_cast<size_t>(items));
+  if (items == 0) return out;
+
+  // Stack every plan's nodes into one column-per-node batch; child indices
+  // become global column indices.
+  std::vector<int> begin(static_cast<size_t>(items) + 1, 0);
+  for (int i = 0; i < items; ++i) {
+    begin[i + 1] = begin[i] + static_cast<int>(plans[i]->features.size());
+  }
+  const int total = begin[items];
+  const int qd = config_.query_dim;
+  const int nd = config_.node_dim;
+  nn::Mat x(qd + nd, total);
+  std::vector<int> left(static_cast<size_t>(total));
+  std::vector<int> right(static_cast<size_t>(total));
+  for (int i = 0; i < items; ++i) {
+    const nn::TreeSample& tree = *plans[i];
+    const nn::Vec& query = *queries[i];
+    for (size_t node = 0; node < tree.features.size(); ++node) {
+      const int col = begin[i] + static_cast<int>(node);
+      for (int r = 0; r < qd; ++r) x.at(r, col) = query[r];
+      const nn::Vec& feat = tree.features[node];
+      for (int r = 0; r < nd; ++r) x.at(qd + r, col) = feat[r];
+      left[col] = tree.left[node] >= 0 ? begin[i] + tree.left[node] : -1;
+      right[col] = tree.right[node] >= 0 ? begin[i] + tree.right[node] : -1;
+    }
+  }
+
+  nn::Mat h1, h2, pooled, m1, o;
+  tc1_.ForwardBatch(x, left, right, &h1);
+  nn::ReluMatForward(&h1);
+  tc2_.ForwardBatch(h1, left, right, &h2);
+  nn::ReluMatForward(&h2);
+  nn::DynamicMaxPoolBatch(h2, begin, &pooled);
+  fc1_.ForwardBatch(pooled, &m1);
+  nn::ReluMatForward(&m1);
+  fc2_.ForwardBatch(m1, &o);
+  for (int i = 0; i < items; ++i) out[i] = FromLabelSpace(o.at(0, i));
+  return out;
+}
+
+std::vector<double> ValueNetwork::ForwardBatch(
+    const nn::Vec& query,
+    const std::vector<const nn::TreeSample*>& plans) const {
+  std::vector<const nn::Vec*> queries(plans.size(), &query);
+  return ForwardBatch(queries, plans);
+}
+
 ValueNetwork::TrainResult ValueNetwork::Train(
     const std::vector<TrainingPoint>& data, const TrainOptions& options) {
   TrainResult result;

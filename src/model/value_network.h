@@ -45,6 +45,22 @@ class ValueNetwork {
   /// Predicted label (original units) for a featurized (query, plan).
   double Predict(const nn::Vec& query, const nn::TreeSample& plan) const;
 
+  /// Batched prediction: one forward pass over all (query, plan) items,
+  /// with every plan's nodes stacked into shared matrices (batched tree
+  /// convolution + dynamic pooling in nn::). An item's score is bitwise
+  /// independent of the rest of the batch — the batched kernels accumulate
+  /// in MatVec's exact summation order — so micro-batching concurrent
+  /// requests can never change a result. `queries[i]` pairs with `plans[i]`.
+  std::vector<double> ForwardBatch(
+      const std::vector<const nn::Vec*>& queries,
+      const std::vector<const nn::TreeSample*>& plans) const;
+
+  /// Shared-query convenience overload (beam search scores one query's
+  /// whole expansion frontier at once).
+  std::vector<double> ForwardBatch(
+      const nn::Vec& query,
+      const std::vector<const nn::TreeSample*>& plans) const;
+
   struct TrainOptions {
     int max_epochs = 100;
     int min_epochs = 1;

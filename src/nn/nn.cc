@@ -32,6 +32,42 @@ void OuterAcc(const Vec& dy, const Vec& x, Mat* dw) {
   }
 }
 
+void AddMatMul(const Mat& w, const Mat& x, Mat* y) {
+  const int n = x.cols;
+  const int cols = w.cols;
+  // Four weight columns per pass, explicitly left-associated so every
+  // output element still accumulates its terms in ascending-c order —
+  // bitwise identical to MatVec — while y is loaded/stored once per pass.
+  // The j loops are independent elementwise updates over __restrict__
+  // arrays: they vectorize, which MatVec's serial reduction cannot.
+  for (int r = 0; r < w.rows; ++r) {
+    const float* wrow = &w.data[static_cast<size_t>(r) * cols];
+    float* __restrict__ yrow = &y->data[static_cast<size_t>(r) * n];
+    int c = 0;
+    for (; c + 4 <= cols; c += 4) {
+      const float w0 = wrow[c], w1 = wrow[c + 1];
+      const float w2 = wrow[c + 2], w3 = wrow[c + 3];
+      const float* __restrict__ x0 = &x.data[static_cast<size_t>(c) * n];
+      const float* __restrict__ x1 = x0 + n;
+      const float* __restrict__ x2 = x1 + n;
+      const float* __restrict__ x3 = x2 + n;
+      for (int j = 0; j < n; ++j) {
+        yrow[j] = (((yrow[j] + w0 * x0[j]) + w1 * x1[j]) + w2 * x2[j]) +
+                  w3 * x3[j];
+      }
+    }
+    for (; c < cols; ++c) {
+      const float wv = wrow[c];
+      const float* __restrict__ xrow = &x.data[static_cast<size_t>(c) * n];
+      for (int j = 0; j < n; ++j) yrow[j] += wv * xrow[j];
+    }
+  }
+}
+
+void ReluMatForward(Mat* x) {
+  for (float& v : x->data) v = v > 0 ? v : 0;
+}
+
 void Param::XavierInit(Rng* rng, int fan_in, int fan_out) {
   double bound = std::sqrt(6.0 / (fan_in + fan_out));
   for (float& w : value.data) {
@@ -47,6 +83,17 @@ void Linear::Forward(const Vec& x, Vec* y) const {
   y->assign(w_.value.rows, 0.f);
   MatVec(w_.value, x, y);
   for (int r = 0; r < b_.value.rows; ++r) (*y)[r] += b_.value.at(r, 0);
+}
+
+void Linear::ForwardBatch(const Mat& x, Mat* y) const {
+  y->rows = w_.value.rows;
+  y->cols = x.cols;
+  y->data.assign(static_cast<size_t>(y->rows) * y->cols, 0.f);
+  AddMatMul(w_.value, x, y);
+  for (int r = 0; r < y->rows; ++r) {
+    const float b = b_.value.at(r, 0);
+    for (int j = 0; j < y->cols; ++j) y->at(r, j) += b;
+  }
 }
 
 void Linear::Backward(const Vec& x, const Vec& dy, Vec* dx) {
@@ -75,6 +122,47 @@ void TreeConvLayer::Forward(const std::vector<Vec>& in,
     if (left[i] >= 0) MatVec(wl_.value, in[left[i]], &y);
     if (right[i] >= 0) MatVec(wr_.value, in[right[i]], &y);
     for (int r = 0; r < b_.value.rows; ++r) y[r] += b_.value.at(r, 0);
+  }
+}
+
+void TreeConvLayer::ForwardBatch(const Mat& x, const std::vector<int>& left,
+                                 const std::vector<int>& right,
+                                 Mat* out) const {
+  const int n = x.cols;
+  out->rows = wp_.value.rows;
+  out->cols = n;
+  out->data.assign(static_cast<size_t>(out->rows) * n, 0.f);
+  AddMatMul(wp_.value, x, out);
+
+  // One child pass: gather the present children's columns, multiply them
+  // compactly, then scatter-add each result column with a single add per
+  // element — the same "+= acc" grouping Forward uses, so batched outputs
+  // match the per-item path bitwise.
+  auto child_pass = [&](const std::vector<int>& child, const Param& w) {
+    std::vector<int> cols;
+    for (int i = 0; i < n; ++i) {
+      if (child[i] >= 0) cols.push_back(i);
+    }
+    if (cols.empty()) return;
+    Mat xc(x.rows, static_cast<int>(cols.size()));
+    for (size_t k = 0; k < cols.size(); ++k) {
+      const int src = child[cols[k]];
+      for (int r = 0; r < x.rows; ++r) xc.at(r, static_cast<int>(k)) = x.at(r, src);
+    }
+    Mat pc(out->rows, static_cast<int>(cols.size()));
+    AddMatMul(w.value, xc, &pc);
+    for (int r = 0; r < out->rows; ++r) {
+      for (size_t k = 0; k < cols.size(); ++k) {
+        out->at(r, cols[k]) += pc.at(r, static_cast<int>(k));
+      }
+    }
+  };
+  child_pass(left, wl_);
+  child_pass(right, wr_);
+
+  for (int r = 0; r < out->rows; ++r) {
+    const float b = b_.value.at(r, 0);
+    for (int j = 0; j < n; ++j) out->at(r, j) += b;
   }
 }
 
@@ -122,6 +210,23 @@ void DynamicMaxPoolBackward(const Vec& dout, const std::vector<int>& argmax,
                             std::vector<Vec>* dnodes) {
   for (size_t d = 0; d < dout.size(); ++d) {
     (*dnodes)[argmax[d]][d] += dout[d];
+  }
+}
+
+void DynamicMaxPoolBatch(const Mat& nodes, const std::vector<int>& item_begin,
+                         Mat* pooled) {
+  const int dim = nodes.rows;
+  const int items = static_cast<int>(item_begin.size()) - 1;
+  pooled->rows = dim;
+  pooled->cols = items;
+  pooled->data.assign(static_cast<size_t>(dim) * items, -1e30f);
+  for (int it = 0; it < items; ++it) {
+    for (int col = item_begin[it]; col < item_begin[it + 1]; ++col) {
+      for (int d = 0; d < dim; ++d) {
+        const float v = nodes.at(d, col);
+        if (v > pooled->at(d, it)) pooled->at(d, it) = v;
+      }
+    }
   }
 }
 

@@ -37,6 +37,17 @@ void MatTVec(const Mat& w, const Vec& dy, Vec* dx);
 /// dW += dy x^T
 void OuterAcc(const Vec& dy, const Vec& x, Mat* dw);
 
+/// y += W x for a column batch x (y: W.rows x x.cols). Every output element
+/// accumulates over W's columns in ascending order — exactly MatVec's
+/// summation order — so an element's value is bitwise independent of which
+/// other columns share the batch, and batched results match per-item MatVec
+/// results exactly. Unlike MatVec's serial reduction, the inner loop runs
+/// across independent batch columns, which is what makes batching fast.
+void AddMatMul(const Mat& w, const Mat& x, Mat* y);
+
+/// In-place ReLU over a whole matrix (elementwise, same as ReluForward).
+void ReluMatForward(Mat* x);
+
 /// A trainable parameter: value + gradient (+ Adam moments).
 struct Param {
   Mat value, grad, m, v;
@@ -56,6 +67,9 @@ class Linear {
   Linear(int in, int out, Rng* rng);
 
   void Forward(const Vec& x, Vec* y) const;
+  /// Batched Forward over a column batch: y = W x + b per column. Bitwise
+  /// matches Forward on each column (see AddMatMul).
+  void ForwardBatch(const Mat& x, Mat* y) const;
   /// Accumulates dW, db; adds W^T dy into dx (dx may be null).
   void Backward(const Vec& x, const Vec& dy, Vec* dx);
 
@@ -99,6 +113,14 @@ class TreeConvLayer {
 
   void Forward(const std::vector<Vec>& in, const std::vector<int>& left,
                const std::vector<int>& right, std::vector<Vec>* out) const;
+  /// Batched Forward over node-stacked columns: column i of `out` is
+  /// Wp x[i] + Wl x[left[i]] + Wr x[right[i]] + b (missing children
+  /// contribute nothing). `left`/`right` index columns of `x`; trees from
+  /// many batch items may be concatenated as long as indices are global.
+  /// Bitwise matches per-item Forward: each child pass is accumulated as a
+  /// single add per element, preserving Forward's summation grouping.
+  void ForwardBatch(const Mat& x, const std::vector<int>& left,
+                    const std::vector<int>& right, Mat* out) const;
   /// Backprops into dIn (accumulated) and the three weight grads.
   void Backward(const std::vector<Vec>& in, const std::vector<int>& left,
                 const std::vector<int>& right, const std::vector<Vec>& dout,
@@ -122,6 +144,12 @@ void DynamicMaxPool(const std::vector<Vec>& nodes, Vec* out,
                     std::vector<int>* argmax);
 void DynamicMaxPoolBackward(const Vec& dout, const std::vector<int>& argmax,
                             std::vector<Vec>* dnodes);
+
+/// Batched dynamic max pooling over node-stacked columns: item i pools the
+/// columns [item_begin[i], item_begin[i+1]) of `nodes` into column i of
+/// `pooled` (dim x num_items). Matches DynamicMaxPool per item.
+void DynamicMaxPoolBatch(const Mat& nodes, const std::vector<int>& item_begin,
+                         Mat* pooled);
 
 /// Adam optimizer over a set of parameters.
 class Adam {

@@ -1,0 +1,130 @@
+#include "src/runtime/inference_service.h"
+
+#include <algorithm>
+
+namespace balsa {
+
+InferenceService::InferenceService(const ValueNetwork* network,
+                                   InferenceServiceOptions options)
+    : network_(network), options_(options) {
+  options_.max_batch_size = std::max(1, options_.max_batch_size);
+  for (int i = 0; i < options_.num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+InferenceService::~InferenceService() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+std::vector<double> InferenceService::ScoreBatch(
+    const nn::Vec& query, const std::vector<const nn::TreeSample*>& plans) {
+  if (plans.empty()) return {};
+
+  if (workers_.empty()) {
+    // Synchronous mode: evaluate on the calling thread, still chunked.
+    Request request;
+    request.query = &query;
+    request.plans = &plans;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stats_.requests++;
+    }
+    ServeBatch({&request});
+    return std::move(request.scores);
+  }
+
+  Request request;
+  request.query = &query;
+  request.plans = &plans;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.requests++;
+    queue_.push_back(&request);
+  }
+  queue_cv_.notify_one();
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&request] { return request.done; });
+  return std::move(request.scores);
+}
+
+void InferenceService::WorkerLoop() {
+  for (;;) {
+    std::vector<Request*> batch;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      queue_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping, queue drained
+      // Fuse queued requests up to max_batch_size items; always take at
+      // least one request so oversized requests still make progress.
+      int taken = 0;
+      while (!queue_.empty()) {
+        const int next =
+            static_cast<int>(queue_.front()->plans->size());
+        if (!batch.empty() && taken + next > options_.max_batch_size) break;
+        batch.push_back(queue_.front());
+        queue_.pop_front();
+        taken += next;
+      }
+    }
+    ServeBatch(batch);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (Request* r : batch) r->done = true;
+    }
+    done_cv_.notify_all();
+  }
+}
+
+void InferenceService::ServeBatch(const std::vector<Request*>& batch) {
+  // Flatten the fused requests into per-item (query, plan) arrays.
+  std::vector<const nn::Vec*> queries;
+  std::vector<const nn::TreeSample*> plans;
+  for (const Request* r : batch) {
+    for (const nn::TreeSample* plan : *r->plans) {
+      queries.push_back(r->query);
+      plans.push_back(plan);
+    }
+  }
+  const int total = static_cast<int>(plans.size());
+
+  std::vector<double> scores;
+  scores.reserve(static_cast<size_t>(total));
+  int64_t forward_batches = 0;
+  int64_t max_fused = 0;
+  for (int lo = 0; lo < total; lo += options_.max_batch_size) {
+    const int hi = std::min(total, lo + options_.max_batch_size);
+    std::vector<const nn::Vec*> chunk_queries(queries.begin() + lo,
+                                              queries.begin() + hi);
+    std::vector<const nn::TreeSample*> chunk_plans(plans.begin() + lo,
+                                                   plans.begin() + hi);
+    std::vector<double> chunk = network_->ForwardBatch(chunk_queries,
+                                                       chunk_plans);
+    scores.insert(scores.end(), chunk.begin(), chunk.end());
+    forward_batches++;
+    max_fused = std::max<int64_t>(max_fused, hi - lo);
+  }
+
+  size_t pos = 0;
+  for (Request* r : batch) {
+    r->scores.assign(scores.begin() + pos,
+                     scores.begin() + pos + r->plans->size());
+    pos += r->plans->size();
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.items += total;
+  stats_.forward_batches += forward_batches;
+  stats_.max_fused_items = std::max(stats_.max_fused_items, max_fused);
+}
+
+InferenceService::Stats InferenceService::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace balsa

@@ -1,0 +1,89 @@
+// A micro-batching inference service over the value network, mirroring
+// Balsa's batched V(query, plan) scoring of beam-search frontiers (§6):
+// clients (planning threads) block on ScoreBatch(); worker threads drain
+// the request queue, fuse concurrent requests — across clients and across
+// queries — into single ValueNetwork::ForwardBatch calls, and hand each
+// client its scores back.
+//
+// Determinism: the batched nn kernels make every item's score bitwise
+// independent of the rest of the forward batch (see nn::AddMatMul), so
+// coalescing — however the race between clients plays out — never changes
+// any result. The service adds throughput, not nondeterminism.
+//
+// The network pointer is borrowed; callers must not train the network while
+// requests are in flight (the agent plans and trains in distinct phases).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/model/value_network.h"
+
+namespace balsa {
+
+struct InferenceServiceOptions {
+  /// Max (query, plan) items fused into one ForwardBatch call; larger
+  /// requests are evaluated in chunks of this size.
+  int max_batch_size = 128;
+  /// Worker threads draining the queue. 0 = synchronous mode: ScoreBatch
+  /// runs the forward pass on the calling thread (no queue, no fusion) —
+  /// useful for profiling and single-threaded callers.
+  int num_workers = 1;
+};
+
+class InferenceService {
+ public:
+  explicit InferenceService(const ValueNetwork* network,
+                            InferenceServiceOptions options = {});
+  ~InferenceService();
+
+  InferenceService(const InferenceService&) = delete;
+  InferenceService& operator=(const InferenceService&) = delete;
+
+  /// Blocking: predicted labels (original units), one per plan. Thread-safe;
+  /// concurrent calls may be fused into shared forward batches without
+  /// affecting any score (see file comment).
+  std::vector<double> ScoreBatch(
+      const nn::Vec& query,
+      const std::vector<const nn::TreeSample*>& plans);
+
+  struct Stats {
+    int64_t requests = 0;         // ScoreBatch calls
+    int64_t items = 0;            // (query, plan) pairs scored
+    int64_t forward_batches = 0;  // ForwardBatch calls issued
+    int64_t max_fused_items = 0;  // largest single forward batch
+  };
+  Stats stats() const;
+
+  const ValueNetwork* network() const { return network_; }
+
+ private:
+  struct Request {
+    const nn::Vec* query = nullptr;
+    const std::vector<const nn::TreeSample*>* plans = nullptr;
+    std::vector<double> scores;
+    bool done = false;
+  };
+
+  void WorkerLoop();
+  /// Runs the fused forward passes for `batch` (chunked at max_batch_size)
+  /// and fills each request's scores. Called without holding mu_.
+  void ServeBatch(const std::vector<Request*>& batch);
+
+  const ValueNetwork* network_;
+  InferenceServiceOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable queue_cv_;  // workers wait for requests
+  std::condition_variable done_cv_;   // clients wait for their scores
+  std::deque<Request*> queue_;
+  bool stop_ = false;
+  Stats stats_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace balsa

@@ -1,0 +1,22 @@
+#include "src/runtime/parallel_executor.h"
+
+#include <vector>
+
+#include "src/util/parallel_for.h"
+
+namespace balsa {
+
+ParallelExecutor::ParallelExecutor(ParallelExecutorOptions options)
+    : pool_(options.num_threads) {}
+
+Status ParallelExecutor::ForEach(size_t n,
+                                 const std::function<Status(size_t)>& fn) {
+  std::vector<Status> statuses(n);
+  ParallelFor(&pool_, n, [&](size_t i) { statuses[i] = fn(i); });
+  for (const Status& st : statuses) {
+    if (!st.ok()) return st;
+  }
+  return Status::OK();
+}
+
+}  // namespace balsa

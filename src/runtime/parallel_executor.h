@@ -1,0 +1,40 @@
+// ParallelExecutor: deterministic fan-out of Status-returning tasks on a
+// ThreadPool. This is the runtime's replacement for the virtual-clock worker
+// *simulation*: the agent's per-query planning, simulation data collection,
+// and the harness's multi-seed runs actually execute across real threads,
+// while results are always merged in task-index order — so output (and the
+// Status that wins on error) is a pure function of the tasks, never of
+// thread scheduling. The §7 virtual clock remains the time-accounting model
+// for learning curves; this class supplies the real parallelism.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "src/util/status.h"
+#include "src/util/thread_pool.h"
+
+namespace balsa {
+
+struct ParallelExecutorOptions {
+  /// 0 = std::thread::hardware_concurrency().
+  int num_threads = 0;
+};
+
+class ParallelExecutor {
+ public:
+  explicit ParallelExecutor(ParallelExecutorOptions options = {});
+
+  /// Runs fn(i) for every i in [0, n) across the pool, blocking until all
+  /// complete (even on error — tasks already running are not cancelled).
+  /// Returns the lowest-index non-OK status.
+  Status ForEach(size_t n, const std::function<Status(size_t)>& fn);
+
+  int num_threads() const { return pool_.num_threads(); }
+  ThreadPool* pool() { return &pool_; }
+
+ private:
+  ThreadPool pool_;
+};
+
+}  // namespace balsa

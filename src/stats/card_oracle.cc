@@ -5,6 +5,12 @@
 namespace balsa {
 
 StatusOr<TrueCard> CardOracle::Cardinality(const Query& query, TableSet set) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return CardinalityLocked(query, set);
+}
+
+StatusOr<TrueCard> CardOracle::CardinalityLocked(const Query& query,
+                                                TableSet set) {
   if (query.id() < 0) {
     return Status::InvalidArgument("query " + query.name() + " has no id");
   }
@@ -71,6 +77,7 @@ StatusOr<TrueCard> CardOracle::ComputeBySteps(const Query& query,
 
 StatusOr<std::vector<TrueCard>> CardOracle::PlanCardinalities(
     const Query& query, const Plan& plan) {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<TrueCard> out(plan.num_nodes());
   // Fast path: every node's set already cached.
   bool all_cached = true;
@@ -85,7 +92,7 @@ StatusOr<std::vector<TrueCard>> CardOracle::PlanCardinalities(
   }
   for (int i = 0; i < plan.num_nodes(); ++i) {
     BALSA_ASSIGN_OR_RETURN(TrueCard card,
-                           Cardinality(query, plan.node(i).tables));
+                           CardinalityLocked(query, plan.node(i).tables));
     out[i] = card;
   }
   return out;

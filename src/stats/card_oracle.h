@@ -3,9 +3,15 @@
 // (query, table set). The engine latency models are grounded in these
 // measurements, so "reality" diverges from the estimator exactly as it does
 // between PostgreSQL's planner and its executor.
+// Thread safety: all public methods serialize on one internal mutex, so the
+// oracle can back concurrent engines (parallel multi-seed runs). Coarse by
+// design — cardinalities are pure functions of (query, set), so lock order
+// can never change a value; the ROADMAP's sharded memo table is the planned
+// scalable refinement.
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <unordered_map>
 
 #include "src/exec/executor.h"
@@ -35,8 +41,14 @@ class CardOracle {
   StatusOr<std::vector<TrueCard>> PlanCardinalities(const Query& query,
                                                     const Plan& plan);
 
-  size_t CacheSize() const { return cache_.size(); }
-  int64_t NumExecutions() const { return num_executions_; }
+  size_t CacheSize() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return cache_.size();
+  }
+  int64_t NumExecutions() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return num_executions_;
+  }
 
  private:
   static uint64_t Key(int query_id, TableSet set) {
@@ -45,8 +57,11 @@ class CardOracle {
     return h;
   }
 
+  /// Implementations below require mu_ to be held.
+  StatusOr<TrueCard> CardinalityLocked(const Query& query, TableSet set);
   StatusOr<TrueCard> ComputeBySteps(const Query& query, TableSet set);
 
+  mutable std::mutex mu_;
   Executor executor_;
   std::unordered_map<uint64_t, TrueCard> cache_;
   int64_t num_executions_ = 0;
