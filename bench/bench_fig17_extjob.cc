@@ -1,5 +1,5 @@
 // Figure 17: generalizing to entirely new join templates (Ext-JOB). Train
-// on all 113 JOB queries; evaluate on 24 out-of-distribution queries whose
+// on all 113 JOB queries; evaluate on 32 out-of-distribution queries whose
 // join templates never appear in training. Paper: single agents come close
 // to but do not beat the expert; Balsa-8x (diversified experiences) matches
 // the expert immediately and surpasses it (~20% faster) with further

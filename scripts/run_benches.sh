@@ -10,12 +10,20 @@ if [ ! -d "$build_dir/bench" ]; then
   exit 1
 fi
 
-# bench_inference_batching gates the runtime's batched-inference speedup
-# (>= 2x evals/sec at batch 32 vs per-item Predict); run it first so a
-# kernel regression surfaces before the long figure reproductions.
+# Gated benches run first so a regression surfaces before the long figure
+# reproductions: bench_inference_batching asserts the runtime's batched-
+# inference speedup (>= 2x evals/sec at batch 32 vs per-item Predict);
+# bench_serving_throughput asserts the serving gates (>= 5x req/s at 16
+# clients from the plan cache, bitwise-identical plans, no stale serving)
+# and exits non-zero on violation.
 if [ -x "$build_dir/bench/bench_inference_batching" ]; then
   echo "==> bench_inference_batching"
   "$build_dir/bench/bench_inference_batching"
+  echo
+fi
+if [ -x "$build_dir/bench/bench_serving_throughput" ]; then
+  echo "==> bench_serving_throughput"
+  "$build_dir/bench/bench_serving_throughput"
   echo
 fi
 
@@ -23,7 +31,9 @@ fi
 # keep only executable regular files.
 for bin in "$build_dir"/bench/*; do
   [ -f "$bin" ] && [ -x "$bin" ] || continue
-  [ "$(basename "$bin")" = "bench_inference_batching" ] && continue
+  case "$(basename "$bin")" in
+    bench_inference_batching|bench_serving_throughput) continue ;;
+  esac
   echo "==> $(basename "$bin")"
   "$bin"
   echo

@@ -1,0 +1,282 @@
+#include "src/serving/optimizer_server.h"
+
+#include <chrono>
+
+#include "src/serving/query_fingerprint.h"
+#include "src/sql/parser.h"
+
+namespace balsa {
+
+void LatencyHistogram::Record(double micros) {
+  uint64_t us = micros <= 0 ? 0 : static_cast<uint64_t>(micros);
+  int bucket = us == 0 ? 0 : 64 - __builtin_clzll(us);
+  if (bucket >= kBuckets) bucket = kBuckets - 1;
+  buckets_[static_cast<size_t>(bucket)].fetch_add(1,
+                                                  std::memory_order_relaxed);
+  total_.fetch_add(1, std::memory_order_relaxed);
+}
+
+double LatencyHistogram::PercentileMicros(double p) const {
+  int64_t counts[kBuckets];
+  int64_t total = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    counts[i] = buckets_[static_cast<size_t>(i)].load(
+        std::memory_order_relaxed);
+    total += counts[i];
+  }
+  if (total == 0) return 0;
+  int64_t rank = static_cast<int64_t>(p / 100.0 * static_cast<double>(total));
+  if (rank >= total) rank = total - 1;
+  int64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += counts[i];
+    if (seen > rank) return static_cast<double>(uint64_t{1} << i);
+  }
+  return static_cast<double>(uint64_t{1} << (kBuckets - 1));
+}
+
+namespace {
+
+PlannerOptions ServingPlannerOptions(PlannerOptions planner) {
+  planner.epsilon_collapse = 0;  // a server never randomizes plans
+  return planner;
+}
+
+uint64_t InFlightKey(uint64_t fingerprint, int64_t version) {
+  return fingerprint ^
+         (static_cast<uint64_t>(version) * 0x9E3779B97F4A7C15ULL);
+}
+
+/// True iff every join of `plan` crosses a cut connected by some join
+/// predicate of `query` — i.e. the plan is executable against this query's
+/// relation numbering (Executor::Join requires a crossing predicate).
+/// Guards the remap of cached plans: WL color ties are broken by FROM
+/// position, which is only guaranteed safe for true automorphisms, so a
+/// pathologically symmetric self-join could remap onto non-corresponding
+/// relations. Such a plan is rejected and the query planned directly.
+bool PlanMatchesQuery(const Query& query, const Plan& plan) {
+  for (int i = 0; i < plan.num_nodes(); ++i) {
+    const PlanNode& node = plan.node(i);
+    if (!node.is_join) continue;
+    if (!query.CanJoin(plan.node(node.left).tables,
+                       plan.node(node.right).tables)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+OptimizerServer::OptimizerServer(const Schema* schema,
+                                 const Featurizer* featurizer,
+                                 const ValueNetwork* network,
+                                 const CardOracle* oracle,
+                                 OptimizerServerOptions options)
+    : schema_(schema),
+      oracle_(oracle),
+      options_(options),
+      inference_(std::make_unique<InferenceService>(network,
+                                                    options.inference)),
+      executor_(std::make_unique<ParallelExecutor>(
+          ParallelExecutorOptions{options.num_planning_threads})),
+      planner_(schema, featurizer, network,
+               ServingPlannerOptions(options.planner)),
+      cache_(options.cache) {
+  planner_.set_inference_service(inference_.get());
+}
+
+StatusOr<OptimizerServer::OptimizeResult> OptimizerServer::Optimize(
+    const Query& query) {
+  auto start = std::chrono::steady_clock::now();
+  StatusOr<OptimizeResult> result = Serve(query);
+  if (result.ok()) {
+    double micros = std::chrono::duration<double, std::micro>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+    result.value().serve_micros = micros;
+    latency_.Record(micros);
+  }
+  return result;
+}
+
+StatusOr<OptimizerServer::OptimizeResult> OptimizerServer::OptimizeSql(
+    const std::string& sql) {
+  BALSA_ASSIGN_OR_RETURN(Query query, ParseSql(*schema_, sql, "served"));
+  return Optimize(query);
+}
+
+StatusOr<CachedPlan> OptimizerServer::PlanMiss(const Query& query,
+                                               int64_t version) {
+  planned_.fetch_add(1, std::memory_order_relaxed);
+  BALSA_ASSIGN_OR_RETURN(BeamSearchPlanner::PlanningResult result,
+                         planner_.TopK(query, nullptr));
+  if (result.plans.empty()) {
+    return Status::Internal("beam search found no plan for " + query.name());
+  }
+  CachedPlan entry;
+  entry.plan = result.plans[0].plan;
+  entry.predicted_ms = result.plans[0].predicted_ms;
+  entry.stats_version = version;
+  return entry;
+}
+
+StatusOr<std::shared_ptr<const CachedPlan>> OptimizerServer::PlanAndAdmit(
+    const Query& query, uint64_t fingerprint,
+    const std::vector<int>& canonical_rank, int64_t version) {
+  auto future = executor_->pool()->Submit(
+      [this, &query, version] { return PlanMiss(query, version); });
+  BALSA_ASSIGN_OR_RETURN(CachedPlan planned, future.get());
+  // Store in canonical relation space so any FROM-ordering of this query
+  // can translate the entry to its own numbering.
+  planned.plan = RemapPlanRelations(planned.plan, canonical_rank);
+  auto shared = std::make_shared<const CachedPlan>(std::move(planned));
+  cache_.Insert(fingerprint, *shared);
+  return shared;
+}
+
+StatusOr<OptimizerServer::OptimizeResult> OptimizerServer::PlanUncached(
+    const Query& query, int64_t version, bool coalesced) {
+  auto future = executor_->pool()->Submit(
+      [this, &query, version] { return PlanMiss(query, version); });
+  BALSA_ASSIGN_OR_RETURN(CachedPlan planned, future.get());
+  OptimizeResult result;
+  result.plan = std::move(planned.plan);
+  result.predicted_ms = planned.predicted_ms;
+  result.stats_version = planned.stats_version;
+  result.coalesced = coalesced;
+  return result;
+}
+
+StatusOr<OptimizerServer::OptimizeResult> OptimizerServer::Serve(
+    const Query& query) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  const CanonicalQuery canonical = CanonicalizeQuery(query);
+  const uint64_t fingerprint = canonical.fingerprint;
+  const int64_t version = stats_version();
+
+  // Cache and in-flight entries hold plans in canonical relation space;
+  // translate back to this request's FROM numbering when serving. Another
+  // client may have planned the "same" query with its relations listed in
+  // a different order — the structure is shared, the indices are not.
+  const std::vector<int> from_canonical =
+      InversePermutation(canonical.canonical_rank);
+  // A shared entry is servable only if it covers exactly this query's
+  // relations (a cross-arity fingerprint collision would otherwise index
+  // past from_canonical in the remap) and, once remapped, every join still
+  // crosses a predicate-connected cut (a WL color tie that was not a true
+  // automorphism produces a miswired remap). Anything else is treated as a
+  // miss: a collision costs one beam search, never a bad plan.
+  auto servable = [&](const CachedPlan& entry) {
+    return entry.plan.RootTables() ==
+           TableSet::FirstN(static_cast<int>(from_canonical.size()));
+  };
+  auto to_result = [&from_canonical](const CachedPlan& entry, bool hit,
+                                     bool coalesced) {
+    OptimizeResult result;
+    result.plan = RemapPlanRelations(entry.plan, from_canonical);
+    result.predicted_ms = entry.predicted_ms;
+    result.stats_version = entry.stats_version;
+    result.cache_hit = hit;
+    result.coalesced = coalesced;
+    return result;
+  };
+
+  std::shared_ptr<const CachedPlan> cached;
+  if (cache_.Lookup(fingerprint, version, &cached)) {
+    if (servable(*cached)) {
+      OptimizeResult result = to_result(*cached, /*hit=*/true,
+                                        /*coalesced=*/false);
+      if (PlanMatchesQuery(query, result.plan)) {
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        return result;
+      }
+    }
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return PlanUncached(query, version, /*coalesced=*/false);
+  }
+
+  if (!options_.coalesce_misses) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    BALSA_ASSIGN_OR_RETURN(
+        std::shared_ptr<const CachedPlan> shared,
+        PlanAndAdmit(query, fingerprint, canonical.canonical_rank, version));
+    return to_result(*shared, /*hit=*/false, /*coalesced=*/false);
+  }
+
+  const uint64_t key = InFlightKey(fingerprint, version);
+  std::shared_ptr<InFlight> flight;
+  bool leader = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = in_flight_.find(key);
+    if (it != in_flight_.end()) {
+      flight = it->second;
+    } else {
+      // Double-check under mu_: a leader may have landed its plan between
+      // our lookup miss and here; without this, the herd's stragglers would
+      // each replan a query that is already cached. (RecheckLookup: the
+      // miss was already counted above.) A remap mismatch falls through to
+      // leading a fresh planning call for this FROM-ordering.
+      if (cache_.RecheckLookup(fingerprint, version, &cached) &&
+          servable(*cached)) {
+        OptimizeResult result = to_result(*cached, /*hit=*/true,
+                                          /*coalesced=*/false);
+        if (PlanMatchesQuery(query, result.plan)) {
+          hits_.fetch_add(1, std::memory_order_relaxed);
+          return result;
+        }
+      }
+      flight = std::make_shared<InFlight>();
+      in_flight_.emplace(key, flight);
+      leader = true;
+    }
+  }
+
+  if (leader) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    StatusOr<std::shared_ptr<const CachedPlan>> planned =
+        PlanAndAdmit(query, fingerprint, canonical.canonical_rank, version);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      flight->done = true;
+      if (planned.ok()) {
+        flight->result = planned.value();
+      } else {
+        flight->status = planned.status();
+      }
+      in_flight_.erase(key);
+    }
+    cv_.notify_all();
+    BALSA_RETURN_IF_ERROR(planned.status());
+    return to_result(*planned.value(), /*hit=*/false, /*coalesced=*/false);
+  }
+
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  coalesced_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return flight->done; });
+  }
+  BALSA_RETURN_IF_ERROR(flight->status);
+  if (servable(*flight->result)) {
+    OptimizeResult result = to_result(*flight->result, /*hit=*/false,
+                                      /*coalesced=*/true);
+    if (PlanMatchesQuery(query, result.plan)) return result;
+  }
+  // Shared result can't be remapped onto this FROM-ordering; plan it
+  // directly (still counted as coalesced: the wait happened).
+  return PlanUncached(query, version, /*coalesced=*/true);
+}
+
+OptimizerServer::Stats OptimizerServer::stats() const {
+  Stats stats;
+  stats.requests = requests_.load(std::memory_order_relaxed);
+  stats.hits = hits_.load(std::memory_order_relaxed);
+  stats.misses = misses_.load(std::memory_order_relaxed);
+  stats.coalesced = coalesced_.load(std::memory_order_relaxed);
+  stats.planned = planned_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace balsa

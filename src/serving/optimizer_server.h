@@ -1,0 +1,176 @@
+// OptimizerServer: the optimizer as a long-lived service rather than an
+// experiment loop. Concurrent clients call Optimize(sql | Query); each
+// request is canonicalized into a structural fingerprint
+// (src/serving/query_fingerprint.h) and served from the sharded LRU plan
+// cache keyed by (fingerprint, stats_version) — repeat traffic returns in
+// microseconds without re-running beam search. Cached plans live in
+// canonical relation space and are translated to each requester's FROM
+// numbering on the way out, so alias-renamed or FROM-reordered requests
+// receive correctly wired plans. Cache misses fan out through
+// the runtime: planning runs on the server's ParallelExecutor pool (bounded
+// planning concurrency = admission control), and every planner scores its
+// frontiers through one shared InferenceService, so concurrent misses fuse
+// into shared value-network forward batches.
+//
+// In-flight coalescing: misses for the *same* (fingerprint, stats_version)
+// collapse into one planning call — the first requester plans, the rest
+// block until its result lands, so a thundering herd of an uncached hot
+// query costs exactly one beam search. Combined with the deterministic
+// planner (epsilon is forced to 0), this gives the serving invariant the
+// bench asserts: for a fixed stats_version, every client always receives a
+// plan bitwise identical to a fresh single-threaded TopK, at any
+// concurrency.
+//
+// Staleness: the stats_version comes from the CardOracle generation counter
+// (bumped on re-ANALYZE). A bump makes every cached entry unreachable
+// (lookups require an exact version match), so stale plans are never
+// served; the entries themselves are evicted lazily by the cache.
+//
+// The network pointer is borrowed and must not be trained while requests
+// are in flight (serve and train are distinct phases, as in the agent).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "src/balsa/planner.h"
+#include "src/runtime/inference_service.h"
+#include "src/runtime/parallel_executor.h"
+#include "src/serving/plan_cache.h"
+#include "src/stats/card_oracle.h"
+
+namespace balsa {
+
+struct OptimizerServerOptions {
+  /// Beam-search configuration for misses. epsilon_collapse is forced to 0:
+  /// a server must hand every client the same plan for the same query.
+  PlannerOptions planner;
+  PlanCacheOptions cache;
+  /// Micro-batching of concurrent planners' scoring requests.
+  InferenceServiceOptions inference;
+  /// Planning threads (0 = hardware concurrency). Bounds how many misses
+  /// plan at once; excess misses queue on the pool.
+  int num_planning_threads = 0;
+  /// Collapse concurrent misses on the same (fingerprint, stats_version)
+  /// into one planning call. Off only for baselines that deliberately plan
+  /// every request from scratch.
+  bool coalesce_misses = true;
+};
+
+/// Lock-free log2-bucketed latency recorder (microsecond resolution).
+/// Percentiles come from bucket upper bounds: within ~2x, which is enough
+/// to tell a microsecond cache hit from a millisecond beam search.
+class LatencyHistogram {
+ public:
+  void Record(double micros);
+  /// p in [0, 100]; returns an upper bound of the p-th percentile in µs.
+  double PercentileMicros(double p) const;
+  int64_t count() const { return total_.load(std::memory_order_relaxed); }
+
+ private:
+  static constexpr int kBuckets = 40;  // 2^39 µs ≈ 6.4 days
+  std::array<std::atomic<int64_t>, kBuckets> buckets_{};
+  std::atomic<int64_t> total_{0};
+};
+
+class OptimizerServer {
+ public:
+  /// `oracle` supplies the statistics generation (stats_version); pass
+  /// nullptr to pin the version to 0 (no invalidation source). All pointers
+  /// are borrowed and must outlive the server.
+  OptimizerServer(const Schema* schema, const Featurizer* featurizer,
+                  const ValueNetwork* network, const CardOracle* oracle,
+                  OptimizerServerOptions options = {});
+
+  OptimizerServer(const OptimizerServer&) = delete;
+  OptimizerServer& operator=(const OptimizerServer&) = delete;
+
+  struct OptimizeResult {
+    Plan plan;
+    double predicted_ms = 0;
+    /// Statistics generation the plan was produced under.
+    int64_t stats_version = 0;
+    bool cache_hit = false;
+    /// Served by waiting on another request's in-flight planning call.
+    bool coalesced = false;
+    double serve_micros = 0;
+  };
+
+  /// Plans `query` (or serves it from the cache). Thread-safe.
+  StatusOr<OptimizeResult> Optimize(const Query& query);
+
+  /// Parses an SPJ statement and serves it like Optimize. Two SQL strings
+  /// that differ only in alias names or FROM order share a cache slot.
+  StatusOr<OptimizeResult> OptimizeSql(const std::string& sql);
+
+  struct Stats {
+    int64_t requests = 0;
+    int64_t hits = 0;
+    int64_t misses = 0;     // requests that found no cached plan
+    int64_t coalesced = 0;  // misses served by joining an in-flight plan
+    int64_t planned = 0;    // beam searches actually run
+  };
+  Stats stats() const;
+
+  /// Current statistics generation requests are served under.
+  int64_t stats_version() const {
+    return oracle_ == nullptr ? 0 : oracle_->generation();
+  }
+
+  const PlanCache& cache() const { return cache_; }
+  const LatencyHistogram& latency() const { return latency_; }
+  const InferenceService* inference() const { return inference_.get(); }
+  int num_planning_threads() const { return executor_->num_threads(); }
+
+ private:
+  struct InFlight {
+    bool done = false;
+    Status status = Status::OK();
+    /// The planned entry in *canonical* relation space (like the cache):
+    /// every waiter translates it to its own query's numbering.
+    std::shared_ptr<const CachedPlan> result;
+  };
+
+  /// Runs one beam search on the planning pool and returns its best plan.
+  StatusOr<CachedPlan> PlanMiss(const Query& query, int64_t version);
+  /// Plans `query`, admits the canonical-space entry to the cache, and
+  /// returns it (shared by the leader's response and any waiters).
+  StatusOr<std::shared_ptr<const CachedPlan>> PlanAndAdmit(
+      const Query& query, uint64_t fingerprint,
+      const std::vector<int>& canonical_rank, int64_t version);
+  /// Plans `query` without touching the cache — the fallback when a
+  /// canonical plan cannot be remapped onto this query's numbering.
+  StatusOr<OptimizeResult> PlanUncached(const Query& query, int64_t version,
+                                        bool coalesced);
+  StatusOr<OptimizeResult> Serve(const Query& query);
+
+  const Schema* schema_;
+  const CardOracle* oracle_;
+  OptimizerServerOptions options_;
+
+  std::unique_ptr<InferenceService> inference_;
+  std::unique_ptr<ParallelExecutor> executor_;
+  BeamSearchPlanner planner_;
+  PlanCache cache_;
+
+  std::mutex mu_;                // guards in_flight_
+  std::condition_variable cv_;   // waiters for in-flight planning calls
+  /// Key mixes fingerprint and stats_version: a bump mid-flight must not
+  /// let a new request join a plan computed under the old statistics.
+  std::unordered_map<uint64_t, std::shared_ptr<InFlight>> in_flight_;
+
+  std::atomic<int64_t> requests_{0};
+  std::atomic<int64_t> hits_{0};
+  std::atomic<int64_t> misses_{0};
+  std::atomic<int64_t> coalesced_{0};
+  std::atomic<int64_t> planned_{0};
+  LatencyHistogram latency_;
+};
+
+}  // namespace balsa

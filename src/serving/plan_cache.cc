@@ -1,0 +1,108 @@
+#include "src/serving/plan_cache.h"
+
+#include <algorithm>
+
+namespace balsa {
+
+PlanCache::PlanCache(PlanCacheOptions options)
+    : options_(options),
+      shards_(static_cast<size_t>(std::max(1, options.num_shards))) {}
+
+bool PlanCache::Lookup(uint64_t fingerprint, int64_t stats_version,
+                       std::shared_ptr<const CachedPlan>* out) {
+  return LookupImpl(fingerprint, stats_version, out, /*count_miss=*/true);
+}
+
+bool PlanCache::RecheckLookup(uint64_t fingerprint, int64_t stats_version,
+                              std::shared_ptr<const CachedPlan>* out) {
+  return LookupImpl(fingerprint, stats_version, out, /*count_miss=*/false);
+}
+
+bool PlanCache::LookupImpl(uint64_t fingerprint, int64_t stats_version,
+                           std::shared_ptr<const CachedPlan>* out,
+                           bool count_miss) {
+  Shard& shard = shards_[static_cast<size_t>(ShardOf(fingerprint))];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(fingerprint);
+  if (it == shard.map.end()) {
+    if (count_miss) shard.stats.misses++;
+    return false;
+  }
+  if (it->second.entry->stats_version != stats_version) {
+    // Never serve across generations. An *older* entry is stale: reclaim
+    // the slot now rather than waiting for capacity pressure. A *newer*
+    // entry means this request read the generation before a concurrent
+    // bump — miss, but leave the fresh plan for current-generation traffic.
+    if (it->second.entry->stats_version < stats_version) {
+      shard.lru.erase(it->second.lru_pos);
+      shard.map.erase(it);
+      shard.stats.stale_evictions++;
+    }
+    if (count_miss) shard.stats.misses++;
+    return false;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_pos);
+  *out = it->second.entry;
+  shard.stats.hits++;
+  return true;
+}
+
+void PlanCache::Insert(uint64_t fingerprint, CachedPlan entry) {
+  if (options_.shard_capacity == 0) return;
+  auto shared = std::make_shared<const CachedPlan>(std::move(entry));
+  Shard& shard = shards_[static_cast<size_t>(ShardOf(fingerprint))];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(fingerprint);
+  if (it != shard.map.end()) {
+    // A laggard request that planned under an already-bumped generation
+    // must not clobber the newer plan.
+    if (shared->stats_version < it->second.entry->stats_version) return;
+    it->second.entry = std::move(shared);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_pos);
+    shard.stats.insertions++;
+    return;
+  }
+  if (shard.map.size() >= options_.shard_capacity) {
+    uint64_t victim = shard.lru.back();
+    shard.lru.pop_back();
+    shard.map.erase(victim);
+    shard.stats.lru_evictions++;
+  }
+  shard.lru.push_front(fingerprint);
+  shard.map.emplace(fingerprint,
+                    Shard::Slot{std::move(shared), shard.lru.begin()});
+  shard.stats.insertions++;
+}
+
+PlanCache::ShardStats PlanCache::shard_stats(int shard) const {
+  const Shard& s = shards_[static_cast<size_t>(shard)];
+  std::lock_guard<std::mutex> lock(s.mu);
+  ShardStats stats = s.stats;
+  stats.entries = s.map.size();
+  return stats;
+}
+
+PlanCache::ShardStats PlanCache::TotalStats() const {
+  ShardStats total;
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    ShardStats s = shard_stats(static_cast<int>(i));
+    total.hits += s.hits;
+    total.misses += s.misses;
+    total.insertions += s.insertions;
+    total.stale_evictions += s.stale_evictions;
+    total.lru_evictions += s.lru_evictions;
+    total.entries += s.entries;
+  }
+  return total;
+}
+
+size_t PlanCache::size() const {
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.map.size();
+  }
+  return total;
+}
+
+}  // namespace balsa

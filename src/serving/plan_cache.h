@@ -1,0 +1,111 @@
+// Sharded LRU plan cache: the serving layer's hot path. Entries are keyed
+// by (query fingerprint, stats_version): a lookup only hits when both match,
+// so bumping the statistics generation (CardOracle::BumpGeneration) makes
+// every cached plan unreachable at once. Invalidation is lazy — a stale
+// entry is erased the next time its fingerprint is looked up under a newer
+// version, and capacity eviction reclaims the rest — so a stats bump costs
+// no stop-the-world sweep.
+//
+// Sharding: the fingerprint picks one of num_shards independent shards,
+// each with its own mutex, map, LRU list, capacity, and counters.
+// Concurrent lookups of different fingerprints contend only when they map
+// to the same shard; there is no global lock anywhere in the cache.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "src/plan/plan.h"
+
+namespace balsa {
+
+struct PlanCacheOptions {
+  int num_shards = 8;
+  /// Max entries per shard (total capacity = num_shards * shard_capacity).
+  /// 0 disables the cache: every Lookup misses and Insert is a no-op.
+  size_t shard_capacity = 512;
+};
+
+/// A cached planning result. `stats_version` records the statistics
+/// generation the plan was produced under.
+struct CachedPlan {
+  Plan plan;
+  double predicted_ms = 0;
+  int64_t stats_version = 0;
+};
+
+class PlanCache {
+ public:
+  explicit PlanCache(PlanCacheOptions options = {});
+
+  PlanCache(const PlanCache&) = delete;
+  PlanCache& operator=(const PlanCache&) = delete;
+
+  /// True and fills *out iff an entry for `fingerprint` exists at exactly
+  /// `stats_version` (the hit also moves it to the front of its shard's
+  /// LRU). Entries are handed out as shared_ptrs so the critical section
+  /// is a refcount bump, never a plan copy. An entry at an *older* version
+  /// is stale: it is erased, counted as a stale eviction, and the lookup
+  /// reports a miss. An entry at a *newer* version (the caller read the
+  /// generation before a concurrent bump) is a plain miss and stays cached
+  /// for current traffic.
+  bool Lookup(uint64_t fingerprint, int64_t stats_version,
+              std::shared_ptr<const CachedPlan>* out);
+
+  /// Lookup for a miss path's double-check: identical except that a miss
+  /// is not counted again (the caller already recorded one for this
+  /// request). Hits and stale evictions count normally.
+  bool RecheckLookup(uint64_t fingerprint, int64_t stats_version,
+                     std::shared_ptr<const CachedPlan>* out);
+
+  /// Inserts (or replaces) the entry for `fingerprint`, evicting the
+  /// shard's least-recently-used entry when it is full. An insert carrying
+  /// an older stats_version than the cached entry is dropped — a laggard
+  /// planner never downgrades the cache.
+  void Insert(uint64_t fingerprint, CachedPlan entry);
+
+  struct ShardStats {
+    int64_t hits = 0;
+    int64_t misses = 0;            // includes stale-eviction lookups
+    int64_t insertions = 0;
+    int64_t stale_evictions = 0;   // erased on version mismatch
+    int64_t lru_evictions = 0;     // erased by capacity pressure
+    size_t entries = 0;
+  };
+  ShardStats shard_stats(int shard) const;
+  /// Sum of every shard's counters.
+  ShardStats TotalStats() const;
+
+  size_t size() const;
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  /// Which shard `fingerprint` lives in (exposed for shard-level tests).
+  int ShardOf(uint64_t fingerprint) const {
+    return static_cast<int>((fingerprint ^ (fingerprint >> 32)) %
+                            shards_.size());
+  }
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    /// Front = most recently used; values are fingerprints.
+    std::list<uint64_t> lru;
+    struct Slot {
+      std::shared_ptr<const CachedPlan> entry;
+      std::list<uint64_t>::iterator lru_pos;
+    };
+    std::unordered_map<uint64_t, Slot> map;
+    ShardStats stats;
+  };
+
+  bool LookupImpl(uint64_t fingerprint, int64_t stats_version,
+                  std::shared_ptr<const CachedPlan>* out, bool count_miss);
+
+  PlanCacheOptions options_;
+  std::vector<Shard> shards_;
+};
+
+}  // namespace balsa

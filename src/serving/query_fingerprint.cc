@@ -1,0 +1,161 @@
+#include "src/serving/query_fingerprint.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace balsa {
+
+namespace {
+
+inline uint64_t Mix(uint64_t h, uint64_t v) {
+  h ^= v + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+  h *= 0xBF58476D1CE4E5B9ULL;
+  return h ^ (h >> 31);
+}
+
+/// Order-independent fold of a multiset of hashes.
+uint64_t FoldSorted(std::vector<uint64_t> values, uint64_t seed) {
+  std::sort(values.begin(), values.end());
+  uint64_t h = seed;
+  for (uint64_t v : values) h = Mix(h, v);
+  return h;
+}
+
+uint64_t FilterHash(const FilterPredicate& f) {
+  uint64_t h = Mix(0xF117E7ULL, static_cast<uint64_t>(f.col.column));
+  h = Mix(h, static_cast<uint64_t>(f.op));
+  h = Mix(h, static_cast<uint64_t>(f.value));
+  // IN-lists are sets: {1, 5} and {5, 1} filter identically.
+  std::vector<uint64_t> in(f.in_values.begin(), f.in_values.end());
+  return Mix(h, FoldSorted(std::move(in), 0x1A));
+}
+
+}  // namespace
+
+CanonicalQuery CanonicalizeQuery(const Query& query) {
+  const int n = query.num_relations();
+  if (n == 0) return {};
+
+  // Initial color: what the relation *is* (schema table) plus what its
+  // filters keep — everything about it except its name and position.
+  std::vector<uint64_t> color(n);
+  for (int r = 0; r < n; ++r) {
+    std::vector<uint64_t> filters;
+    for (const FilterPredicate& f : query.FiltersOn(r)) {
+      filters.push_back(FilterHash(f));
+    }
+    uint64_t h =
+        Mix(0xC0104ULL, static_cast<uint64_t>(query.relations()[r].table_idx));
+    color[r] = Mix(h, FoldSorted(std::move(filters), 0x2B));
+  }
+
+  // Per-relation adjacency with precomputed edge-label hashes, so the
+  // refinement rounds touch each incident predicate directly instead of
+  // rescanning the whole join list per relation per round. This runs on
+  // every request — cache hits included — so it is hot-path code.
+  struct Incident {
+    uint64_t edge;  // Mix(label, own column, other column)
+    int other;      // neighbor relation
+  };
+  std::vector<std::vector<Incident>> adjacency(static_cast<size_t>(n));
+  for (const JoinPredicate& j : query.joins()) {
+    uint64_t left_edge = Mix(
+        Mix(0xED6EULL, static_cast<uint64_t>(j.left.column)),
+        static_cast<uint64_t>(j.right.column));
+    uint64_t right_edge = Mix(
+        Mix(0xED6EULL, static_cast<uint64_t>(j.right.column)),
+        static_cast<uint64_t>(j.left.column));
+    adjacency[static_cast<size_t>(j.left.relation)].push_back(
+        {left_edge, j.right.relation});
+    adjacency[static_cast<size_t>(j.right.relation)].push_back(
+        {right_edge, j.left.relation});
+  }
+
+  // Refinement: absorb neighbor colors along column-labeled join edges.
+  // After n rounds every color has seen the whole connected component, so
+  // relations distinguishable by their position in the join graph get
+  // distinct colors while symmetric ones (true automorphisms) stay equal —
+  // exactly the queries that plan identically.
+  std::vector<uint64_t> next(static_cast<size_t>(n));
+  std::vector<uint64_t> incident;  // reused across relations and rounds
+  for (int round = 0; round < n; ++round) {
+    for (int r = 0; r < n; ++r) {
+      incident.clear();
+      for (const Incident& inc : adjacency[static_cast<size_t>(r)]) {
+        incident.push_back(Mix(inc.edge, color[static_cast<size_t>(inc.other)]));
+      }
+      std::sort(incident.begin(), incident.end());
+      uint64_t folded = 0x3C;
+      for (uint64_t v : incident) folded = Mix(folded, v);
+      next[static_cast<size_t>(r)] = Mix(color[static_cast<size_t>(r)], folded);
+    }
+    color.swap(next);
+  }
+
+  // Final hash: the color multiset plus every edge under final colors.
+  std::vector<uint64_t> edges;
+  for (const JoinPredicate& j : query.joins()) {
+    uint64_t a = Mix(color[j.left.relation],
+                     static_cast<uint64_t>(j.left.column));
+    uint64_t b = Mix(color[j.right.relation],
+                     static_cast<uint64_t>(j.right.column));
+    if (a > b) std::swap(a, b);  // equality joins are symmetric
+    edges.push_back(Mix(a, b));
+  }
+
+  CanonicalQuery canonical;
+  // Canonical ordering: sort relations by final color, breaking ties by
+  // FROM position. Equal colors after n refinement rounds are structural
+  // symmetries in all but pathologically regular graphs (1-WL can be
+  // coarser than automorphism orbits), so the consumer validates remapped
+  // plans rather than trusting tie-breaks blindly (see optimizer_server).
+  std::vector<int> order(static_cast<size_t>(n));
+  for (int r = 0; r < n; ++r) order[static_cast<size_t>(r)] = r;
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    size_t ua = static_cast<size_t>(a), ub = static_cast<size_t>(b);
+    return color[ua] != color[ub] ? color[ua] < color[ub] : a < b;
+  });
+  canonical.canonical_rank.resize(static_cast<size_t>(n));
+  for (int rank = 0; rank < n; ++rank) {
+    canonical.canonical_rank[static_cast<size_t>(
+        order[static_cast<size_t>(rank)])] = rank;
+  }
+
+  uint64_t h = Mix(0xF1DE5ULL, static_cast<uint64_t>(n));
+  h = Mix(h, FoldSorted(std::move(color), 0x4D));
+  canonical.fingerprint = Mix(h, FoldSorted(std::move(edges), 0x5E));
+  return canonical;
+}
+
+uint64_t QueryFingerprint(const Query& query) {
+  return CanonicalizeQuery(query).fingerprint;
+}
+
+Plan RemapPlanRelations(const Plan& plan,
+                        const std::vector<int>& relation_map) {
+  // Rebuild node-by-node in arena order: indices (and hence child links)
+  // are preserved, and AddScan/AddJoin recompute the table sets under the
+  // new numbering.
+  Plan out;
+  for (int i = 0; i < plan.num_nodes(); ++i) {
+    const PlanNode& node = plan.node(i);
+    if (node.is_join) {
+      out.AddJoin(node.left, node.right, node.join_op);
+    } else {
+      out.AddScan(relation_map[static_cast<size_t>(node.relation)],
+                  node.scan_op);
+    }
+  }
+  out.set_root(plan.root());
+  return out;
+}
+
+std::vector<int> InversePermutation(const std::vector<int>& relation_map) {
+  std::vector<int> inverse(relation_map.size());
+  for (size_t i = 0; i < relation_map.size(); ++i) {
+    inverse[static_cast<size_t>(relation_map[i])] = static_cast<int>(i);
+  }
+  return inverse;
+}
+
+}  // namespace balsa

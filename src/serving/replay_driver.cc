@@ -1,0 +1,91 @@
+#include "src/serving/replay_driver.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "src/util/rng.h"
+#include "src/util/stats_util.h"
+
+namespace balsa {
+
+StatusOr<ReplayReport> ReplayWorkload(
+    OptimizerServer* server, const std::vector<const Query*>& queries,
+    const ReplayOptions& options) {
+  if (queries.empty()) {
+    return Status::InvalidArgument("replay needs a non-empty workload");
+  }
+  if (options.num_clients <= 0 || options.requests_per_client <= 0) {
+    return Status::InvalidArgument("replay needs clients and requests");
+  }
+  const size_t num_clients = static_cast<size_t>(options.num_clients);
+  ZipfGenerator popularity(queries.size(), options.zipf_s);
+
+  struct ClientResult {
+    Status status = Status::OK();
+    std::vector<double> latencies_us;
+    int64_t hits = 0;
+  };
+  std::vector<ClientResult> results(num_clients);
+  // First plan fingerprint observed per query index (0 = none yet); any
+  // later disagreement breaks the serving invariant.
+  std::vector<std::atomic<uint64_t>> seen_plan(queries.size());
+  for (auto& s : seen_plan) s.store(0, std::memory_order_relaxed);
+  std::atomic<bool> consistent{true};
+
+  auto client = [&](size_t c) {
+    ClientResult& out = results[c];
+    out.latencies_us.reserve(static_cast<size_t>(options.requests_per_client));
+    Rng rng(options.seed * 0x9E3779B9ULL + c);
+    for (int r = 0; r < options.requests_per_client; ++r) {
+      size_t qi = static_cast<size_t>(popularity.Sample(&rng));
+      auto result = server->Optimize(*queries[qi]);
+      if (!result.ok()) {
+        out.status = result.status();
+        return;
+      }
+      out.latencies_us.push_back(result->serve_micros);
+      out.hits += result->cache_hit ? 1 : 0;
+      uint64_t fp = result->plan.Fingerprint();
+      uint64_t expected = 0;
+      if (!seen_plan[qi].compare_exchange_strong(expected, fp,
+                                                 std::memory_order_acq_rel) &&
+          expected != fp) {
+        consistent.store(false, std::memory_order_relaxed);
+      }
+    }
+  };
+
+  auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(num_clients);
+  for (size_t c = 0; c < num_clients; ++c) threads.emplace_back(client, c);
+  for (std::thread& t : threads) t.join();
+  double wall = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+
+  ReplayReport report;
+  std::vector<double> latencies;
+  for (const ClientResult& r : results) {
+    BALSA_RETURN_IF_ERROR(r.status);
+    latencies.insert(latencies.end(), r.latencies_us.begin(),
+                     r.latencies_us.end());
+    report.requests += static_cast<int64_t>(r.latencies_us.size());
+    report.hit_rate += static_cast<double>(r.hits);
+  }
+  report.wall_seconds = wall;
+  report.requests_per_sec =
+      wall > 0 ? static_cast<double>(report.requests) / wall : 0;
+  report.hit_rate = report.requests > 0
+                        ? report.hit_rate / static_cast<double>(report.requests)
+                        : 0;
+  report.p50_us = Percentile(latencies, 50);
+  report.p99_us = Percentile(latencies, 99);
+  report.server = server->stats();
+  report.plans_consistent = consistent.load(std::memory_order_relaxed);
+  return report;
+}
+
+}  // namespace balsa

@@ -1,0 +1,50 @@
+// Closed-loop workload replayer: the serving layer's load generator. Spawns
+// `num_clients` real client threads against one OptimizerServer; each
+// client draws queries from a seeded (optionally Zipf-skewed) popularity
+// distribution over the workload and issues the next request as soon as the
+// previous one returns — the classic closed-loop model, so measured
+// throughput is requests the *server* sustained, not an open-loop offered
+// rate. Collects exact per-request latencies (merged across clients) and
+// verifies the serving invariant along the way: every client must receive
+// the identical plan for the same query at the same stats_version.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/serving/optimizer_server.h"
+#include "src/util/status.h"
+#include "src/workloads/workload.h"
+
+namespace balsa {
+
+struct ReplayOptions {
+  int num_clients = 16;
+  int requests_per_client = 100;
+  /// Zipf exponent of query popularity (0 = uniform). Real serving traffic
+  /// is heavily skewed; skew is what a plan cache monetizes.
+  double zipf_s = 0.9;
+  uint64_t seed = 1;
+};
+
+struct ReplayReport {
+  int64_t requests = 0;
+  double wall_seconds = 0;
+  double requests_per_sec = 0;
+  /// Fraction of requests served straight from the plan cache.
+  double hit_rate = 0;
+  /// Exact percentiles over every request's serve time.
+  double p50_us = 0;
+  double p99_us = 0;
+  OptimizerServer::Stats server;
+  /// True iff all clients saw one plan fingerprint per query index.
+  bool plans_consistent = true;
+};
+
+/// Replays `queries` against `server` and reports throughput/latency.
+/// Thread-count invariant in results (plans), not in timing.
+StatusOr<ReplayReport> ReplayWorkload(OptimizerServer* server,
+                                      const std::vector<const Query*>& queries,
+                                      const ReplayOptions& options = {});
+
+}  // namespace balsa

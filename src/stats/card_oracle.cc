@@ -4,19 +4,33 @@
 
 namespace balsa {
 
-StatusOr<TrueCard> CardOracle::Cardinality(const Query& query, TableSet set) {
-  std::lock_guard<std::mutex> lock(mu_);
-  return CardinalityLocked(query, set);
+bool CardOracle::TryGet(uint64_t key, TrueCard* out) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(key);
+  if (it == shard.map.end()) return false;
+  *out = it->second;
+  return true;
 }
 
-StatusOr<TrueCard> CardOracle::CardinalityLocked(const Query& query,
-                                                TableSet set) {
+void CardOracle::Put(uint64_t key, TrueCard card) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(key);
+  if (it == shard.map.end()) {
+    shard.map.emplace(key, card);
+  } else if (it->second.capped && !card.capped) {
+    it->second = card;
+  }
+}
+
+StatusOr<TrueCard> CardOracle::Cardinality(const Query& query, TableSet set) {
   if (query.id() < 0) {
     return Status::InvalidArgument("query " + query.name() + " has no id");
   }
   if (set.empty()) return Status::InvalidArgument("empty table set");
-  auto it = cache_.find(Key(query.id(), set));
-  if (it != cache_.end()) return it->second;
+  TrueCard cached;
+  if (TryGet(Key(query.id(), set), &cached)) return cached;
   return ComputeBySteps(query, set);
 }
 
@@ -29,15 +43,15 @@ StatusOr<TrueCard> CardOracle::ComputeBySteps(const Query& query,
   for (int rel : set) {
     BALSA_ASSIGN_OR_RETURN(scans[rel], executor_.Scan(query, rel));
     bases.push_back({scans[rel].NumRows(), rel});
-    cache_[Key(query.id(), TableSet::Single(rel))] = {
-        static_cast<double>(scans[rel].NumRows()), false};
+    Put(Key(query.id(), TableSet::Single(rel)),
+        {static_cast<double>(scans[rel].NumRows()), false});
   }
   std::sort(bases.begin(), bases.end());
 
   // Start from the smallest relation; grow by the smallest connected one.
   Intermediate current = std::move(scans[bases[0].second]);
   TableSet done = TableSet::Single(bases[0].second);
-  num_executions_++;
+  num_executions_.fetch_add(1, std::memory_order_relaxed);
   while (done != set) {
     int next = -1;
     for (const auto& [rows, rel] : bases) {
@@ -54,17 +68,15 @@ StatusOr<TrueCard> CardOracle::ComputeBySteps(const Query& query,
     }
     TableSet grown = done.With(next);
     uint64_t key = Key(query.id(), grown);
-    auto hit = cache_.find(key);
+    TrueCard hit;
     // Even on a cache hit we must materialize the intermediate to continue,
     // unless the grown set is the final target.
-    if (hit != cache_.end() && grown == set) return hit->second;
+    if (grown == set && TryGet(key, &hit)) return hit;
     BALSA_ASSIGN_OR_RETURN(current,
                            executor_.Join(query, current, scans[next]));
-    num_executions_++;
+    num_executions_.fetch_add(1, std::memory_order_relaxed);
     TrueCard card{static_cast<double>(current.NumRows()), current.capped};
-    if (hit == cache_.end() || (hit->second.capped && !card.capped)) {
-      cache_[key] = card;
-    }
+    Put(key, card);
     done = grown;
     if (current.capped) {
       // Everything above a capped intermediate is also capped; don't keep
@@ -72,27 +84,23 @@ StatusOr<TrueCard> CardOracle::ComputeBySteps(const Query& query,
       return TrueCard{static_cast<double>(current.NumRows()), true};
     }
   }
-  return cache_[Key(query.id(), set)];
+  TrueCard result;
+  TryGet(Key(query.id(), set), &result);  // Put above guarantees presence
+  return result;
 }
 
 StatusOr<std::vector<TrueCard>> CardOracle::PlanCardinalities(
     const Query& query, const Plan& plan) {
-  std::lock_guard<std::mutex> lock(mu_);
   std::vector<TrueCard> out(plan.num_nodes());
   // Fast path: every node's set already cached.
   bool all_cached = true;
   for (int i = 0; i < plan.num_nodes() && all_cached; ++i) {
-    all_cached = cache_.count(Key(query.id(), plan.node(i).tables)) > 0;
+    all_cached = TryGet(Key(query.id(), plan.node(i).tables), &out[i]);
   }
-  if (all_cached) {
-    for (int i = 0; i < plan.num_nodes(); ++i) {
-      out[i] = cache_[Key(query.id(), plan.node(i).tables)];
-    }
-    return out;
-  }
+  if (all_cached) return out;
   for (int i = 0; i < plan.num_nodes(); ++i) {
     BALSA_ASSIGN_OR_RETURN(TrueCard card,
-                           CardinalityLocked(query, plan.node(i).tables));
+                           Cardinality(query, plan.node(i).tables));
     out[i] = card;
   }
   return out;

@@ -3,13 +3,23 @@
 // (query, table set). The engine latency models are grounded in these
 // measurements, so "reality" diverges from the estimator exactly as it does
 // between PostgreSQL's planner and its executor.
-// Thread safety: all public methods serialize on one internal mutex, so the
-// oracle can back concurrent engines (parallel multi-seed runs). Coarse by
-// design — cardinalities are pure functions of (query, set), so lock order
-// can never change a value; the ROADMAP's sharded memo table is the planned
-// scalable refinement.
+//
+// Thread safety: the memo table is sharded (kNumShards shards by key hash),
+// so the concurrent hot path — a cache hit — takes only one shard lock and
+// concurrent hits on different shards never contend. Misses compute without
+// any global lock: the executor is stateless/const, cardinalities are pure
+// functions of (query, set), and every cache write stores the same bytes for
+// a given key, so concurrent duplicate computations are wasteful but can
+// never change a result. Results are bitwise identical for any thread count.
+//
+// The generation counter versions the statistics regime the rest of the
+// system plans under (TableStats/estimator snapshots). Bumping it does not
+// clear the memo — true cardinalities stay true — but lets higher layers
+// (the serving plan cache, async training) detect that plans derived from
+// older statistics are stale.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <mutex>
 #include <unordered_map>
@@ -29,6 +39,8 @@ struct TrueCard {
 
 class CardOracle {
  public:
+  static constexpr int kNumShards = 16;
+
   explicit CardOracle(const Database* db, ExecutorOptions exec_options = {})
       : executor_(db, exec_options) {}
 
@@ -42,29 +54,55 @@ class CardOracle {
                                                     const Plan& plan);
 
   size_t CacheSize() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return cache_.size();
+    size_t total = 0;
+    for (const Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      total += shard.map.size();
+    }
+    return total;
   }
   int64_t NumExecutions() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return num_executions_;
+    return num_executions_.load(std::memory_order_relaxed);
+  }
+
+  /// Statistics generation this oracle's consumers currently plan under.
+  /// Monotonic; the serving layer keys its plan cache by it so a bump
+  /// lazily invalidates every cached plan (see src/serving/plan_cache.h).
+  int64_t generation() const {
+    return generation_.load(std::memory_order_acquire);
+  }
+  void BumpGeneration() {
+    generation_.fetch_add(1, std::memory_order_acq_rel);
   }
 
  private:
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<uint64_t, TrueCard> map;
+  };
+
   static uint64_t Key(int query_id, TableSet set) {
     uint64_t h = static_cast<uint64_t>(query_id + 1) * 0x9E3779B97F4A7C15ULL;
     h ^= set.bits() + 0xBF58476D1CE4E5B9ULL + (h << 6) + (h >> 2);
     return h;
   }
 
-  /// Implementations below require mu_ to be held.
-  StatusOr<TrueCard> CardinalityLocked(const Query& query, TableSet set);
+  Shard& ShardFor(uint64_t key) {
+    // The low bits already mix query id and set bits; fold the high half in
+    // so shard choice is not dominated by either.
+    return shards_[(key ^ (key >> 32)) % kNumShards];
+  }
+  bool TryGet(uint64_t key, TrueCard* out);
+  /// Inserts `card` unless the shard already holds an uncapped value for
+  /// `key` (an uncapped measurement is never downgraded to a capped one).
+  void Put(uint64_t key, TrueCard card);
+
   StatusOr<TrueCard> ComputeBySteps(const Query& query, TableSet set);
 
-  mutable std::mutex mu_;
   Executor executor_;
-  std::unordered_map<uint64_t, TrueCard> cache_;
-  int64_t num_executions_ = 0;
+  Shard shards_[kNumShards];
+  std::atomic<int64_t> num_executions_{0};
+  std::atomic<int64_t> generation_{0};
 };
 
 }  // namespace balsa

@@ -115,6 +115,7 @@ StatusOr<std::vector<TableStats>> Analyze(const Database& db,
     const TableData& data = db.table_data(t);
     TableStats ts;
     ts.row_count = data.row_count;
+    ts.stats_version = options.stats_version;
     ts.columns.reserve(data.columns.size());
     for (const auto& col : data.columns) {
       ts.columns.push_back(AnalyzeColumn(col, options, &rng));

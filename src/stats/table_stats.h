@@ -32,6 +32,11 @@ struct ColumnStats {
 struct TableStats {
   int64_t row_count = 0;
   std::vector<ColumnStats> columns;
+  /// Generation of the ANALYZE run that produced these statistics. Consumers
+  /// that cache anything derived from stats (plans, estimates) key those
+  /// caches by this version so a re-ANALYZE lazily invalidates them; the
+  /// CardOracle carries the matching runtime counter (generation()).
+  int64_t stats_version = 0;
 };
 
 struct AnalyzeOptions {
@@ -41,6 +46,10 @@ struct AnalyzeOptions {
   /// what makes real ANALYZE stats inaccurate; we default to full scans and
   /// let skew/correlation supply the estimation error, as in the paper.
   int64_t sample_rows = 0;
+  /// Stamped into every produced TableStats::stats_version. Callers that
+  /// re-ANALYZE after data changes pass a larger value (e.g. the oracle's
+  /// bumped generation) so stale derived caches can be detected.
+  int64_t stats_version = 0;
 };
 
 /// Computes statistics for every table in the database.

@@ -488,7 +488,7 @@ std::vector<TemplateSpec> JobTemplates() {
   return s;
 }
 
-// 12 Ext-JOB-like templates: join graphs not present in JobTemplates()
+// 16 Ext-JOB-like templates: join graphs not present in JobTemplates()
 // (person-centric chains, double movie_link hops, aka_title pivots, ...).
 std::vector<TemplateSpec> ExtJobTemplates() {
   using R = std::vector<std::pair<const char*, const char*>>;
@@ -585,6 +585,42 @@ std::vector<TemplateSpec> ExtJobTemplates() {
                  {"ml.linked_movie_id", "t2.id"}, {"t2.kind_id", "kt2.id"}},
                F{{"cn.country_code", "e"}, {"kt2.kind", "e"},
                  {"n.gender", "e"}}});
+  // e13-e16 widen the out-of-distribution set further: keyword lookups on
+  // the *linked* movie, a title-free person pivot, complete_cast crossed
+  // with ratings, and a person-company bridge — none share a join graph
+  // with JobTemplates() or with e1-e12.
+  s.push_back({"e13",
+               R{{"title", "t"}, {"movie_link", "ml"}, {"title", "t2"},
+                 {"movie_keyword", "mk2"}, {"keyword", "k"}},
+               J{{"ml.movie_id", "t.id"}, {"ml.linked_movie_id", "t2.id"},
+                 {"mk2.movie_id", "t2.id"}, {"mk2.keyword_id", "k.id"}},
+               F{{"k.phonetic_code", "e"}, {"t.production_year", "r"}}});
+  s.push_back({"e14",
+               R{{"name", "n"}, {"aka_name", "an"}, {"cast_info", "ci"},
+                 {"char_name", "chn"}, {"role_type", "rt"}},
+               J{{"an.person_id", "n.id"}, {"ci.person_id", "n.id"},
+                 {"ci.person_role_id", "chn.id"}, {"ci.role_id", "rt.id"}},
+               F{{"rt.role", "e"}, {"an.name_pcode_cf", "e"},
+                 {"n.gender", "e"}}});
+  s.push_back({"e15",
+               R{{"title", "t"}, {"complete_cast", "cc"},
+                 {"comp_cast_type", "cct1"}, {"movie_keyword", "mk"},
+                 {"keyword", "k"}, {"movie_info_idx", "midx"},
+                 {"info_type", "it"}},
+               J{{"cc.movie_id", "t.id"}, {"cc.subject_id", "cct1.id"},
+                 {"mk.movie_id", "t.id"}, {"mk.keyword_id", "k.id"},
+                 {"midx.movie_id", "t.id"}, {"midx.info_type_id", "it.id"}},
+               F{{"cct1.kind", "e"}, {"k.phonetic_code", "e"},
+                 {"midx.info", "r"}}});
+  s.push_back({"e16",
+               R{{"name", "n"}, {"person_info", "pi"}, {"info_type", "it"},
+                 {"cast_info", "ci"}, {"title", "t"},
+                 {"movie_companies", "mc"}, {"company_type", "ct"}},
+               J{{"pi.person_id", "n.id"}, {"pi.info_type_id", "it.id"},
+                 {"ci.person_id", "n.id"}, {"ci.movie_id", "t.id"},
+                 {"mc.movie_id", "t.id"}, {"mc.company_type_id", "ct.id"}},
+               F{{"pi.info", "e"}, {"ct.kind", "e"},
+                 {"t.production_year", "r"}}});
   return s;
 }
 
@@ -602,7 +638,7 @@ StatusOr<Workload> GenerateJobWorkload(const Schema& schema,
 StatusOr<Workload> GenerateExtJobWorkload(const Schema& schema,
                                           const JobWorkloadOptions& options) {
   std::vector<TemplateSpec> specs = ExtJobTemplates();
-  std::vector<int> variants(specs.size(), 2);  // 24 queries
+  std::vector<int> variants(specs.size(), 2);  // 32 queries
   return Instantiate(schema, "Ext-JOB-like", specs, variants,
                      options.seed + 101);
 }

@@ -1,6 +1,6 @@
 // Generator for the Join Order Benchmark-like workload over the IMDb-like
 // schema: 113 queries drawn from 33 join templates (3-16 joins, averaging
-// ~8), plus the Ext-JOB-like out-of-distribution set (24 queries on 12
+// ~8), plus the Ext-JOB-like out-of-distribution set (32 queries on 16
 // entirely new join templates, 2-10 joins). Variants of a template share
 // the join graph but differ in filter predicates, as in JOB's 1a/1b/1c.
 #pragma once
@@ -19,7 +19,7 @@ struct JobWorkloadOptions {
 StatusOr<Workload> GenerateJobWorkload(const Schema& schema,
                                        const JobWorkloadOptions& options = {});
 
-/// The 24-query Ext-JOB-like workload: join templates and predicates
+/// The 32-query Ext-JOB-like workload: join templates and predicates
 /// disjoint from GenerateJobWorkload's, on the same schema (§8.5).
 StatusOr<Workload> GenerateExtJobWorkload(
     const Schema& schema, const JobWorkloadOptions& options = {});

@@ -1,5 +1,8 @@
 #include "src/stats/card_oracle.h"
 
+#include <thread>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "src/stats/oracle_estimator.h"
@@ -97,6 +100,59 @@ TEST_F(CardOracleTest, CardinalityIsPlanShapeInvariant) {
   auto cards = fresh.PlanCardinalities(query_, plan);
   ASSERT_TRUE(cards.ok());
   EXPECT_EQ(cards->back().rows, c1->rows);
+}
+
+TEST_F(CardOracleTest, ShardedMemoMatchesSingleThreadedResults) {
+  // Single-threaded ground truth for every connected subset.
+  std::vector<TableSet> sets;
+  for (uint64_t bits = 1; bits < 16; ++bits) {
+    TableSet set(bits);
+    if (query_.IsConnected(set)) sets.push_back(set);
+  }
+  std::vector<double> baseline(sets.size());
+  for (size_t i = 0; i < sets.size(); ++i) {
+    auto card = fixture_.oracle->Cardinality(query_, sets[i]);
+    ASSERT_TRUE(card.ok());
+    baseline[i] = card->rows;
+  }
+
+  // Many threads hammering a *fresh* oracle (cold shards, every key racing)
+  // must reproduce the exact same values: cardinalities are pure functions
+  // of (query, set), so sharding the memo cannot change any result.
+  CardOracle fresh(fixture_.db.get());
+  constexpr int kThreads = 8;
+  std::vector<std::vector<double>> got(
+      kThreads, std::vector<double>(sets.size(), -1));
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (size_t i = 0; i < sets.size(); ++i) {
+        size_t pick = (i + static_cast<size_t>(t)) % sets.size();
+        auto card = fresh.Cardinality(query_, sets[pick]);
+        BALSA_CHECK(card.ok(), card.status().ToString());
+        got[static_cast<size_t>(t)][pick] = card->rows;
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(got[static_cast<size_t>(t)], baseline) << "thread " << t;
+  }
+  EXPECT_EQ(fresh.CacheSize(), fixture_.oracle->CacheSize());
+}
+
+TEST_F(CardOracleTest, GenerationCountsBumps) {
+  CardOracle oracle(fixture_.db.get());
+  EXPECT_EQ(oracle.generation(), 0);
+  oracle.BumpGeneration();
+  oracle.BumpGeneration();
+  EXPECT_EQ(oracle.generation(), 2);
+  // Bumping versions the statistics regime; the memo (true cardinalities)
+  // is untouched.
+  ASSERT_TRUE(oracle.Cardinality(query_, TableSet::Single(0)).ok());
+  size_t cached = oracle.CacheSize();
+  oracle.BumpGeneration();
+  EXPECT_EQ(oracle.CacheSize(), cached);
 }
 
 TEST(OracleEstimatorTest, MatchesOracle) {

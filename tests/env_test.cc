@@ -20,7 +20,7 @@ TEST(EnvTest, JobRandomSplitEnv) {
   ASSERT_TRUE(env.ok()) << env.status().ToString();
   EXPECT_EQ((*env)->workload.num_queries(), 113);
   EXPECT_EQ((*env)->workload.test_indices().size(), 19u);
-  EXPECT_EQ((*env)->ext_workload.num_queries(), 24);
+  EXPECT_EQ((*env)->ext_workload.num_queries(), 32);
   EXPECT_EQ((*env)->schema().num_tables(), 21);
   EXPECT_TRUE((*env)->pg_engine->options().accepts_bushy);
   EXPECT_FALSE((*env)->commdb_engine->options().accepts_bushy);

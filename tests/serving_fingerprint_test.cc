@@ -1,0 +1,237 @@
+// The serving layer's canonical query fingerprint: invariant to FROM-list
+// order and alias spelling, sensitive to everything that changes the
+// planning problem (tables, join graph, filter predicates and constants).
+#include "src/serving/query_fingerprint.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "src/sql/parser.h"
+#include "test_util.h"
+
+namespace balsa {
+namespace {
+
+class FingerprintTest : public ::testing::Test {
+ protected:
+  FingerprintTest() : schema_(testing::MakeStarSchema()) {}
+
+  Query Must(StatusOr<Query> q) {
+    BALSA_CHECK(q.ok(), q.status().ToString());
+    return std::move(q).value();
+  }
+
+  Schema schema_;
+};
+
+TEST_F(FingerprintTest, InvariantToFromOrderAndAliasNames) {
+  Query a = Must(QueryBuilder(&schema_, "a")
+                     .From("sales", "s")
+                     .From("customer", "c")
+                     .From("product", "p")
+                     .JoinEq("s.customer_id", "c.id")
+                     .JoinEq("s.product_id", "p.id")
+                     .Filter("c.region", PredOp::kEq, 2)
+                     .Build());
+  // Same query: relations listed in reverse with entirely different aliases.
+  Query b = Must(QueryBuilder(&schema_, "b")
+                     .From("product", "prod")
+                     .From("customer", "cust")
+                     .From("sales", "fact")
+                     .JoinEq("fact.product_id", "prod.id")
+                     .JoinEq("cust.id", "fact.customer_id")  // sides swapped
+                     .Filter("cust.region", PredOp::kEq, 2)
+                     .Build());
+  EXPECT_EQ(QueryFingerprint(a), QueryFingerprint(b));
+}
+
+TEST_F(FingerprintTest, SqlAliasRenamingHitsTheSameSlot) {
+  Query a = Must(ParseSql(schema_,
+                          "SELECT * FROM sales s, customer c "
+                          "WHERE s.customer_id = c.id AND c.region = 4"));
+  Query b = Must(ParseSql(schema_,
+                          "SELECT * FROM customer x, sales y "
+                          "WHERE y.customer_id = x.id AND x.region = 4"));
+  EXPECT_EQ(QueryFingerprint(a), QueryFingerprint(b));
+}
+
+TEST_F(FingerprintTest, FilterConstantsChangeTheFingerprint) {
+  auto with_region = [&](int64_t region) {
+    return Must(QueryBuilder(&schema_, "q")
+                    .From("sales", "s")
+                    .From("customer", "c")
+                    .JoinEq("s.customer_id", "c.id")
+                    .Filter("c.region", PredOp::kEq, region)
+                    .Build());
+  };
+  // Different constants select different rows: they must plan (and cache)
+  // separately.
+  EXPECT_NE(QueryFingerprint(with_region(2)), QueryFingerprint(with_region(3)));
+}
+
+TEST_F(FingerprintTest, FilterOperatorsChangeTheFingerprint) {
+  auto with_op = [&](PredOp op) {
+    return Must(QueryBuilder(&schema_, "q")
+                    .From("sales", "s")
+                    .From("customer", "c")
+                    .JoinEq("s.customer_id", "c.id")
+                    .Filter("c.region", op, 2)
+                    .Build());
+  };
+  EXPECT_NE(QueryFingerprint(with_op(PredOp::kEq)),
+            QueryFingerprint(with_op(PredOp::kLt)));
+}
+
+TEST_F(FingerprintTest, InListOrderIsIrrelevant) {
+  auto with_in = [&](std::vector<int64_t> values) {
+    return Must(QueryBuilder(&schema_, "q")
+                    .From("sales", "s")
+                    .From("customer", "c")
+                    .JoinEq("s.customer_id", "c.id")
+                    .FilterIn("c.region", std::move(values))
+                    .Build());
+  };
+  EXPECT_EQ(QueryFingerprint(with_in({1, 5, 9})),
+            QueryFingerprint(with_in({9, 1, 5})));
+  EXPECT_NE(QueryFingerprint(with_in({1, 5, 9})),
+            QueryFingerprint(with_in({1, 5, 8})));
+}
+
+TEST_F(FingerprintTest, JoinGraphShapeMatters) {
+  Query chain = Must(QueryBuilder(&schema_, "chain")
+                         .From("sales", "s")
+                         .From("customer", "c")
+                         .From("product", "p")
+                         .JoinEq("s.customer_id", "c.id")
+                         .JoinEq("s.product_id", "p.id")
+                         .Build());
+  Query pair = Must(QueryBuilder(&schema_, "pair")
+                        .From("sales", "s")
+                        .From("customer", "c")
+                        .JoinEq("s.customer_id", "c.id")
+                        .Build());
+  EXPECT_NE(QueryFingerprint(chain), QueryFingerprint(pair));
+}
+
+TEST_F(FingerprintTest, SelfJoinSidesAreDistinguishedByFilters) {
+  // Two occurrences of the same table whose *filters* differ: swapping
+  // which occurrence carries the filter changes which side of the join
+  // graph is selective, i.e. the planning problem — via the relation
+  // colors, since aliases themselves are never hashed.
+  Query filtered_left = Must(QueryBuilder(&schema_, "l")
+                                 .From("sales", "a")
+                                 .From("sales", "b")
+                                 .From("customer", "c")
+                                 .JoinEq("a.customer_id", "c.id")
+                                 .JoinEq("b.customer_id", "c.id")
+                                 .Filter("a.amount", PredOp::kLt, 10)
+                                 .Build());
+  Query filtered_both = Must(QueryBuilder(&schema_, "r")
+                                 .From("sales", "a")
+                                 .From("sales", "b")
+                                 .From("customer", "c")
+                                 .JoinEq("a.customer_id", "c.id")
+                                 .JoinEq("b.customer_id", "c.id")
+                                 .Filter("a.amount", PredOp::kLt, 10)
+                                 .Filter("b.amount", PredOp::kLt, 10)
+                                 .Build());
+  EXPECT_NE(QueryFingerprint(filtered_left), QueryFingerprint(filtered_both));
+
+  // And the symmetric rename (filter on b instead of a) is the *same*
+  // problem, so it must collide on purpose.
+  Query filtered_right = Must(QueryBuilder(&schema_, "r2")
+                                  .From("sales", "a")
+                                  .From("sales", "b")
+                                  .From("customer", "c")
+                                  .JoinEq("a.customer_id", "c.id")
+                                  .JoinEq("b.customer_id", "c.id")
+                                  .Filter("b.amount", PredOp::kLt, 10)
+                                  .Build());
+  EXPECT_EQ(QueryFingerprint(filtered_left),
+            QueryFingerprint(filtered_right));
+}
+
+TEST_F(FingerprintTest, CanonicalRanksAlignAcrossFromOrderings) {
+  Query a = Must(QueryBuilder(&schema_, "a")
+                     .From("sales", "s")
+                     .From("customer", "c")
+                     .From("product", "p")
+                     .JoinEq("s.customer_id", "c.id")
+                     .JoinEq("s.product_id", "p.id")
+                     .Filter("c.region", PredOp::kEq, 2)
+                     .Build());
+  Query b = Must(QueryBuilder(&schema_, "b")
+                     .From("product", "prod")
+                     .From("sales", "fact")
+                     .From("customer", "cust")
+                     .JoinEq("fact.customer_id", "cust.id")
+                     .JoinEq("fact.product_id", "prod.id")
+                     .Filter("cust.region", PredOp::kEq, 2)
+                     .Build());
+  CanonicalQuery ca = CanonicalizeQuery(a);
+  CanonicalQuery cb = CanonicalizeQuery(b);
+  ASSERT_EQ(ca.fingerprint, cb.fingerprint);
+  // Structurally corresponding relations get the same canonical rank,
+  // whatever their FROM position: find each table by schema index.
+  auto rank_of_table = [&](const Query& q, const CanonicalQuery& c,
+                           const char* table) {
+    int idx = schema_.TableIndex(table);
+    for (int r = 0; r < q.num_relations(); ++r) {
+      if (q.relations()[r].table_idx == idx) {
+        return c.canonical_rank[static_cast<size_t>(r)];
+      }
+    }
+    return -1;
+  };
+  for (const char* table : {"sales", "customer", "product"}) {
+    EXPECT_EQ(rank_of_table(a, ca, table), rank_of_table(b, cb, table))
+        << table;
+  }
+}
+
+TEST_F(FingerprintTest, RemapPlanRelationsRoundTrips) {
+  Plan plan;
+  int s = plan.AddScan(0, ScanOp::kSeqScan);
+  int c = plan.AddScan(1, ScanOp::kIndexScan);
+  int sc = plan.AddJoin(s, c, JoinOp::kHashJoin);
+  int p = plan.AddScan(2, ScanOp::kSeqScan);
+  plan.AddJoin(sc, p, JoinOp::kIndexNLJoin);
+
+  std::vector<int> map = {2, 0, 1};
+  Plan mapped = RemapPlanRelations(plan, map);
+  EXPECT_TRUE(mapped.Validate());
+  EXPECT_EQ(mapped.node(0).relation, 2);
+  EXPECT_EQ(mapped.node(1).relation, 0);
+  EXPECT_EQ(mapped.node(1).scan_op, ScanOp::kIndexScan);
+  EXPECT_EQ(mapped.node(3).relation, 1);
+  EXPECT_EQ(mapped.node(2).join_op, JoinOp::kHashJoin);
+  EXPECT_EQ(mapped.RootTables(), TableSet::FirstN(3));
+
+  Plan back = RemapPlanRelations(mapped, InversePermutation(map));
+  EXPECT_EQ(back.Fingerprint(), plan.Fingerprint());
+}
+
+TEST_F(FingerprintTest, DistinctAcrossAWholeWorkloadScale) {
+  // Sanity against accidental collisions: many near-miss variants of one
+  // join template must all get distinct fingerprints.
+  std::set<uint64_t> seen;
+  for (int64_t region = 0; region < 10; ++region) {
+    for (int64_t category = 0; category < 8; ++category) {
+      Query q = Must(QueryBuilder(&schema_, "v")
+                         .From("sales", "s")
+                         .From("customer", "c")
+                         .From("product", "p")
+                         .JoinEq("s.customer_id", "c.id")
+                         .JoinEq("s.product_id", "p.id")
+                         .Filter("c.region", PredOp::kEq, region)
+                         .Filter("p.category", PredOp::kEq, category)
+                         .Build());
+      seen.insert(QueryFingerprint(q));
+    }
+  }
+  EXPECT_EQ(seen.size(), 80u);
+}
+
+}  // namespace
+}  // namespace balsa

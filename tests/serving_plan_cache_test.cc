@@ -1,0 +1,179 @@
+// The sharded LRU plan cache: eviction order, shard independence, and
+// stats-version (lazy) invalidation.
+#include "src/serving/plan_cache.h"
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace balsa {
+namespace {
+
+CachedPlan MakeEntry(int relation, int64_t version = 0) {
+  CachedPlan entry;
+  entry.plan.AddScan(relation, ScanOp::kSeqScan);
+  entry.plan.set_root(0);
+  entry.predicted_ms = relation * 10.0;
+  entry.stats_version = version;
+  return entry;
+}
+
+/// Finds `count` fingerprints that all land in shard `shard`.
+std::vector<uint64_t> KeysInShard(const PlanCache& cache, int shard,
+                                  int count) {
+  std::vector<uint64_t> keys;
+  for (uint64_t k = 1; static_cast<int>(keys.size()) < count; ++k) {
+    if (cache.ShardOf(k) == shard) keys.push_back(k);
+  }
+  return keys;
+}
+
+TEST(PlanCacheTest, LookupMissesOnEmpty) {
+  PlanCache cache;
+  std::shared_ptr<const CachedPlan> out;
+  EXPECT_FALSE(cache.Lookup(42, 0, &out));
+  EXPECT_EQ(cache.TotalStats().misses, 1);
+}
+
+TEST(PlanCacheTest, InsertThenLookupRoundTrips) {
+  PlanCache cache;
+  cache.Insert(42, MakeEntry(3, 7));
+  std::shared_ptr<const CachedPlan> out;
+  ASSERT_TRUE(cache.Lookup(42, 7, &out));
+  EXPECT_EQ(out->plan.node(0).relation, 3);
+  EXPECT_EQ(out->stats_version, 7);
+  EXPECT_EQ(cache.TotalStats().hits, 1);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(PlanCacheTest, EvictsLeastRecentlyUsedFirst) {
+  PlanCacheOptions options;
+  options.num_shards = 1;
+  options.shard_capacity = 2;
+  PlanCache cache(options);
+  cache.Insert(1, MakeEntry(1));
+  cache.Insert(2, MakeEntry(2));
+  std::shared_ptr<const CachedPlan> out;
+  // Touch 1 so 2 becomes the LRU victim.
+  ASSERT_TRUE(cache.Lookup(1, 0, &out));
+  cache.Insert(3, MakeEntry(3));
+  EXPECT_TRUE(cache.Lookup(1, 0, &out));
+  EXPECT_FALSE(cache.Lookup(2, 0, &out));  // evicted
+  EXPECT_TRUE(cache.Lookup(3, 0, &out));
+  EXPECT_EQ(cache.TotalStats().lru_evictions, 1);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(PlanCacheTest, ReinsertFreshensInsteadOfEvicting) {
+  PlanCacheOptions options;
+  options.num_shards = 1;
+  options.shard_capacity = 2;
+  PlanCache cache(options);
+  cache.Insert(1, MakeEntry(1));
+  cache.Insert(2, MakeEntry(2));
+  cache.Insert(1, MakeEntry(4));  // replace: 2 stays, 1 moves to front
+  std::shared_ptr<const CachedPlan> out;
+  ASSERT_TRUE(cache.Lookup(1, 0, &out));
+  EXPECT_EQ(out->plan.node(0).relation, 4);
+  EXPECT_TRUE(cache.Lookup(2, 0, &out));
+  EXPECT_EQ(cache.TotalStats().lru_evictions, 0);
+}
+
+TEST(PlanCacheTest, ShardsEvictIndependently) {
+  PlanCacheOptions options;
+  options.num_shards = 4;
+  options.shard_capacity = 1;
+  PlanCache cache(options);
+  std::vector<uint64_t> shard0 = KeysInShard(cache, 0, 2);
+  std::vector<uint64_t> shard1 = KeysInShard(cache, 1, 1);
+
+  cache.Insert(shard0[0], MakeEntry(1));
+  cache.Insert(shard1[0], MakeEntry(2));
+  // Overflow shard 0 only: shard 1's entry must survive.
+  cache.Insert(shard0[1], MakeEntry(3));
+
+  std::shared_ptr<const CachedPlan> out;
+  EXPECT_FALSE(cache.Lookup(shard0[0], 0, &out));
+  EXPECT_TRUE(cache.Lookup(shard0[1], 0, &out));
+  EXPECT_TRUE(cache.Lookup(shard1[0], 0, &out));
+  EXPECT_EQ(cache.shard_stats(0).lru_evictions, 1);
+  EXPECT_EQ(cache.shard_stats(1).lru_evictions, 0);
+  EXPECT_EQ(cache.shard_stats(1).entries, 1u);
+}
+
+TEST(PlanCacheTest, StatsVersionMismatchIsAMissAndEvictsLazily) {
+  PlanCache cache;
+  cache.Insert(42, MakeEntry(3, /*version=*/0));
+  std::shared_ptr<const CachedPlan> out;
+  // The bump happened: version-1 lookups must never see the version-0 plan,
+  // and the first one reclaims the slot.
+  EXPECT_FALSE(cache.Lookup(42, 1, &out));
+  EXPECT_EQ(cache.TotalStats().stale_evictions, 1);
+  EXPECT_EQ(cache.size(), 0u);
+  // Older-version lookups can't resurrect it either.
+  EXPECT_FALSE(cache.Lookup(42, 0, &out));
+
+  cache.Insert(42, MakeEntry(5, /*version=*/1));
+  ASSERT_TRUE(cache.Lookup(42, 1, &out));
+  EXPECT_EQ(out->stats_version, 1);
+}
+
+TEST(PlanCacheTest, LaggardRequestsNeverDowngradeFreshEntries) {
+  PlanCache cache;
+  // A bump raced this request: the cache already holds the version-1 plan
+  // when a version-0 reader arrives. It must miss *without* evicting.
+  cache.Insert(42, MakeEntry(5, /*version=*/1));
+  std::shared_ptr<const CachedPlan> out;
+  EXPECT_FALSE(cache.Lookup(42, 0, &out));
+  EXPECT_EQ(cache.TotalStats().stale_evictions, 0);
+  ASSERT_TRUE(cache.Lookup(42, 1, &out));  // fresh entry survived
+  EXPECT_EQ(out->plan.node(0).relation, 5);
+
+  // And the laggard's own (old-generation) plan is dropped on insert.
+  cache.Insert(42, MakeEntry(3, /*version=*/0));
+  ASSERT_TRUE(cache.Lookup(42, 1, &out));
+  EXPECT_EQ(out->plan.node(0).relation, 5);
+}
+
+TEST(PlanCacheTest, RecheckLookupDoesNotDoubleCountMisses) {
+  PlanCache cache;
+  std::shared_ptr<const CachedPlan> out;
+  // The miss path's sequence: counted lookup, then an uncounted recheck.
+  EXPECT_FALSE(cache.Lookup(42, 0, &out));
+  EXPECT_FALSE(cache.RecheckLookup(42, 0, &out));
+  EXPECT_EQ(cache.TotalStats().misses, 1);
+  // A recheck that hits still counts the hit (a plan was served).
+  cache.Insert(42, MakeEntry(3));
+  EXPECT_TRUE(cache.RecheckLookup(42, 0, &out));
+  EXPECT_EQ(cache.TotalStats().hits, 1);
+}
+
+TEST(PlanCacheTest, ZeroCapacityDisablesTheCache) {
+  PlanCacheOptions options;
+  options.shard_capacity = 0;
+  PlanCache cache(options);
+  cache.Insert(42, MakeEntry(3));
+  std::shared_ptr<const CachedPlan> out;
+  EXPECT_FALSE(cache.Lookup(42, 0, &out));
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(PlanCacheTest, CountersAddUpAcrossShards) {
+  PlanCacheOptions options;
+  options.num_shards = 8;
+  PlanCache cache(options);
+  for (uint64_t k = 0; k < 100; ++k) cache.Insert(k, MakeEntry(1));
+  std::shared_ptr<const CachedPlan> out;
+  int hits = 0;
+  for (uint64_t k = 0; k < 150; ++k) hits += cache.Lookup(k, 0, &out);
+  EXPECT_EQ(hits, 100);
+  PlanCache::ShardStats total = cache.TotalStats();
+  EXPECT_EQ(total.insertions, 100);
+  EXPECT_EQ(total.hits, 100);
+  EXPECT_EQ(total.misses, 50);
+  EXPECT_EQ(total.entries, 100u);
+}
+
+}  // namespace
+}  // namespace balsa

@@ -47,6 +47,22 @@ TEST_F(StatsTest, AnalyzePopulatesAllTables) {
   }
 }
 
+TEST_F(StatsTest, AnalyzeStampsStatsVersion) {
+  // Default ANALYZE produces generation-0 statistics.
+  for (const TableStats& ts : fixture_.estimator->stats()) {
+    EXPECT_EQ(ts.stats_version, 0);
+  }
+  // A re-ANALYZE after a stats bump stamps the new generation, which is
+  // what lets the serving plan cache detect plans built on stale estimates.
+  AnalyzeOptions opts;
+  opts.stats_version = 3;
+  auto stats = Analyze(*fixture_.db, opts);
+  ASSERT_TRUE(stats.ok());
+  for (const TableStats& ts : *stats) {
+    EXPECT_EQ(ts.stats_version, 3);
+  }
+}
+
 TEST_F(StatsTest, DistinctCountOfPrimaryKeyIsRowCount) {
   int cust = fixture_.schema().TableIndex("customer");
   const ColumnStats& pk = fixture_.estimator->stats()[cust].columns[0];

@@ -109,7 +109,7 @@ TEST_F(JobWorkloadTest, SplitRejectsOverlap) {
 TEST_F(JobWorkloadTest, ExtJobTemplatesAreDisjointFromJob) {
   auto ext = GenerateExtJobWorkload(schema_);
   ASSERT_TRUE(ext.ok());
-  EXPECT_EQ(ext->num_queries(), 24);
+  EXPECT_EQ(ext->num_queries(), 32);
   std::set<uint64_t> job_sigs, ext_sigs;
   for (const Query& q : workload_.queries()) {
     job_sigs.insert(q.TemplateSignature(schema_));
@@ -119,9 +119,48 @@ TEST_F(JobWorkloadTest, ExtJobTemplatesAreDisjointFromJob) {
     EXPECT_GE(q.num_relations(), 3);
     EXPECT_LE(q.num_relations() - 1, 10);  // 2-10 joins (§8.5)
   }
-  EXPECT_EQ(ext_sigs.size(), 12u);
+  EXPECT_EQ(ext_sigs.size(), 16u);  // every template distinct
   for (uint64_t sig : ext_sigs) {
     EXPECT_EQ(job_sigs.count(sig), 0u) << "Ext-JOB template found in JOB";
+  }
+}
+
+TEST_F(JobWorkloadTest, NewExtJobTemplatesAreWellFormed) {
+  auto ext = GenerateExtJobWorkload(schema_);
+  ASSERT_TRUE(ext.ok());
+  // e13-e16 land at the tail (two variants each); find them by name and
+  // check the join shapes they were designed around.
+  struct Expectation {
+    const char* name;
+    int num_relations;
+  };
+  const Expectation expected[] = {
+      {"e13a", 5}, {"e13b", 5}, {"e14a", 5}, {"e14b", 5},
+      {"e15a", 7}, {"e15b", 7}, {"e16a", 7}, {"e16b", 7},
+  };
+  for (const Expectation& e : expected) {
+    const Query* found = nullptr;
+    for (const Query& q : ext->queries()) {
+      if (q.name() == e.name) found = &q;
+    }
+    ASSERT_NE(found, nullptr) << e.name;
+    EXPECT_EQ(found->num_relations(), e.num_relations) << e.name;
+    EXPECT_TRUE(found->IsConnected(found->AllTables())) << e.name;
+    EXPECT_FALSE(found->filters().empty()) << e.name;
+  }
+  // Variants of a new template share the join graph, as in JOB's 1a/1b.
+  auto find = [&](const char* name) -> const Query& {
+    for (const Query& q : ext->queries()) {
+      if (q.name() == name) return q;
+    }
+    BALSA_CHECK(false, name);
+    return ext->query(0);
+  };
+  for (const char* base : {"e13", "e14", "e15", "e16"}) {
+    const Query& a = find((std::string(base) + "a").c_str());
+    const Query& b = find((std::string(base) + "b").c_str());
+    EXPECT_EQ(a.TemplateSignature(schema_), b.TemplateSignature(schema_))
+        << base;
   }
 }
 
