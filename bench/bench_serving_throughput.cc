@@ -114,7 +114,7 @@ int Run(const ServingConfig& config) {
                 TablePrinter::Fmt(cached->server.planned, 0)});
   table.Print();
 
-  PlanCache::ShardStats totals = server->cache().TotalStats();
+  PlanCache::Metrics totals = server->cache().Totals();
   std::printf(
       "cache: %zu entries, %lld hits, %lld misses, %lld coalesced, "
       "%lld lru-evicted, %lld stale-evicted across %d shards\n",

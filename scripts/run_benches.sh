@@ -14,8 +14,11 @@ fi
 # reproductions: bench_inference_batching asserts the runtime's batched-
 # inference speedup (>= 2x evals/sec at batch 32 vs per-item Predict);
 # bench_serving_throughput asserts the serving gates (>= 5x req/s at 16
-# clients from the plan cache, bitwise-identical plans, no stale serving)
-# and exits non-zero on violation.
+# clients from the plan cache, bitwise-identical plans, no stale serving);
+# bench_adaptive_drift asserts the adaptive-statistics gates (automatic
+# drift detection + re-ANALYZE, lower post-bump Q-error, zero stale plans
+# after the bump, re-warm cutting the post-bump miss spike, writer-count
+# invariance). Each exits non-zero on violation.
 if [ -x "$build_dir/bench/bench_inference_batching" ]; then
   echo "==> bench_inference_batching"
   "$build_dir/bench/bench_inference_batching"
@@ -26,13 +29,19 @@ if [ -x "$build_dir/bench/bench_serving_throughput" ]; then
   "$build_dir/bench/bench_serving_throughput"
   echo
 fi
+if [ -x "$build_dir/bench/bench_adaptive_drift" ]; then
+  echo "==> bench_adaptive_drift"
+  "$build_dir/bench/bench_adaptive_drift"
+  echo
+fi
 
 # Binaries share build/bench/ with CMake's own files (CMakeFiles/, Makefile);
 # keep only executable regular files.
 for bin in "$build_dir"/bench/*; do
   [ -f "$bin" ] && [ -x "$bin" ] || continue
   case "$(basename "$bin")" in
-    bench_inference_batching|bench_serving_throughput) continue ;;
+    bench_inference_batching|bench_serving_throughput|bench_adaptive_drift)
+      continue ;;
   esac
   echo "==> $(basename "$bin")"
   "$bin"

@@ -1,0 +1,92 @@
+#include "src/adaptive/drift_detector.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace balsa {
+
+namespace {
+
+/// Total-variation distance between the snapshot's histogram mass and the
+/// re-weighted base+delta mass over the same (anchored) buckets plus the
+/// two overflow buckets, which hold zero base mass by construction.
+double HistogramDistance(const ColumnStats& snapshot,
+                         const ColumnDeltaSketch& sketch, int64_t base_rows) {
+  if (sketch.bucket_inserts.empty()) return 0;
+  const size_t buckets = sketch.bucket_inserts.size();  // B + 2
+  const double base_nonnull =
+      static_cast<double>(base_rows) * (1.0 - snapshot.null_fraction);
+  const double base_mass = base_nonnull * snapshot.non_mcv_fraction;
+  const double per_bucket =
+      buckets > 2 ? base_mass / static_cast<double>(buckets - 2) : 0;
+
+  double old_total = 0, new_total = 0;
+  std::vector<double> old_mass(buckets, 0), new_mass(buckets, 0);
+  for (size_t b = 0; b < buckets; ++b) {
+    const bool interior = b > 0 && b + 1 < buckets;
+    old_mass[b] = interior ? per_bucket : 0;
+    new_mass[b] = std::max(
+        0.0, old_mass[b] + static_cast<double>(sketch.bucket_inserts[b]) -
+                 static_cast<double>(sketch.bucket_deletes[b]));
+    old_total += old_mass[b];
+    new_total += new_mass[b];
+  }
+  if (old_total <= 0 || new_total <= 0) {
+    // No comparable mass on one side: any new mass is pure drift.
+    return new_total > 0 ? 1.0 : 0.0;
+  }
+  double distance = 0;
+  for (size_t b = 0; b < buckets; ++b) {
+    distance += std::abs(old_mass[b] / old_total - new_mass[b] / new_total);
+  }
+  return distance / 2;  // TV distance in [0, 1]
+}
+
+}  // namespace
+
+DriftScore DriftDetector::Score(const TableStats& snapshot,
+                                const TableAnchor& anchor,
+                                const TableDelta& delta) const {
+  (void)anchor;  // sketches are already expressed in the anchor's frame
+  DriftScore score;
+  score.rows_changed =
+      delta.rows_inserted + delta.rows_deleted + delta.rows_updated;
+  if (delta.epoch == 0) return score;
+
+  const double base_rows =
+      static_cast<double>(std::max<int64_t>(1, snapshot.row_count));
+  score.row_component =
+      std::abs(static_cast<double>(delta.rows_inserted - delta.rows_deleted)) /
+      base_rows;
+
+  for (size_t c = 0; c < delta.columns.size(); ++c) {
+    if (c >= snapshot.columns.size()) break;
+    const ColumnStats& col = snapshot.columns[c];
+    const ColumnDeltaSketch& sketch = delta.columns[c];
+    score.histogram_component =
+        std::max(score.histogram_component,
+                 HistogramDistance(col, sketch, snapshot.row_count));
+    if (col.num_distinct > 0 && sketch.inserted > 0) {
+      Hll merged = col.distinct_sketch;
+      merged.Merge(sketch.distinct_inserted);
+      const double grown = std::max(merged.Estimate(),
+                                    static_cast<double>(col.num_distinct));
+      score.ndv_component = std::max(
+          score.ndv_component,
+          grown / static_cast<double>(col.num_distinct) - 1.0);
+    }
+  }
+
+  auto normalized = [](double value, double threshold) {
+    return threshold > 0 ? value / threshold : 0.0;
+  };
+  score.score = std::max(
+      {normalized(score.row_component, thresholds_.row_ratio),
+       normalized(score.histogram_component, thresholds_.histogram_distance),
+       normalized(score.ndv_component, thresholds_.ndv_ratio)});
+  score.drifted = score.score >= 1.0;
+  return score;
+}
+
+}  // namespace balsa

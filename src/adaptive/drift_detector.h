@@ -1,0 +1,62 @@
+// Drift detection: scores how far a table's change-stream sketches have
+// moved it from its last ANALYZE snapshot. Three signals, each normalized
+// by its threshold so "1.0" always means "this signal alone justifies a
+// re-ANALYZE":
+//
+//   row component        |rows_inserted - rows_deleted| / base rows
+//   histogram component  total-variation distance between the snapshot's
+//                        per-bucket mass and the re-weighted (base + delta)
+//                        mass, including the out-of-domain overflow buckets
+//                        — inserts beyond the old min/max score heavily,
+//                        exactly the drift a stale histogram mis-serves
+//   NDV component        relative growth of the estimated distinct count
+//                        (union HLL vs snapshot), maximized over columns
+//
+// The combined score is the max of the normalized components: drift along
+// any one axis is enough. Scoring is pure and deterministic — same sketch
+// state, same score — which keeps the adaptive bench thread-count
+// invariant.
+#pragma once
+
+#include "src/stats/table_stats.h"
+#include "src/storage/change_log.h"
+
+namespace balsa {
+
+struct DriftThresholds {
+  /// Net row-count change fraction that alone triggers a re-ANALYZE.
+  double row_ratio = 0.2;
+  /// Total-variation distance (0..1) between old and re-weighted histogram
+  /// mass that alone triggers.
+  double histogram_distance = 0.15;
+  /// Relative NDV growth that alone triggers.
+  double ndv_ratio = 0.5;
+};
+
+struct DriftScore {
+  double row_component = 0;        // raw fraction, not yet normalized
+  double histogram_component = 0;  // raw total-variation distance
+  double ndv_component = 0;        // raw max relative NDV growth
+  /// max(component / threshold); >= 1 means drifted.
+  double score = 0;
+  bool drifted = false;
+  int64_t rows_changed = 0;  // inserted + deleted + updated
+};
+
+class DriftDetector {
+ public:
+  explicit DriftDetector(DriftThresholds thresholds = {})
+      : thresholds_(thresholds) {}
+
+  /// Scores `delta` (accumulated against `anchor`) for a table whose last
+  /// ANALYZE produced `snapshot`.
+  DriftScore Score(const TableStats& snapshot, const TableAnchor& anchor,
+                   const TableDelta& delta) const;
+
+  const DriftThresholds& thresholds() const { return thresholds_; }
+
+ private:
+  DriftThresholds thresholds_;
+};
+
+}  // namespace balsa

@@ -1,0 +1,184 @@
+#include "src/adaptive/reanalyze_scheduler.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "src/stats/incremental_analyze.h"
+
+namespace balsa {
+
+ReanalyzeScheduler::ReanalyzeScheduler(Database* db, ChangeLog* log,
+                                       CardOracle* oracle,
+                                       SwappableEstimator* estimator,
+                                       OptimizerServer* server,
+                                       ThreadPool* pool,
+                                       ReanalyzeSchedulerOptions options)
+    : db_(db),
+      log_(log),
+      oracle_(oracle),
+      estimator_(estimator),
+      server_(server),
+      pool_(pool),
+      options_(options),
+      detector_(options.thresholds),
+      incremental_rounds_(static_cast<size_t>(log->num_tables()), 0) {
+  // Data mutation stales the memoized *true* cardinalities immediately —
+  // independent of whether statistics have caught up yet. InvalidateMemo
+  // is an O(1) epoch bump, so per-batch invalidation costs nothing.
+  listener_id_ = log_->AddListener([oracle](int) { oracle->InvalidateMemo(); });
+}
+
+ReanalyzeScheduler::~ReanalyzeScheduler() {
+  Stop();
+  // Unregister before the borrowed oracle can go away: the listener must
+  // not outlive this scheduler's lifetime contract.
+  log_->RemoveListener(listener_id_);
+}
+
+ReanalyzeScheduler::PassReport ReanalyzeScheduler::RunOnce() {
+  return RunPass();
+}
+
+ReanalyzeScheduler::PassReport ReanalyzeScheduler::RunPass() {
+  std::lock_guard<std::mutex> pass_lock(pass_mu_);
+  passes_.fetch_add(1, std::memory_order_relaxed);
+  PassReport report;
+
+  std::shared_ptr<const CardinalityEstimator> current = estimator_->current();
+  const std::vector<TableStats>& stats = current->stats();
+  const int64_t new_version = oracle_->generation() + 1;
+
+  std::vector<TableStats> next_stats = stats;
+  bool any = false;
+  for (int t = 0; t < log_->num_tables(); ++t) {
+    if (static_cast<size_t>(t) >= stats.size()) break;
+    TableDelta delta = log_->Snapshot(t);
+    if (delta.epoch == 0) continue;
+    report.tables_checked++;
+    DriftScore score = detector_.Score(stats[static_cast<size_t>(t)],
+                                       log_->anchor(t), delta);
+    report.max_score = std::max(report.max_score, score.score);
+    if (!score.drifted) continue;
+    report.tables_drifted++;
+
+    // Decide incremental vs full under the ingest lock: the delta handed to
+    // Rebase is exactly what the merge absorbs (or what the rescan already
+    // sees applied), and writers are blocked for the duration.
+    int& rounds = incremental_rounds_[static_cast<size_t>(t)];
+    TableStats merged;
+    bool full = false;
+    Status status = log_->Rebase(
+        t, [&](const TableDelta& locked_delta,
+               const TableAnchor& anchor) -> StatusOr<TableAnchor> {
+          const double changed =
+              static_cast<double>(locked_delta.rows_inserted +
+                                  locked_delta.rows_deleted +
+                                  locked_delta.rows_updated);
+          const double base = static_cast<double>(
+              std::max<int64_t>(1, anchor.base_row_count));
+          full = rounds >= options_.max_incremental_rounds ||
+                 changed / base > options_.full_reanalyze_fraction;
+          if (full) {
+            AnalyzeOptions analyze = options_.analyze;
+            analyze.stats_version = new_version;
+            BALSA_ASSIGN_OR_RETURN(merged, AnalyzeTable(*db_, t, analyze));
+          } else {
+            merged = MergeTableDelta(stats[static_cast<size_t>(t)], anchor,
+                                     locked_delta, new_version);
+          }
+          return MakeTableAnchor(merged);
+        });
+    if (!status.ok()) {
+      // Skip this table (its delta keeps accumulating; the next pass
+      // retries) but keep going: aborting here would discard another
+      // table's completed Rebase, whose anchor already reflects merged
+      // stats that MUST still be installed below.
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      report.errors++;
+      continue;
+    }
+    if (full) {
+      rounds = 0;
+      report.full_reanalyzes++;
+      full_reanalyzes_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      rounds++;
+      report.incremental_merges++;
+      incremental_merges_.fetch_add(1, std::memory_order_relaxed);
+    }
+    next_stats[static_cast<size_t>(t)] = std::move(merged);
+    any = true;
+  }
+  if (!any) return report;
+
+  // Install first, then bump: a request that reads the new generation is
+  // guaranteed to plan against the new statistics. (A request racing the
+  // window plans new-stats-at-old-version; its entry dies with the bump.)
+  estimator_->Swap(std::make_shared<const CardinalityEstimator>(
+      current->schema(), std::move(next_stats)));
+  oracle_->BumpGeneration();
+  report.bumped = true;
+  report.new_version = oracle_->generation();
+
+  if (server_ != nullptr && options_.rewarm_top_k > 0) {
+    report.rewarm = server_->Rewarm(options_.rewarm_top_k);
+    rewarm_replans_.fetch_add(report.rewarm.replanned,
+                              std::memory_order_relaxed);
+  }
+  // Counted after the re-warm: a poller that waits for counters().bumps to
+  // advance observes the warmed cache, not a half-finished pass.
+  bumps_.fetch_add(1, std::memory_order_relaxed);
+  return report;
+}
+
+void ReanalyzeScheduler::Start() {
+  std::lock_guard<std::mutex> lock(timer_mu_);
+  if (!stop_) return;
+  stop_ = false;
+  timer_ = std::thread([this] { TimerLoop(); });
+}
+
+void ReanalyzeScheduler::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(timer_mu_);
+    if (stop_) return;
+    stop_ = true;
+  }
+  timer_cv_.notify_all();
+  if (timer_.joinable()) timer_.join();
+}
+
+void ReanalyzeScheduler::TimerLoop() {
+  const auto interval = std::chrono::duration<double, std::milli>(
+      options_.check_interval_ms);
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(timer_mu_);
+      timer_cv_.wait_for(lock, interval, [this] { return stop_; });
+      if (stop_) return;
+    }
+    // Per-table errors are counted inside the pass; the next tick retries.
+    auto run = [this] { RunPass(); };
+    if (pool_ != nullptr) {
+      pool_->Submit(run).get();
+    } else {
+      run();
+    }
+  }
+}
+
+ReanalyzeScheduler::Counters ReanalyzeScheduler::counters() const {
+  Counters counters;
+  counters.passes = passes_.load(std::memory_order_relaxed);
+  counters.bumps = bumps_.load(std::memory_order_relaxed);
+  counters.incremental_merges =
+      incremental_merges_.load(std::memory_order_relaxed);
+  counters.full_reanalyzes =
+      full_reanalyzes_.load(std::memory_order_relaxed);
+  counters.rewarm_replans = rewarm_replans_.load(std::memory_order_relaxed);
+  counters.errors = errors_.load(std::memory_order_relaxed);
+  return counters;
+}
+
+}  // namespace balsa

@@ -1,0 +1,155 @@
+// The closed loop of the adaptive statistics subsystem: watches the change
+// stream, and when a table's drift score crosses threshold it re-ANALYZEs
+// the table, swaps the merged statistics into the serving estimator, bumps
+// the CardOracle generation (invalidating every cached plan at once), and
+// re-warms the plan cache's hottest fingerprints so post-bump traffic does
+// not eat a miss storm:
+//
+//   ingest (ChangeLog) ──► DriftDetector.Score per table
+//        │ score >= 1
+//        ▼
+//   incremental merge (MergeTableDelta) ── past staleness bound ──► full
+//        │                                                    AnalyzeTable
+//        ▼
+//   SwappableEstimator::Swap(new stats) ──► CardOracle::BumpGeneration()
+//        │
+//        ▼
+//   OptimizerServer::Rewarm(top_k)   (optional, server != nullptr)
+//
+// Re-ANALYZE runs under the table's ingest lock (ChangeLog::Rebase), so a
+// full rescan sees a quiescent table and the delta it absorbs is exact.
+// The incremental path costs O(columns · buckets); the full path rescans
+// only the drifted table. Either way, only drifted tables are touched.
+//
+// Drive it one of two ways:
+//   - RunOnce(): one synchronous check pass (tests, deterministic benches);
+//   - Start()/Stop(): a background timer thread that runs the pass every
+//     check_interval_ms, executing on the provided runtime ThreadPool when
+//     one is given (so re-ANALYZE work shares the serving pool) or inline
+//     on the timer thread otherwise.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/adaptive/drift_detector.h"
+#include "src/serving/optimizer_server.h"
+#include "src/stats/card_oracle.h"
+#include "src/stats/swappable_estimator.h"
+#include "src/stats/table_stats.h"
+#include "src/storage/change_log.h"
+#include "src/util/thread_pool.h"
+
+namespace balsa {
+
+struct ReanalyzeSchedulerOptions {
+  DriftThresholds thresholds;
+  /// Background check period (Start()).
+  double check_interval_ms = 50;
+  /// Incremental merge is used while the accumulated change fraction
+  /// (changed rows / anchor base rows) stays below this; past it, the
+  /// sketch approximations are no longer trusted and the table is fully
+  /// rescanned.
+  double full_reanalyze_fraction = 1.0;
+  /// Staleness bound: after this many consecutive incremental merges of
+  /// one table, the next re-ANALYZE is a full rescan regardless.
+  int max_incremental_rounds = 4;
+  /// Hottest fingerprints to replan after each bump (0 disables re-warm,
+  /// or pass server == nullptr).
+  int rewarm_top_k = 8;
+  /// Knobs for the full-rescan fallback.
+  AnalyzeOptions analyze;
+};
+
+class ReanalyzeScheduler {
+ public:
+  /// All pointers are borrowed and must outlive the scheduler. `server`
+  /// and `pool` may be null (no re-warm / inline execution). The scheduler
+  /// registers a ChangeLog listener (unregistered in the destructor) that
+  /// invalidates the oracle's memoized true cardinalities on every ingest
+  /// batch — mutated data means the memo, not just the statistics, is
+  /// stale.
+  ReanalyzeScheduler(Database* db, ChangeLog* log, CardOracle* oracle,
+                     SwappableEstimator* estimator, OptimizerServer* server,
+                     ThreadPool* pool, ReanalyzeSchedulerOptions options = {});
+  ~ReanalyzeScheduler();
+
+  ReanalyzeScheduler(const ReanalyzeScheduler&) = delete;
+  ReanalyzeScheduler& operator=(const ReanalyzeScheduler&) = delete;
+
+  struct PassReport {
+    int tables_checked = 0;
+    int tables_drifted = 0;
+    int incremental_merges = 0;
+    int full_reanalyzes = 0;
+    /// Tables whose re-ANALYZE failed this pass (skipped; their deltas keep
+    /// accumulating and the next pass retries). A failure never discards
+    /// another table's completed re-ANALYZE: whatever succeeded is still
+    /// installed and bumped.
+    int errors = 0;
+    double max_score = 0;
+    /// Set when the pass re-analyzed something and bumped the generation.
+    bool bumped = false;
+    int64_t new_version = 0;
+    OptimizerServer::RewarmReport rewarm;
+  };
+
+  /// One synchronous detect → re-ANALYZE → swap → bump → re-warm pass.
+  /// Serialized against concurrent passes (background or manual). Never
+  /// fails as a whole: per-table re-ANALYZE errors are counted in
+  /// PassReport::errors (and counters().errors) and those tables retry on
+  /// the next pass.
+  PassReport RunOnce();
+
+  /// Starts / stops the background timer loop. Idempotent.
+  void Start();
+  void Stop();
+
+  struct Counters {
+    int64_t passes = 0;
+    int64_t bumps = 0;
+    int64_t incremental_merges = 0;
+    int64_t full_reanalyzes = 0;
+    int64_t rewarm_replans = 0;
+    int64_t errors = 0;
+  };
+  Counters counters() const;
+
+  const DriftDetector& detector() const { return detector_; }
+
+ private:
+  PassReport RunPass();
+  void TimerLoop();
+
+  Database* db_;
+  ChangeLog* log_;
+  CardOracle* oracle_;
+  int listener_id_ = -1;
+  SwappableEstimator* estimator_;
+  OptimizerServer* server_;
+  ThreadPool* pool_;
+  ReanalyzeSchedulerOptions options_;
+  DriftDetector detector_;
+
+  std::mutex pass_mu_;  // serializes passes
+  std::vector<int> incremental_rounds_;  // per table, guarded by pass_mu_
+
+  std::atomic<int64_t> passes_{0};
+  std::atomic<int64_t> bumps_{0};
+  std::atomic<int64_t> incremental_merges_{0};
+  std::atomic<int64_t> full_reanalyzes_{0};
+  std::atomic<int64_t> rewarm_replans_{0};
+  std::atomic<int64_t> errors_{0};
+
+  std::mutex timer_mu_;
+  std::condition_variable timer_cv_;
+  bool stop_ = true;
+  std::thread timer_;
+};
+
+}  // namespace balsa

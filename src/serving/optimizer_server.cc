@@ -109,6 +109,7 @@ StatusOr<OptimizerServer::OptimizeResult> OptimizerServer::OptimizeSql(
 StatusOr<CachedPlan> OptimizerServer::PlanMiss(const Query& query,
                                                int64_t version) {
   planned_.fetch_add(1, std::memory_order_relaxed);
+  auto start = std::chrono::steady_clock::now();
   BALSA_ASSIGN_OR_RETURN(BeamSearchPlanner::PlanningResult result,
                          planner_.TopK(query, nullptr));
   if (result.plans.empty()) {
@@ -118,6 +119,9 @@ StatusOr<CachedPlan> OptimizerServer::PlanMiss(const Query& query,
   entry.plan = result.plans[0].plan;
   entry.predicted_ms = result.plans[0].predicted_ms;
   entry.stats_version = version;
+  entry.planning_micros = std::chrono::duration<double, std::micro>(
+                              std::chrono::steady_clock::now() - start)
+                              .count();
   return entry;
 }
 
@@ -128,8 +132,12 @@ StatusOr<std::shared_ptr<const CachedPlan>> OptimizerServer::PlanAndAdmit(
       [this, &query, version] { return PlanMiss(query, version); });
   BALSA_ASSIGN_OR_RETURN(CachedPlan planned, future.get());
   // Store in canonical relation space so any FROM-ordering of this query
-  // can translate the entry to its own numbering.
+  // can translate the entry to its own numbering. The exemplar query and
+  // its rank let the re-warm pass replan this fingerprint after a stats
+  // bump without waiting for a client to ask again.
   planned.plan = RemapPlanRelations(planned.plan, canonical_rank);
+  planned.exemplar = std::make_shared<const Query>(query);
+  planned.canonical_rank = canonical_rank;
   auto shared = std::make_shared<const CachedPlan>(std::move(planned));
   cache_.Insert(fingerprint, *shared);
   return shared;
@@ -269,6 +277,51 @@ StatusOr<OptimizerServer::OptimizeResult> OptimizerServer::Serve(
   return PlanUncached(query, version, /*coalesced=*/true);
 }
 
+OptimizerServer::RewarmReport OptimizerServer::Rewarm(int top_k) {
+  RewarmReport report;
+  const int64_t version = stats_version();
+  std::vector<PlanCache::HotEntry> hot = cache_.HottestEntries(top_k);
+  report.candidates = static_cast<int>(hot.size());
+
+  struct Pending {
+    const PlanCache::HotEntry* hot;
+    std::future<StatusOr<CachedPlan>> future;
+  };
+  std::vector<Pending> pending;
+  pending.reserve(hot.size());
+  for (const PlanCache::HotEntry& h : hot) {
+    if (h.entry->stats_version >= version) {
+      report.fresh++;
+      continue;
+    }
+    if (h.entry->exemplar == nullptr) {
+      report.failed++;  // pre-exemplar entry (never produced anymore)
+      continue;
+    }
+    // The exemplar is kept alive by h.entry (shared) for the future's
+    // lifetime; plans run concurrently on the planning pool and batch
+    // their scoring through the shared inference service.
+    pending.push_back({&h, executor_->pool()->Submit([this, &h, version] {
+                        return PlanMiss(*h.entry->exemplar, version);
+                      })});
+  }
+  for (Pending& p : pending) {
+    StatusOr<CachedPlan> planned = p.future.get();
+    if (!planned.ok()) {
+      report.failed++;
+      continue;
+    }
+    CachedPlan entry = std::move(planned).value();
+    entry.plan = RemapPlanRelations(entry.plan, p.hot->entry->canonical_rank);
+    entry.exemplar = p.hot->entry->exemplar;
+    entry.canonical_rank = p.hot->entry->canonical_rank;
+    cache_.Insert(p.hot->fingerprint, std::move(entry));
+    report.replanned++;
+    rewarmed_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return report;
+}
+
 OptimizerServer::Stats OptimizerServer::stats() const {
   Stats stats;
   stats.requests = requests_.load(std::memory_order_relaxed);
@@ -276,6 +329,7 @@ OptimizerServer::Stats OptimizerServer::stats() const {
   stats.misses = misses_.load(std::memory_order_relaxed);
   stats.coalesced = coalesced_.load(std::memory_order_relaxed);
   stats.planned = planned_.load(std::memory_order_relaxed);
+  stats.rewarmed = rewarmed_.load(std::memory_order_relaxed);
   return stats;
 }
 

@@ -115,8 +115,26 @@ class OptimizerServer {
     int64_t misses = 0;     // requests that found no cached plan
     int64_t coalesced = 0;  // misses served by joining an in-flight plan
     int64_t planned = 0;    // beam searches actually run
+    int64_t rewarmed = 0;   // plans refreshed by Rewarm(), not by requests
   };
   Stats stats() const;
+
+  /// Proactively replans the `top_k` hottest cached fingerprints (by hit
+  /// count) that are stale relative to the current stats_version, and
+  /// re-admits them at the new version — the post-bump re-warm pass, called
+  /// by the adaptive ReanalyzeScheduler right after it bumps the
+  /// generation so hot traffic does not eat a miss storm. Replans run in
+  /// parallel on the planning pool (scored through the shared
+  /// InferenceService). Thread-safe; concurrent client misses for the same
+  /// fingerprint at worst duplicate one beam search, they never see a stale
+  /// or torn entry.
+  struct RewarmReport {
+    int candidates = 0;  // hottest entries examined
+    int replanned = 0;   // successfully refreshed at the current version
+    int fresh = 0;       // already at the current version, skipped
+    int failed = 0;      // replanning errors (entry left to lazy eviction)
+  };
+  RewarmReport Rewarm(int top_k);
 
   /// Current statistics generation requests are served under.
   int64_t stats_version() const {
@@ -170,6 +188,7 @@ class OptimizerServer {
   std::atomic<int64_t> misses_{0};
   std::atomic<int64_t> coalesced_{0};
   std::atomic<int64_t> planned_{0};
+  std::atomic<int64_t> rewarmed_{0};
   LatencyHistogram latency_;
 };
 

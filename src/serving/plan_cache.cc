@@ -42,6 +42,7 @@ bool PlanCache::LookupImpl(uint64_t fingerprint, int64_t stats_version,
     return false;
   }
   shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_pos);
+  it->second.hits++;
   *out = it->second.entry;
   shard.stats.hits++;
   return true;
@@ -62,6 +63,12 @@ void PlanCache::Insert(uint64_t fingerprint, CachedPlan entry) {
     shard.stats.insertions++;
     return;
   }
+  // Cost-aware admission: a fresh slot (and possibly an eviction) is only
+  // worth spending on a plan that was expensive to compute.
+  if (shared->planning_micros < options_.admission_min_plan_micros) {
+    shard.stats.admission_rejections++;
+    return;
+  }
   if (shard.map.size() >= options_.shard_capacity) {
     uint64_t victim = shard.lru.back();
     shard.lru.pop_back();
@@ -70,30 +77,48 @@ void PlanCache::Insert(uint64_t fingerprint, CachedPlan entry) {
   }
   shard.lru.push_front(fingerprint);
   shard.map.emplace(fingerprint,
-                    Shard::Slot{std::move(shared), shard.lru.begin()});
+                    Shard::Slot{std::move(shared), shard.lru.begin(), 0});
   shard.stats.insertions++;
 }
 
-PlanCache::ShardStats PlanCache::shard_stats(int shard) const {
+PlanCache::Metrics PlanCache::shard_metrics(int shard) const {
   const Shard& s = shards_[static_cast<size_t>(shard)];
   std::lock_guard<std::mutex> lock(s.mu);
-  ShardStats stats = s.stats;
+  Metrics stats = s.stats;
   stats.entries = s.map.size();
   return stats;
 }
 
-PlanCache::ShardStats PlanCache::TotalStats() const {
-  ShardStats total;
+PlanCache::Metrics PlanCache::Totals() const {
+  Metrics total;
   for (size_t i = 0; i < shards_.size(); ++i) {
-    ShardStats s = shard_stats(static_cast<int>(i));
+    Metrics s = shard_metrics(static_cast<int>(i));
     total.hits += s.hits;
     total.misses += s.misses;
     total.insertions += s.insertions;
     total.stale_evictions += s.stale_evictions;
     total.lru_evictions += s.lru_evictions;
+    total.admission_rejections += s.admission_rejections;
     total.entries += s.entries;
   }
   return total;
+}
+
+std::vector<PlanCache::HotEntry> PlanCache::HottestEntries(int k) const {
+  std::vector<HotEntry> all;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& [fingerprint, slot] : shard.map) {
+      all.push_back({fingerprint, slot.hits, slot.entry});
+    }
+  }
+  std::sort(all.begin(), all.end(), [](const HotEntry& a, const HotEntry& b) {
+    return a.hits != b.hits ? a.hits > b.hits : a.fingerprint < b.fingerprint;
+  });
+  if (k >= 0 && all.size() > static_cast<size_t>(k)) {
+    all.resize(static_cast<size_t>(k));
+  }
+  return all;
 }
 
 size_t PlanCache::size() const {

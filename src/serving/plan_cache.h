@@ -10,6 +10,16 @@
 // each with its own mutex, map, LRU list, capacity, and counters.
 // Concurrent lookups of different fingerprints contend only when they map
 // to the same shard; there is no global lock anywhere in the cache.
+//
+// Admission: with a nonzero admission_min_plan_micros floor the cache only
+// admits entries whose planning actually cost something — a cache slot (and
+// the LRU victim it would evict) is only worth spending on plans that are
+// expensive to recompute. Rejections are counted per shard
+// (Metrics::admission_rejections).
+//
+// Hotness: every hit bumps the entry's hit counter; HottestEntries() ranks
+// entries by it so the post-bump re-warm pass (OptimizerServer::Rewarm) can
+// replan the traffic that would otherwise eat the miss storm.
 #pragma once
 
 #include <cstdint>
@@ -20,6 +30,7 @@
 #include <vector>
 
 #include "src/plan/plan.h"
+#include "src/plan/query_graph.h"
 
 namespace balsa {
 
@@ -28,6 +39,9 @@ struct PlanCacheOptions {
   /// Max entries per shard (total capacity = num_shards * shard_capacity).
   /// 0 disables the cache: every Lookup misses and Insert is a no-op.
   size_t shard_capacity = 512;
+  /// Cost-aware admission floor: entries whose planning_micros is below
+  /// this are not admitted (0 = admit everything).
+  double admission_min_plan_micros = 0;
 };
 
 /// A cached planning result. `stats_version` records the statistics
@@ -36,6 +50,14 @@ struct CachedPlan {
   Plan plan;
   double predicted_ms = 0;
   int64_t stats_version = 0;
+  /// Wall time the beam search took; the admission policy's signal.
+  double planning_micros = 0;
+  /// The query the leader planned (in its own FROM numbering) and the
+  /// permutation into the entry's canonical relation space — enough to
+  /// replan this fingerprint under a newer stats_version (the re-warm pass)
+  /// without a client request in hand.
+  std::shared_ptr<const Query> exemplar;
+  std::vector<int> canonical_rank;
 };
 
 class PlanCache {
@@ -65,20 +87,33 @@ class PlanCache {
   /// Inserts (or replaces) the entry for `fingerprint`, evicting the
   /// shard's least-recently-used entry when it is full. An insert carrying
   /// an older stats_version than the cached entry is dropped — a laggard
-  /// planner never downgrades the cache.
+  /// planner never downgrades the cache — and one whose planning_micros is
+  /// under the admission floor is rejected (unless it *replaces* an entry,
+  /// which re-admission always may: the slot is already paid for).
   void Insert(uint64_t fingerprint, CachedPlan entry);
 
-  struct ShardStats {
+  struct Metrics {
     int64_t hits = 0;
-    int64_t misses = 0;            // includes stale-eviction lookups
+    int64_t misses = 0;              // includes stale-eviction lookups
     int64_t insertions = 0;
-    int64_t stale_evictions = 0;   // erased on version mismatch
-    int64_t lru_evictions = 0;     // erased by capacity pressure
+    int64_t stale_evictions = 0;     // erased on version mismatch
+    int64_t lru_evictions = 0;       // erased by capacity pressure
+    int64_t admission_rejections = 0;  // dropped by the cost-aware floor
     size_t entries = 0;
   };
-  ShardStats shard_stats(int shard) const;
+  Metrics shard_metrics(int shard) const;
   /// Sum of every shard's counters.
-  ShardStats TotalStats() const;
+  Metrics Totals() const;
+
+  /// The `k` entries with the most hits across all shards, most-hit first
+  /// (ties broken by fingerprint for determinism). Entries are shared, not
+  /// copied; hit counts are a snapshot.
+  struct HotEntry {
+    uint64_t fingerprint = 0;
+    int64_t hits = 0;
+    std::shared_ptr<const CachedPlan> entry;
+  };
+  std::vector<HotEntry> HottestEntries(int k) const;
 
   size_t size() const;
   int num_shards() const { return static_cast<int>(shards_.size()); }
@@ -96,9 +131,10 @@ class PlanCache {
     struct Slot {
       std::shared_ptr<const CachedPlan> entry;
       std::list<uint64_t>::iterator lru_pos;
+      int64_t hits = 0;
     };
     std::unordered_map<uint64_t, Slot> map;
-    ShardStats stats;
+    Metrics stats;
   };
 
   bool LookupImpl(uint64_t fingerprint, int64_t stats_version,

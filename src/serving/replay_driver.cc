@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <limits>
 #include <thread>
 
 #include "src/util/rng.h"
@@ -26,6 +27,9 @@ StatusOr<ReplayReport> ReplayWorkload(
     Status status = Status::OK();
     std::vector<double> latencies_us;
     int64_t hits = 0;
+    int64_t min_version = std::numeric_limits<int64_t>::max();
+    int64_t max_version = std::numeric_limits<int64_t>::min();
+    std::vector<int> sequence;
   };
   std::vector<ClientResult> results(num_clients);
   // First plan fingerprint observed per query index (0 = none yet); any
@@ -40,6 +44,7 @@ StatusOr<ReplayReport> ReplayWorkload(
     Rng rng(options.seed * 0x9E3779B9ULL + c);
     for (int r = 0; r < options.requests_per_client; ++r) {
       size_t qi = static_cast<size_t>(popularity.Sample(&rng));
+      if (options.record_sequences) out.sequence.push_back(static_cast<int>(qi));
       auto result = server->Optimize(*queries[qi]);
       if (!result.ok()) {
         out.status = result.status();
@@ -47,6 +52,8 @@ StatusOr<ReplayReport> ReplayWorkload(
       }
       out.latencies_us.push_back(result->serve_micros);
       out.hits += result->cache_hit ? 1 : 0;
+      out.min_version = std::min(out.min_version, result->stats_version);
+      out.max_version = std::max(out.max_version, result->stats_version);
       uint64_t fp = result->plan.Fingerprint();
       uint64_t expected = 0;
       if (!seen_plan[qi].compare_exchange_strong(expected, fp,
@@ -67,13 +74,25 @@ StatusOr<ReplayReport> ReplayWorkload(
                     .count();
 
   ReplayReport report;
+  report.min_stats_version = std::numeric_limits<int64_t>::max();
+  report.max_stats_version = std::numeric_limits<int64_t>::min();
   std::vector<double> latencies;
-  for (const ClientResult& r : results) {
+  for (ClientResult& r : results) {
     BALSA_RETURN_IF_ERROR(r.status);
     latencies.insert(latencies.end(), r.latencies_us.begin(),
                      r.latencies_us.end());
     report.requests += static_cast<int64_t>(r.latencies_us.size());
     report.hit_rate += static_cast<double>(r.hits);
+    report.min_stats_version = std::min(report.min_stats_version,
+                                        r.min_version);
+    report.max_stats_version = std::max(report.max_stats_version,
+                                        r.max_version);
+    if (options.record_sequences) {
+      report.client_sequences.push_back(std::move(r.sequence));
+    }
+  }
+  if (report.min_stats_version > report.max_stats_version) {
+    report.min_stats_version = report.max_stats_version = 0;
   }
   report.wall_seconds = wall;
   report.requests_per_sec =

@@ -25,6 +25,11 @@ struct ReplayOptions {
   /// is heavily skewed; skew is what a plan cache monetizes.
   double zipf_s = 0.9;
   uint64_t seed = 1;
+  /// Record every client's issued query-index sequence into
+  /// ReplayReport::client_sequences. The sequence is a pure function of
+  /// (seed, client index) — never of timing or server thread counts — so
+  /// replays are reproducible; tests/serving_replay_test.cc asserts it.
+  bool record_sequences = false;
 };
 
 struct ReplayReport {
@@ -39,6 +44,14 @@ struct ReplayReport {
   OptimizerServer::Stats server;
   /// True iff all clients saw one plan fingerprint per query index.
   bool plans_consistent = true;
+  /// Range of stats_versions the served plans carried. Equal min/max means
+  /// the whole replay ran inside one statistics generation; after a
+  /// re-ANALYZE bump, a replay's min must be the new version — the
+  /// zero-stale-plans gate of bench_adaptive_drift.
+  int64_t min_stats_version = 0;
+  int64_t max_stats_version = 0;
+  /// Per-client issued query indices (only when options.record_sequences).
+  std::vector<std::vector<int>> client_sequences;
 };
 
 /// Replays `queries` against `server` and reports throughput/latency.

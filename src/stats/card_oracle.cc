@@ -5,22 +5,32 @@
 namespace balsa {
 
 bool CardOracle::TryGet(uint64_t key, TrueCard* out) {
+  const uint64_t epoch = data_epoch_.load(std::memory_order_acquire);
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.map.find(key);
   if (it == shard.map.end()) return false;
-  *out = it->second;
+  if (it->second.epoch != epoch) {
+    // Older than our snapshot: data mutated since it was measured — lazily
+    // reclaim the slot. Newer: a concurrent reader already recomputed it
+    // against fresher data than our snapshot; miss, but keep their work.
+    if (it->second.epoch < epoch) shard.map.erase(it);
+    return false;
+  }
+  *out = it->second.card;
   return true;
 }
 
-void CardOracle::Put(uint64_t key, TrueCard card) {
+void CardOracle::Put(uint64_t key, TrueCard card, uint64_t epoch) {
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.map.find(key);
   if (it == shard.map.end()) {
-    shard.map.emplace(key, card);
-  } else if (it->second.capped && !card.capped) {
-    it->second = card;
+    shard.map.emplace(key, Entry{card, epoch});
+  } else if (it->second.epoch < epoch ||
+             (it->second.epoch == epoch && it->second.card.capped &&
+              !card.capped)) {
+    it->second = Entry{card, epoch};
   }
 }
 
@@ -31,11 +41,14 @@ StatusOr<TrueCard> CardOracle::Cardinality(const Query& query, TableSet set) {
   if (set.empty()) return Status::InvalidArgument("empty table set");
   TrueCard cached;
   if (TryGet(Key(query.id(), set), &cached)) return cached;
-  return ComputeBySteps(query, set);
+  // Pin the epoch before reading any data: if an ingest batch lands while
+  // we execute, our results are stamped pre-mutation and expire with it.
+  return ComputeBySteps(query, set,
+                        data_epoch_.load(std::memory_order_acquire));
 }
 
 StatusOr<TrueCard> CardOracle::ComputeBySteps(const Query& query,
-                                              TableSet set) {
+                                              TableSet set, uint64_t epoch) {
   // Join the set left-deep in a connected, smallest-first order, caching
   // every prefix cardinality along the way.
   std::vector<std::pair<int64_t, int>> bases;  // (filtered rows, rel)
@@ -44,7 +57,8 @@ StatusOr<TrueCard> CardOracle::ComputeBySteps(const Query& query,
     BALSA_ASSIGN_OR_RETURN(scans[rel], executor_.Scan(query, rel));
     bases.push_back({scans[rel].NumRows(), rel});
     Put(Key(query.id(), TableSet::Single(rel)),
-        {static_cast<double>(scans[rel].NumRows()), false});
+        {static_cast<double>(scans[rel].NumRows()), scans[rel].capped},
+        epoch);
   }
   std::sort(bases.begin(), bases.end());
 
@@ -76,7 +90,7 @@ StatusOr<TrueCard> CardOracle::ComputeBySteps(const Query& query,
                            executor_.Join(query, current, scans[next]));
     num_executions_.fetch_add(1, std::memory_order_relaxed);
     TrueCard card{static_cast<double>(current.NumRows()), current.capped};
-    Put(key, card);
+    Put(key, card, epoch);
     done = grown;
     if (current.capped) {
       // Everything above a capped intermediate is also capped; don't keep
@@ -84,9 +98,9 @@ StatusOr<TrueCard> CardOracle::ComputeBySteps(const Query& query,
       return TrueCard{static_cast<double>(current.NumRows()), true};
     }
   }
-  TrueCard result;
-  TryGet(Key(query.id(), set), &result);  // Put above guarantees presence
-  return result;
+  // `current` is the materialized join of the full set (don't re-read the
+  // memo here: an epoch bump mid-computation would expire our own Put).
+  return TrueCard{static_cast<double>(current.NumRows()), current.capped};
 }
 
 StatusOr<std::vector<TrueCard>> CardOracle::PlanCardinalities(

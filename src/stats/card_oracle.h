@@ -14,9 +14,13 @@
 //
 // The generation counter versions the statistics regime the rest of the
 // system plans under (TableStats/estimator snapshots). Bumping it does not
-// clear the memo — true cardinalities stay true — but lets higher layers
-// (the serving plan cache, async training) detect that plans derived from
-// older statistics are stale.
+// invalidate the memo — true cardinalities stay true — but lets higher
+// layers (the serving plan cache, async training) detect that plans derived
+// from older statistics are stale. Data *mutation* is different: it changes
+// the true cardinalities themselves, so the change stream's ingest path
+// calls InvalidateMemo(), which advances a data epoch that lazily expires
+// every memoized entry (see below). "Bitwise identical for any thread
+// count" holds within one data epoch.
 #pragma once
 
 #include <atomic>
@@ -53,16 +57,34 @@ class CardOracle {
   StatusOr<std::vector<TrueCard>> PlanCardinalities(const Query& query,
                                                     const Plan& plan);
 
+  /// Live (current data-epoch) memo entries; stale ones are excluded even
+  /// before their lazy eviction.
   size_t CacheSize() const {
+    const uint64_t epoch = data_epoch_.load(std::memory_order_acquire);
     size_t total = 0;
     for (const Shard& shard : shards_) {
       std::lock_guard<std::mutex> lock(shard.mu);
-      total += shard.map.size();
+      for (const auto& [key, entry] : shard.map) {
+        if (entry.epoch == epoch) total++;
+      }
     }
     return total;
   }
   int64_t NumExecutions() const {
     return num_executions_.load(std::memory_order_relaxed);
+  }
+
+  /// Invalidates every memoized cardinality. Required after the underlying
+  /// data mutates (the adaptive change stream): unlike a statistics bump, a
+  /// data change makes the *true* cardinalities themselves stale. O(1) —
+  /// it advances the data epoch; entries stamped with older epochs read as
+  /// misses and are erased lazily on next touch, so a write-heavy ingest
+  /// stream can invalidate per batch without sweeping the shards each
+  /// time. Computations in flight across the bump stamp their results with
+  /// the epoch they *read from*, so they can never resurrect pre-mutation
+  /// counts as current. Thread-safe.
+  void InvalidateMemo() {
+    data_epoch_.fetch_add(1, std::memory_order_acq_rel);
   }
 
   /// Statistics generation this oracle's consumers currently plan under.
@@ -76,9 +98,14 @@ class CardOracle {
   }
 
  private:
+  struct Entry {
+    TrueCard card;
+    /// Data epoch the cardinality was computed under (see InvalidateMemo).
+    uint64_t epoch = 0;
+  };
   struct Shard {
     mutable std::mutex mu;
-    std::unordered_map<uint64_t, TrueCard> map;
+    std::unordered_map<uint64_t, Entry> map;
   };
 
   static uint64_t Key(int query_id, TableSet set) {
@@ -92,17 +119,22 @@ class CardOracle {
     // so shard choice is not dominated by either.
     return shards_[(key ^ (key >> 32)) % kNumShards];
   }
+  /// Hit only for entries at the current data epoch; stale entries are
+  /// erased and read as misses.
   bool TryGet(uint64_t key, TrueCard* out);
-  /// Inserts `card` unless the shard already holds an uncapped value for
-  /// `key` (an uncapped measurement is never downgraded to a capped one).
-  void Put(uint64_t key, TrueCard card);
+  /// Inserts `card` computed under `epoch`. Never downgrades: a same-epoch
+  /// uncapped value is not replaced by a capped one, and a newer-epoch
+  /// entry is not replaced by a laggard computation's older-epoch result.
+  void Put(uint64_t key, TrueCard card, uint64_t epoch);
 
-  StatusOr<TrueCard> ComputeBySteps(const Query& query, TableSet set);
+  StatusOr<TrueCard> ComputeBySteps(const Query& query, TableSet set,
+                                    uint64_t epoch);
 
   Executor executor_;
   Shard shards_[kNumShards];
   std::atomic<int64_t> num_executions_{0};
   std::atomic<int64_t> generation_{0};
+  std::atomic<uint64_t> data_epoch_{0};
 };
 
 }  // namespace balsa

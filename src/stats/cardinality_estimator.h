@@ -47,6 +47,7 @@ class CardinalityEstimator : public CardinalityEstimatorInterface {
   double JoinSelectivity(const Query& query, const JoinPredicate& j) const;
 
   const std::vector<TableStats>& stats() const { return stats_; }
+  const Schema* schema() const { return schema_; }
 
   /// The "magic constant" PostgreSQL falls back to for unsupported
   /// predicates (DEFAULT_EQ_SEL-like).

@@ -1,0 +1,222 @@
+#include "src/stats/incremental_analyze.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace balsa {
+
+namespace {
+
+const ColumnAnchor kNoAnchor;
+
+int64_t ClampNonNegative(int64_t v) { return v < 0 ? 0 : v; }
+
+/// One span of the value domain carrying a (re-weighted) mass of rows,
+/// assumed uniformly distributed across [lo, hi].
+struct MassPiece {
+  double lo = 0;
+  double hi = 0;
+  double mass = 0;
+};
+
+/// A uniform piece over a sub-span of [lo, hi] whose mean matches the
+/// observed mean of the values it models (method of moments): drifted
+/// inserts cluster far from the old domain edge, and assuming uniformity
+/// over the whole overflow region would smear their mass badly.
+MassPiece MeanMatchedPiece(double lo, double hi, double mass, double sum,
+                           int64_t count) {
+  MassPiece piece{lo, hi, mass};
+  if (count <= 0 || hi <= lo) return piece;
+  const double mean = sum / static_cast<double>(count);
+  const double mid = (lo + hi) / 2;
+  if (mean > mid) {
+    piece.lo = std::min(hi, std::max(lo, 2 * mean - hi));
+  } else {
+    piece.hi = std::max(lo, std::min(hi, 2 * mean - lo));
+  }
+  return piece;
+}
+
+/// Rebuilds equi-depth bounds over `pieces` (ordered, non-overlapping):
+/// every new bucket holds total/num_buckets mass, with bucket edges placed
+/// by linear interpolation inside the piece where the cumulative mass
+/// crosses each multiple of the target depth.
+std::vector<int64_t> EquiDepthBounds(const std::vector<MassPiece>& pieces,
+                                     int num_buckets) {
+  double total = 0;
+  for (const MassPiece& p : pieces) total += p.mass;
+  if (total <= 0 || pieces.empty() || num_buckets < 1) return {};
+  std::vector<int64_t> bounds;
+  bounds.reserve(static_cast<size_t>(num_buckets) + 1);
+  bounds.push_back(static_cast<int64_t>(std::llround(pieces.front().lo)));
+  const double target = total / num_buckets;
+  double cumulative = 0;
+  size_t piece = 0;
+  double consumed = 0;  // mass of pieces[piece] already assigned
+  for (int b = 1; b < num_buckets; ++b) {
+    const double want = target * b;
+    while (piece < pieces.size() &&
+           cumulative + (pieces[piece].mass - consumed) < want) {
+      cumulative += pieces[piece].mass - consumed;
+      consumed = 0;
+      piece++;
+    }
+    if (piece >= pieces.size()) break;
+    const MassPiece& p = pieces[piece];
+    const double need = want - cumulative;  // mass into this piece
+    double frac = p.mass > 0 ? (consumed + need) / p.mass : 1.0;
+    frac = std::min(1.0, std::max(0.0, frac));
+    bounds.push_back(
+        static_cast<int64_t>(std::llround(p.lo + (p.hi - p.lo) * frac)));
+    cumulative += need;
+    consumed += need;
+  }
+  bounds.push_back(static_cast<int64_t>(std::llround(pieces.back().hi)));
+  // Rounding can locally invert an edge; restore monotonicity.
+  for (size_t i = 1; i < bounds.size(); ++i) {
+    bounds[i] = std::max(bounds[i], bounds[i - 1]);
+  }
+  return bounds;
+}
+
+ColumnStats MergeColumn(const ColumnStats& base, const ColumnAnchor& anchor,
+                        const ColumnDeltaSketch& sketch, int64_t base_rows,
+                        int64_t new_rows) {
+  ColumnStats out = base;
+
+  // --- Exact bookkeeping: nulls, min/max widening --------------------------
+  const int64_t base_nulls = static_cast<int64_t>(
+      std::llround(base.null_fraction * static_cast<double>(base_rows)));
+  const int64_t base_nonnull = ClampNonNegative(base_rows - base_nulls);
+  int64_t new_nulls = ClampNonNegative(base_nulls + sketch.inserted_nulls -
+                                       sketch.deleted_nulls);
+  new_nulls = std::min(new_nulls, new_rows);
+  const int64_t new_nonnull = ClampNonNegative(new_rows - new_nulls);
+  out.null_fraction =
+      new_rows > 0
+          ? static_cast<double>(new_nulls) / static_cast<double>(new_rows)
+          : 0.0;
+
+  const bool base_empty = base.num_distinct == 0;
+  if (sketch.inserted > 0) {
+    out.min_value =
+        base_empty ? sketch.min_inserted
+                   : std::min(base.min_value, sketch.min_inserted);
+    out.max_value =
+        base_empty ? sketch.max_inserted
+                   : std::max(base.max_value, sketch.max_inserted);
+  }
+
+  // --- Distinct count: union of the base HLL (built by ANALYZE) and the
+  // insert stream's HLL, never shrinking. (Deletes could lower NDV, but
+  // detecting that needs a rescan; the scheduler's full-ANALYZE fallback
+  // corrects the drift eventually.)
+  out.distinct_sketch.Merge(sketch.distinct_inserted);
+  int64_t union_ndv =
+      static_cast<int64_t>(std::llround(out.distinct_sketch.Estimate()));
+  out.num_distinct = std::max(base.num_distinct, union_ndv);
+  out.num_distinct =
+      std::min(out.num_distinct, std::max<int64_t>(new_nonnull, 0));
+
+  // --- MCVs: frequencies converted to counts, shifted, re-normalized ------
+  double mcv_total = 0;
+  for (size_t m = 0; m < out.mcv_values.size(); ++m) {
+    double count = out.mcv_freqs[m] * static_cast<double>(base_nonnull);
+    if (m < sketch.mcv_inserts.size()) {
+      count += static_cast<double>(sketch.mcv_inserts[m] -
+                                   sketch.mcv_deletes[m]);
+    }
+    count = std::max(0.0, count);
+    out.mcv_freqs[m] =
+        new_nonnull > 0 ? count / static_cast<double>(new_nonnull) : 0.0;
+    mcv_total += out.mcv_freqs[m];
+  }
+
+  // --- Histogram: re-weight anchored buckets, rebuild equi-depth bounds ---
+  const std::vector<int64_t>& bounds = anchor.histogram_bounds;
+  if (bounds.size() >= 2 && !sketch.bucket_inserts.empty()) {
+    const int buckets = static_cast<int>(bounds.size()) - 1;
+    const double base_mass =
+        static_cast<double>(base_nonnull) * base.non_mcv_fraction;
+    const double per_bucket = base_mass / buckets;
+    std::vector<MassPiece> pieces;
+    pieces.reserve(static_cast<size_t>(buckets) + 2);
+    // Mass that landed below the anchored domain extends it downward.
+    double below = static_cast<double>(
+        ClampNonNegative(sketch.bucket_inserts[0] - sketch.bucket_deletes[0]));
+    if (below > 0 && sketch.inserted > 0) {
+      pieces.push_back(MeanMatchedPiece(
+          static_cast<double>(std::min(sketch.min_inserted, bounds.front())),
+          static_cast<double>(bounds.front()), below,
+          static_cast<double>(sketch.below_sum), sketch.below_inserts));
+    }
+    for (int b = 0; b < buckets; ++b) {
+      double mass = per_bucket +
+                    static_cast<double>(sketch.bucket_inserts[b + 1]) -
+                    static_cast<double>(sketch.bucket_deletes[b + 1]);
+      pieces.push_back({static_cast<double>(bounds[b]),
+                        static_cast<double>(bounds[b + 1]),
+                        std::max(0.0, mass)});
+    }
+    double above = static_cast<double>(ClampNonNegative(
+        sketch.bucket_inserts[buckets + 1] -
+        sketch.bucket_deletes[buckets + 1]));
+    if (above > 0 && sketch.inserted > 0) {
+      pieces.push_back(MeanMatchedPiece(
+          static_cast<double>(bounds.back()),
+          static_cast<double>(std::max(sketch.max_inserted, bounds.back())),
+          above, static_cast<double>(sketch.above_sum),
+          sketch.above_inserts));
+    }
+    double total = 0;
+    for (const MassPiece& p : pieces) total += p.mass;
+    out.histogram_bounds = EquiDepthBounds(pieces, buckets);
+    out.non_mcv_fraction =
+        new_nonnull > 0
+            ? std::min(1.0, total / static_cast<double>(new_nonnull))
+            : 0.0;
+  } else {
+    // No anchored histogram: keep the base shape, cap the MCV complement.
+    out.non_mcv_fraction = std::max(0.0, 1.0 - mcv_total);
+  }
+  return out;
+}
+
+}  // namespace
+
+TableAnchor MakeTableAnchor(const TableStats& stats) {
+  TableAnchor anchor;
+  anchor.base_row_count = stats.row_count;
+  anchor.stats_version = stats.stats_version;
+  anchor.columns.reserve(stats.columns.size());
+  for (const ColumnStats& cs : stats.columns) {
+    ColumnAnchor col;
+    col.histogram_bounds = cs.histogram_bounds;
+    col.mcv_values = cs.mcv_values;
+    anchor.columns.push_back(std::move(col));
+  }
+  return anchor;
+}
+
+TableStats MergeTableDelta(const TableStats& base, const TableAnchor& anchor,
+                           const TableDelta& delta, int64_t new_version) {
+  TableStats out;
+  out.stats_version = new_version;
+  out.row_count = ClampNonNegative(base.row_count + delta.rows_inserted -
+                                   delta.rows_deleted);
+  out.columns.reserve(base.columns.size());
+  for (size_t c = 0; c < base.columns.size(); ++c) {
+    const ColumnAnchor& col_anchor =
+        c < anchor.columns.size() ? anchor.columns[c] : kNoAnchor;
+    if (c < delta.columns.size()) {
+      out.columns.push_back(MergeColumn(base.columns[c], col_anchor,
+                                        delta.columns[c], base.row_count,
+                                        out.row_count));
+    } else {
+      out.columns.push_back(base.columns[c]);
+    }
+  }
+  return out;
+}
+
+}  // namespace balsa

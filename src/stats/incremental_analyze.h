@@ -1,0 +1,32 @@
+// Incremental re-ANALYZE: folds a change-stream delta (per-column streaming
+// sketches from src/storage/change_log.h) into an existing TableStats
+// snapshot without rescanning the table, in the spirit of maintaining query
+// answers under updates incrementally rather than recomputing them
+// (Berkholz et al., FO+MOD under updates). Exact for row counts and null
+// fractions, widening for min/max, HLL-approximate for distinct counts, and
+// mass-redistributing for the equi-depth histogram: the anchored per-bucket
+// insert/delete counts re-weight the old buckets (plus below-min/above-max
+// overflow mass), and new equi-depth bounds are rebuilt by piecewise-linear
+// interpolation over the re-weighted masses.
+//
+// The approximation degrades as deltas stack up — the ReanalyzeScheduler
+// (src/adaptive) bounds that by falling back to a full AnalyzeTable() rescan
+// past a staleness bound.
+#pragma once
+
+#include "src/stats/table_stats.h"
+#include "src/storage/change_log.h"
+
+namespace balsa {
+
+/// The anchor the change log should count against for `stats`: its
+/// histogram bounds and MCV list per column, plus the row count baseline.
+TableAnchor MakeTableAnchor(const TableStats& stats);
+
+/// `base` merged with `delta` (which must have been accumulated against
+/// `anchor`, i.e. anchor = MakeTableAnchor(base)). The result carries
+/// `new_version` as its stats_version.
+TableStats MergeTableDelta(const TableStats& base, const TableAnchor& anchor,
+                           const TableDelta& delta, int64_t new_version);
+
+}  // namespace balsa

@@ -1,0 +1,50 @@
+// An estimator indirection that lets the adaptive re-ANALYZE pipeline swap
+// in freshly merged statistics while planners are serving traffic. Readers
+// (featurizer, cost models) hold a SwappableEstimator* and each call
+// atomically loads the current immutable CardinalityEstimator snapshot; the
+// ReanalyzeScheduler builds a whole new estimator from the merged TableStats
+// and Swap()s it in, then bumps the CardOracle generation so the serving
+// plan cache keys roll over. No reader ever sees a half-updated statistics
+// vector — snapshots are immutable and replaced wholesale.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <utility>
+
+#include "src/stats/cardinality_estimator.h"
+
+namespace balsa {
+
+class SwappableEstimator : public CardinalityEstimatorInterface {
+ public:
+  explicit SwappableEstimator(
+      std::shared_ptr<const CardinalityEstimator> initial)
+      : current_(std::move(initial)) {}
+
+  /// The current immutable snapshot (never null).
+  std::shared_ptr<const CardinalityEstimator> current() const {
+    return std::atomic_load_explicit(&current_, std::memory_order_acquire);
+  }
+
+  /// Atomically installs `next` for all subsequent estimator calls.
+  void Swap(std::shared_ptr<const CardinalityEstimator> next) {
+    std::atomic_store_explicit(&current_, std::move(next),
+                               std::memory_order_release);
+  }
+
+  double EstimateScanRows(const Query& query, int rel) const override {
+    return current()->EstimateScanRows(query, rel);
+  }
+  double EstimateJoinRows(const Query& query, TableSet set) const override {
+    return current()->EstimateJoinRows(query, set);
+  }
+  double EstimateSelectivity(const Query& query, int rel) const override {
+    return current()->EstimateSelectivity(query, rel);
+  }
+
+ private:
+  std::shared_ptr<const CardinalityEstimator> current_;
+};
+
+}  // namespace balsa

@@ -1,6 +1,7 @@
 #include "src/stats/table_stats.h"
 
 #include <algorithm>
+#include <string>
 #include <unordered_map>
 
 #include "src/util/rng.h"
@@ -44,6 +45,8 @@ ColumnStats AnalyzeColumn(const std::vector<int64_t>& column,
     stats.num_distinct = 0;
     return stats;
   }
+
+  for (int64_t v : values) stats.distinct_sketch.Add(v);
 
   std::sort(values.begin(), values.end());
   stats.min_value = values.front();
@@ -103,23 +106,36 @@ ColumnStats AnalyzeColumn(const std::vector<int64_t>& column,
 
 }  // namespace
 
+StatusOr<TableStats> AnalyzeTable(const Database& db, int table_idx,
+                                  const AnalyzeOptions& options) {
+  if (table_idx < 0 || table_idx >= db.schema().num_tables()) {
+    return Status::OutOfRange("table index " + std::to_string(table_idx));
+  }
+  if (!db.HasData(table_idx)) {
+    return Status::FailedPrecondition("table " +
+                                      db.schema().table(table_idx).name +
+                                      " has no data; generate first");
+  }
+  // Seed per table so a lone re-ANALYZE samples the same rows it would
+  // inside a full Analyze() pass.
+  Rng rng(0xA11A1FE ^ (static_cast<uint64_t>(table_idx) * 0x9E3779B9ULL));
+  const TableData& data = db.table_data(table_idx);
+  TableStats ts;
+  ts.row_count = data.row_count;
+  ts.stats_version = options.stats_version;
+  ts.columns.reserve(data.columns.size());
+  for (const auto& col : data.columns) {
+    ts.columns.push_back(AnalyzeColumn(col, options, &rng));
+  }
+  return ts;
+}
+
 StatusOr<std::vector<TableStats>> Analyze(const Database& db,
                                           const AnalyzeOptions& options) {
   std::vector<TableStats> out;
-  Rng rng(0xA11A1FE);
+  out.reserve(static_cast<size_t>(db.schema().num_tables()));
   for (int t = 0; t < db.schema().num_tables(); ++t) {
-    if (!db.HasData(t)) {
-      return Status::FailedPrecondition("table " + db.schema().table(t).name +
-                                        " has no data; generate first");
-    }
-    const TableData& data = db.table_data(t);
-    TableStats ts;
-    ts.row_count = data.row_count;
-    ts.stats_version = options.stats_version;
-    ts.columns.reserve(data.columns.size());
-    for (const auto& col : data.columns) {
-      ts.columns.push_back(AnalyzeColumn(col, options, &rng));
-    }
+    BALSA_ASSIGN_OR_RETURN(TableStats ts, AnalyzeTable(db, t, options));
     out.push_back(std::move(ts));
   }
   return out;

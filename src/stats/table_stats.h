@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "src/storage/column_store.h"
+#include "src/util/hll.h"
 #include "src/util/status.h"
 
 namespace balsa {
@@ -16,6 +17,12 @@ struct ColumnStats {
   int64_t max_value = 0;
   int64_t num_distinct = 0;
   double null_fraction = 0.0;
+
+  /// HyperLogLog over the analyzed (non-null) values. num_distinct stays
+  /// the exact scan count; the sketch exists so the incremental re-ANALYZE
+  /// (src/stats/incremental_analyze.h) can union it with an insert stream's
+  /// sketch and estimate the NDV of the combined column without rescanning.
+  Hll distinct_sketch;
 
   /// Most common values and their frequencies (fractions of non-null rows).
   std::vector<int64_t> mcv_values;
@@ -55,5 +62,11 @@ struct AnalyzeOptions {
 /// Computes statistics for every table in the database.
 StatusOr<std::vector<TableStats>> Analyze(const Database& db,
                                           const AnalyzeOptions& options = {});
+
+/// Computes statistics for one table — the full-rescan fallback of the
+/// adaptive re-ANALYZE pipeline (src/adaptive), which otherwise merges
+/// change-stream sketches incrementally (src/stats/incremental_analyze.h).
+StatusOr<TableStats> AnalyzeTable(const Database& db, int table_idx,
+                                  const AnalyzeOptions& options = {});
 
 }  // namespace balsa

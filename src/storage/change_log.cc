@@ -1,0 +1,263 @@
+#include "src/storage/change_log.h"
+
+#include <algorithm>
+#include <string>
+
+namespace balsa {
+
+namespace {
+
+const ColumnAnchor kNoAnchor;
+
+/// Bucket of `value` against anchored bounds: 0 = below bounds.front(),
+/// B+1 = above bounds.back(), else 1 + the histogram bucket index.
+size_t OverflowBucket(const std::vector<int64_t>& bounds, int64_t value) {
+  if (value < bounds.front()) return 0;
+  if (value > bounds.back()) return bounds.size();
+  // upper_bound - 1 is the last bound <= value; bucket i spans
+  // [bounds[i], bounds[i+1]].
+  auto it = std::upper_bound(bounds.begin(), bounds.end(), value);
+  size_t idx = static_cast<size_t>(it - bounds.begin());
+  if (idx == 0) return 1;                       // value == bounds.front()
+  if (idx >= bounds.size()) idx = bounds.size() - 1;  // value == back()
+  return idx;  // 1-based histogram bucket (idx-1) + 1
+}
+
+ColumnDeltaSketch MakeSketch(const ColumnAnchor& anchor) {
+  ColumnDeltaSketch sketch;
+  if (anchor.histogram_bounds.size() >= 2) {
+    sketch.bucket_inserts.assign(anchor.histogram_bounds.size() + 1, 0);
+    sketch.bucket_deletes.assign(anchor.histogram_bounds.size() + 1, 0);
+  }
+  sketch.mcv_inserts.assign(anchor.mcv_values.size(), 0);
+  sketch.mcv_deletes.assign(anchor.mcv_values.size(), 0);
+  return sketch;
+}
+
+TableDelta MakeDelta(const TableAnchor& anchor, size_t num_columns) {
+  TableDelta delta;
+  delta.columns.reserve(num_columns);
+  for (size_t c = 0; c < num_columns; ++c) {
+    delta.columns.push_back(MakeSketch(
+        c < anchor.columns.size() ? anchor.columns[c] : kNoAnchor));
+  }
+  return delta;
+}
+
+}  // namespace
+
+ChangeLog::ChangeLog(Database* db) : db_(db) {
+  tables_.reserve(static_cast<size_t>(db->schema().num_tables()));
+  for (int t = 0; t < db->schema().num_tables(); ++t) {
+    auto state = std::make_unique<TableState>();
+    state->anchor.base_row_count =
+        db->HasData(t) ? db->table_data(t).row_count : 0;
+    state->delta =
+        MakeDelta(state->anchor, db->schema().table(t).columns.size());
+    tables_.push_back(std::move(state));
+  }
+}
+
+Status ChangeLog::CheckTable(int table) const {
+  if (table < 0 || table >= num_tables()) {
+    return Status::OutOfRange("table " + std::to_string(table));
+  }
+  return Status::OK();
+}
+
+void ChangeLog::Record(const ColumnAnchor& anchor, int64_t value, bool add,
+                       ColumnDeltaSketch* sketch) {
+  if (value < 0) {  // NULL
+    (add ? sketch->inserted_nulls : sketch->deleted_nulls)++;
+    return;
+  }
+  if (add) {
+    if (sketch->inserted == 0) {
+      sketch->min_inserted = sketch->max_inserted = value;
+    } else {
+      sketch->min_inserted = std::min(sketch->min_inserted, value);
+      sketch->max_inserted = std::max(sketch->max_inserted, value);
+    }
+    sketch->inserted++;
+    sketch->distinct_inserted.Add(value);
+  } else {
+    sketch->deleted++;
+  }
+  // MCV occurrences are attributed to the MCV counters, everything else to
+  // the anchored histogram buckets — mirroring how ANALYZE splits mass.
+  for (size_t m = 0; m < anchor.mcv_values.size(); ++m) {
+    if (anchor.mcv_values[m] == value) {
+      (add ? sketch->mcv_inserts[m] : sketch->mcv_deletes[m])++;
+      return;
+    }
+  }
+  auto& buckets = add ? sketch->bucket_inserts : sketch->bucket_deletes;
+  if (!buckets.empty()) {
+    size_t bucket = OverflowBucket(anchor.histogram_bounds, value);
+    buckets[bucket]++;
+    if (add && bucket == 0) {
+      sketch->below_sum += value;
+      sketch->below_inserts++;
+    } else if (add && bucket == buckets.size() - 1) {
+      sketch->above_sum += value;
+      sketch->above_inserts++;
+    }
+  }
+}
+
+Status ChangeLog::InsertRows(int table,
+                             const std::vector<std::vector<int64_t>>& rows) {
+  BALSA_RETURN_IF_ERROR(CheckTable(table));
+  if (rows.empty()) return Status::OK();
+  TableState& state = *tables_[static_cast<size_t>(table)];
+  {
+    std::lock_guard<std::mutex> lock(state.mu);
+    BALSA_RETURN_IF_ERROR(db_->AppendRows(table, rows));
+    for (size_t c = 0; c < state.delta.columns.size(); ++c) {
+      const ColumnAnchor& anchor = c < state.anchor.columns.size()
+                                       ? state.anchor.columns[c]
+                                       : kNoAnchor;
+      for (const auto& row : rows) {
+        Record(anchor, row[c], /*add=*/true, &state.delta.columns[c]);
+      }
+    }
+    state.delta.rows_inserted += static_cast<int64_t>(rows.size());
+    state.delta.epoch++;
+  }
+  Notify(table);
+  return Status::OK();
+}
+
+Status ChangeLog::DeleteRows(int table, std::vector<int64_t> row_ids) {
+  BALSA_RETURN_IF_ERROR(CheckTable(table));
+  if (row_ids.empty()) return Status::OK();
+  TableState& state = *tables_[static_cast<size_t>(table)];
+  {
+    std::lock_guard<std::mutex> lock(state.mu);
+    // Validate fully before folding anything into the sketches: a rejected
+    // delete must not leave phantom deletions behind.
+    const TableData& data = db_->table_data(table);
+    BALSA_ASSIGN_OR_RETURN(row_ids,
+                           ValidateAndSortRowIds(data.row_count,
+                                                 std::move(row_ids)));
+    // Capture the removed values before the swap-remove disturbs row ids.
+    for (size_t c = 0; c < state.delta.columns.size(); ++c) {
+      const ColumnAnchor& anchor = c < state.anchor.columns.size()
+                                       ? state.anchor.columns[c]
+                                       : kNoAnchor;
+      for (int64_t row : row_ids) {
+        Record(anchor, data.columns[c][static_cast<size_t>(row)],
+               /*add=*/false, &state.delta.columns[c]);
+      }
+    }
+    const int64_t num_deleted = static_cast<int64_t>(row_ids.size());
+    BALSA_RETURN_IF_ERROR(db_->RemoveRows(table, std::move(row_ids)));
+    state.delta.rows_deleted += num_deleted;
+    state.delta.epoch++;
+  }
+  Notify(table);
+  return Status::OK();
+}
+
+Status ChangeLog::UpdateValues(
+    int table, int column,
+    const std::vector<std::pair<int64_t, int64_t>>& updates) {
+  BALSA_RETURN_IF_ERROR(CheckTable(table));
+  if (updates.empty()) return Status::OK();
+  TableState& state = *tables_[static_cast<size_t>(table)];
+  {
+    std::lock_guard<std::mutex> lock(state.mu);
+    const TableData& data = db_->table_data(table);
+    if (column < 0 || column >= static_cast<int>(data.columns.size())) {
+      return Status::OutOfRange("column " + std::to_string(column));
+    }
+    // Validate the whole batch before mutating or sketching anything: a
+    // rejected update must not leave partial data or phantom records.
+    for (const auto& [row, value] : updates) {
+      (void)value;
+      if (row < 0 || row >= data.row_count) {
+        return Status::OutOfRange("row " + std::to_string(row));
+      }
+    }
+    ColumnDeltaSketch& sketch = state.delta.columns[static_cast<size_t>(column)];
+    const ColumnAnchor& anchor =
+        static_cast<size_t>(column) < state.anchor.columns.size()
+            ? state.anchor.columns[static_cast<size_t>(column)]
+            : kNoAnchor;
+    // Sketch the old values before the batch write overwrites them.
+    for (const auto& [row, value] : updates) {
+      Record(anchor, data.columns[static_cast<size_t>(column)]
+                         [static_cast<size_t>(row)],
+             /*add=*/false, &sketch);
+      Record(anchor, value, /*add=*/true, &sketch);
+    }
+    BALSA_RETURN_IF_ERROR(db_->SetValues(table, column, updates));
+    state.delta.rows_updated += static_cast<int64_t>(updates.size());
+    state.delta.epoch++;
+  }
+  Notify(table);
+  return Status::OK();
+}
+
+TableDelta ChangeLog::Snapshot(int table) const {
+  const TableState& state = *tables_[static_cast<size_t>(table)];
+  std::lock_guard<std::mutex> lock(state.mu);
+  return state.delta;
+}
+
+TableAnchor ChangeLog::anchor(int table) const {
+  const TableState& state = *tables_[static_cast<size_t>(table)];
+  std::lock_guard<std::mutex> lock(state.mu);
+  return state.anchor;
+}
+
+void ChangeLog::SetAnchor(int table, TableAnchor anchor) {
+  TableState& state = *tables_[static_cast<size_t>(table)];
+  std::lock_guard<std::mutex> lock(state.mu);
+  state.anchor = std::move(anchor);
+  state.delta =
+      MakeDelta(state.anchor,
+                db_->schema().table(table).columns.size());
+}
+
+Status ChangeLog::Rebase(
+    int table, const std::function<StatusOr<TableAnchor>(
+                   const TableDelta&, const TableAnchor&)>& reanalyze) {
+  BALSA_RETURN_IF_ERROR(CheckTable(table));
+  TableState& state = *tables_[static_cast<size_t>(table)];
+  std::lock_guard<std::mutex> lock(state.mu);
+  BALSA_ASSIGN_OR_RETURN(TableAnchor anchor,
+                         reanalyze(state.delta, state.anchor));
+  state.anchor = std::move(anchor);
+  state.delta =
+      MakeDelta(state.anchor, db_->schema().table(table).columns.size());
+  return Status::OK();
+}
+
+int ChangeLog::AddListener(std::function<void(int)> fn) {
+  std::lock_guard<std::mutex> lock(listeners_mu_);
+  listeners_.emplace_back(next_listener_id_, std::move(fn));
+  return next_listener_id_++;
+}
+
+void ChangeLog::RemoveListener(int id) {
+  std::lock_guard<std::mutex> lock(listeners_mu_);
+  for (auto it = listeners_.begin(); it != listeners_.end(); ++it) {
+    if (it->first == id) {
+      listeners_.erase(it);
+      return;
+    }
+  }
+}
+
+void ChangeLog::Notify(int table) {
+  std::vector<std::function<void(int)>> listeners;
+  {
+    std::lock_guard<std::mutex> lock(listeners_mu_);
+    listeners.reserve(listeners_.size());
+    for (const auto& [id, fn] : listeners_) listeners.push_back(fn);
+  }
+  for (const auto& fn : listeners) fn(table);
+}
+
+}  // namespace balsa

@@ -1,0 +1,150 @@
+// The adaptive-statistics change stream: every insert/delete/update enters
+// the database through this ingest API, which applies the mutation and folds
+// it into per-table, per-column streaming sketches — counts, min/max, a
+// small HyperLogLog distinct estimate, and histogram-bucket / MCV deltas
+// anchored on the bounds of the last ANALYZE. The sketches are what the
+// drift detector scores and what the incremental re-ANALYZE merges into
+// TableStats, so statistics track a write-heavy stream without rescanning.
+//
+// Concurrency: one mutex per table serializes that table's writers and is
+// also held across Rebase(), so a re-ANALYZE (which may rescan the table)
+// observes a quiescent table and atomically swaps in its new anchor.
+// Writers to different tables never contend. Sketch state is a deterministic
+// fold over each table's mutation sequence (HLL register maxima and bucket
+// counters commute), so any writer-thread partitioning that preserves
+// per-table order yields bit-identical sketches.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "src/storage/column_store.h"
+#include "src/util/hll.h"
+#include "src/util/status.h"
+
+namespace balsa {
+
+/// Per-column reference frame from the last ANALYZE: the histogram bucket
+/// bounds and MCV list that the delta sketch counts against.
+struct ColumnAnchor {
+  std::vector<int64_t> histogram_bounds;  // size B+1, may be empty
+  std::vector<int64_t> mcv_values;
+};
+
+struct TableAnchor {
+  int64_t base_row_count = 0;
+  int64_t stats_version = 0;
+  std::vector<ColumnAnchor> columns;
+};
+
+/// Streaming sketch of one column's deltas since the last anchor reset.
+struct ColumnDeltaSketch {
+  int64_t inserted = 0;        // non-null values added (inserts + updates)
+  int64_t inserted_nulls = 0;
+  int64_t deleted = 0;         // non-null values removed (deletes + updates)
+  int64_t deleted_nulls = 0;
+  int64_t min_inserted = 0;    // valid iff inserted > 0
+  int64_t max_inserted = 0;
+  Hll distinct_inserted;
+  /// Counts of added/removed non-null, non-MCV values per anchored histogram
+  /// bucket, with two overflow buckets: index 0 = below the anchor's lowest
+  /// bound, index B+1 = above its highest. Size B+2, or empty when the
+  /// anchor has no histogram.
+  std::vector<int64_t> bucket_inserts;
+  std::vector<int64_t> bucket_deletes;
+  /// Sums of the inserted values that landed in the overflow buckets. The
+  /// incremental merge places each overflow region's mass on a span whose
+  /// mean matches, instead of assuming uniformity over [old_max, new_max] —
+  /// drifted inserts usually cluster far from the old domain edge.
+  int64_t below_sum = 0;
+  int64_t above_sum = 0;
+  int64_t below_inserts = 0;  // insert-only counts backing the means
+  int64_t above_inserts = 0;
+  /// Counts of added/removed occurrences of each anchored MCV value.
+  std::vector<int64_t> mcv_inserts;
+  std::vector<int64_t> mcv_deletes;
+};
+
+struct TableDelta {
+  int64_t rows_inserted = 0;
+  int64_t rows_deleted = 0;
+  int64_t rows_updated = 0;
+  /// Bumped once per recorded batch; 0 means untouched since the anchor.
+  int64_t epoch = 0;
+  std::vector<ColumnDeltaSketch> columns;
+};
+
+class ChangeLog {
+ public:
+  /// `db` is borrowed and must outlive the log. Sketches start empty with a
+  /// boundless anchor (no histogram/MCV attribution) until SetAnchor or
+  /// Rebase installs one from real statistics.
+  explicit ChangeLog(Database* db);
+
+  ChangeLog(const ChangeLog&) = delete;
+  ChangeLog& operator=(const ChangeLog&) = delete;
+
+  // --- Ingest: applies to the database AND records sketches ---------------
+
+  /// Appends row-major `rows` to `table`.
+  Status InsertRows(int table, const std::vector<std::vector<int64_t>>& rows);
+
+  /// Deletes rows by id (swap-remove semantics, see Database::RemoveRows;
+  /// ids must be unique and valid at call time).
+  Status DeleteRows(int table, std::vector<int64_t> row_ids);
+
+  /// Sets `column` of each (row, value) pair; recorded as remove-old-value +
+  /// add-new-value in the column's sketch.
+  Status UpdateValues(int table, int column,
+                      const std::vector<std::pair<int64_t, int64_t>>& updates);
+
+  // --- Sketch access ------------------------------------------------------
+
+  TableDelta Snapshot(int table) const;
+  TableAnchor anchor(int table) const;
+
+  /// Installs `anchor` and resets the table's delta to empty.
+  void SetAnchor(int table, TableAnchor anchor);
+
+  /// Runs `reanalyze` with the table's ingest lock held — writers are
+  /// blocked, so a full rescan sees a quiescent table and the handed-out
+  /// delta is exactly what the new statistics will absorb. On success the
+  /// returned anchor is installed and the delta reset, atomically with
+  /// respect to ingest. On error the old anchor and delta are kept.
+  Status Rebase(int table,
+                const std::function<StatusOr<TableAnchor>(
+                    const TableDelta&, const TableAnchor&)>& reanalyze);
+
+  /// `fn(table)` runs after every successful ingest batch (on the writer's
+  /// thread, outside the table lock). Used to invalidate caches derived
+  /// from the data itself (e.g. the card oracle's memo). Returns an id for
+  /// RemoveListener; anything `fn` captures must stay alive until then.
+  int AddListener(std::function<void(int)> fn);
+  void RemoveListener(int id);
+
+  int num_tables() const { return static_cast<int>(tables_.size()); }
+
+ private:
+  struct TableState {
+    mutable std::mutex mu;
+    TableAnchor anchor;
+    TableDelta delta;
+  };
+
+  Status CheckTable(int table) const;
+  /// Folds one value into the sketch (add = insert side, else delete side).
+  static void Record(const ColumnAnchor& anchor, int64_t value, bool add,
+                     ColumnDeltaSketch* sketch);
+  void Notify(int table);
+
+  Database* db_;
+  std::vector<std::unique_ptr<TableState>> tables_;
+  mutable std::mutex listeners_mu_;
+  int next_listener_id_ = 0;
+  std::vector<std::pair<int, std::function<void(int)>>> listeners_;
+};
+
+}  // namespace balsa

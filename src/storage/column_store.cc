@@ -1,8 +1,26 @@
 #include "src/storage/column_store.h"
 
+#include <algorithm>
+#include <functional>
+#include <string>
+
 namespace balsa {
 
 const std::vector<uint32_t> HashIndex::kEmpty;
+
+StatusOr<std::vector<int64_t>> ValidateAndSortRowIds(
+    int64_t row_count, std::vector<int64_t> row_ids) {
+  std::sort(row_ids.begin(), row_ids.end(), std::greater<int64_t>());
+  for (size_t i = 0; i < row_ids.size(); ++i) {
+    if (row_ids[i] < 0 || row_ids[i] >= row_count) {
+      return Status::OutOfRange("row " + std::to_string(row_ids[i]));
+    }
+    if (i > 0 && row_ids[i] == row_ids[i - 1]) {
+      return Status::InvalidArgument("duplicate row id in delete");
+    }
+  }
+  return row_ids;
+}
 
 HashIndex::HashIndex(const std::vector<int64_t>& column) {
   buckets_.reserve(column.size() / 2 + 1);
@@ -38,9 +56,99 @@ Status Database::SetTableData(int table_idx, TableData data) {
   return Status::OK();
 }
 
+Status Database::AppendRows(int table_idx,
+                            const std::vector<std::vector<int64_t>>& rows) {
+  if (table_idx < 0 || table_idx >= static_cast<int>(tables_.size())) {
+    return Status::OutOfRange("table index " + std::to_string(table_idx));
+  }
+  TableData& data = tables_[table_idx];
+  const size_t num_columns = data.columns.size();
+  for (const auto& row : rows) {
+    if (row.size() != num_columns) {
+      return Status::InvalidArgument("appended row has " +
+                                     std::to_string(row.size()) + " values, " +
+                                     "table has " +
+                                     std::to_string(num_columns) + " columns");
+    }
+  }
+  for (size_t c = 0; c < num_columns; ++c) {
+    auto& column = data.columns[c];
+    column.reserve(column.size() + rows.size());
+    for (const auto& row : rows) column.push_back(row[c]);
+  }
+  data.row_count += static_cast<int64_t>(rows.size());
+  InvalidateIndexes(table_idx);
+  return Status::OK();
+}
+
+Status Database::RemoveRows(int table_idx, std::vector<int64_t> row_ids) {
+  if (table_idx < 0 || table_idx >= static_cast<int>(tables_.size())) {
+    return Status::OutOfRange("table index " + std::to_string(table_idx));
+  }
+  TableData& data = tables_[table_idx];
+  // Validate everything before the first mutation: a rejected call must
+  // leave the table untouched. Descending order keeps every pending id
+  // valid while earlier removals swap the (shrinking) tail into freed
+  // slots.
+  BALSA_ASSIGN_OR_RETURN(row_ids,
+                         ValidateAndSortRowIds(data.row_count,
+                                               std::move(row_ids)));
+  for (int64_t row : row_ids) {
+    int64_t last = data.row_count - 1;
+    for (auto& column : data.columns) {
+      column[static_cast<size_t>(row)] = column[static_cast<size_t>(last)];
+      column.pop_back();
+    }
+    data.row_count = last;
+  }
+  InvalidateIndexes(table_idx);
+  return Status::OK();
+}
+
+Status Database::SetValue(int table_idx, int column_idx, int64_t row,
+                          int64_t value) {
+  return SetValues(table_idx, column_idx, {{row, value}});
+}
+
+Status Database::SetValues(
+    int table_idx, int column_idx,
+    const std::vector<std::pair<int64_t, int64_t>>& updates) {
+  if (table_idx < 0 || table_idx >= static_cast<int>(tables_.size())) {
+    return Status::OutOfRange("table index " + std::to_string(table_idx));
+  }
+  TableData& data = tables_[table_idx];
+  if (column_idx < 0 || column_idx >= static_cast<int>(data.columns.size())) {
+    return Status::OutOfRange("column " + std::to_string(column_idx));
+  }
+  for (const auto& [row, value] : updates) {
+    (void)value;
+    if (row < 0 || row >= data.row_count) {
+      return Status::OutOfRange("row " + std::to_string(row));
+    }
+  }
+  auto& column = data.columns[static_cast<size_t>(column_idx)];
+  for (const auto& [row, value] : updates) {
+    column[static_cast<size_t>(row)] = value;
+  }
+  InvalidateIndexes(table_idx);
+  return Status::OK();
+}
+
+void Database::InvalidateIndexes(int table_idx) {
+  std::lock_guard<std::mutex> lock(indexes_mu_);
+  for (auto it = indexes_.begin(); it != indexes_.end();) {
+    if (static_cast<int>(it->first >> 32) == table_idx) {
+      it = indexes_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
 const HashIndex& Database::GetIndex(int table_idx, int column_idx) const {
   uint64_t key = (static_cast<uint64_t>(table_idx) << 32) |
                  static_cast<uint32_t>(column_idx);
+  std::lock_guard<std::mutex> lock(indexes_mu_);
   auto it = indexes_.find(key);
   if (it == indexes_.end()) {
     it = indexes_

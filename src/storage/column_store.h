@@ -4,6 +4,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -17,6 +18,14 @@ struct TableData {
   std::vector<std::vector<int64_t>> columns;
   int64_t row_count = 0;
 };
+
+/// Validates a delete batch (every id unique and in [0, row_count)) and
+/// returns it sorted descending — the order RemoveRows consumes. Shared by
+/// Database::RemoveRows and the ChangeLog, which must validate *before*
+/// folding deletions into its sketches and can then hand the sorted batch
+/// straight through without re-copying.
+StatusOr<std::vector<int64_t>> ValidateAndSortRowIds(
+    int64_t row_count, std::vector<int64_t> row_ids);
 
 /// Hash index: value -> row ids. Built lazily per (table, column).
 class HashIndex {
@@ -43,6 +52,36 @@ class Database {
   /// Installs generated data for table `table_idx`.
   Status SetTableData(int table_idx, TableData data);
 
+  // --- Mutation API (the adaptive statistics change stream) ---------------
+  //
+  // These mutate materialized data in place and drop the table's cached hash
+  // indexes. They are NOT safe concurrently with readers of the same table
+  // (executor scans, ANALYZE); the ChangeLog serializes writers per table
+  // and the re-ANALYZE pipeline takes the same lock before rescanning.
+  // Callers that measured true cardinalities must invalidate them
+  // (CardOracle::InvalidateMemo) after any mutation.
+
+  /// Appends row-major `rows` (one vector of column values per row).
+  Status AppendRows(int table_idx,
+                    const std::vector<std::vector<int64_t>>& rows);
+
+  /// Removes rows by id via swap-remove: the last row moves into each freed
+  /// slot, so row ids are NOT stable across a delete. `row_ids` may be in
+  /// any order and must be unique and in range.
+  Status RemoveRows(int table_idx, std::vector<int64_t> row_ids);
+
+  /// Overwrites one cell.
+  Status SetValue(int table_idx, int column_idx, int64_t row, int64_t value);
+
+  /// Overwrites a batch of (row, value) cells in one column: validates the
+  /// whole batch first, writes, and invalidates the table's indexes once
+  /// (not per cell).
+  Status SetValues(int table_idx, int column_idx,
+                   const std::vector<std::pair<int64_t, int64_t>>& updates);
+
+  /// Drops cached hash indexes for `table_idx` (rebuilt lazily on next use).
+  void InvalidateIndexes(int table_idx);
+
   const TableData& table_data(int table_idx) const {
     return tables_[table_idx];
   }
@@ -52,6 +91,11 @@ class Database {
   }
 
   /// Returns (building on first use) the hash index on (table, column).
+  /// The cached-index map itself is mutex-guarded, so concurrent writers to
+  /// *different* tables may invalidate safely; but the returned reference
+  /// is only valid until the next mutation of `table_idx` — do not hold it
+  /// across writes (the executor and mutation phases are mutually
+  /// exclusive by contract, see the mutation API above).
   const HashIndex& GetIndex(int table_idx, int column_idx) const;
 
   /// Total bytes of materialized column data.
@@ -60,6 +104,8 @@ class Database {
  private:
   Schema schema_;
   std::vector<TableData> tables_;
+  /// Guards indexes_ (lazy builds and invalidation), nothing else.
+  mutable std::mutex indexes_mu_;
   mutable std::unordered_map<uint64_t, std::unique_ptr<HashIndex>> indexes_;
 };
 

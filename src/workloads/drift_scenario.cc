@@ -1,0 +1,215 @@
+#include "src/workloads/drift_scenario.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <thread>
+#include <unordered_set>
+
+#include "src/util/rng.h"
+
+namespace balsa {
+
+namespace {
+
+/// Rows a table will insert per batch (total spread evenly, remainder on
+/// the first batches).
+std::vector<int64_t> SplitEvenly(int64_t total, int batches) {
+  std::vector<int64_t> per(static_cast<size_t>(batches), total / batches);
+  for (int64_t i = 0; i < total % batches; ++i) per[static_cast<size_t>(i)]++;
+  return per;
+}
+
+std::vector<int64_t> SampleDistinctRows(int64_t count, int64_t range,
+                                        Rng* rng) {
+  count = std::min(count, range);
+  std::unordered_set<int64_t> picked;
+  picked.reserve(static_cast<size_t>(count));
+  while (static_cast<int64_t>(picked.size()) < count) {
+    picked.insert(static_cast<int64_t>(rng->Uniform(
+        static_cast<uint64_t>(range))));
+  }
+  return {picked.begin(), picked.end()};
+}
+
+}  // namespace
+
+StatusOr<DriftScenario> GenerateDriftScenario(
+    const Database& db, const DriftScenarioOptions& options) {
+  const Schema& schema = db.schema();
+  if (options.batches_per_table < 1) {
+    return Status::InvalidArgument("need at least one batch per table");
+  }
+  DriftScenario scenario;
+  if (!options.tables.empty()) {
+    scenario.drifted_tables = options.tables;
+  } else {
+    for (int t = 0; t < schema.num_tables(); ++t) {
+      if (db.HasData(t) &&
+          db.table_data(t).row_count >= options.min_rows_to_drift) {
+        scenario.drifted_tables.push_back(t);
+      }
+    }
+  }
+  if (scenario.drifted_tables.empty()) {
+    return Status::FailedPrecondition("no table large enough to drift");
+  }
+
+  std::vector<std::vector<DriftBatch>> per_table;
+  for (int t : scenario.drifted_tables) {
+    if (t < 0 || t >= schema.num_tables() || !db.HasData(t)) {
+      return Status::OutOfRange("drift table " + std::to_string(t));
+    }
+    const TableDef& def = schema.table(t);
+    const int64_t n0 = db.table_data(t).row_count;
+    Rng rng(options.seed ^ (static_cast<uint64_t>(t) * 0x9E3779B97F4A7C15ULL));
+
+    // Per-column generators for inserted rows.
+    struct ColumnGen {
+      ColumnKind kind;
+      double null_fraction;
+      int64_t offset = 0;        // shifted-domain base for attributes
+      int64_t domain = 1;
+      double skew = 0;
+    };
+    std::vector<ColumnGen> gens;
+    int update_column = -1;
+    for (size_t c = 0; c < def.columns.size(); ++c) {
+      const ColumnDef& col = def.columns[c];
+      ColumnGen gen;
+      gen.kind = col.kind;
+      gen.null_fraction = col.null_fraction;
+      switch (col.kind) {
+        case ColumnKind::kPrimaryKey:
+          break;
+        case ColumnKind::kForeignKey: {
+          int ref = schema.TableIndex(col.ref_table);
+          int64_t ref_rows =
+              ref >= 0 && db.HasData(ref) ? db.table_data(ref).row_count : 1;
+          gen.domain = std::max<int64_t>(1, ref_rows);
+          if (col.domain_size > 0) {
+            gen.domain = std::min(gen.domain, col.domain_size);
+          }
+          gen.skew = col.zipf_skew + options.fk_skew_delta;
+          break;
+        }
+        case ColumnKind::kAttribute: {
+          gen.domain = std::max<int64_t>(1, col.domain_size);
+          gen.offset = static_cast<int64_t>(
+              std::llround(static_cast<double>(gen.domain) *
+                           options.domain_shift));
+          gen.skew = col.zipf_skew;
+          if (update_column < 0) update_column = static_cast<int>(c);
+          break;
+        }
+      }
+      gens.push_back(gen);
+    }
+    std::vector<ZipfGenerator> zipfs;
+    zipfs.reserve(gens.size());
+    for (const ColumnGen& gen : gens) {
+      zipfs.emplace_back(static_cast<uint64_t>(gen.domain), gen.skew);
+    }
+
+    const int64_t total_inserts = static_cast<int64_t>(
+        std::llround(static_cast<double>(n0) * options.growth));
+    const int64_t total_deletes = static_cast<int64_t>(
+        std::llround(static_cast<double>(n0) * options.delete_fraction));
+    const int64_t total_updates = static_cast<int64_t>(
+        std::llround(static_cast<double>(n0) * options.update_fraction));
+    std::vector<int64_t> ins_per =
+        SplitEvenly(total_inserts, options.batches_per_table);
+    std::vector<int64_t> del_per =
+        SplitEvenly(total_deletes, options.batches_per_table);
+    std::vector<int64_t> upd_per =
+        SplitEvenly(total_updates, options.batches_per_table);
+
+    int64_t pk_high_water = n0;  // PKs are 0..n0-1 from the generator
+    int64_t sim_rows = n0;
+    std::vector<DriftBatch> batches;
+    for (int b = 0; b < options.batches_per_table; ++b) {
+      DriftBatch batch;
+      batch.table = t;
+      for (int64_t i = 0; i < ins_per[static_cast<size_t>(b)]; ++i) {
+        std::vector<int64_t> row(def.columns.size(), 0);
+        for (size_t c = 0; c < def.columns.size(); ++c) {
+          const ColumnGen& gen = gens[c];
+          if (gen.kind == ColumnKind::kPrimaryKey) {
+            row[c] = pk_high_water++;
+            continue;
+          }
+          if (gen.null_fraction > 0 && rng.Bernoulli(gen.null_fraction)) {
+            row[c] = -1;
+            continue;
+          }
+          int64_t v = static_cast<int64_t>(zipfs[c].Sample(&rng));
+          row[c] = gen.kind == ColumnKind::kAttribute ? gen.offset + v : v;
+        }
+        batch.inserts.push_back(std::move(row));
+      }
+      sim_rows += static_cast<int64_t>(batch.inserts.size());
+
+      batch.delete_rows = SampleDistinctRows(
+          del_per[static_cast<size_t>(b)], sim_rows, &rng);
+      std::sort(batch.delete_rows.begin(), batch.delete_rows.end());
+      sim_rows -= static_cast<int64_t>(batch.delete_rows.size());
+
+      if (update_column >= 0 && upd_per[static_cast<size_t>(b)] > 0 &&
+          sim_rows > 0) {
+        const ColumnGen& gen = gens[static_cast<size_t>(update_column)];
+        std::vector<std::pair<int64_t, int64_t>> cells;
+        for (int64_t u = 0; u < upd_per[static_cast<size_t>(b)]; ++u) {
+          int64_t row = static_cast<int64_t>(
+              rng.Uniform(static_cast<uint64_t>(sim_rows)));
+          int64_t v = gen.offset + static_cast<int64_t>(
+                                       zipfs[static_cast<size_t>(
+                                                 update_column)]
+                                           .Sample(&rng));
+          cells.push_back({row, v});
+        }
+        batch.updates.push_back({update_column, std::move(cells)});
+      }
+      batches.push_back(std::move(batch));
+    }
+    per_table.push_back(std::move(batches));
+  }
+
+  // Interleave tables round-robin so a sequential replay still drifts them
+  // together rather than one after another.
+  for (int b = 0; b < options.batches_per_table; ++b) {
+    for (auto& batches : per_table) {
+      scenario.batches.push_back(std::move(batches[static_cast<size_t>(b)]));
+    }
+  }
+  return scenario;
+}
+
+Status ApplyDriftScenario(const DriftScenario& scenario, ChangeLog* log,
+                          int num_writers) {
+  if (num_writers < 1) num_writers = 1;
+  auto apply_for = [&](int writer) -> Status {
+    for (const DriftBatch& batch : scenario.batches) {
+      if (batch.table % num_writers != writer) continue;
+      BALSA_RETURN_IF_ERROR(log->InsertRows(batch.table, batch.inserts));
+      BALSA_RETURN_IF_ERROR(log->DeleteRows(batch.table, batch.delete_rows));
+      for (const auto& [column, cells] : batch.updates) {
+        BALSA_RETURN_IF_ERROR(log->UpdateValues(batch.table, column, cells));
+      }
+    }
+    return Status::OK();
+  };
+  if (num_writers == 1) return apply_for(0);
+  std::vector<Status> statuses(static_cast<size_t>(num_writers),
+                               Status::OK());
+  std::vector<std::thread> writers;
+  writers.reserve(static_cast<size_t>(num_writers));
+  for (int w = 0; w < num_writers; ++w) {
+    writers.emplace_back(
+        [&, w] { statuses[static_cast<size_t>(w)] = apply_for(w); });
+  }
+  for (std::thread& thread : writers) thread.join();
+  for (const Status& status : statuses) BALSA_RETURN_IF_ERROR(status);
+  return Status::OK();
+}
+
+}  // namespace balsa

@@ -1,0 +1,76 @@
+// Drifting-data scenario generator: a deterministic stream of
+// insert/delete/update batches that shifts selected tables' distributions —
+// row counts grow, attribute domains shift upward (moving histogram mass
+// where the old ANALYZE put none), and foreign-key fan-in re-skews. The
+// stream is what the adaptive statistics subsystem (src/adaptive) is
+// benchmarked against: stale statistics misestimate the drifted regions
+// badly until the drift detector triggers a re-ANALYZE.
+//
+// Determinism: batches are fully precomputed from (database state, seed).
+// Per-table batch order matters (delete/update row ids are valid only when
+// that table's earlier batches have been applied); different tables'
+// streams are independent, so a multi-writer replay may partition batches
+// by table across threads and still produce identical final data and
+// change-log sketches.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/storage/change_log.h"
+#include "src/storage/column_store.h"
+#include "src/util/status.h"
+
+namespace balsa {
+
+struct DriftScenarioOptions {
+  uint64_t seed = 99;
+  /// Tables to drift (schema indices). Empty = every table with at least
+  /// `min_rows_to_drift` rows.
+  std::vector<int> tables;
+  int64_t min_rows_to_drift = 500;
+  /// Rows inserted, as a fraction of the table's current row count.
+  double growth = 0.6;
+  /// Rows deleted / updated, as fractions of the current row count.
+  double delete_fraction = 0.05;
+  double update_fraction = 0.05;
+  /// Attribute inserts draw from a domain shifted up by this multiple of
+  /// the column's configured domain size (1.0 = entirely new value range).
+  double domain_shift = 1.0;
+  /// Extra Zipf skew applied to inserted foreign keys (hot keys get
+  /// hotter — join fan-in drifts, not just scan selectivity).
+  double fk_skew_delta = 0.5;
+  /// The stream is cut into this many batches per table.
+  int batches_per_table = 8;
+};
+
+struct DriftBatch {
+  int table = 0;
+  /// Row-major inserts (applied first).
+  std::vector<std::vector<int64_t>> inserts;
+  /// Row ids to delete (valid after this batch's inserts are applied).
+  std::vector<int64_t> delete_rows;
+  /// (column, row, value) cell updates, applied last, grouped per column
+  /// for ChangeLog::UpdateValues.
+  std::vector<std::pair<int, std::vector<std::pair<int64_t, int64_t>>>>
+      updates;
+};
+
+struct DriftScenario {
+  std::vector<DriftBatch> batches;  // tables interleaved round-robin
+  std::vector<int> drifted_tables;
+};
+
+/// Precomputes the drift stream against the database's *current* contents.
+StatusOr<DriftScenario> GenerateDriftScenario(
+    const Database& db, const DriftScenarioOptions& options = {});
+
+/// Applies `scenario` through `log` using `num_writers` threads, each
+/// owning a disjoint set of tables (per-table batch order preserved).
+/// Returns after every batch landed. Final database contents and sketches
+/// are identical for any `num_writers`.
+Status ApplyDriftScenario(const DriftScenario& scenario, ChangeLog* log,
+                          int num_writers = 1);
+
+}  // namespace balsa

@@ -155,6 +155,32 @@ TEST_F(CardOracleTest, GenerationCountsBumps) {
   EXPECT_EQ(oracle.CacheSize(), cached);
 }
 
+TEST_F(CardOracleTest, InvalidateMemoRecomputesAgainstMutatedData) {
+  CardOracle oracle(fixture_.db.get());
+  TableSet sales = TableSet::Single(0);  // star query lists sales first
+  auto before = oracle.Cardinality(query_, sales);
+  ASSERT_TRUE(before.ok());
+  EXPECT_GT(oracle.CacheSize(), 0u);
+
+  // Grow the sales table; the memoized count is now wrong. A generation
+  // bump alone must NOT fix it (stats regime != data), InvalidateMemo must.
+  int sales_table = fixture_.schema().TableIndex("sales");
+  const TableData& data = fixture_.db->table_data(sales_table);
+  std::vector<int64_t> row(data.columns.size(), 1);
+  row[0] = data.row_count;  // fresh PK
+  ASSERT_TRUE(fixture_.db->AppendRows(sales_table, {row, row}).ok());
+
+  auto stale = oracle.Cardinality(query_, sales);
+  ASSERT_TRUE(stale.ok());
+  EXPECT_EQ(stale->rows, before->rows);  // served from the stale memo
+
+  oracle.InvalidateMemo();
+  EXPECT_EQ(oracle.CacheSize(), 0u);
+  auto fresh = oracle.Cardinality(query_, sales);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_GT(fresh->rows, before->rows);
+}
+
 TEST(OracleEstimatorTest, MatchesOracle) {
   auto fixture = testing::MakeStarFixture();
   Query query = testing::MakeStarQuery(fixture.schema());

@@ -1,0 +1,275 @@
+// The change stream: database mutation semantics, streaming sketch
+// accounting (counts, min/max, HLL distinct, anchored bucket/MCV deltas),
+// anchor rebasing, and order-independence of sketch state.
+#include "src/storage/change_log.h"
+
+#include <algorithm>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/util/hll.h"
+#include "src/util/logging.h"
+
+namespace balsa {
+namespace {
+
+Schema TwoColumnSchema(int64_t rows = 6) {
+  Schema schema;
+  ColumnDef id;
+  id.name = "id";
+  id.kind = ColumnKind::kPrimaryKey;
+  ColumnDef v;
+  v.name = "v";
+  v.kind = ColumnKind::kAttribute;
+  EXPECT_TRUE(schema.AddTable({"t", rows, {id, v}}).ok());
+  return schema;
+}
+
+std::unique_ptr<Database> SmallDb() {
+  auto db = std::make_unique<Database>(TwoColumnSchema());
+  TableData data;
+  data.row_count = 6;
+  data.columns = {{0, 1, 2, 3, 4, 5}, {10, 20, 30, 40, 50, 60}};
+  EXPECT_TRUE(db->SetTableData(0, std::move(data)).ok());
+  return db;
+}
+
+TEST(DatabaseMutationTest, AppendRemoveAndSetValue) {
+  auto db = SmallDb();
+  ASSERT_TRUE(db->AppendRows(0, {{6, 70}, {7, 80}}).ok());
+  EXPECT_EQ(db->table_data(0).row_count, 8);
+  EXPECT_EQ(db->table_data(0).columns[1][7], 80);
+
+  // Swap-remove: deleting rows 0 and 2 pulls tail rows into the holes.
+  ASSERT_TRUE(db->RemoveRows(0, {0, 2}).ok());
+  EXPECT_EQ(db->table_data(0).row_count, 6);
+  // Every surviving value is still present exactly once.
+  std::vector<int64_t> ids = db->table_data(0).columns[0];
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(ids, (std::vector<int64_t>{1, 3, 4, 5, 6, 7}));
+
+  ASSERT_TRUE(db->SetValue(0, 1, 0, 99).ok());
+  EXPECT_EQ(db->table_data(0).columns[1][0], 99);
+
+  EXPECT_FALSE(db->RemoveRows(0, {100}).ok());
+  EXPECT_FALSE(db->RemoveRows(0, {1, 1}).ok());
+  EXPECT_FALSE(db->AppendRows(0, {{1}}).ok());  // wrong arity
+}
+
+TEST(DatabaseMutationTest, RejectedRemoveLeavesTableUntouched) {
+  auto db = SmallDb();
+  std::vector<int64_t> before = db->table_data(0).columns[0];
+  // Mix of one valid and one invalid id: nothing may be removed.
+  EXPECT_FALSE(db->RemoveRows(0, {0, -1}).ok());
+  EXPECT_FALSE(db->RemoveRows(0, {0, 100}).ok());
+  EXPECT_FALSE(db->RemoveRows(0, {0, 0}).ok());
+  EXPECT_EQ(db->table_data(0).row_count, 6);
+  EXPECT_EQ(db->table_data(0).columns[0], before);
+}
+
+TEST(DatabaseMutationTest, MutationDropsCachedIndexes) {
+  auto db = SmallDb();
+  const HashIndex& before = db->GetIndex(0, 1);
+  EXPECT_EQ(before.Lookup(70).size(), 0u);
+  ASSERT_TRUE(db->AppendRows(0, {{6, 70}}).ok());
+  // The index was invalidated and lazily rebuilt over the new data.
+  EXPECT_EQ(db->GetIndex(0, 1).Lookup(70).size(), 1u);
+}
+
+TEST(ChangeLogTest, InsertSketchTracksCountsMinMaxAndDistinct) {
+  auto db = SmallDb();
+  ChangeLog log(db.get());
+  std::vector<std::vector<int64_t>> rows;
+  for (int64_t i = 0; i < 200; ++i) rows.push_back({6 + i, 100 + (i % 50)});
+  rows.push_back({900, -1});  // NULL attribute
+  ASSERT_TRUE(log.InsertRows(0, rows).ok());
+
+  TableDelta delta = log.Snapshot(0);
+  EXPECT_EQ(delta.rows_inserted, 201);
+  EXPECT_EQ(delta.epoch, 1);
+  const ColumnDeltaSketch& v = delta.columns[1];
+  EXPECT_EQ(v.inserted, 200);
+  EXPECT_EQ(v.inserted_nulls, 1);
+  EXPECT_EQ(v.min_inserted, 100);
+  EXPECT_EQ(v.max_inserted, 149);
+  // 50 distinct values; the 256-register HLL is well within 20% here.
+  EXPECT_NEAR(v.distinct_inserted.Estimate(), 50.0, 10.0);
+}
+
+TEST(ChangeLogTest, AnchoredBucketAndMcvAttribution) {
+  auto db = SmallDb();
+  ChangeLog log(db.get());
+  TableAnchor anchor;
+  anchor.base_row_count = 6;
+  anchor.columns.resize(2);
+  anchor.columns[1].histogram_bounds = {10, 20, 30};  // 2 buckets
+  anchor.columns[1].mcv_values = {25};
+  log.SetAnchor(0, anchor);
+
+  ASSERT_TRUE(log.InsertRows(0, {{6, 5},     // below bounds
+                                 {7, 15},    // bucket [10,20]
+                                 {8, 25},    // MCV, not a bucket
+                                 {9, 27},    // bucket [20,30]
+                                 {10, 99}})  // above bounds
+                  .ok());
+  TableDelta delta = log.Snapshot(0);
+  const ColumnDeltaSketch& v = delta.columns[1];
+  ASSERT_EQ(v.bucket_inserts.size(), 4u);  // below, 2 buckets, above
+  EXPECT_EQ(v.bucket_inserts[0], 1);
+  EXPECT_EQ(v.bucket_inserts[1], 1);
+  EXPECT_EQ(v.bucket_inserts[2], 1);
+  EXPECT_EQ(v.bucket_inserts[3], 1);
+  ASSERT_EQ(v.mcv_inserts.size(), 1u);
+  EXPECT_EQ(v.mcv_inserts[0], 1);
+
+  // Delete the row holding value 15: its mass leaves bucket 1.
+  ASSERT_TRUE(log.DeleteRows(0, {7}).ok());
+  delta = log.Snapshot(0);
+  EXPECT_EQ(delta.rows_deleted, 1);
+  EXPECT_EQ(delta.columns[1].bucket_deletes[1], 1);
+}
+
+TEST(ChangeLogTest, RejectedDeleteLeavesSketchesClean) {
+  auto db = SmallDb();
+  ChangeLog log(db.get());
+  EXPECT_FALSE(log.DeleteRows(0, {1, 1}).ok());   // duplicate
+  EXPECT_FALSE(log.DeleteRows(0, {0, 99}).ok());  // out of range
+  TableDelta delta = log.Snapshot(0);
+  EXPECT_EQ(delta.epoch, 0);
+  EXPECT_EQ(delta.rows_deleted, 0);
+  EXPECT_EQ(delta.columns[1].deleted, 0);  // no phantom deletions
+  EXPECT_EQ(db->table_data(0).row_count, 6);
+}
+
+TEST(ChangeLogTest, UpdateRecordsBothSides) {
+  auto db = SmallDb();
+  ChangeLog log(db.get());
+  ASSERT_TRUE(log.UpdateValues(0, 1, {{0, 77}, {1, 88}}).ok());
+  TableDelta delta = log.Snapshot(0);
+  EXPECT_EQ(delta.rows_updated, 2);
+  EXPECT_EQ(delta.columns[1].inserted, 2);  // new values
+  EXPECT_EQ(delta.columns[1].deleted, 2);   // old values
+  EXPECT_EQ(db->table_data(0).columns[1][0], 77);
+  EXPECT_EQ(db->table_data(0).columns[1][1], 88);
+}
+
+TEST(ChangeLogTest, RebaseHandsOutDeltaInstallsAnchorAndResets) {
+  auto db = SmallDb();
+  ChangeLog log(db.get());
+  ASSERT_TRUE(log.InsertRows(0, {{6, 70}}).ok());
+
+  Status status = log.Rebase(0, [&](const TableDelta& delta,
+                                    const TableAnchor& old_anchor) {
+    EXPECT_EQ(delta.rows_inserted, 1);
+    EXPECT_EQ(old_anchor.base_row_count, 6);
+    TableAnchor next;
+    next.base_row_count = db->table_data(0).row_count;
+    next.stats_version = 3;
+    next.columns.resize(2);
+    return StatusOr<TableAnchor>(std::move(next));
+  });
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(log.anchor(0).base_row_count, 7);
+  EXPECT_EQ(log.anchor(0).stats_version, 3);
+  EXPECT_EQ(log.Snapshot(0).epoch, 0);  // delta reset
+
+  // A failing reanalyze leaves anchor and delta untouched.
+  ASSERT_TRUE(log.InsertRows(0, {{7, 71}}).ok());
+  status = log.Rebase(0, [](const TableDelta&, const TableAnchor&) {
+    return StatusOr<TableAnchor>(Status::Internal("boom"));
+  });
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(log.Snapshot(0).rows_inserted, 1);
+  EXPECT_EQ(log.anchor(0).stats_version, 3);
+}
+
+TEST(ChangeLogTest, ListenersFireAfterEveryBatch) {
+  auto db = SmallDb();
+  ChangeLog log(db.get());
+  int calls = 0;
+  log.AddListener([&](int table) {
+    EXPECT_EQ(table, 0);
+    calls++;
+  });
+  ASSERT_TRUE(log.InsertRows(0, {{6, 70}}).ok());
+  ASSERT_TRUE(log.UpdateValues(0, 1, {{0, 1}}).ok());
+  ASSERT_TRUE(log.DeleteRows(0, {0}).ok());
+  EXPECT_EQ(calls, 3);
+}
+
+TEST(ChangeLogTest, RemovedListenersStopFiring) {
+  auto db = SmallDb();
+  ChangeLog log(db.get());
+  int first = 0, second = 0;
+  int id = log.AddListener([&](int) { first++; });
+  log.AddListener([&](int) { second++; });
+  ASSERT_TRUE(log.InsertRows(0, {{6, 70}}).ok());
+  log.RemoveListener(id);
+  ASSERT_TRUE(log.InsertRows(0, {{7, 71}}).ok());
+  EXPECT_EQ(first, 1);
+  EXPECT_EQ(second, 2);
+}
+
+TEST(ChangeLogTest, SketchStateIsIngestOrderIndependent) {
+  // The same multiset of mutations in two different batch splits must yield
+  // identical sketches — the drift bench's thread-count-invariance gate.
+  auto MakeRows = [](int64_t lo, int64_t hi) {
+    std::vector<std::vector<int64_t>> rows;
+    for (int64_t i = lo; i < hi; ++i) rows.push_back({i, (i * 7) % 40});
+    return rows;
+  };
+  auto db_a = SmallDb();
+  ChangeLog log_a(db_a.get());
+  ASSERT_TRUE(log_a.InsertRows(0, MakeRows(6, 106)).ok());
+
+  auto db_b = SmallDb();
+  ChangeLog log_b(db_b.get());
+  ASSERT_TRUE(log_b.InsertRows(0, MakeRows(6, 30)).ok());
+  ASSERT_TRUE(log_b.InsertRows(0, MakeRows(30, 80)).ok());
+  ASSERT_TRUE(log_b.InsertRows(0, MakeRows(80, 106)).ok());
+
+  TableDelta a = log_a.Snapshot(0);
+  TableDelta b = log_b.Snapshot(0);
+  EXPECT_EQ(a.rows_inserted, b.rows_inserted);
+  for (size_t c = 0; c < a.columns.size(); ++c) {
+    EXPECT_EQ(a.columns[c].inserted, b.columns[c].inserted);
+    EXPECT_EQ(a.columns[c].min_inserted, b.columns[c].min_inserted);
+    EXPECT_EQ(a.columns[c].max_inserted, b.columns[c].max_inserted);
+    EXPECT_TRUE(a.columns[c].distinct_inserted ==
+                b.columns[c].distinct_inserted);
+  }
+}
+
+TEST(ChangeLogTest, ConcurrentWritersOnDistinctTablesAreSafe) {
+  Schema schema;
+  ColumnDef id;
+  id.name = "id";
+  id.kind = ColumnKind::kPrimaryKey;
+  ASSERT_TRUE(schema.AddTable({"a", 1, {id}}).ok());
+  ASSERT_TRUE(schema.AddTable({"b", 1, {id}}).ok());
+  Database db(schema);
+  ASSERT_TRUE(db.SetTableData(0, {{{0}}, 1}).ok());
+  ASSERT_TRUE(db.SetTableData(1, {{{0}}, 1}).ok());
+  ChangeLog log(&db);
+
+  constexpr int kBatches = 50;
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 2; ++t) {
+    writers.emplace_back([&, t] {
+      for (int i = 0; i < kBatches; ++i) {
+        BALSA_CHECK(log.InsertRows(t, {{100 + i}}).ok(), "insert");
+      }
+    });
+  }
+  for (auto& w : writers) w.join();
+  EXPECT_EQ(log.Snapshot(0).rows_inserted, kBatches);
+  EXPECT_EQ(log.Snapshot(1).rows_inserted, kBatches);
+  EXPECT_EQ(db.table_data(0).row_count, 1 + kBatches);
+  EXPECT_EQ(db.table_data(1).row_count, 1 + kBatches);
+}
+
+}  // namespace
+}  // namespace balsa

@@ -10,12 +10,14 @@
 namespace balsa {
 namespace {
 
-CachedPlan MakeEntry(int relation, int64_t version = 0) {
+CachedPlan MakeEntry(int relation, int64_t version = 0,
+                     double planning_micros = 0) {
   CachedPlan entry;
   entry.plan.AddScan(relation, ScanOp::kSeqScan);
   entry.plan.set_root(0);
   entry.predicted_ms = relation * 10.0;
   entry.stats_version = version;
+  entry.planning_micros = planning_micros;
   return entry;
 }
 
@@ -33,7 +35,7 @@ TEST(PlanCacheTest, LookupMissesOnEmpty) {
   PlanCache cache;
   std::shared_ptr<const CachedPlan> out;
   EXPECT_FALSE(cache.Lookup(42, 0, &out));
-  EXPECT_EQ(cache.TotalStats().misses, 1);
+  EXPECT_EQ(cache.Totals().misses, 1);
 }
 
 TEST(PlanCacheTest, InsertThenLookupRoundTrips) {
@@ -43,7 +45,7 @@ TEST(PlanCacheTest, InsertThenLookupRoundTrips) {
   ASSERT_TRUE(cache.Lookup(42, 7, &out));
   EXPECT_EQ(out->plan.node(0).relation, 3);
   EXPECT_EQ(out->stats_version, 7);
-  EXPECT_EQ(cache.TotalStats().hits, 1);
+  EXPECT_EQ(cache.Totals().hits, 1);
   EXPECT_EQ(cache.size(), 1u);
 }
 
@@ -61,7 +63,7 @@ TEST(PlanCacheTest, EvictsLeastRecentlyUsedFirst) {
   EXPECT_TRUE(cache.Lookup(1, 0, &out));
   EXPECT_FALSE(cache.Lookup(2, 0, &out));  // evicted
   EXPECT_TRUE(cache.Lookup(3, 0, &out));
-  EXPECT_EQ(cache.TotalStats().lru_evictions, 1);
+  EXPECT_EQ(cache.Totals().lru_evictions, 1);
   EXPECT_EQ(cache.size(), 2u);
 }
 
@@ -77,7 +79,7 @@ TEST(PlanCacheTest, ReinsertFreshensInsteadOfEvicting) {
   ASSERT_TRUE(cache.Lookup(1, 0, &out));
   EXPECT_EQ(out->plan.node(0).relation, 4);
   EXPECT_TRUE(cache.Lookup(2, 0, &out));
-  EXPECT_EQ(cache.TotalStats().lru_evictions, 0);
+  EXPECT_EQ(cache.Totals().lru_evictions, 0);
 }
 
 TEST(PlanCacheTest, ShardsEvictIndependently) {
@@ -97,9 +99,9 @@ TEST(PlanCacheTest, ShardsEvictIndependently) {
   EXPECT_FALSE(cache.Lookup(shard0[0], 0, &out));
   EXPECT_TRUE(cache.Lookup(shard0[1], 0, &out));
   EXPECT_TRUE(cache.Lookup(shard1[0], 0, &out));
-  EXPECT_EQ(cache.shard_stats(0).lru_evictions, 1);
-  EXPECT_EQ(cache.shard_stats(1).lru_evictions, 0);
-  EXPECT_EQ(cache.shard_stats(1).entries, 1u);
+  EXPECT_EQ(cache.shard_metrics(0).lru_evictions, 1);
+  EXPECT_EQ(cache.shard_metrics(1).lru_evictions, 0);
+  EXPECT_EQ(cache.shard_metrics(1).entries, 1u);
 }
 
 TEST(PlanCacheTest, StatsVersionMismatchIsAMissAndEvictsLazily) {
@@ -109,7 +111,7 @@ TEST(PlanCacheTest, StatsVersionMismatchIsAMissAndEvictsLazily) {
   // The bump happened: version-1 lookups must never see the version-0 plan,
   // and the first one reclaims the slot.
   EXPECT_FALSE(cache.Lookup(42, 1, &out));
-  EXPECT_EQ(cache.TotalStats().stale_evictions, 1);
+  EXPECT_EQ(cache.Totals().stale_evictions, 1);
   EXPECT_EQ(cache.size(), 0u);
   // Older-version lookups can't resurrect it either.
   EXPECT_FALSE(cache.Lookup(42, 0, &out));
@@ -126,7 +128,7 @@ TEST(PlanCacheTest, LaggardRequestsNeverDowngradeFreshEntries) {
   cache.Insert(42, MakeEntry(5, /*version=*/1));
   std::shared_ptr<const CachedPlan> out;
   EXPECT_FALSE(cache.Lookup(42, 0, &out));
-  EXPECT_EQ(cache.TotalStats().stale_evictions, 0);
+  EXPECT_EQ(cache.Totals().stale_evictions, 0);
   ASSERT_TRUE(cache.Lookup(42, 1, &out));  // fresh entry survived
   EXPECT_EQ(out->plan.node(0).relation, 5);
 
@@ -142,11 +144,11 @@ TEST(PlanCacheTest, RecheckLookupDoesNotDoubleCountMisses) {
   // The miss path's sequence: counted lookup, then an uncounted recheck.
   EXPECT_FALSE(cache.Lookup(42, 0, &out));
   EXPECT_FALSE(cache.RecheckLookup(42, 0, &out));
-  EXPECT_EQ(cache.TotalStats().misses, 1);
+  EXPECT_EQ(cache.Totals().misses, 1);
   // A recheck that hits still counts the hit (a plan was served).
   cache.Insert(42, MakeEntry(3));
   EXPECT_TRUE(cache.RecheckLookup(42, 0, &out));
-  EXPECT_EQ(cache.TotalStats().hits, 1);
+  EXPECT_EQ(cache.Totals().hits, 1);
 }
 
 TEST(PlanCacheTest, ZeroCapacityDisablesTheCache) {
@@ -168,11 +170,68 @@ TEST(PlanCacheTest, CountersAddUpAcrossShards) {
   int hits = 0;
   for (uint64_t k = 0; k < 150; ++k) hits += cache.Lookup(k, 0, &out);
   EXPECT_EQ(hits, 100);
-  PlanCache::ShardStats total = cache.TotalStats();
+  PlanCache::Metrics total = cache.Totals();
   EXPECT_EQ(total.insertions, 100);
   EXPECT_EQ(total.hits, 100);
   EXPECT_EQ(total.misses, 50);
   EXPECT_EQ(total.entries, 100u);
+}
+
+TEST(PlanCacheTest, AdmissionFloorRejectsCheapPlans) {
+  PlanCacheOptions options;
+  options.admission_min_plan_micros = 100.0;
+  PlanCache cache(options);
+  cache.Insert(1, MakeEntry(1, 0, /*planning_micros=*/10.0));  // too cheap
+  cache.Insert(2, MakeEntry(2, 0, /*planning_micros=*/500.0));
+  std::shared_ptr<const CachedPlan> out;
+  EXPECT_FALSE(cache.Lookup(1, 0, &out));
+  EXPECT_TRUE(cache.Lookup(2, 0, &out));
+  PlanCache::Metrics totals = cache.Totals();
+  EXPECT_EQ(totals.admission_rejections, 1);
+  EXPECT_EQ(totals.insertions, 1);
+  EXPECT_EQ(cache.size(), 1u);
+
+  // Replacement bypasses the floor: the slot is already paid for, and a
+  // re-warm's fast replan must be able to refresh an existing fingerprint.
+  cache.Insert(2, MakeEntry(3, 1, /*planning_micros=*/10.0));
+  ASSERT_TRUE(cache.Lookup(2, 1, &out));
+  EXPECT_EQ(out->plan.node(0).relation, 3);
+  EXPECT_EQ(cache.Totals().admission_rejections, 1);
+}
+
+TEST(PlanCacheTest, ZeroFloorAdmitsEverything) {
+  PlanCache cache;  // default admission_min_plan_micros = 0
+  cache.Insert(1, MakeEntry(1, 0, 0.0));
+  std::shared_ptr<const CachedPlan> out;
+  EXPECT_TRUE(cache.Lookup(1, 0, &out));
+  EXPECT_EQ(cache.Totals().admission_rejections, 0);
+}
+
+TEST(PlanCacheTest, HottestEntriesRankByHits) {
+  PlanCache cache;
+  for (uint64_t k = 1; k <= 4; ++k) cache.Insert(k, MakeEntry(static_cast<int>(k)));
+  std::shared_ptr<const CachedPlan> out;
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(cache.Lookup(3, 0, &out));
+  for (int i = 0; i < 2; ++i) ASSERT_TRUE(cache.Lookup(1, 0, &out));
+
+  std::vector<PlanCache::HotEntry> hot = cache.HottestEntries(3);
+  ASSERT_EQ(hot.size(), 3u);
+  EXPECT_EQ(hot[0].fingerprint, 3u);
+  EXPECT_EQ(hot[0].hits, 5);
+  EXPECT_EQ(hot[1].fingerprint, 1u);
+  EXPECT_EQ(hot[1].hits, 2);
+  EXPECT_EQ(hot[2].hits, 0);  // ties by fingerprint: 2 before 4
+  EXPECT_EQ(hot[2].fingerprint, 2u);
+  // Entries are shared with the cache, not copied.
+  EXPECT_EQ(hot[0].entry->plan.node(0).relation, 3);
+
+  // Replacing an entry (the re-warm path) keeps its accumulated heat.
+  cache.Insert(3, MakeEntry(9, 1));
+  hot = cache.HottestEntries(1);
+  ASSERT_EQ(hot.size(), 1u);
+  EXPECT_EQ(hot[0].fingerprint, 3u);
+  EXPECT_EQ(hot[0].hits, 5);
+  EXPECT_EQ(hot[0].entry->stats_version, 1);
 }
 
 }  // namespace

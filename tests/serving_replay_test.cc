@@ -1,0 +1,119 @@
+// ReplayWorkload determinism: for a fixed seed the issued request sequence
+// is a pure function of (seed, client index) — identical across runs and
+// across server planning-thread counts — and the version range the replay
+// observes is reported faithfully.
+#include "src/serving/replay_driver.h"
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/plan/query_builder.h"
+#include "test_util.h"
+
+namespace balsa {
+namespace {
+
+class ReplayDeterminismTest : public ::testing::Test {
+ protected:
+  ReplayDeterminismTest()
+      : fixture_(testing::MakeStarFixture()),
+        featurizer_(&fixture_.schema(), fixture_.estimator.get()) {
+    ValueNetConfig config;
+    config.query_dim = featurizer_.query_dim();
+    config.node_dim = featurizer_.node_dim();
+    config.tree_hidden1 = 16;
+    config.tree_hidden2 = 8;
+    config.mlp_hidden = 8;
+    config.init_seed = 11;
+    network_ = std::make_unique<ValueNetwork>(config);
+    for (int64_t region = 0; region < 4; ++region) {
+      QueryBuilder builder(&fixture_.schema(), "star_v");
+      auto query = builder.From("sales", "s")
+                       .From("customer", "c")
+                       .JoinEq("s.customer_id", "c.id")
+                       .Filter("c.region", PredOp::kEq, region)
+                       .Build();
+      BALSA_CHECK(query.ok(), "variant");
+      variants_.push_back(std::move(query).value());
+      variants_.back().set_id(static_cast<int>(region));
+    }
+    for (const Query& q : variants_) queries_.push_back(&q);
+  }
+
+  std::unique_ptr<OptimizerServer> MakeServer(int planning_threads) {
+    OptimizerServerOptions options;
+    options.planner.beam_size = 4;
+    options.planner.top_k = 1;
+    options.num_planning_threads = planning_threads;
+    return std::make_unique<OptimizerServer>(&fixture_.schema(), &featurizer_,
+                                             network_.get(),
+                                             fixture_.oracle.get(), options);
+  }
+
+  ReplayReport Replay(OptimizerServer* server) {
+    ReplayOptions options;
+    options.num_clients = 4;
+    options.requests_per_client = 30;
+    options.seed = 99;
+    options.record_sequences = true;
+    auto report = ReplayWorkload(server, queries_, options);
+    BALSA_CHECK(report.ok(), report.status().ToString());
+    return std::move(report).value();
+  }
+
+  testing::StarFixture fixture_;
+  Featurizer featurizer_;
+  std::unique_ptr<ValueNetwork> network_;
+  std::vector<Query> variants_;
+  std::vector<const Query*> queries_;
+};
+
+TEST_F(ReplayDeterminismTest, SequenceIsIdenticalAcrossRunsAndThreadCounts) {
+  auto server_a = MakeServer(/*planning_threads=*/1);
+  ReplayReport first = Replay(server_a.get());
+  ASSERT_EQ(first.client_sequences.size(), 4u);
+  for (const auto& sequence : first.client_sequences) {
+    EXPECT_EQ(sequence.size(), 30u);
+  }
+
+  // Same server again (cache now warm — different hit pattern, same
+  // sequence), then a fresh server with a different planning pool size.
+  ReplayReport second = Replay(server_a.get());
+  EXPECT_EQ(second.client_sequences, first.client_sequences);
+
+  auto server_b = MakeServer(/*planning_threads=*/3);
+  ReplayReport third = Replay(server_b.get());
+  EXPECT_EQ(third.client_sequences, first.client_sequences);
+
+  // Clients draw from distinct streams: not all sequences are equal.
+  EXPECT_NE(first.client_sequences[0], first.client_sequences[1]);
+}
+
+TEST_F(ReplayDeterminismTest, SequencesAreOffByDefault) {
+  auto server = MakeServer(1);
+  ReplayOptions options;
+  options.num_clients = 2;
+  options.requests_per_client = 5;
+  auto report = ReplayWorkload(server.get(), queries_, options);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->client_sequences.empty());
+}
+
+TEST_F(ReplayDeterminismTest, ReportsServedVersionRange) {
+  auto server = MakeServer(1);
+  ReplayReport before = Replay(server.get());
+  EXPECT_EQ(before.min_stats_version, 0);
+  EXPECT_EQ(before.max_stats_version, 0);
+
+  fixture_.oracle->BumpGeneration();
+  ReplayReport after = Replay(server.get());
+  // Every request issued after the bump serves at the new version: the
+  // zero-stale-plans property the adaptive bench gates on.
+  EXPECT_EQ(after.min_stats_version, 1);
+  EXPECT_EQ(after.max_stats_version, 1);
+}
+
+}  // namespace
+}  // namespace balsa

@@ -189,7 +189,7 @@ TEST_F(OptimizerServerTest, StatsBumpInvalidatesWithoutServingStale) {
   EXPECT_FALSE(after->cache_hit);
   EXPECT_EQ(after->stats_version, 1);
   EXPECT_EQ(server->stats().planned, 2);
-  EXPECT_EQ(server->cache().TotalStats().stale_evictions, 1);
+  EXPECT_EQ(server->cache().Totals().stale_evictions, 1);
 
   // Same statistics regime, same plan: nothing about the data changed here.
   EXPECT_EQ(after->plan.Fingerprint(), before->plan.Fingerprint());
@@ -255,6 +255,44 @@ TEST_F(OptimizerServerTest, ReplayDriverReportsConsistentPlans) {
   EXPECT_GT(report->hit_rate, 0.5);
   EXPECT_GT(report->requests_per_sec, 0);
   EXPECT_GE(report->p99_us, report->p50_us);
+}
+
+TEST_F(OptimizerServerTest, RewarmRefreshesHottestEntriesAfterBump) {
+  auto server = MakeServer(SmallOptions());
+  // Heat: region 0 served 4x, region 1 served 2x, region 2 once.
+  for (int64_t region = 0; region < 3; ++region) {
+    for (int64_t n = 0; n < 4 - region; ++n) {
+      ASSERT_TRUE(server->Optimize(StarVariant(region)).ok());
+    }
+  }
+  int64_t planned_before = server->stats().planned;
+  EXPECT_EQ(planned_before, 3);
+
+  fixture_.oracle->BumpGeneration();
+  OptimizerServer::RewarmReport report = server->Rewarm(/*top_k=*/2);
+  EXPECT_EQ(report.candidates, 2);
+  EXPECT_EQ(report.replanned, 2);
+  EXPECT_EQ(report.failed, 0);
+  EXPECT_EQ(server->stats().rewarmed, 2);
+
+  // The two hottest fingerprints now hit at the new version — no client
+  // paid for their replanning. The cold one still misses.
+  auto hot = server->Optimize(StarVariant(0));
+  ASSERT_TRUE(hot.ok());
+  EXPECT_TRUE(hot->cache_hit);
+  EXPECT_EQ(hot->stats_version, 1);
+  auto warm = server->Optimize(StarVariant(1));
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(warm->cache_hit);
+  auto cold = server->Optimize(StarVariant(2));
+  ASSERT_TRUE(cold.ok());
+  EXPECT_FALSE(cold->cache_hit);
+  EXPECT_EQ(cold->stats_version, 1);
+
+  // A second rewarm finds everything fresh.
+  OptimizerServer::RewarmReport again = server->Rewarm(/*top_k=*/2);
+  EXPECT_EQ(again.replanned, 0);
+  EXPECT_EQ(again.fresh, 2);
 }
 
 TEST(LatencyHistogramTest, PercentilesSeparateMicrosFromMillis) {
