@@ -121,7 +121,9 @@ double TableQError(const Stack& stack, const CardinalityEstimator& estimator,
                    int table) {
   const Schema& schema = stack.env->schema();
   const TableDef& def = schema.table(table);
-  const TableData& data = stack.env->db->table_data(table);
+  // Pin one snapshot: truth probes stay consistent even if a writer races.
+  const Snapshot snap = stack.env->db->GetSnapshot();
+  const int64_t row_count = snap.row_count(table);
 
   double log_sum = 0;
   int probes = 0;
@@ -137,7 +139,7 @@ double TableQError(const Stack& stack, const CardinalityEstimator& estimator,
   auto count_query = count_builder.From(def.name).Build();
   BALSA_CHECK(count_query.ok(), "count probe");
   record(estimator.EstimateScanRows(*count_query, 0),
-         static_cast<double>(data.row_count));
+         static_cast<double>(row_count));
 
   // Equality probes over the first attribute column, sampled at fixed
   // row positions of the *current* (drifted) data.
@@ -148,12 +150,12 @@ double TableQError(const Stack& stack, const CardinalityEstimator& estimator,
       break;
     }
   }
-  if (attr >= 0 && data.row_count > 0) {
-    const auto& column = data.columns[static_cast<size_t>(attr)];
+  if (attr >= 0 && row_count > 0) {
+    const auto& column = snap.column(table, attr);
     for (int p = 0; p < 8; ++p) {
-      int64_t row = data.row_count * (2 * p + 1) / 16;
+      int64_t row = row_count * (2 * p + 1) / 16;
       int64_t value = column[static_cast<size_t>(row)];
-      if (value < 0) continue;  // NULL
+      if (IsNull(value)) continue;
       int64_t truth = 0;
       for (int64_t v : column) truth += v == value ? 1 : 0;
       QueryBuilder builder(&schema, "qerr_eq");
@@ -318,8 +320,7 @@ int Run(const DriftBenchConfig& config) {
         TableQError(with_rewarm, *with_rewarm.estimator->current(), t);
     qtable.AddRow({with_rewarm.env->schema().table(t).name,
                    TablePrinter::Fmt(static_cast<double>(
-                                         with_rewarm.env->db->table_data(t)
-                                             .row_count),
+                                         with_rewarm.env->db->row_count(t)),
                                      0),
                    TablePrinter::Fmt(stale_q, 2),
                    TablePrinter::Fmt(fresh_q, 2)});

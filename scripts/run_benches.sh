@@ -18,7 +18,9 @@ fi
 # bench_adaptive_drift asserts the adaptive-statistics gates (automatic
 # drift detection + re-ANALYZE, lower post-bump Q-error, zero stale plans
 # after the bump, re-warm cutting the post-bump miss spike, writer-count
-# invariance). Each exits non-zero on violation.
+# invariance); bench_snapshot_ingest asserts the MVCC snapshot-read gates
+# (serving q/s under 4-writer ingest >= 0.8x quiescent, zero torn reads,
+# writers actually publishing). Each exits non-zero on violation.
 if [ -x "$build_dir/bench/bench_inference_batching" ]; then
   echo "==> bench_inference_batching"
   "$build_dir/bench/bench_inference_batching"
@@ -34,13 +36,18 @@ if [ -x "$build_dir/bench/bench_adaptive_drift" ]; then
   "$build_dir/bench/bench_adaptive_drift"
   echo
 fi
+if [ -x "$build_dir/bench/bench_snapshot_ingest" ]; then
+  echo "==> bench_snapshot_ingest"
+  "$build_dir/bench/bench_snapshot_ingest"
+  echo
+fi
 
 # Binaries share build/bench/ with CMake's own files (CMakeFiles/, Makefile);
 # keep only executable regular files.
 for bin in "$build_dir"/bench/*; do
   [ -f "$bin" ] && [ -x "$bin" ] || continue
   case "$(basename "$bin")" in
-    bench_inference_batching|bench_serving_throughput|bench_adaptive_drift)
+    bench_inference_batching|bench_serving_throughput|bench_adaptive_drift|bench_snapshot_ingest)
       continue ;;
   esac
   echo "==> $(basename "$bin")"

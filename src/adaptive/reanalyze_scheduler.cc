@@ -22,19 +22,9 @@ ReanalyzeScheduler::ReanalyzeScheduler(Database* db, ChangeLog* log,
       pool_(pool),
       options_(options),
       detector_(options.thresholds),
-      incremental_rounds_(static_cast<size_t>(log->num_tables()), 0) {
-  // Data mutation stales the memoized *true* cardinalities immediately —
-  // independent of whether statistics have caught up yet. InvalidateMemo
-  // is an O(1) epoch bump, so per-batch invalidation costs nothing.
-  listener_id_ = log_->AddListener([oracle](int) { oracle->InvalidateMemo(); });
-}
+      incremental_rounds_(static_cast<size_t>(log->num_tables()), 0) {}
 
-ReanalyzeScheduler::~ReanalyzeScheduler() {
-  Stop();
-  // Unregister before the borrowed oracle can go away: the listener must
-  // not outlive this scheduler's lifetime contract.
-  log_->RemoveListener(listener_id_);
-}
+ReanalyzeScheduler::~ReanalyzeScheduler() { Stop(); }
 
 ReanalyzeScheduler::PassReport ReanalyzeScheduler::RunOnce() {
   return RunPass();
@@ -62,15 +52,16 @@ ReanalyzeScheduler::PassReport ReanalyzeScheduler::RunPass() {
     if (!score.drifted) continue;
     report.tables_drifted++;
 
-    // Decide incremental vs full under the ingest lock: the delta handed to
-    // Rebase is exactly what the merge absorbs (or what the rescan already
-    // sees applied), and writers are blocked for the duration.
+    // Rebase captures (delta, anchor, pinned snapshot) atomically and runs
+    // this callback with writers LIVE: the merge absorbs exactly the
+    // captured delta, and the full rescan reads the immutable snapshot —
+    // ingest is never stalled by a re-ANALYZE.
     int& rounds = incremental_rounds_[static_cast<size_t>(t)];
     TableStats merged;
     bool full = false;
     Status status = log_->Rebase(
-        t, [&](const TableDelta& locked_delta,
-               const TableAnchor& anchor) -> StatusOr<TableAnchor> {
+        t, [&](const TableDelta& locked_delta, const TableAnchor& anchor,
+               const Snapshot& snapshot) -> StatusOr<TableAnchor> {
           const double changed =
               static_cast<double>(locked_delta.rows_inserted +
                                   locked_delta.rows_deleted +
@@ -82,7 +73,8 @@ ReanalyzeScheduler::PassReport ReanalyzeScheduler::RunPass() {
           if (full) {
             AnalyzeOptions analyze = options_.analyze;
             analyze.stats_version = new_version;
-            BALSA_ASSIGN_OR_RETURN(merged, AnalyzeTable(*db_, t, analyze));
+            BALSA_ASSIGN_OR_RETURN(merged,
+                                   AnalyzeTable(snapshot, t, analyze));
           } else {
             merged = MergeTableDelta(stats[static_cast<size_t>(t)], anchor,
                                      locked_delta, new_version);

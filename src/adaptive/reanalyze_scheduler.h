@@ -16,10 +16,12 @@
 //        ▼
 //   OptimizerServer::Rewarm(top_k)   (optional, server != nullptr)
 //
-// Re-ANALYZE runs under the table's ingest lock (ChangeLog::Rebase), so a
-// full rescan sees a quiescent table and the delta it absorbs is exact.
-// The incremental path costs O(columns · buckets); the full path rescans
-// only the drifted table. Either way, only drifted tables are touched.
+// Re-ANALYZE never blocks ingest: ChangeLog::Rebase captures the delta and
+// a pinned storage snapshot atomically, then the merge — or the full rescan
+// of the snapshot — runs with writers live, and mutations that land during
+// it are replayed into the fresh delta against the new anchor. The
+// incremental path costs O(columns · buckets); the full path rescans only
+// the drifted table. Either way, only drifted tables are touched.
 //
 // Drive it one of two ways:
 //   - RunOnce(): one synchronous check pass (tests, deterministic benches);
@@ -69,11 +71,10 @@ struct ReanalyzeSchedulerOptions {
 class ReanalyzeScheduler {
  public:
   /// All pointers are borrowed and must outlive the scheduler. `server`
-  /// and `pool` may be null (no re-warm / inline execution). The scheduler
-  /// registers a ChangeLog listener (unregistered in the destructor) that
-  /// invalidates the oracle's memoized true cardinalities on every ingest
-  /// batch — mutated data means the memo, not just the statistics, is
-  /// stale.
+  /// and `pool` may be null (no re-warm / inline execution). The oracle's
+  /// memoized true cardinalities need no invalidation hook here: they are
+  /// tagged with storage publication epochs and expire on their own as
+  /// ingest publishes new versions.
   ReanalyzeScheduler(Database* db, ChangeLog* log, CardOracle* oracle,
                      SwappableEstimator* estimator, OptimizerServer* server,
                      ThreadPool* pool, ReanalyzeSchedulerOptions options = {});
@@ -129,7 +130,6 @@ class ReanalyzeScheduler {
   Database* db_;
   ChangeLog* log_;
   CardOracle* oracle_;
-  int listener_id_ = -1;
   SwappableEstimator* estimator_;
   OptimizerServer* server_;
   ThreadPool* pool_;

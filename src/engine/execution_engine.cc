@@ -67,7 +67,7 @@ StatusOr<double> ExecutionEngine::ComputeLatency(const Query& query,
       in.is_join = false;
       in.scan_op = n.scan_op;
       in.base_rows = static_cast<double>(
-          db_->table_data(query.relations()[n.relation].table_idx).row_count);
+          db_->row_count(query.relations()[n.relation].table_idx));
       in.index_available = IndexScanEffective(db_->schema(), query,
                                               n.relation);
     } else {

@@ -8,13 +8,13 @@ namespace balsa {
 int64_t Executor::ColumnValue(const Query& query, int rel, int col,
                               uint32_t row) const {
   int table_idx = query.relations()[rel].table_idx;
-  return db_->table_data(table_idx).columns[col][row];
+  return snapshot_.column(table_idx, col)[row];
 }
 
 bool Executor::EvalFilter(const Query& query, const FilterPredicate& f,
                           uint32_t row) const {
   int64_t v = ColumnValue(query, f.col.relation, f.col.column, row);
-  if (v < 0) return false;  // NULL fails every predicate
+  if (IsNull(v)) return false;  // NULL fails every predicate
   switch (f.op) {
     case PredOp::kEq: return v == f.value;
     case PredOp::kNe: return v != f.value;
@@ -34,32 +34,57 @@ StatusOr<Intermediate> Executor::Scan(const Query& query, int rel) const {
     return Status::OutOfRange("relation " + std::to_string(rel));
   }
   int table_idx = query.relations()[rel].table_idx;
-  if (!db_->HasData(table_idx)) {
+  if (!snapshot_.HasData(table_idx)) {
     return Status::FailedPrecondition("no data for table index " +
                                       std::to_string(table_idx));
   }
-  const TableData& data = db_->table_data(table_idx);
   auto filters = query.FiltersOn(rel);
 
   Intermediate out;
   out.rels = {rel};
   out.tuples.resize(1);
   auto& rows = out.tuples[0];
-  for (uint32_t r = 0; r < static_cast<uint32_t>(data.row_count); ++r) {
-    bool pass = true;
-    for (const auto& f : filters) {
-      if (!EvalFilter(query, f, r)) {
-        pass = false;
+  auto emit = [&](uint32_t r) {
+    rows.push_back(r);
+    if (static_cast<int64_t>(rows.size()) >= options_.row_cap) {
+      out.capped = true;
+      return false;
+    }
+    return true;
+  };
+  auto passes_all_but = [&](uint32_t r, int skip) {
+    for (size_t i = 0; i < filters.size(); ++i) {
+      if (static_cast<int>(i) == skip) continue;
+      if (!EvalFilter(query, filters[i], r)) return false;
+    }
+    return true;
+  };
+
+  // Index-assisted path: an equality filter's matches come straight from
+  // the snapshot's hash index, in the same ascending row order a full scan
+  // would produce (a kEq on NULL matches nothing either way — NULLs fail
+  // every predicate and are not indexed).
+  int eq = -1;
+  if (options_.use_index_for_eq) {
+    for (size_t i = 0; i < filters.size(); ++i) {
+      if (filters[i].op == PredOp::kEq) {
+        eq = static_cast<int>(i);
         break;
       }
     }
-    if (pass) {
-      rows.push_back(r);
-      if (static_cast<int64_t>(rows.size()) >= options_.row_cap) {
-        out.capped = true;
-        break;
-      }
+  }
+  if (eq >= 0) {
+    const FilterPredicate& f = filters[static_cast<size_t>(eq)];
+    const HashIndex& index = snapshot_.index(table_idx, f.col.column);
+    for (uint32_t r : index.Lookup(f.value)) {
+      if (passes_all_but(r, eq) && !emit(r)) break;
     }
+    return out;
+  }
+
+  const int64_t num_rows = snapshot_.row_count(table_idx);
+  for (uint32_t r = 0; r < static_cast<uint32_t>(num_rows); ++r) {
+    if (passes_all_but(r, -1) && !emit(r)) break;
   }
   return out;
 }
@@ -97,7 +122,7 @@ StatusOr<Intermediate> Executor::Join(const Query& query,
   for (int64_t i = 0; i < build.NumRows(); ++i) {
     uint32_t row = build.tuples[build_slot][i];
     int64_t v = ColumnValue(query, key.left.relation, key.left.column, row);
-    if (v < 0) continue;  // NULL keys never match
+    if (IsNull(v)) continue;  // NULL keys never match
     ht[v].push_back(static_cast<uint32_t>(i));
   }
 
@@ -123,7 +148,7 @@ StatusOr<Intermediate> Executor::Join(const Query& query,
   for (int64_t pi = 0; pi < probe.NumRows(); ++pi) {
     uint32_t prow = probe.tuples[probe_slot][pi];
     int64_t v = ColumnValue(query, key.right.relation, key.right.column, prow);
-    if (v < 0) continue;
+    if (IsNull(v)) continue;
     auto it = ht.find(v);
     if (it == ht.end()) continue;
     for (uint32_t bi : it->second) {
@@ -135,7 +160,7 @@ StatusOr<Intermediate> Executor::Join(const Query& query,
         int64_t pv = ColumnValue(query, e.probe_col.relation,
                                  e.probe_col.column,
                                  probe.tuples[e.probe_slot][pi]);
-        if (bv < 0 || pv < 0 || bv != pv) {
+        if (IsNull(bv) || IsNull(pv) || bv != pv) {
           pass = false;
           break;
         }

@@ -2,6 +2,13 @@
 // equi-joins to produce exact intermediate results; the cardinality oracle
 // and the engine latency models are grounded in the row counts it measures.
 //
+// Every Executor reads through a pinned storage Snapshot: results are
+// computed against one immutable publication epoch, so scans and joins are
+// safe — and bitwise reproducible — while change-stream writers ingest
+// concurrently. Equality-filtered scans are served from the snapshot's
+// per-version hash index (built lazily, retired with the version) and
+// produce exactly the sequence a full scan would.
+//
 // Intermediate relations are materialized as row-id tuples (one row id per
 // participating base relation), so no data copying occurs beyond ids.
 #pragma once
@@ -39,15 +46,27 @@ struct ExecutorOptions {
   /// Intermediates larger than this are truncated and flagged `capped`.
   /// Plans that hit the cap are "disastrous" in the paper's sense.
   int64_t row_cap = 4'000'000;
+  /// Serve equality-filtered scans from the snapshot's hash index instead
+  /// of a full pass. Results are identical either way (the index returns
+  /// ascending row ids); off only for testing the scan path itself.
+  bool use_index_for_eq = true;
 };
 
-/// Evaluates scans and joins of a query against the database. All physical
-/// join operators produce identical results; the executor implements them
-/// with hash joins (the oracle cares about cardinality, not timing).
+/// Evaluates scans and joins of a query against a pinned snapshot. All
+/// physical join operators produce identical results; the executor
+/// implements them with hash joins (the oracle cares about cardinality, not
+/// timing).
 class Executor {
  public:
-  Executor(const Database* db, ExecutorOptions options = {})
-      : db_(db), options_(options) {}
+  explicit Executor(Snapshot snapshot, ExecutorOptions options = {})
+      : snapshot_(std::move(snapshot)), options_(options) {}
+
+  /// Convenience: pins the database's current snapshot at construction.
+  explicit Executor(const Database* db, ExecutorOptions options = {})
+      : Executor(db->GetSnapshot(), options) {}
+
+  /// The snapshot all reads go through (its epoch tags derived results).
+  const Snapshot& snapshot() const { return snapshot_; }
 
   /// Scans relation `rel` of `query`, applying all its filters.
   StatusOr<Intermediate> Scan(const Query& query, int rel) const;
@@ -69,7 +88,7 @@ class Executor {
   int64_t ColumnValue(const Query& query, int rel, int col,
                       uint32_t row) const;
 
-  const Database* db_;
+  Snapshot snapshot_;
   ExecutorOptions options_;
 };
 

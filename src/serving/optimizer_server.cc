@@ -89,11 +89,15 @@ OptimizerServer::OptimizerServer(const Schema* schema,
 StatusOr<OptimizerServer::OptimizeResult> OptimizerServer::Optimize(
     const Query& query) {
   auto start = std::chrono::steady_clock::now();
+  // One epoch pin per request: everything this request derives describes
+  // data at (or after) this publication epoch.
+  const uint64_t epoch = data_epoch();
   StatusOr<OptimizeResult> result = Serve(query);
   if (result.ok()) {
     double micros = std::chrono::duration<double, std::micro>(
                         std::chrono::steady_clock::now() - start)
                         .count();
+    result.value().data_epoch = epoch;
     result.value().serve_micros = micros;
     latency_.Record(micros);
   }

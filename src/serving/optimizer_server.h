@@ -96,6 +96,12 @@ class OptimizerServer {
     double predicted_ms = 0;
     /// Statistics generation the plan was produced under.
     int64_t stats_version = 0;
+    /// Storage publication epoch pinned at request entry. Serving reads no
+    /// table data directly — planning runs over statistics snapshots and
+    /// any true-cardinality probe pins its own storage snapshot — so this
+    /// records which data regime the request was served under while
+    /// change-stream writers ingest concurrently.
+    uint64_t data_epoch = 0;
     bool cache_hit = false;
     /// Served by waiting on another request's in-flight planning call.
     bool coalesced = false;
@@ -139,6 +145,11 @@ class OptimizerServer {
   /// Current statistics generation requests are served under.
   int64_t stats_version() const {
     return oracle_ == nullptr ? 0 : oracle_->generation();
+  }
+
+  /// Current storage publication epoch (0 without an oracle).
+  uint64_t data_epoch() const {
+    return oracle_ == nullptr ? 0 : oracle_->data_epoch();
   }
 
   const PlanCache& cache() const { return cache_; }

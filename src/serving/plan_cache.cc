@@ -59,6 +59,10 @@ void PlanCache::Insert(uint64_t fingerprint, CachedPlan entry) {
     // must not clobber the newer plan.
     if (shared->stats_version < it->second.entry->stats_version) return;
     it->second.entry = std::move(shared);
+    // The replacing plan starts its popularity from zero: inherited hit
+    // counts would let a fresh-generation plan ride the stale plan's fame
+    // through HottestEntries/Rewarm ranking.
+    it->second.hits = 0;
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_pos);
     shard.stats.insertions++;
     return;

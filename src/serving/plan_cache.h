@@ -19,7 +19,9 @@
 //
 // Hotness: every hit bumps the entry's hit counter; HottestEntries() ranks
 // entries by it so the post-bump re-warm pass (OptimizerServer::Rewarm) can
-// replan the traffic that would otherwise eat the miss storm.
+// replan the traffic that would otherwise eat the miss storm. Replacing a
+// slot's entry resets its hit count — popularity belongs to the plan, not
+// the slot.
 #pragma once
 
 #include <cstdint>

@@ -4,8 +4,7 @@
 
 namespace balsa {
 
-bool CardOracle::TryGet(uint64_t key, TrueCard* out) {
-  const uint64_t epoch = data_epoch_.load(std::memory_order_acquire);
+bool CardOracle::TryGet(uint64_t key, uint64_t epoch, TrueCard* out) {
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.map.find(key);
@@ -39,22 +38,39 @@ StatusOr<TrueCard> CardOracle::Cardinality(const Query& query, TableSet set) {
     return Status::InvalidArgument("query " + query.name() + " has no id");
   }
   if (set.empty()) return Status::InvalidArgument("empty table set");
+  // Fast path: a hit at the current epoch needs no snapshot pin.
   TrueCard cached;
-  if (TryGet(Key(query.id(), set), &cached)) return cached;
-  // Pin the epoch before reading any data: if an ingest batch lands while
-  // we execute, our results are stamped pre-mutation and expire with it.
-  return ComputeBySteps(query, set,
-                        data_epoch_.load(std::memory_order_acquire));
+  if (TryGet(Key(query.id(), set), data_epoch(), &cached)) return cached;
+  // Pin a snapshot before reading any data: if an ingest batch lands while
+  // we execute, our results are stamped with the pinned (pre-mutation)
+  // epoch and expire with it.
+  Executor executor(db_->GetSnapshot(), exec_options_);
+  return ComputeBySteps(executor, executor.snapshot().epoch(), query, set);
 }
 
-StatusOr<TrueCard> CardOracle::ComputeBySteps(const Query& query,
-                                              TableSet set, uint64_t epoch) {
+StatusOr<TrueCard> CardOracle::CardinalityWith(const Executor& executor,
+                                               uint64_t epoch,
+                                               const Query& query,
+                                               TableSet set) {
+  if (query.id() < 0) {
+    return Status::InvalidArgument("query " + query.name() + " has no id");
+  }
+  if (set.empty()) return Status::InvalidArgument("empty table set");
+  TrueCard cached;
+  if (TryGet(Key(query.id(), set), epoch, &cached)) return cached;
+  return ComputeBySteps(executor, epoch, query, set);
+}
+
+StatusOr<TrueCard> CardOracle::ComputeBySteps(const Executor& executor,
+                                              uint64_t epoch,
+                                              const Query& query,
+                                              TableSet set) {
   // Join the set left-deep in a connected, smallest-first order, caching
   // every prefix cardinality along the way.
   std::vector<std::pair<int64_t, int>> bases;  // (filtered rows, rel)
   std::vector<Intermediate> scans(query.num_relations());
   for (int rel : set) {
-    BALSA_ASSIGN_OR_RETURN(scans[rel], executor_.Scan(query, rel));
+    BALSA_ASSIGN_OR_RETURN(scans[rel], executor.Scan(query, rel));
     bases.push_back({scans[rel].NumRows(), rel});
     Put(Key(query.id(), TableSet::Single(rel)),
         {static_cast<double>(scans[rel].NumRows()), scans[rel].capped},
@@ -85,9 +101,9 @@ StatusOr<TrueCard> CardOracle::ComputeBySteps(const Query& query,
     TrueCard hit;
     // Even on a cache hit we must materialize the intermediate to continue,
     // unless the grown set is the final target.
-    if (grown == set && TryGet(key, &hit)) return hit;
+    if (grown == set && TryGet(key, epoch, &hit)) return hit;
     BALSA_ASSIGN_OR_RETURN(current,
-                           executor_.Join(query, current, scans[next]));
+                           executor.Join(query, current, scans[next]));
     num_executions_.fetch_add(1, std::memory_order_relaxed);
     TrueCard card{static_cast<double>(current.NumRows()), current.capped};
     Put(key, card, epoch);
@@ -99,22 +115,29 @@ StatusOr<TrueCard> CardOracle::ComputeBySteps(const Query& query,
     }
   }
   // `current` is the materialized join of the full set (don't re-read the
-  // memo here: an epoch bump mid-computation would expire our own Put).
+  // memo here: an epoch advance mid-computation would expire our own Put).
   return TrueCard{static_cast<double>(current.NumRows()), current.capped};
 }
 
 StatusOr<std::vector<TrueCard>> CardOracle::PlanCardinalities(
     const Query& query, const Plan& plan) {
   std::vector<TrueCard> out(plan.num_nodes());
-  // Fast path: every node's set already cached.
+  // Fast path: every node's set already cached at the current epoch.
+  const uint64_t epoch_now = data_epoch();
   bool all_cached = true;
   for (int i = 0; i < plan.num_nodes() && all_cached; ++i) {
-    all_cached = TryGet(Key(query.id(), plan.node(i).tables), &out[i]);
+    all_cached = TryGet(Key(query.id(), plan.node(i).tables), epoch_now,
+                        &out[i]);
   }
   if (all_cached) return out;
+  // One snapshot for the whole plan: every node's cardinality describes the
+  // same publication epoch even while writers ingest.
+  Executor executor(db_->GetSnapshot(), exec_options_);
+  const uint64_t epoch = executor.snapshot().epoch();
   for (int i = 0; i < plan.num_nodes(); ++i) {
-    BALSA_ASSIGN_OR_RETURN(TrueCard card,
-                           Cardinality(query, plan.node(i).tables));
+    BALSA_ASSIGN_OR_RETURN(
+        TrueCard card,
+        CardinalityWith(executor, epoch, query, plan.node(i).tables));
     out[i] = card;
   }
   return out;

@@ -4,23 +4,26 @@
 // measurements, so "reality" diverges from the estimator exactly as it does
 // between PostgreSQL's planner and its executor.
 //
+// Every computation pins a storage Snapshot and tags its memoized results
+// with that snapshot's publication epoch. Data mutation (the change stream)
+// advances the epoch on publish, so stale entries expire on their own — no
+// manual invalidation, no reader/writer exclusion: cardinality probes run
+// concurrently with ingest and always describe one consistent epoch.
+//
 // Thread safety: the memo table is sharded (kNumShards shards by key hash),
 // so the concurrent hot path — a cache hit — takes only one shard lock and
 // concurrent hits on different shards never contend. Misses compute without
-// any global lock: the executor is stateless/const, cardinalities are pure
-// functions of (query, set), and every cache write stores the same bytes for
-// a given key, so concurrent duplicate computations are wasteful but can
-// never change a result. Results are bitwise identical for any thread count.
+// any global lock: the executor reads an immutable snapshot, cardinalities
+// are pure functions of (query, set, epoch), and every cache write stores
+// the same bytes for a given (key, epoch), so concurrent duplicate
+// computations are wasteful but can never change a result. Results are
+// bitwise identical for any thread count within one epoch.
 //
 // The generation counter versions the statistics regime the rest of the
 // system plans under (TableStats/estimator snapshots). Bumping it does not
-// invalidate the memo — true cardinalities stay true — but lets higher
-// layers (the serving plan cache, async training) detect that plans derived
-// from older statistics are stale. Data *mutation* is different: it changes
-// the true cardinalities themselves, so the change stream's ingest path
-// calls InvalidateMemo(), which advances a data epoch that lazily expires
-// every memoized entry (see below). "Bitwise identical for any thread
-// count" holds within one data epoch.
+// touch the memo — true cardinalities stay true — but lets higher layers
+// (the serving plan cache, async training) detect that plans derived from
+// older statistics are stale.
 #pragma once
 
 #include <atomic>
@@ -46,21 +49,23 @@ class CardOracle {
   static constexpr int kNumShards = 16;
 
   explicit CardOracle(const Database* db, ExecutorOptions exec_options = {})
-      : executor_(db, exec_options) {}
+      : db_(db), exec_options_(exec_options) {}
 
-  /// True cardinality of the join of `set` (with filters). Queries must have
-  /// unique, non-negative ids.
+  /// True cardinality of the join of `set` (with filters), measured against
+  /// a snapshot pinned for this call. Queries must have unique,
+  /// non-negative ids.
   StatusOr<TrueCard> Cardinality(const Query& query, TableSet set);
 
-  /// True cardinalities for every node of `plan`, indexed by arena position.
-  /// One bottom-up execution fills the cache for all subtrees.
+  /// True cardinalities for every node of `plan`, indexed by arena
+  /// position, all measured against ONE pinned snapshot. One bottom-up
+  /// execution fills the cache for all subtrees.
   StatusOr<std::vector<TrueCard>> PlanCardinalities(const Query& query,
                                                     const Plan& plan);
 
   /// Live (current data-epoch) memo entries; stale ones are excluded even
   /// before their lazy eviction.
   size_t CacheSize() const {
-    const uint64_t epoch = data_epoch_.load(std::memory_order_acquire);
+    const uint64_t epoch = data_epoch();
     size_t total = 0;
     for (const Shard& shard : shards_) {
       std::lock_guard<std::mutex> lock(shard.mu);
@@ -74,18 +79,15 @@ class CardOracle {
     return num_executions_.load(std::memory_order_relaxed);
   }
 
-  /// Invalidates every memoized cardinality. Required after the underlying
-  /// data mutates (the adaptive change stream): unlike a statistics bump, a
-  /// data change makes the *true* cardinalities themselves stale. O(1) —
-  /// it advances the data epoch; entries stamped with older epochs read as
-  /// misses and are erased lazily on next touch, so a write-heavy ingest
-  /// stream can invalidate per batch without sweeping the shards each
-  /// time. Computations in flight across the bump stamp their results with
-  /// the epoch they *read from*, so they can never resurrect pre-mutation
-  /// counts as current. Thread-safe.
-  void InvalidateMemo() {
-    data_epoch_.fetch_add(1, std::memory_order_acq_rel);
-  }
+  /// The storage publication epoch memo entries are currently valid at.
+  /// Ingest advances it on every published batch; entries stamped with
+  /// older epochs read as misses and are erased lazily on next touch, so a
+  /// write-heavy stream invalidates continuously at zero cost. In-flight
+  /// computations stamp their results with the epoch of the snapshot they
+  /// pinned, so they can never resurrect pre-mutation counts as current.
+  uint64_t data_epoch() const { return db_->publication_epoch(); }
+
+  const Database* db() const { return db_; }
 
   /// Statistics generation this oracle's consumers currently plan under.
   /// Monotonic; the serving layer keys its plan cache by it so a bump
@@ -100,7 +102,7 @@ class CardOracle {
  private:
   struct Entry {
     TrueCard card;
-    /// Data epoch the cardinality was computed under (see InvalidateMemo).
+    /// Publication epoch of the snapshot the cardinality was measured on.
     uint64_t epoch = 0;
   };
   struct Shard {
@@ -119,22 +121,26 @@ class CardOracle {
     // so shard choice is not dominated by either.
     return shards_[(key ^ (key >> 32)) % kNumShards];
   }
-  /// Hit only for entries at the current data epoch; stale entries are
-  /// erased and read as misses.
-  bool TryGet(uint64_t key, TrueCard* out);
+  /// Hit only for entries at `epoch`; entries at older epochs are erased
+  /// and read as misses.
+  bool TryGet(uint64_t key, uint64_t epoch, TrueCard* out);
   /// Inserts `card` computed under `epoch`. Never downgrades: a same-epoch
   /// uncapped value is not replaced by a capped one, and a newer-epoch
   /// entry is not replaced by a laggard computation's older-epoch result.
   void Put(uint64_t key, TrueCard card, uint64_t epoch);
 
-  StatusOr<TrueCard> ComputeBySteps(const Query& query, TableSet set,
-                                    uint64_t epoch);
+  /// Validation + memo lookup + stepwise execution against `executor`'s
+  /// pinned snapshot (whose epoch must be `epoch`).
+  StatusOr<TrueCard> CardinalityWith(const Executor& executor, uint64_t epoch,
+                                     const Query& query, TableSet set);
+  StatusOr<TrueCard> ComputeBySteps(const Executor& executor, uint64_t epoch,
+                                    const Query& query, TableSet set);
 
-  Executor executor_;
+  const Database* db_;
+  ExecutorOptions exec_options_;
   Shard shards_[kNumShards];
   std::atomic<int64_t> num_executions_{0};
   std::atomic<int64_t> generation_{0};
-  std::atomic<uint64_t> data_epoch_{0};
 };
 
 }  // namespace balsa

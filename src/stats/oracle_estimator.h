@@ -27,7 +27,7 @@ class OracleCardinalityEstimator : public CardinalityEstimatorInterface {
 
   double EstimateSelectivity(const Query& query, int rel) const override {
     double base = static_cast<double>(
-        db_->table_data(query.relations()[rel].table_idx).row_count);
+        db_->row_count(query.relations()[rel].table_idx));
     if (base <= 0) return 1.0;
     return EstimateScanRows(query, rel) / base;
   }

@@ -20,7 +20,7 @@ ColumnStats AnalyzeColumn(const std::vector<int64_t>& column,
       static_cast<int64_t>(column.size()) > options.sample_rows) {
     for (int64_t i = 0; i < options.sample_rows; ++i) {
       int64_t v = column[rng->Uniform(column.size())];
-      if (v < 0) {
+      if (IsNull(v)) {
         nulls++;
       } else {
         values.push_back(v);
@@ -30,7 +30,7 @@ ColumnStats AnalyzeColumn(const std::vector<int64_t>& column,
         static_cast<double>(nulls) / static_cast<double>(options.sample_rows);
   } else {
     for (int64_t v : column) {
-      if (v < 0) {
+      if (IsNull(v)) {
         nulls++;
       } else {
         values.push_back(v);
@@ -106,36 +106,43 @@ ColumnStats AnalyzeColumn(const std::vector<int64_t>& column,
 
 }  // namespace
 
-StatusOr<TableStats> AnalyzeTable(const Database& db, int table_idx,
+StatusOr<TableStats> AnalyzeTable(const Snapshot& snapshot, int table_idx,
                                   const AnalyzeOptions& options) {
-  if (table_idx < 0 || table_idx >= db.schema().num_tables()) {
+  const Schema& schema = snapshot.schema();
+  if (table_idx < 0 || table_idx >= schema.num_tables()) {
     return Status::OutOfRange("table index " + std::to_string(table_idx));
   }
-  if (!db.HasData(table_idx)) {
+  if (!snapshot.HasData(table_idx)) {
     return Status::FailedPrecondition("table " +
-                                      db.schema().table(table_idx).name +
+                                      schema.table(table_idx).name +
                                       " has no data; generate first");
   }
   // Seed per table so a lone re-ANALYZE samples the same rows it would
   // inside a full Analyze() pass.
   Rng rng(0xA11A1FE ^ (static_cast<uint64_t>(table_idx) * 0x9E3779B9ULL));
-  const TableData& data = db.table_data(table_idx);
+  const TableVersion& table = snapshot.table(table_idx);
   TableStats ts;
-  ts.row_count = data.row_count;
+  ts.row_count = table.row_count();
   ts.stats_version = options.stats_version;
-  ts.columns.reserve(data.columns.size());
-  for (const auto& col : data.columns) {
-    ts.columns.push_back(AnalyzeColumn(col, options, &rng));
+  ts.columns.reserve(static_cast<size_t>(table.num_columns()));
+  for (int c = 0; c < table.num_columns(); ++c) {
+    ts.columns.push_back(AnalyzeColumn(table.column(c), options, &rng));
   }
   return ts;
 }
 
+StatusOr<TableStats> AnalyzeTable(const Database& db, int table_idx,
+                                  const AnalyzeOptions& options) {
+  return AnalyzeTable(db.GetSnapshot(), table_idx, options);
+}
+
 StatusOr<std::vector<TableStats>> Analyze(const Database& db,
                                           const AnalyzeOptions& options) {
+  const Snapshot snapshot = db.GetSnapshot();
   std::vector<TableStats> out;
   out.reserve(static_cast<size_t>(db.schema().num_tables()));
   for (int t = 0; t < db.schema().num_tables(); ++t) {
-    BALSA_ASSIGN_OR_RETURN(TableStats ts, AnalyzeTable(db, t, options));
+    BALSA_ASSIGN_OR_RETURN(TableStats ts, AnalyzeTable(snapshot, t, options));
     out.push_back(std::move(ts));
   }
   return out;

@@ -59,13 +59,21 @@ struct AnalyzeOptions {
   int64_t stats_version = 0;
 };
 
-/// Computes statistics for every table in the database.
+/// Computes statistics for every table, read through ONE pinned snapshot so
+/// the produced stats describe a single publication epoch even while
+/// change-stream writers ingest.
 StatusOr<std::vector<TableStats>> Analyze(const Database& db,
                                           const AnalyzeOptions& options = {});
 
-/// Computes statistics for one table — the full-rescan fallback of the
-/// adaptive re-ANALYZE pipeline (src/adaptive), which otherwise merges
-/// change-stream sketches incrementally (src/stats/incremental_analyze.h).
+/// Computes statistics for one table of a pinned snapshot — the full-rescan
+/// fallback of the adaptive re-ANALYZE pipeline (src/adaptive), which runs
+/// it WITHOUT the ingest lock: the snapshot is immutable, so the rescan
+/// never blocks writers. The incremental alternative merges change-stream
+/// sketches instead (src/stats/incremental_analyze.h).
+StatusOr<TableStats> AnalyzeTable(const Snapshot& snapshot, int table_idx,
+                                  const AnalyzeOptions& options = {});
+
+/// Convenience: pins the database's current snapshot first.
 StatusOr<TableStats> AnalyzeTable(const Database& db, int table_idx,
                                   const AnalyzeOptions& options = {});
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <string>
+#include <utility>
 
 namespace balsa {
 
@@ -50,8 +51,7 @@ ChangeLog::ChangeLog(Database* db) : db_(db) {
   tables_.reserve(static_cast<size_t>(db->schema().num_tables()));
   for (int t = 0; t < db->schema().num_tables(); ++t) {
     auto state = std::make_unique<TableState>();
-    state->anchor.base_row_count =
-        db->HasData(t) ? db->table_data(t).row_count : 0;
+    state->anchor.base_row_count = db->row_count(t);
     state->delta =
         MakeDelta(state->anchor, db->schema().table(t).columns.size());
     tables_.push_back(std::move(state));
@@ -67,7 +67,7 @@ Status ChangeLog::CheckTable(int table) const {
 
 void ChangeLog::Record(const ColumnAnchor& anchor, int64_t value, bool add,
                        ColumnDeltaSketch* sketch) {
-  if (value < 0) {  // NULL
+  if (IsNull(value)) {
     (add ? sketch->inserted_nulls : sketch->deleted_nulls)++;
     return;
   }
@@ -105,6 +105,31 @@ void ChangeLog::Record(const ColumnAnchor& anchor, int64_t value, bool add,
   }
 }
 
+void ChangeLog::ReplayPending(TableState* state) {
+  PendingRaw pending = std::move(state->pending);
+  state->pending = PendingRaw{};
+  for (size_t c = 0; c < state->delta.columns.size(); ++c) {
+    const ColumnAnchor& anchor = c < state->anchor.columns.size()
+                                     ? state->anchor.columns[c]
+                                     : kNoAnchor;
+    ColumnDeltaSketch& sketch = state->delta.columns[c];
+    if (c < pending.added.size()) {
+      for (int64_t value : pending.added[c]) {
+        Record(anchor, value, /*add=*/true, &sketch);
+      }
+    }
+    if (c < pending.removed.size()) {
+      for (int64_t value : pending.removed[c]) {
+        Record(anchor, value, /*add=*/false, &sketch);
+      }
+    }
+  }
+  state->delta.rows_inserted += pending.rows_inserted;
+  state->delta.rows_deleted += pending.rows_deleted;
+  state->delta.rows_updated += pending.rows_updated;
+  state->delta.epoch += pending.epochs;
+}
+
 Status ChangeLog::InsertRows(int table,
                              const std::vector<std::vector<int64_t>>& rows) {
   BALSA_RETURN_IF_ERROR(CheckTable(table));
@@ -123,6 +148,16 @@ Status ChangeLog::InsertRows(int table,
     }
     state.delta.rows_inserted += static_cast<int64_t>(rows.size());
     state.delta.epoch++;
+    if (state.rebasing) {
+      // The in-flight rebase will rebuild the delta from scratch; keep the
+      // raw values so they can be re-folded against the new anchor.
+      state.pending.added.resize(state.delta.columns.size());
+      for (size_t c = 0; c < state.delta.columns.size(); ++c) {
+        for (const auto& row : rows) state.pending.added[c].push_back(row[c]);
+      }
+      state.pending.rows_inserted += static_cast<int64_t>(rows.size());
+      state.pending.epochs++;
+    }
   }
   Notify(table);
   return Status::OK();
@@ -136,9 +171,9 @@ Status ChangeLog::DeleteRows(int table, std::vector<int64_t> row_ids) {
     std::lock_guard<std::mutex> lock(state.mu);
     // Validate fully before folding anything into the sketches: a rejected
     // delete must not leave phantom deletions behind.
-    const TableData& data = db_->table_data(table);
+    std::shared_ptr<const TableVersion> version = db_->GetTableVersion(table);
     BALSA_ASSIGN_OR_RETURN(row_ids,
-                           ValidateAndSortRowIds(data.row_count,
+                           ValidateAndSortRowIds(version->row_count(),
                                                  std::move(row_ids)));
     // Capture the removed values before the swap-remove disturbs row ids.
     for (size_t c = 0; c < state.delta.columns.size(); ++c) {
@@ -146,9 +181,21 @@ Status ChangeLog::DeleteRows(int table, std::vector<int64_t> row_ids) {
                                        ? state.anchor.columns[c]
                                        : kNoAnchor;
       for (int64_t row : row_ids) {
-        Record(anchor, data.columns[c][static_cast<size_t>(row)],
+        Record(anchor, version->column(static_cast<int>(c))
+                           [static_cast<size_t>(row)],
                /*add=*/false, &state.delta.columns[c]);
       }
+    }
+    if (state.rebasing) {
+      state.pending.removed.resize(state.delta.columns.size());
+      for (size_t c = 0; c < state.delta.columns.size(); ++c) {
+        for (int64_t row : row_ids) {
+          state.pending.removed[c].push_back(
+              version->column(static_cast<int>(c))[static_cast<size_t>(row)]);
+        }
+      }
+      state.pending.rows_deleted += static_cast<int64_t>(row_ids.size());
+      state.pending.epochs++;
     }
     const int64_t num_deleted = static_cast<int64_t>(row_ids.size());
     BALSA_RETURN_IF_ERROR(db_->RemoveRows(table, std::move(row_ids)));
@@ -167,29 +214,40 @@ Status ChangeLog::UpdateValues(
   TableState& state = *tables_[static_cast<size_t>(table)];
   {
     std::lock_guard<std::mutex> lock(state.mu);
-    const TableData& data = db_->table_data(table);
-    if (column < 0 || column >= static_cast<int>(data.columns.size())) {
+    std::shared_ptr<const TableVersion> version = db_->GetTableVersion(table);
+    if (column < 0 || column >= version->num_columns()) {
       return Status::OutOfRange("column " + std::to_string(column));
     }
     // Validate the whole batch before mutating or sketching anything: a
     // rejected update must not leave partial data or phantom records.
     for (const auto& [row, value] : updates) {
       (void)value;
-      if (row < 0 || row >= data.row_count) {
+      if (row < 0 || row >= version->row_count()) {
         return Status::OutOfRange("row " + std::to_string(row));
       }
     }
-    ColumnDeltaSketch& sketch = state.delta.columns[static_cast<size_t>(column)];
+    ColumnDeltaSketch& sketch =
+        state.delta.columns[static_cast<size_t>(column)];
     const ColumnAnchor& anchor =
         static_cast<size_t>(column) < state.anchor.columns.size()
             ? state.anchor.columns[static_cast<size_t>(column)]
             : kNoAnchor;
-    // Sketch the old values before the batch write overwrites them.
+    const std::vector<int64_t>& old_values = version->column(column);
     for (const auto& [row, value] : updates) {
-      Record(anchor, data.columns[static_cast<size_t>(column)]
-                         [static_cast<size_t>(row)],
+      Record(anchor, old_values[static_cast<size_t>(row)],
              /*add=*/false, &sketch);
       Record(anchor, value, /*add=*/true, &sketch);
+    }
+    if (state.rebasing) {
+      state.pending.added.resize(state.delta.columns.size());
+      state.pending.removed.resize(state.delta.columns.size());
+      for (const auto& [row, value] : updates) {
+        state.pending.removed[static_cast<size_t>(column)].push_back(
+            old_values[static_cast<size_t>(row)]);
+        state.pending.added[static_cast<size_t>(column)].push_back(value);
+      }
+      state.pending.rows_updated += static_cast<int64_t>(updates.size());
+      state.pending.epochs++;
     }
     BALSA_RETURN_IF_ERROR(db_->SetValues(table, column, updates));
     state.delta.rows_updated += static_cast<int64_t>(updates.size());
@@ -213,7 +271,8 @@ TableAnchor ChangeLog::anchor(int table) const {
 
 void ChangeLog::SetAnchor(int table, TableAnchor anchor) {
   TableState& state = *tables_[static_cast<size_t>(table)];
-  std::lock_guard<std::mutex> lock(state.mu);
+  std::unique_lock<std::mutex> lock(state.mu);
+  state.rebase_cv.wait(lock, [&] { return !state.rebasing; });
   state.anchor = std::move(anchor);
   state.delta =
       MakeDelta(state.anchor,
@@ -222,16 +281,44 @@ void ChangeLog::SetAnchor(int table, TableAnchor anchor) {
 
 Status ChangeLog::Rebase(
     int table, const std::function<StatusOr<TableAnchor>(
-                   const TableDelta&, const TableAnchor&)>& reanalyze) {
+                   const TableDelta&, const TableAnchor&,
+                   const balsa::Snapshot&)>& reanalyze) {
   BALSA_RETURN_IF_ERROR(CheckTable(table));
   TableState& state = *tables_[static_cast<size_t>(table)];
-  std::lock_guard<std::mutex> lock(state.mu);
-  BALSA_ASSIGN_OR_RETURN(TableAnchor anchor,
-                         reanalyze(state.delta, state.anchor));
-  state.anchor = std::move(anchor);
-  state.delta =
-      MakeDelta(state.anchor, db_->schema().table(table).columns.size());
-  return Status::OK();
+  TableDelta delta;
+  TableAnchor old_anchor;
+  balsa::Snapshot snapshot;
+  {
+    std::unique_lock<std::mutex> lock(state.mu);
+    state.rebase_cv.wait(lock, [&] { return !state.rebasing; });
+    state.rebasing = true;
+    state.pending = PendingRaw{};
+    // Captured under the ingest lock, so the snapshot holds exactly the
+    // data the delta describes relative to the anchor.
+    delta = state.delta;
+    old_anchor = state.anchor;
+    snapshot = db_->GetSnapshot();
+  }
+  // The expensive part — an incremental merge or a full rescan of the
+  // pinned snapshot — runs with writers live.
+  StatusOr<TableAnchor> anchor = reanalyze(delta, old_anchor, snapshot);
+  {
+    std::lock_guard<std::mutex> lock(state.mu);
+    if (anchor.ok()) {
+      state.anchor = std::move(anchor).value();
+      state.delta =
+          MakeDelta(state.anchor, db_->schema().table(table).columns.size());
+      // Mutations that streamed in during the callback are not covered by
+      // the new anchor; re-fold them so the delta stays exact.
+      ReplayPending(&state);
+    } else {
+      // The live delta already absorbed the during-rebase mutations.
+      state.pending = PendingRaw{};
+    }
+    state.rebasing = false;
+  }
+  state.rebase_cv.notify_all();
+  return anchor.status();
 }
 
 int ChangeLog::AddListener(std::function<void(int)> fn) {

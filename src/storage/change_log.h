@@ -6,15 +6,20 @@
 // drift detector scores and what the incremental re-ANALYZE merges into
 // TableStats, so statistics track a write-heavy stream without rescanning.
 //
-// Concurrency: one mutex per table serializes that table's writers and is
-// also held across Rebase(), so a re-ANALYZE (which may rescan the table)
-// observes a quiescent table and atomically swaps in its new anchor.
-// Writers to different tables never contend. Sketch state is a deterministic
-// fold over each table's mutation sequence (HLL register maxima and bucket
-// counters commute), so any writer-thread partitioning that preserves
-// per-table order yields bit-identical sketches.
+// Concurrency: one mutex per table serializes that table's writers; writers
+// to different tables never contend, and readers never take these locks at
+// all (they pin storage snapshots). Rebase() captures the delta, the anchor,
+// and a pinned Snapshot atomically, then runs the re-ANALYZE *without* the
+// ingest lock — writers keep streaming during a full rescan. Mutations that
+// land while a rebase is in flight are additionally buffered as raw values
+// and replayed against the freshly installed anchor, so the post-rebase
+// delta describes exactly (current data) - (new anchor's data). Sketch state
+// is a deterministic fold over each table's mutation sequence (HLL register
+// maxima and bucket counters commute), so any writer-thread partitioning
+// that preserves per-table order yields bit-identical sketches.
 #pragma once
 
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -106,38 +111,64 @@ class ChangeLog {
   TableDelta Snapshot(int table) const;
   TableAnchor anchor(int table) const;
 
-  /// Installs `anchor` and resets the table's delta to empty.
+  /// Installs `anchor` and resets the table's delta to empty. Waits out an
+  /// in-flight Rebase on the same table.
   void SetAnchor(int table, TableAnchor anchor);
 
-  /// Runs `reanalyze` with the table's ingest lock held — writers are
-  /// blocked, so a full rescan sees a quiescent table and the handed-out
-  /// delta is exactly what the new statistics will absorb. On success the
-  /// returned anchor is installed and the delta reset, atomically with
-  /// respect to ingest. On error the old anchor and delta are kept.
+  /// Runs `reanalyze(delta, old_anchor, snapshot)` WITHOUT the table's
+  /// ingest lock: the three arguments are captured atomically (the pinned
+  /// storage snapshot contains exactly the data the delta describes), then
+  /// writers keep streaming while the callback — typically an incremental
+  /// merge or a full AnalyzeTable rescan of the snapshot — runs. On success
+  /// the returned anchor is installed, the delta is reset, and every
+  /// mutation that landed during the callback is replayed into the fresh
+  /// delta against the new anchor. On error the old anchor and delta (which
+  /// already includes the during-rebase mutations) are kept. At most one
+  /// rebase per table runs at a time; a second caller waits.
   Status Rebase(int table,
                 const std::function<StatusOr<TableAnchor>(
-                    const TableDelta&, const TableAnchor&)>& reanalyze);
+                    const TableDelta&, const TableAnchor&,
+                    const balsa::Snapshot&)>& reanalyze);
 
   /// `fn(table)` runs after every successful ingest batch (on the writer's
   /// thread, outside the table lock). Used to invalidate caches derived
-  /// from the data itself (e.g. the card oracle's memo). Returns an id for
-  /// RemoveListener; anything `fn` captures must stay alive until then.
+  /// from the data itself. Returns an id for RemoveListener; anything `fn`
+  /// captures must stay alive until then.
   int AddListener(std::function<void(int)> fn);
   void RemoveListener(int id);
 
   int num_tables() const { return static_cast<int>(tables_.size()); }
 
  private:
+  /// Raw values recorded while a Rebase's callback runs unlocked. Folding
+  /// commutes, so replay needs no batch boundaries — just every added and
+  /// removed value per column plus the row counters.
+  struct PendingRaw {
+    int64_t rows_inserted = 0;
+    int64_t rows_deleted = 0;
+    int64_t rows_updated = 0;
+    int64_t epochs = 0;
+    std::vector<std::vector<int64_t>> added;    // per column
+    std::vector<std::vector<int64_t>> removed;  // per column
+  };
+
   struct TableState {
     mutable std::mutex mu;
+    std::condition_variable rebase_cv;
+    bool rebasing = false;
     TableAnchor anchor;
     TableDelta delta;
+    PendingRaw pending;
   };
 
   Status CheckTable(int table) const;
   /// Folds one value into the sketch (add = insert side, else delete side).
   static void Record(const ColumnAnchor& anchor, int64_t value, bool add,
                      ColumnDeltaSketch* sketch);
+  /// Folds state->pending into state->delta against state->anchor (called
+  /// with the table lock held, after a successful rebase installed the new
+  /// anchor), then clears it.
+  static void ReplayPending(TableState* state);
   void Notify(int table);
 
   Database* db_;

@@ -25,7 +25,7 @@ StatusOr<std::vector<int64_t>> ValidateAndSortRowIds(
 HashIndex::HashIndex(const std::vector<int64_t>& column) {
   buckets_.reserve(column.size() / 2 + 1);
   for (size_t row = 0; row < column.size(); ++row) {
-    if (column[row] < 0) continue;  // NULLs are not indexed.
+    if (IsNull(column[row])) continue;  // only NULL (-1) is unindexed
     buckets_[column[row]].push_back(static_cast<uint32_t>(row));
   }
 }
@@ -35,13 +35,106 @@ const std::vector<uint32_t>& HashIndex::Lookup(int64_t value) const {
   return it == buckets_.end() ? kEmpty : it->second;
 }
 
+TableVersion::TableVersion(std::vector<ColumnPtr> columns, int64_t row_count,
+                           uint64_t epoch)
+    : columns_(std::move(columns)), row_count_(row_count), epoch_(epoch) {}
+
+const HashIndex& TableVersion::index(int c) const {
+  std::lock_guard<std::mutex> lock(indexes_mu_);
+  auto it = indexes_.find(c);
+  if (it == indexes_.end()) {
+    it = indexes_
+             .emplace(c, std::make_shared<const HashIndex>(
+                             *columns_[static_cast<size_t>(c)]))
+             .first;
+  }
+  return *it->second;
+}
+
+void TableVersion::InheritIndexes(const TableVersion& prev) {
+  // Called before publication (no concurrent access to *this* yet), but
+  // prev's cache may be racing lazy builds.
+  std::lock_guard<std::mutex> lock(prev.indexes_mu_);
+  for (const auto& [c, index] : prev.indexes_) {
+    if (c < num_columns() &&
+        columns_[static_cast<size_t>(c)] == prev.columns_[static_cast<size_t>(c)]) {
+      indexes_.emplace(c, index);
+    }
+  }
+}
+
+size_t TableVersion::DataBytes() const {
+  size_t total = 0;
+  for (const auto& c : columns_) total += c->size() * sizeof(int64_t);
+  return total;
+}
+
+size_t Snapshot::DataBytes() const {
+  size_t total = 0;
+  for (const auto& t : tables_) total += t->DataBytes();
+  return total;
+}
+
+Database::Database(Schema schema) : schema_(std::move(schema)) {
+  versions_.reserve(static_cast<size_t>(schema_.num_tables()));
+  for (int t = 0; t < schema_.num_tables(); ++t) {
+    // Every table starts as an empty schema-width version, so appends to a
+    // never-installed table validate row width and materialize columns.
+    std::vector<TableVersion::ColumnPtr> columns(
+        schema_.table(t).columns.size(),
+        std::make_shared<const std::vector<int64_t>>());
+    versions_.push_back(
+        std::make_shared<const TableVersion>(std::move(columns), 0, 0));
+  }
+}
+
+void Database::Publish(int table_idx, std::shared_ptr<TableVersion> version) {
+  std::lock_guard<std::mutex> lock(versions_mu_);
+  version->epoch_ = epoch_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  versions_[static_cast<size_t>(table_idx)] = std::move(version);
+}
+
+Snapshot Database::GetSnapshot() const {
+  std::lock_guard<std::mutex> lock(versions_mu_);
+  return Snapshot(&schema_, epoch_.load(std::memory_order_relaxed),
+                  versions_);
+}
+
+std::shared_ptr<const TableVersion> Database::GetTableVersion(
+    int table_idx) const {
+  std::lock_guard<std::mutex> lock(versions_mu_);
+  return versions_[static_cast<size_t>(table_idx)];
+}
+
+bool Database::HasData(int table_idx) const {
+  if (table_idx < 0 || table_idx >= schema_.num_tables()) return false;
+  return GetTableVersion(table_idx)->row_count() > 0;
+}
+
+int64_t Database::row_count(int table_idx) const {
+  if (table_idx < 0 || table_idx >= schema_.num_tables()) return 0;
+  return GetTableVersion(table_idx)->row_count();
+}
+
+TableData Database::CopyTableData(int table_idx) const {
+  std::shared_ptr<const TableVersion> version = GetTableVersion(table_idx);
+  TableData data;
+  data.row_count = version->row_count();
+  data.columns.reserve(static_cast<size_t>(version->num_columns()));
+  for (int c = 0; c < version->num_columns(); ++c) {
+    data.columns.push_back(version->column(c));
+  }
+  return data;
+}
+
+size_t Database::DataBytes() const { return GetSnapshot().DataBytes(); }
+
 Status Database::SetTableData(int table_idx, TableData data) {
   if (table_idx < 0 || table_idx >= schema_.num_tables()) {
     return Status::OutOfRange("table index " + std::to_string(table_idx));
   }
   const TableDef& def = schema_.table(table_idx);
-  if (static_cast<int>(data.columns.size()) !=
-      static_cast<int>(def.columns.size())) {
+  if (data.columns.size() != def.columns.size()) {
     return Status::InvalidArgument("column count mismatch for " + def.name);
   }
   for (const auto& col : data.columns) {
@@ -49,20 +142,27 @@ Status Database::SetTableData(int table_idx, TableData data) {
       return Status::InvalidArgument("ragged columns in " + def.name);
     }
   }
-  if (static_cast<int>(tables_.size()) < schema_.num_tables()) {
-    tables_.resize(schema_.num_tables());
+  std::vector<TableVersion::ColumnPtr> columns;
+  columns.reserve(data.columns.size());
+  for (auto& col : data.columns) {
+    columns.push_back(
+        std::make_shared<const std::vector<int64_t>>(std::move(col)));
   }
-  tables_[table_idx] = std::move(data);
+  Publish(table_idx,
+          std::make_shared<TableVersion>(std::move(columns), data.row_count,
+                                         0));
   return Status::OK();
 }
 
 Status Database::AppendRows(int table_idx,
                             const std::vector<std::vector<int64_t>>& rows) {
-  if (table_idx < 0 || table_idx >= static_cast<int>(tables_.size())) {
+  if (table_idx < 0 || table_idx >= schema_.num_tables()) {
     return Status::OutOfRange("table index " + std::to_string(table_idx));
   }
-  TableData& data = tables_[table_idx];
-  const size_t num_columns = data.columns.size();
+  std::shared_ptr<const TableVersion> prev = GetTableVersion(table_idx);
+  // Validate against the schema's width, not the (possibly never
+  // installed) materialized width: zero-width rows must never be accepted.
+  const size_t num_columns = schema_.table(table_idx).columns.size();
   for (const auto& row : rows) {
     if (row.size() != num_columns) {
       return Status::InvalidArgument("appended row has " +
@@ -71,37 +171,46 @@ Status Database::AppendRows(int table_idx,
                                      std::to_string(num_columns) + " columns");
     }
   }
+  std::vector<TableVersion::ColumnPtr> columns;
+  columns.reserve(num_columns);
   for (size_t c = 0; c < num_columns; ++c) {
-    auto& column = data.columns[c];
-    column.reserve(column.size() + rows.size());
-    for (const auto& row : rows) column.push_back(row[c]);
+    auto column = std::make_shared<std::vector<int64_t>>();
+    column->reserve(prev->column(static_cast<int>(c)).size() + rows.size());
+    *column = prev->column(static_cast<int>(c));
+    for (const auto& row : rows) column->push_back(row[c]);
+    columns.push_back(std::move(column));
   }
-  data.row_count += static_cast<int64_t>(rows.size());
-  InvalidateIndexes(table_idx);
+  Publish(table_idx, std::make_shared<TableVersion>(
+                         std::move(columns),
+                         prev->row_count() + static_cast<int64_t>(rows.size()),
+                         0));
   return Status::OK();
 }
 
 Status Database::RemoveRows(int table_idx, std::vector<int64_t> row_ids) {
-  if (table_idx < 0 || table_idx >= static_cast<int>(tables_.size())) {
+  if (table_idx < 0 || table_idx >= schema_.num_tables()) {
     return Status::OutOfRange("table index " + std::to_string(table_idx));
   }
-  TableData& data = tables_[table_idx];
-  // Validate everything before the first mutation: a rejected call must
-  // leave the table untouched. Descending order keeps every pending id
-  // valid while earlier removals swap the (shrinking) tail into freed
-  // slots.
+  std::shared_ptr<const TableVersion> prev = GetTableVersion(table_idx);
+  // Validate everything before building the new version: a rejected call
+  // publishes nothing. Descending order keeps every pending id valid while
+  // earlier removals swap the (shrinking) tail into freed slots.
   BALSA_ASSIGN_OR_RETURN(row_ids,
-                         ValidateAndSortRowIds(data.row_count,
+                         ValidateAndSortRowIds(prev->row_count(),
                                                std::move(row_ids)));
-  for (int64_t row : row_ids) {
-    int64_t last = data.row_count - 1;
-    for (auto& column : data.columns) {
-      column[static_cast<size_t>(row)] = column[static_cast<size_t>(last)];
-      column.pop_back();
+  std::vector<TableVersion::ColumnPtr> columns;
+  columns.reserve(static_cast<size_t>(prev->num_columns()));
+  int64_t remaining = prev->row_count() - static_cast<int64_t>(row_ids.size());
+  for (int c = 0; c < prev->num_columns(); ++c) {
+    auto column = std::make_shared<std::vector<int64_t>>(prev->column(c));
+    for (int64_t row : row_ids) {
+      (*column)[static_cast<size_t>(row)] = column->back();
+      column->pop_back();
     }
-    data.row_count = last;
+    columns.push_back(std::move(column));
   }
-  InvalidateIndexes(table_idx);
+  Publish(table_idx, std::make_shared<TableVersion>(std::move(columns),
+                                                    remaining, 0));
   return Status::OK();
 }
 
@@ -113,58 +222,36 @@ Status Database::SetValue(int table_idx, int column_idx, int64_t row,
 Status Database::SetValues(
     int table_idx, int column_idx,
     const std::vector<std::pair<int64_t, int64_t>>& updates) {
-  if (table_idx < 0 || table_idx >= static_cast<int>(tables_.size())) {
+  if (table_idx < 0 || table_idx >= schema_.num_tables()) {
     return Status::OutOfRange("table index " + std::to_string(table_idx));
   }
-  TableData& data = tables_[table_idx];
-  if (column_idx < 0 || column_idx >= static_cast<int>(data.columns.size())) {
+  std::shared_ptr<const TableVersion> prev = GetTableVersion(table_idx);
+  if (column_idx < 0 || column_idx >= prev->num_columns()) {
     return Status::OutOfRange("column " + std::to_string(column_idx));
   }
   for (const auto& [row, value] : updates) {
     (void)value;
-    if (row < 0 || row >= data.row_count) {
+    if (row < 0 || row >= prev->row_count()) {
       return Status::OutOfRange("row " + std::to_string(row));
     }
   }
-  auto& column = data.columns[static_cast<size_t>(column_idx)];
+  // Copy-on-write: only the written column is copied; the others (and any
+  // hash indexes already built over them) are shared with the old version.
+  std::vector<TableVersion::ColumnPtr> columns;
+  columns.reserve(static_cast<size_t>(prev->num_columns()));
+  for (int c = 0; c < prev->num_columns(); ++c) {
+    columns.push_back(prev->column_ptr(c));
+  }
+  auto column = std::make_shared<std::vector<int64_t>>(prev->column(column_idx));
   for (const auto& [row, value] : updates) {
-    column[static_cast<size_t>(row)] = value;
+    (*column)[static_cast<size_t>(row)] = value;
   }
-  InvalidateIndexes(table_idx);
+  columns[static_cast<size_t>(column_idx)] = std::move(column);
+  auto version = std::make_shared<TableVersion>(std::move(columns),
+                                                prev->row_count(), 0);
+  version->InheritIndexes(*prev);
+  Publish(table_idx, std::move(version));
   return Status::OK();
-}
-
-void Database::InvalidateIndexes(int table_idx) {
-  std::lock_guard<std::mutex> lock(indexes_mu_);
-  for (auto it = indexes_.begin(); it != indexes_.end();) {
-    if (static_cast<int>(it->first >> 32) == table_idx) {
-      it = indexes_.erase(it);
-    } else {
-      ++it;
-    }
-  }
-}
-
-const HashIndex& Database::GetIndex(int table_idx, int column_idx) const {
-  uint64_t key = (static_cast<uint64_t>(table_idx) << 32) |
-                 static_cast<uint32_t>(column_idx);
-  std::lock_guard<std::mutex> lock(indexes_mu_);
-  auto it = indexes_.find(key);
-  if (it == indexes_.end()) {
-    it = indexes_
-             .emplace(key, std::make_unique<HashIndex>(
-                               tables_[table_idx].columns[column_idx]))
-             .first;
-  }
-  return *it->second;
-}
-
-size_t Database::DataBytes() const {
-  size_t total = 0;
-  for (const auto& t : tables_) {
-    for (const auto& c : t.columns) total += c.size() * sizeof(int64_t);
-  }
-  return total;
 }
 
 }  // namespace balsa

@@ -1,7 +1,14 @@
-// In-memory column store holding the synthetic database, plus hash indexes
-// used by the executor's indexed nested-loop join and the card oracle.
+// In-memory column store with MVCC-style snapshot reads. Every table is an
+// immutable, refcounted TableVersion (column-major int64 data plus lazily
+// built hash indexes); mutations build a new version — copy-on-write at
+// column granularity, unchanged columns are shared — and publish it under a
+// short pointer-swap lock. Readers pin a Snapshot (one version per table at
+// a single publication epoch) and scan, probe indexes, or ANALYZE against it
+// for as long as they like: writers never block readers, readers never block
+// writers, and a retired version is freed when its last snapshot drops.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -13,7 +20,16 @@
 
 namespace balsa {
 
-/// One materialized table: column-major int64 data. NULL is encoded as -1.
+/// NULL encoding. Exactly -1 is NULL; every other int64 — including other
+/// negatives, which the mutation API may write — is a real value that
+/// filters, joins, indexes, and ANALYZE must all see.
+inline constexpr int64_t kNullValue = -1;
+
+inline bool IsNull(int64_t value) { return value == kNullValue; }
+
+/// One materialized table: column-major int64 data. The *input* format for
+/// SetTableData / the data generator, and the output of CopyTableData;
+/// internally tables live as immutable TableVersions.
 struct TableData {
   std::vector<std::vector<int64_t>> columns;
   int64_t row_count = 0;
@@ -27,12 +43,14 @@ struct TableData {
 StatusOr<std::vector<int64_t>> ValidateAndSortRowIds(
     int64_t row_count, std::vector<int64_t> row_ids);
 
-/// Hash index: value -> row ids. Built lazily per (table, column).
+/// Hash index: value -> row ids. Built lazily per (version, column); NULLs
+/// (exactly kNullValue) are not indexed, every other value — negatives
+/// included — is.
 class HashIndex {
  public:
   explicit HashIndex(const std::vector<int64_t>& column);
 
-  /// Row ids whose column value equals `value` (empty if none).
+  /// Row ids whose column value equals `value` (empty if none), ascending.
   const std::vector<uint32_t>& Lookup(int64_t value) const;
 
   size_t num_distinct() const { return buckets_.size(); }
@@ -42,26 +60,112 @@ class HashIndex {
   static const std::vector<uint32_t> kEmpty;
 };
 
-/// The database: schema + materialized tables + lazily built indexes.
+/// One immutable published state of one table. Data never changes after
+/// publication; the hash-index cache is the only mutable member and is
+/// mutex-guarded (lazy builds over immutable columns are idempotent).
+class TableVersion {
+ public:
+  using ColumnPtr = std::shared_ptr<const std::vector<int64_t>>;
+
+  TableVersion(std::vector<ColumnPtr> columns, int64_t row_count,
+               uint64_t epoch);
+
+  int64_t row_count() const { return row_count_; }
+  /// Publication epoch this version was installed at (0 = initial state).
+  uint64_t epoch() const { return epoch_; }
+  int num_columns() const { return static_cast<int>(columns_.size()); }
+  const std::vector<int64_t>& column(int c) const {
+    return *columns_[static_cast<size_t>(c)];
+  }
+  const ColumnPtr& column_ptr(int c) const {
+    return columns_[static_cast<size_t>(c)];
+  }
+
+  /// The hash index on column `c`, built on first use. The reference is
+  /// valid as long as this version is pinned (e.g. by a Snapshot).
+  const HashIndex& index(int c) const;
+
+  size_t DataBytes() const;
+
+ private:
+  friend class Database;
+  /// Shares the already-built indexes of `prev` for every column whose
+  /// data pointer is unchanged — a single-column update republishes a table
+  /// without re-indexing the other columns.
+  void InheritIndexes(const TableVersion& prev);
+
+  std::vector<ColumnPtr> columns_;
+  int64_t row_count_ = 0;
+  uint64_t epoch_ = 0;
+  mutable std::mutex indexes_mu_;
+  mutable std::unordered_map<int, std::shared_ptr<const HashIndex>> indexes_;
+};
+
+/// A pinned, immutable view of the whole database at one publication epoch.
+/// Cheap to copy (shared_ptr per table); holding one keeps every referenced
+/// version alive. The executor, the card oracle, ANALYZE, and the bench
+/// scan checkers all read through a Snapshot, never the live Database.
+class Snapshot {
+ public:
+  Snapshot() = default;
+
+  const Schema& schema() const { return *schema_; }
+  /// Publication epoch at capture: two snapshots with equal epochs see
+  /// bitwise-identical data. Memoized true cardinalities are tagged by it.
+  uint64_t epoch() const { return epoch_; }
+  int num_tables() const { return static_cast<int>(tables_.size()); }
+
+  bool HasData(int t) const {
+    return t >= 0 && t < num_tables() && table(t).row_count() > 0;
+  }
+  int64_t row_count(int t) const { return table(t).row_count(); }
+  const TableVersion& table(int t) const {
+    return *tables_[static_cast<size_t>(t)];
+  }
+  const std::vector<int64_t>& column(int t, int c) const {
+    return table(t).column(c);
+  }
+  /// Hash index on (table, column) of *this snapshot's* data, built lazily.
+  const HashIndex& index(int t, int c) const { return table(t).index(c); }
+
+  /// Total bytes of column data reachable from this snapshot.
+  size_t DataBytes() const;
+
+ private:
+  friend class Database;
+  Snapshot(const Schema* schema, uint64_t epoch,
+           std::vector<std::shared_ptr<const TableVersion>> tables)
+      : schema_(schema), epoch_(epoch), tables_(std::move(tables)) {}
+
+  const Schema* schema_ = nullptr;
+  uint64_t epoch_ = 0;
+  std::vector<std::shared_ptr<const TableVersion>> tables_;
+};
+
+/// The database: schema + versioned tables. Readers pin snapshots; mutations
+/// publish new versions.
 class Database {
  public:
-  explicit Database(Schema schema) : schema_(std::move(schema)) {}
+  explicit Database(Schema schema);
 
   const Schema& schema() const { return schema_; }
 
-  /// Installs generated data for table `table_idx`.
+  /// Installs generated data for table `table_idx` (publishes a version).
   Status SetTableData(int table_idx, TableData data);
 
   // --- Mutation API (the adaptive statistics change stream) ---------------
   //
-  // These mutate materialized data in place and drop the table's cached hash
-  // indexes. They are NOT safe concurrently with readers of the same table
-  // (executor scans, ANALYZE); the ChangeLog serializes writers per table
-  // and the re-ANALYZE pipeline takes the same lock before rescanning.
-  // Callers that measured true cardinalities must invalidate them
-  // (CardOracle::InvalidateMemo) after any mutation.
+  // Each call builds a new immutable TableVersion (copy-on-write per
+  // column) and publishes it atomically, so mutations are safe concurrently
+  // with any reader: in-flight snapshots keep the version they pinned.
+  // Concurrent writers to the *same* table must still be serialized by the
+  // caller — the ChangeLog's per-table ingest lock does this; writers to
+  // different tables never contend. Memoized true cardinalities expire on
+  // their own: every publication advances the epoch that tags them.
 
-  /// Appends row-major `rows` (one vector of column values per row).
+  /// Appends row-major `rows` (one vector of column values per row). Works
+  /// on a table whose data was never installed: its columns materialize at
+  /// the schema's width, and rows are validated against that width.
   Status AppendRows(int table_idx,
                     const std::vector<std::vector<int64_t>>& rows);
 
@@ -74,39 +178,46 @@ class Database {
   Status SetValue(int table_idx, int column_idx, int64_t row, int64_t value);
 
   /// Overwrites a batch of (row, value) cells in one column: validates the
-  /// whole batch first, writes, and invalidates the table's indexes once
-  /// (not per cell).
+  /// whole batch first, then publishes one new version copying only that
+  /// column (the other columns — and their built indexes — are shared).
   Status SetValues(int table_idx, int column_idx,
                    const std::vector<std::pair<int64_t, int64_t>>& updates);
 
-  /// Drops cached hash indexes for `table_idx` (rebuilt lazily on next use).
-  void InvalidateIndexes(int table_idx);
+  // --- Read API ------------------------------------------------------------
 
-  const TableData& table_data(int table_idx) const {
-    return tables_[table_idx];
+  /// Pins the current version of every table at one publication epoch.
+  Snapshot GetSnapshot() const;
+
+  /// Pins the current version of one table.
+  std::shared_ptr<const TableVersion> GetTableVersion(int table_idx) const;
+
+  /// Monotonic counter advanced by every publication (any table). A cached
+  /// result tagged with an older epoch was computed against retired data.
+  uint64_t publication_epoch() const {
+    return epoch_.load(std::memory_order_acquire);
   }
-  bool HasData(int table_idx) const {
-    return table_idx >= 0 && table_idx < static_cast<int>(tables_.size()) &&
-           tables_[table_idx].row_count > 0;
-  }
 
-  /// Returns (building on first use) the hash index on (table, column).
-  /// The cached-index map itself is mutex-guarded, so concurrent writers to
-  /// *different* tables may invalidate safely; but the returned reference
-  /// is only valid until the next mutation of `table_idx` — do not hold it
-  /// across writes (the executor and mutation phases are mutually
-  /// exclusive by contract, see the mutation API above).
-  const HashIndex& GetIndex(int table_idx, int column_idx) const;
+  bool HasData(int table_idx) const;
+  int64_t row_count(int table_idx) const;
 
-  /// Total bytes of materialized column data.
+  /// Deep copy of one table's current data (tests and setup-time tooling;
+  /// hot paths read through a Snapshot instead).
+  TableData CopyTableData(int table_idx) const;
+
+  /// Total bytes of materialized column data (current versions).
   size_t DataBytes() const;
 
  private:
+  /// Installs `version` (stamping the next epoch) as table `table_idx`'s
+  /// current state.
+  void Publish(int table_idx, std::shared_ptr<TableVersion> version);
+
   Schema schema_;
-  std::vector<TableData> tables_;
-  /// Guards indexes_ (lazy builds and invalidation), nothing else.
-  mutable std::mutex indexes_mu_;
-  mutable std::unordered_map<uint64_t, std::unique_ptr<HashIndex>> indexes_;
+  /// Guards versions_ pointer loads/stores and the epoch stamp — never held
+  /// during data copies or index builds.
+  mutable std::mutex versions_mu_;
+  std::vector<std::shared_ptr<const TableVersion>> versions_;
+  std::atomic<uint64_t> epoch_{0};
 };
 
 }  // namespace balsa

@@ -46,7 +46,7 @@ StatusOr<DriftScenario> GenerateDriftScenario(
   } else {
     for (int t = 0; t < schema.num_tables(); ++t) {
       if (db.HasData(t) &&
-          db.table_data(t).row_count >= options.min_rows_to_drift) {
+          db.row_count(t) >= options.min_rows_to_drift) {
         scenario.drifted_tables.push_back(t);
       }
     }
@@ -61,7 +61,7 @@ StatusOr<DriftScenario> GenerateDriftScenario(
       return Status::OutOfRange("drift table " + std::to_string(t));
     }
     const TableDef& def = schema.table(t);
-    const int64_t n0 = db.table_data(t).row_count;
+    const int64_t n0 = db.row_count(t);
     Rng rng(options.seed ^ (static_cast<uint64_t>(t) * 0x9E3779B97F4A7C15ULL));
 
     // Per-column generators for inserted rows.
@@ -85,7 +85,7 @@ StatusOr<DriftScenario> GenerateDriftScenario(
         case ColumnKind::kForeignKey: {
           int ref = schema.TableIndex(col.ref_table);
           int64_t ref_rows =
-              ref >= 0 && db.HasData(ref) ? db.table_data(ref).row_count : 1;
+              ref >= 0 && db.HasData(ref) ? db.row_count(ref) : 1;
           gen.domain = std::max<int64_t>(1, ref_rows);
           if (col.domain_size > 0) {
             gen.domain = std::min(gen.domain, col.domain_size);

@@ -132,7 +132,7 @@ TEST_F(AdaptiveTest, PassClosesTheLoopIntoServing) {
   // The estimator now carries the merged row count (exact under inserts).
   EXPECT_EQ(
       swappable_.current()->stats()[static_cast<size_t>(sales)].row_count,
-      fixture_.db->table_data(sales).row_count);
+      fixture_.db->row_count(sales));
   EXPECT_GT(
       swappable_.current()->stats()[static_cast<size_t>(sales)].row_count,
       stale_rows);
@@ -185,13 +185,12 @@ TEST_F(AdaptiveTest, ChangeFractionForcesFullReanalyze) {
 }
 
 TEST_F(AdaptiveTest, IngestInvalidatesOracleMemo) {
-  ReanalyzeScheduler scheduler(fixture_.db.get(), &log_, fixture_.oracle.get(),
-                               &swappable_, nullptr, nullptr, {});
   Query star = testing::MakeStarQuery(fixture_.schema(), 0);
   ASSERT_TRUE(fixture_.oracle->Cardinality(star, star.AllTables()).ok());
   EXPECT_GT(fixture_.oracle->CacheSize(), 0u);
   Drift(SalesDrift());
-  // Every ingest batch invalidated the memo via the scheduler's listener.
+  // Memo entries are tagged with storage publication epochs, so ingest
+  // expires them on its own — no scheduler or listener involved.
   EXPECT_EQ(fixture_.oracle->CacheSize(), 0u);
 }
 
@@ -258,8 +257,8 @@ TEST_F(AdaptiveTest, LoopIsWriterCountInvariant) {
                 tb.columns[c].histogram_bounds)
           << "table " << t << " column " << c;
     }
-    EXPECT_EQ(fixture_.db->table_data(t).columns,
-              twin.db->table_data(t).columns)
+    EXPECT_EQ(fixture_.db->CopyTableData(t).columns,
+              twin.db->CopyTableData(t).columns)
         << "table " << t;
   }
 }

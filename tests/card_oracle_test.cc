@@ -155,30 +155,29 @@ TEST_F(CardOracleTest, GenerationCountsBumps) {
   EXPECT_EQ(oracle.CacheSize(), cached);
 }
 
-TEST_F(CardOracleTest, InvalidateMemoRecomputesAgainstMutatedData) {
+TEST_F(CardOracleTest, MutationExpiresMemoizedCardinalitiesOnItsOwn) {
   CardOracle oracle(fixture_.db.get());
   TableSet sales = TableSet::Single(0);  // star query lists sales first
   auto before = oracle.Cardinality(query_, sales);
   ASSERT_TRUE(before.ok());
   EXPECT_GT(oracle.CacheSize(), 0u);
+  const uint64_t epoch_before = oracle.data_epoch();
 
-  // Grow the sales table; the memoized count is now wrong. A generation
-  // bump alone must NOT fix it (stats regime != data), InvalidateMemo must.
+  // Grow the sales table. Memo entries are tagged with the publication
+  // epoch of the snapshot they were measured on, so the mutation expires
+  // them with no manual invalidation call — a generation bump is about the
+  // statistics regime and plays no part here.
   int sales_table = fixture_.schema().TableIndex("sales");
-  const TableData& data = fixture_.db->table_data(sales_table);
+  TableData data = fixture_.db->CopyTableData(sales_table);
   std::vector<int64_t> row(data.columns.size(), 1);
   row[0] = data.row_count;  // fresh PK
   ASSERT_TRUE(fixture_.db->AppendRows(sales_table, {row, row}).ok());
 
-  auto stale = oracle.Cardinality(query_, sales);
-  ASSERT_TRUE(stale.ok());
-  EXPECT_EQ(stale->rows, before->rows);  // served from the stale memo
-
-  oracle.InvalidateMemo();
-  EXPECT_EQ(oracle.CacheSize(), 0u);
+  EXPECT_GT(oracle.data_epoch(), epoch_before);
+  EXPECT_EQ(oracle.CacheSize(), 0u);  // everything pre-mutation is stale
   auto fresh = oracle.Cardinality(query_, sales);
   ASSERT_TRUE(fresh.ok());
-  EXPECT_GT(fresh->rows, before->rows);
+  EXPECT_GT(fresh->rows, before->rows);  // never served the stale count
 }
 
 TEST(OracleEstimatorTest, MatchesOracle) {

@@ -40,43 +40,117 @@ std::unique_ptr<Database> SmallDb() {
 TEST(DatabaseMutationTest, AppendRemoveAndSetValue) {
   auto db = SmallDb();
   ASSERT_TRUE(db->AppendRows(0, {{6, 70}, {7, 80}}).ok());
-  EXPECT_EQ(db->table_data(0).row_count, 8);
-  EXPECT_EQ(db->table_data(0).columns[1][7], 80);
+  EXPECT_EQ(db->row_count(0), 8);
+  EXPECT_EQ(db->GetTableVersion(0)->column(1)[7], 80);
 
   // Swap-remove: deleting rows 0 and 2 pulls tail rows into the holes.
   ASSERT_TRUE(db->RemoveRows(0, {0, 2}).ok());
-  EXPECT_EQ(db->table_data(0).row_count, 6);
+  EXPECT_EQ(db->row_count(0), 6);
   // Every surviving value is still present exactly once.
-  std::vector<int64_t> ids = db->table_data(0).columns[0];
+  std::vector<int64_t> ids = db->CopyTableData(0).columns[0];
   std::sort(ids.begin(), ids.end());
   EXPECT_EQ(ids, (std::vector<int64_t>{1, 3, 4, 5, 6, 7}));
 
   ASSERT_TRUE(db->SetValue(0, 1, 0, 99).ok());
-  EXPECT_EQ(db->table_data(0).columns[1][0], 99);
+  EXPECT_EQ(db->GetTableVersion(0)->column(1)[0], 99);
 
   EXPECT_FALSE(db->RemoveRows(0, {100}).ok());
   EXPECT_FALSE(db->RemoveRows(0, {1, 1}).ok());
   EXPECT_FALSE(db->AppendRows(0, {{1}}).ok());  // wrong arity
 }
 
+TEST(DatabaseMutationTest, RemoveLastRowAndAllRows) {
+  auto db = SmallDb();
+  // Deleting the last row is the degenerate swap-remove (row swaps with
+  // itself).
+  ASSERT_TRUE(db->RemoveRows(0, {5}).ok());
+  EXPECT_EQ(db->row_count(0), 5);
+  std::vector<int64_t> ids = db->CopyTableData(0).columns[0];
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(ids, (std::vector<int64_t>{0, 1, 2, 3, 4}));
+
+  // Deleting every remaining row empties the table but keeps its width.
+  ASSERT_TRUE(db->RemoveRows(0, {0, 1, 2, 3, 4}).ok());
+  EXPECT_EQ(db->row_count(0), 0);
+  EXPECT_FALSE(db->HasData(0));
+  EXPECT_EQ(db->GetTableVersion(0)->num_columns(), 2);
+  EXPECT_FALSE(db->RemoveRows(0, {0}).ok());  // nothing left to delete
+
+  // The emptied table accepts appends again.
+  ASSERT_TRUE(db->AppendRows(0, {{42, 43}}).ok());
+  EXPECT_EQ(db->row_count(0), 1);
+  EXPECT_EQ(db->GetTableVersion(0)->column(1)[0], 43);
+}
+
+TEST(DatabaseMutationTest, AppendToNeverInstalledTableMaterializesColumns) {
+  // Regression: with no SetTableData, the table used to have zero
+  // materialized columns, so zero-width rows were accepted and row_count
+  // grew with no backing data. Appends must validate against the schema's
+  // width and materialize real columns.
+  Database db(TwoColumnSchema());
+  EXPECT_FALSE(db.AppendRows(0, {{}}).ok());       // zero-width row
+  EXPECT_FALSE(db.AppendRows(0, {{1}}).ok());      // wrong arity
+  EXPECT_EQ(db.row_count(0), 0);
+  ASSERT_TRUE(db.AppendRows(0, {{0, 10}, {1, 20}}).ok());
+  EXPECT_EQ(db.row_count(0), 2);
+  ASSERT_EQ(db.GetTableVersion(0)->num_columns(), 2);
+  EXPECT_EQ(db.GetTableVersion(0)->column(1)[1], 20);
+}
+
 TEST(DatabaseMutationTest, RejectedRemoveLeavesTableUntouched) {
   auto db = SmallDb();
-  std::vector<int64_t> before = db->table_data(0).columns[0];
+  std::vector<int64_t> before = db->CopyTableData(0).columns[0];
   // Mix of one valid and one invalid id: nothing may be removed.
   EXPECT_FALSE(db->RemoveRows(0, {0, -1}).ok());
   EXPECT_FALSE(db->RemoveRows(0, {0, 100}).ok());
   EXPECT_FALSE(db->RemoveRows(0, {0, 0}).ok());
-  EXPECT_EQ(db->table_data(0).row_count, 6);
-  EXPECT_EQ(db->table_data(0).columns[0], before);
+  EXPECT_EQ(db->row_count(0), 6);
+  EXPECT_EQ(db->CopyTableData(0).columns[0], before);
 }
 
-TEST(DatabaseMutationTest, MutationDropsCachedIndexes) {
+TEST(DatabaseMutationTest, PinnedSnapshotSurvivesMutations) {
   auto db = SmallDb();
-  const HashIndex& before = db->GetIndex(0, 1);
-  EXPECT_EQ(before.Lookup(70).size(), 0u);
+  Snapshot before = db->GetSnapshot();
+  const HashIndex& index_before = before.index(0, 1);
+  EXPECT_EQ(index_before.Lookup(70).size(), 0u);
+
   ASSERT_TRUE(db->AppendRows(0, {{6, 70}}).ok());
-  // The index was invalidated and lazily rebuilt over the new data.
-  EXPECT_EQ(db->GetIndex(0, 1).Lookup(70).size(), 1u);
+  ASSERT_TRUE(db->SetValue(0, 1, 0, 99).ok());
+
+  // The pinned snapshot still reads (and indexes) the pre-mutation data.
+  EXPECT_EQ(before.row_count(0), 6);
+  EXPECT_EQ(before.column(0, 1)[0], 10);
+  EXPECT_EQ(before.index(0, 1).Lookup(70).size(), 0u);
+  // A fresh snapshot sees the new version, with a fresh lazy index.
+  Snapshot after = db->GetSnapshot();
+  EXPECT_GT(after.epoch(), before.epoch());
+  EXPECT_EQ(after.row_count(0), 7);
+  EXPECT_EQ(after.column(0, 1)[0], 99);
+  EXPECT_EQ(after.index(0, 1).Lookup(70).size(), 1u);
+}
+
+TEST(DatabaseMutationTest, SingleColumnUpdateSharesUnchangedColumns) {
+  auto db = SmallDb();
+  Snapshot before = db->GetSnapshot();
+  ASSERT_TRUE(db->SetValues(0, 1, {{0, 99}, {1, 98}}).ok());
+  Snapshot after = db->GetSnapshot();
+  // Copy-on-write at column granularity: column 0 is the same allocation.
+  EXPECT_EQ(&before.column(0, 0), &after.column(0, 0));
+  EXPECT_NE(&before.column(0, 1), &after.column(0, 1));
+}
+
+TEST(HashIndexTest, NegativeValuesAreIndexed) {
+  // Regression: the index used to skip every value < 0 as "NULL", but only
+  // -1 is NULL — SetValues may write arbitrary negatives, and they must be
+  // findable or index-assisted reads drop matching rows.
+  auto db = SmallDb();
+  ASSERT_TRUE(db->SetValues(0, 1, {{2, -5}, {4, -5}, {5, -1}}).ok());
+  Snapshot snap = db->GetSnapshot();
+  const HashIndex& index = snap.index(0, 1);
+  ASSERT_EQ(index.Lookup(-5).size(), 2u);
+  EXPECT_EQ(index.Lookup(-5)[0], 2u);
+  EXPECT_EQ(index.Lookup(-5)[1], 4u);
+  EXPECT_TRUE(index.Lookup(-1).empty());  // NULL stays unindexed
 }
 
 TEST(ChangeLogTest, InsertSketchTracksCountsMinMaxAndDistinct) {
@@ -141,7 +215,7 @@ TEST(ChangeLogTest, RejectedDeleteLeavesSketchesClean) {
   EXPECT_EQ(delta.epoch, 0);
   EXPECT_EQ(delta.rows_deleted, 0);
   EXPECT_EQ(delta.columns[1].deleted, 0);  // no phantom deletions
-  EXPECT_EQ(db->table_data(0).row_count, 6);
+  EXPECT_EQ(db->row_count(0), 6);
 }
 
 TEST(ChangeLogTest, UpdateRecordsBothSides) {
@@ -152,8 +226,8 @@ TEST(ChangeLogTest, UpdateRecordsBothSides) {
   EXPECT_EQ(delta.rows_updated, 2);
   EXPECT_EQ(delta.columns[1].inserted, 2);  // new values
   EXPECT_EQ(delta.columns[1].deleted, 2);   // old values
-  EXPECT_EQ(db->table_data(0).columns[1][0], 77);
-  EXPECT_EQ(db->table_data(0).columns[1][1], 88);
+  EXPECT_EQ(db->GetTableVersion(0)->column(1)[0], 77);
+  EXPECT_EQ(db->GetTableVersion(0)->column(1)[1], 88);
 }
 
 TEST(ChangeLogTest, RebaseHandsOutDeltaInstallsAnchorAndResets) {
@@ -162,11 +236,14 @@ TEST(ChangeLogTest, RebaseHandsOutDeltaInstallsAnchorAndResets) {
   ASSERT_TRUE(log.InsertRows(0, {{6, 70}}).ok());
 
   Status status = log.Rebase(0, [&](const TableDelta& delta,
-                                    const TableAnchor& old_anchor) {
+                                    const TableAnchor& old_anchor,
+                                    const Snapshot& snapshot) {
     EXPECT_EQ(delta.rows_inserted, 1);
     EXPECT_EQ(old_anchor.base_row_count, 6);
+    // The pinned snapshot holds exactly the data the delta describes.
+    EXPECT_EQ(snapshot.row_count(0), 7);
     TableAnchor next;
-    next.base_row_count = db->table_data(0).row_count;
+    next.base_row_count = snapshot.row_count(0);
     next.stats_version = 3;
     next.columns.resize(2);
     return StatusOr<TableAnchor>(std::move(next));
@@ -178,12 +255,68 @@ TEST(ChangeLogTest, RebaseHandsOutDeltaInstallsAnchorAndResets) {
 
   // A failing reanalyze leaves anchor and delta untouched.
   ASSERT_TRUE(log.InsertRows(0, {{7, 71}}).ok());
-  status = log.Rebase(0, [](const TableDelta&, const TableAnchor&) {
+  status = log.Rebase(0, [](const TableDelta&, const TableAnchor&,
+                            const Snapshot&) {
     return StatusOr<TableAnchor>(Status::Internal("boom"));
   });
   EXPECT_FALSE(status.ok());
   EXPECT_EQ(log.Snapshot(0).rows_inserted, 1);
   EXPECT_EQ(log.anchor(0).stats_version, 3);
+}
+
+TEST(ChangeLogTest, IngestDuringRebaseIsNotBlockedAndSurvivesIt) {
+  // The old contract held the ingest lock across the re-ANALYZE, so this
+  // test would deadlock: the callback itself ingests a batch. Now the
+  // callback runs unlocked; the mid-rebase batch is buffered raw and
+  // replayed into the fresh delta against the NEW anchor.
+  auto db = SmallDb();
+  ChangeLog log(db.get());
+  ASSERT_TRUE(log.InsertRows(0, {{6, 70}}).ok());
+
+  Status status = log.Rebase(0, [&](const TableDelta& delta,
+                                    const TableAnchor&, const Snapshot& snap) {
+    EXPECT_EQ(delta.rows_inserted, 1);
+    EXPECT_EQ(snap.row_count(0), 7);  // pinned BEFORE the racing batch
+    // A writer streams in while the "rescan" runs.
+    EXPECT_TRUE(log.InsertRows(0, {{7, 25}}).ok());
+    EXPECT_TRUE(log.UpdateValues(0, 1, {{0, 15}}).ok());
+    TableAnchor next;
+    next.base_row_count = snap.row_count(0);
+    next.stats_version = 1;
+    next.columns.resize(2);
+    next.columns[1].histogram_bounds = {10, 20, 30};  // 2 buckets
+    next.columns[1].mcv_values = {25};
+    return StatusOr<TableAnchor>(std::move(next));
+  });
+  ASSERT_TRUE(status.ok());
+
+  // The post-rebase delta describes exactly the mid-rebase mutations,
+  // attributed against the NEW anchor's buckets/MCVs.
+  TableDelta delta = log.Snapshot(0);
+  EXPECT_EQ(delta.rows_inserted, 1);
+  EXPECT_EQ(delta.rows_updated, 1);
+  EXPECT_EQ(delta.epoch, 2);
+  const ColumnDeltaSketch& v = delta.columns[1];
+  EXPECT_EQ(v.inserted, 2);  // 25 (insert) + 15 (update's new value)
+  EXPECT_EQ(v.deleted, 1);   // 10 (update's old value)
+  ASSERT_EQ(v.mcv_inserts.size(), 1u);
+  EXPECT_EQ(v.mcv_inserts[0], 1);       // the 25 hit the new anchor's MCV
+  ASSERT_EQ(v.bucket_inserts.size(), 4u);
+  EXPECT_EQ(v.bucket_inserts[1], 1);    // the 15 landed in [10, 20]
+  EXPECT_EQ(v.bucket_deletes[1], 1);    // the removed 10, same bucket
+  EXPECT_EQ(db->row_count(0), 8);
+
+  // A failing rebase keeps the old anchor, and the mid-rebase mutations
+  // are already in the live delta — nothing is lost or double-counted.
+  status = log.Rebase(0, [&](const TableDelta&, const TableAnchor&,
+                             const Snapshot&) {
+    EXPECT_TRUE(log.InsertRows(0, {{8, 26}}).ok());
+    return StatusOr<TableAnchor>(Status::Internal("boom"));
+  });
+  EXPECT_FALSE(status.ok());
+  delta = log.Snapshot(0);
+  EXPECT_EQ(delta.rows_inserted, 2);  // 25 earlier + 26 during the failure
+  EXPECT_EQ(log.anchor(0).stats_version, 1);
 }
 
 TEST(ChangeLogTest, ListenersFireAfterEveryBatch) {
@@ -267,8 +400,8 @@ TEST(ChangeLogTest, ConcurrentWritersOnDistinctTablesAreSafe) {
   for (auto& w : writers) w.join();
   EXPECT_EQ(log.Snapshot(0).rows_inserted, kBatches);
   EXPECT_EQ(log.Snapshot(1).rows_inserted, kBatches);
-  EXPECT_EQ(db.table_data(0).row_count, 1 + kBatches);
-  EXPECT_EQ(db.table_data(1).row_count, 1 + kBatches);
+  EXPECT_EQ(db.row_count(0), 1 + kBatches);
+  EXPECT_EQ(db.row_count(1), 1 + kBatches);
 }
 
 }  // namespace

@@ -12,15 +12,18 @@ namespace {
 
 class DataGeneratorTest : public ::testing::Test {
  protected:
-  DataGeneratorTest() : fixture_(testing::MakeStarFixture(/*seed=*/5)) {}
+  DataGeneratorTest()
+      : fixture_(testing::MakeStarFixture(/*seed=*/5)),
+        snap_(fixture_.db->GetSnapshot()) {}
 
   const std::vector<int64_t>& Column(const char* table, const char* column) {
     int t = fixture_.schema().TableIndex(table);
     int c = fixture_.schema().table(t).ColumnIndex(column);
-    return fixture_.db->table_data(t).columns[c];
+    return snap_.column(t, c);
   }
 
   testing::StarFixture fixture_;
+  Snapshot snap_;
 };
 
 TEST_F(DataGeneratorTest, PrimaryKeysAreDenseAndUnique) {
@@ -33,7 +36,7 @@ TEST_F(DataGeneratorTest, PrimaryKeysAreDenseAndUnique) {
 TEST_F(DataGeneratorTest, ForeignKeysreferenceValidRows) {
   const auto& fk = Column("sales", "customer_id");
   int cust = fixture_.schema().TableIndex("customer");
-  int64_t cust_rows = fixture_.db->table_data(cust).row_count;
+  int64_t cust_rows = fixture_.db->row_count(cust);
   for (int64_t v : fk) {
     EXPECT_GE(v, 0);
     EXPECT_LT(v, cust_rows);
@@ -63,11 +66,11 @@ TEST_F(DataGeneratorTest, ZipfSkewConcentratesFanIn) {
 TEST_F(DataGeneratorTest, DeterministicForSeed) {
   auto again = testing::MakeStarFixture(/*seed=*/5);
   int t = fixture_.schema().TableIndex("sales");
-  EXPECT_EQ(fixture_.db->table_data(t).columns,
-            again.db->table_data(t).columns);
+  EXPECT_EQ(fixture_.db->CopyTableData(t).columns,
+            again.db->CopyTableData(t).columns);
   auto different = testing::MakeStarFixture(/*seed=*/6);
-  EXPECT_NE(fixture_.db->table_data(t).columns,
-            different.db->table_data(t).columns);
+  EXPECT_NE(fixture_.db->CopyTableData(t).columns,
+            different.db->CopyTableData(t).columns);
 }
 
 TEST_F(DataGeneratorTest, ScaleMultipliesRowCounts) {
@@ -76,7 +79,7 @@ TEST_F(DataGeneratorTest, ScaleMultipliesRowCounts) {
   options.scale = 0.5;
   ASSERT_TRUE(GenerateData(&db, options).ok());
   int t = db.schema().TableIndex("sales");
-  EXPECT_EQ(db.table_data(t).row_count, 2000);
+  EXPECT_EQ(db.row_count(t), 2000);
 }
 
 TEST_F(DataGeneratorTest, NullFractionRespected) {
@@ -95,7 +98,8 @@ TEST_F(DataGeneratorTest, NullFractionRespected) {
   ASSERT_TRUE(schema.AddTable({"fact", 10000, {pk, fk}}).ok());
   Database db(std::move(schema));
   ASSERT_TRUE(GenerateData(&db).ok());
-  const auto& col = db.table_data(1).columns[1];
+  const TableData fact = db.CopyTableData(1);
+  const auto& col = fact.columns[1];
   double nulls = 0;
   for (int64_t v : col) nulls += v == -1;
   EXPECT_NEAR(nulls / static_cast<double>(col.size()), 0.4, 0.05);
@@ -122,8 +126,9 @@ TEST_F(DataGeneratorTest, CorrelatedColumnBreaksIndependence) {
   ASSERT_TRUE(schema.AddTable({"t", 20000, {pk, a, b}}).ok());
   Database db(std::move(schema));
   ASSERT_TRUE(GenerateData(&db).ok());
-  const auto& col_a = db.table_data(0).columns[1];
-  const auto& col_b = db.table_data(0).columns[2];
+  const TableData gen = db.CopyTableData(0);
+  const auto& col_a = gen.columns[1];
+  const auto& col_b = gen.columns[2];
   std::unordered_map<int64_t, int> b_given_a0;
   int n_a0 = 0;
   for (size_t i = 0; i < col_a.size(); ++i) {
@@ -160,8 +165,8 @@ TEST_F(DataGeneratorTest, CorrelationOrderingValidated) {
 TEST_F(DataGeneratorTest, HashIndexLookupsMatchScans) {
   int sales = fixture_.schema().TableIndex("sales");
   int cust_col = fixture_.schema().table(sales).ColumnIndex("customer_id");
-  const HashIndex& index = fixture_.db->GetIndex(sales, cust_col);
-  const auto& column = fixture_.db->table_data(sales).columns[cust_col];
+  const HashIndex& index = snap_.index(sales, cust_col);
+  const auto& column = snap_.column(sales, cust_col);
   // Every row id returned by the index holds the looked-up value, and the
   // total count matches a scan.
   int64_t scan_count = 0;

@@ -16,10 +16,9 @@ class ExecutorTest : public ::testing::Test {
 
   // Brute-force filtered count of relation `rel`.
   int64_t BruteForceScanCount(int rel) {
-    const TableData& data =
-        fixture_.db->table_data(query_.relations()[rel].table_idx);
+    int64_t rows = fixture_.db->row_count(query_.relations()[rel].table_idx);
     int64_t count = 0;
-    for (uint32_t r = 0; r < data.row_count; ++r) {
+    for (uint32_t r = 0; r < rows; ++r) {
       bool pass = true;
       for (const FilterPredicate& f : query_.FiltersOn(rel)) {
         pass = pass && executor_.EvalFilter(query_, f, r);
@@ -39,8 +38,7 @@ TEST_F(ExecutorTest, ScanAppliesFilters) {
   ASSERT_TRUE(scan.ok());
   EXPECT_EQ(scan->NumRows(), BruteForceScanCount(1));
   EXPECT_LT(scan->NumRows(),
-            fixture_.db->table_data(query_.relations()[1].table_idx)
-                .row_count);
+            fixture_.db->row_count(query_.relations()[1].table_idx));
   EXPECT_GT(scan->NumRows(), 0);
 }
 
@@ -48,8 +46,7 @@ TEST_F(ExecutorTest, UnfilteredScanReturnsAllRows) {
   auto scan = executor_.Scan(query_, 0);  // sales, no filters
   ASSERT_TRUE(scan.ok());
   EXPECT_EQ(scan->NumRows(),
-            fixture_.db->table_data(query_.relations()[0].table_idx)
-                .row_count);
+            fixture_.db->row_count(query_.relations()[0].table_idx));
 }
 
 TEST_F(ExecutorTest, JoinMatchesBruteForce) {
@@ -60,15 +57,15 @@ TEST_F(ExecutorTest, JoinMatchesBruteForce) {
   ASSERT_TRUE(joined.ok());
 
   // Brute force: count sales rows whose customer_id passes customer's filter.
-  const TableData& sales_data = fixture_.db->table_data(
-      query_.relations()[0].table_idx);
+  Snapshot snap = fixture_.db->GetSnapshot();
+  int sales_table = query_.relations()[0].table_idx;
   int cust_col = fixture_.schema()
-                     .table(query_.relations()[0].table_idx)
+                     .table(sales_table)
                      .ColumnIndex("customer_id");
   int64_t expected = 0;
-  for (uint32_t r = 0; r < sales_data.row_count; ++r) {
-    int64_t cid = sales_data.columns[cust_col][r];
-    if (cid < 0) continue;
+  for (uint32_t r = 0; r < snap.row_count(sales_table); ++r) {
+    int64_t cid = snap.column(sales_table, cust_col)[r];
+    if (IsNull(cid)) continue;
     bool pass = true;
     for (const FilterPredicate& f : query_.FiltersOn(1)) {
       pass = pass && executor_.EvalFilter(query_, f,
@@ -154,7 +151,7 @@ TEST_F(ExecutorTest, InFilter) {
 
 TEST_F(ExecutorTest, NullsNeverMatchJoins) {
   // person_role-style FK with nulls: verified via the star schema by
-  // filtering to negative values (none should pass an Eq filter).
+  // filtering to NULL (-1), which no row may pass an Eq filter with.
   QueryBuilder b(&fixture_.schema(), "nullq");
   auto q = b.From("sales", "s").Filter("s.amount", PredOp::kEq, -1).Build();
   ASSERT_TRUE(q.ok());
@@ -162,6 +159,91 @@ TEST_F(ExecutorTest, NullsNeverMatchJoins) {
   auto scan = executor_.Scan(*q, 0);
   ASSERT_TRUE(scan.ok());
   EXPECT_EQ(scan->NumRows(), 0);
+}
+
+TEST_F(ExecutorTest, NegativeValuesAreRealValuesNotNulls) {
+  // Regression: only -1 is NULL. SetValues may write other negatives, and
+  // they must be visible to filters, index-assisted scans, and join keys —
+  // the executor used to treat every v < 0 as NULL and drop matching rows.
+  int sales = fixture_.schema().TableIndex("sales");
+  int cust = fixture_.schema().TableIndex("customer");
+  int amount = fixture_.schema().table(sales).ColumnIndex("amount");
+  int region = fixture_.schema().table(cust).ColumnIndex("region");
+  int cust_id = fixture_.schema().table(sales).ColumnIndex("customer_id");
+  ASSERT_TRUE(fixture_.db->SetValues(sales, amount, {{3, -7}, {8, -7}}).ok());
+  ASSERT_TRUE(fixture_.db->SetValue(cust, region, 0, -7).ok());
+
+  // The executor pins a snapshot at construction: build a fresh one.
+  Executor executor(fixture_.db.get());
+  QueryBuilder b(&fixture_.schema(), "negq");
+  auto q = b.From("sales", "s").Filter("s.amount", PredOp::kEq, -7).Build();
+  ASSERT_TRUE(q.ok());
+  q->set_id(81);
+  auto by_index = executor.Scan(*q, 0);
+  ASSERT_TRUE(by_index.ok());
+  EXPECT_EQ(by_index->NumRows(), 2);
+
+  ExecutorOptions no_index;
+  no_index.use_index_for_eq = false;
+  Executor scanner(fixture_.db.get(), no_index);
+  auto by_scan = scanner.Scan(*q, 0);
+  ASSERT_TRUE(by_scan.ok());
+  EXPECT_EQ(by_scan->tuples, by_index->tuples);  // identical row sequence
+
+  // A negative (non-NULL) region value joins and filters normally.
+  QueryBuilder jb(&fixture_.schema(), "negjoin");
+  auto jq = jb.From("sales", "s").From("customer", "c")
+                .JoinEq("s.customer_id", "c.id")
+                .Filter("c.region", PredOp::kEq, -7)
+                .Build();
+  ASSERT_TRUE(jq.ok());
+  jq->set_id(82);
+  auto s = executor.Scan(*jq, 0);
+  auto c = executor.Scan(*jq, 1);
+  ASSERT_TRUE(s.ok() && c.ok());
+  EXPECT_EQ(c->NumRows(), 1);  // customer 0, via the index
+  auto joined = executor.Join(*jq, *s, *c);
+  ASSERT_TRUE(joined.ok());
+  // Exactly the sales rows that reference customer 0 — the brute count.
+  Snapshot snap = executor.snapshot();
+  int64_t expected = 0;
+  for (int64_t v : snap.column(sales, cust_id)) expected += v == 0;
+  EXPECT_EQ(joined->NumRows(), expected);
+}
+
+TEST_F(ExecutorTest, IndexAssistedScanMatchesFullScanEverywhere) {
+  // Every eq-filtered scan of the star workload must be bitwise identical
+  // with and without the index path, including the capped case.
+  ExecutorOptions no_index;
+  no_index.use_index_for_eq = false;
+  Executor scanner(fixture_.db.get(), no_index);
+  for (int64_t value : {0, 1, 2, 5, 9}) {
+    QueryBuilder b(&fixture_.schema(), "eqscan");
+    auto q = b.From("sales", "s").Filter("s.amount", PredOp::kEq, value)
+                 .Filter("s.store_id", PredOp::kLt, 40)
+                 .Build();
+    ASSERT_TRUE(q.ok());
+    q->set_id(90 + static_cast<int>(value));
+    auto indexed = executor_.Scan(*q, 0);
+    auto scanned = scanner.Scan(*q, 0);
+    ASSERT_TRUE(indexed.ok() && scanned.ok());
+    EXPECT_EQ(indexed->tuples, scanned->tuples) << "value " << value;
+    EXPECT_EQ(indexed->capped, scanned->capped);
+  }
+  // Capped: both paths truncate at the same row with the flag set.
+  ExecutorOptions capped_indexed;
+  capped_indexed.row_cap = 3;
+  ExecutorOptions capped_scan = capped_indexed;
+  capped_scan.use_index_for_eq = false;
+  QueryBuilder b(&fixture_.schema(), "capped_eq");
+  auto q = b.From("sales", "s").Filter("s.amount", PredOp::kEq, 0).Build();
+  ASSERT_TRUE(q.ok());
+  q->set_id(99);
+  auto a = Executor(fixture_.db.get(), capped_indexed).Scan(*q, 0);
+  auto c = Executor(fixture_.db.get(), capped_scan).Scan(*q, 0);
+  ASSERT_TRUE(a.ok() && c.ok());
+  EXPECT_EQ(a->tuples, c->tuples);
+  EXPECT_EQ(a->capped, c->capped);
 }
 
 }  // namespace

@@ -132,7 +132,7 @@ TEST_F(IncrementalAnalyzeTest, DeletesAndUpdatesAdjustCounts) {
 
   TableStats merged =
       MergeTableDelta(base_, log.anchor(0), log.Snapshot(0), 2);
-  EXPECT_EQ(merged.row_count, db_->table_data(0).row_count);  // 1600
+  EXPECT_EQ(merged.row_count, db_->row_count(0));  // 1600
   TableDelta delta = log.Snapshot(0);
   EXPECT_EQ(delta.rows_deleted, 400);
   EXPECT_EQ(delta.rows_updated, 2);

@@ -225,13 +225,40 @@ TEST(PlanCacheTest, HottestEntriesRankByHits) {
   // Entries are shared with the cache, not copied.
   EXPECT_EQ(hot[0].entry->plan.node(0).relation, 3);
 
-  // Replacing an entry (the re-warm path) keeps its accumulated heat.
+  // Replacing an entry (the re-warm path) resets its heat: popularity
+  // belongs to the plan, not the slot.
   cache.Insert(3, MakeEntry(9, 1));
   hot = cache.HottestEntries(1);
   ASSERT_EQ(hot.size(), 1u);
-  EXPECT_EQ(hot[0].fingerprint, 3u);
-  EXPECT_EQ(hot[0].hits, 5);
-  EXPECT_EQ(hot[0].entry->stats_version, 1);
+  EXPECT_EQ(hot[0].fingerprint, 1u);
+  EXPECT_EQ(hot[0].hits, 2);
+}
+
+TEST(PlanCacheTest, ReplacementResetsHitCount) {
+  // Regression: a replacing insert used to keep the old slot's hit count,
+  // so a fresh-generation plan inherited the stale plan's popularity and
+  // skewed HottestEntries/Rewarm ranking.
+  PlanCache cache;
+  cache.Insert(1, MakeEntry(1, 0));
+  cache.Insert(2, MakeEntry(2, 0));
+  std::shared_ptr<const CachedPlan> out;
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(cache.Lookup(1, 0, &out));
+  ASSERT_TRUE(cache.Lookup(2, 0, &out));
+
+  cache.Insert(1, MakeEntry(5, 1));  // new generation replaces the slot
+  std::vector<PlanCache::HotEntry> hot = cache.HottestEntries(2);
+  ASSERT_EQ(hot.size(), 2u);
+  EXPECT_EQ(hot[0].fingerprint, 2u);  // 2's single real hit now outranks 1
+  EXPECT_EQ(hot[0].hits, 1);
+  EXPECT_EQ(hot[1].fingerprint, 1u);
+  EXPECT_EQ(hot[1].hits, 0);
+  EXPECT_EQ(hot[1].entry->stats_version, 1);
+
+  // Hits after the replacement accrue to the new plan normally.
+  ASSERT_TRUE(cache.Lookup(1, 1, &out));
+  hot = cache.HottestEntries(1);
+  EXPECT_EQ(hot[0].fingerprint, 1u);
+  EXPECT_EQ(hot[0].hits, 1);
 }
 
 }  // namespace

@@ -41,7 +41,7 @@ TEST_F(StatsTest, AnalyzePopulatesAllTables) {
   ASSERT_EQ(stats.size(),
             static_cast<size_t>(fixture_.schema().num_tables()));
   for (int t = 0; t < fixture_.schema().num_tables(); ++t) {
-    EXPECT_EQ(stats[t].row_count, fixture_.db->table_data(t).row_count);
+    EXPECT_EQ(stats[t].row_count, fixture_.db->row_count(t));
     EXPECT_EQ(stats[t].columns.size(),
               fixture_.schema().table(t).columns.size());
   }
@@ -66,8 +66,7 @@ TEST_F(StatsTest, AnalyzeStampsStatsVersion) {
 TEST_F(StatsTest, DistinctCountOfPrimaryKeyIsRowCount) {
   int cust = fixture_.schema().TableIndex("customer");
   const ColumnStats& pk = fixture_.estimator->stats()[cust].columns[0];
-  EXPECT_EQ(pk.num_distinct,
-            fixture_.db->table_data(cust).row_count);
+  EXPECT_EQ(pk.num_distinct, fixture_.db->row_count(cust));
 }
 
 TEST_F(StatsTest, EqualitySelectivityNearTruthOnMcv) {
@@ -158,8 +157,7 @@ TEST_F(StatsTest, SampledAnalyzeStillReasonable) {
   ASSERT_TRUE(stats.ok());
   int cust = fixture_.schema().TableIndex("customer");
   // Row count must still be the real one (sampling scales frequencies).
-  EXPECT_EQ((*stats)[cust].row_count,
-            fixture_.db->table_data(cust).row_count);
+  EXPECT_EQ((*stats)[cust].row_count, fixture_.db->row_count(cust));
 }
 
 }  // namespace
