@@ -20,7 +20,12 @@ fi
 # after the bump, re-warm cutting the post-bump miss spike, writer-count
 # invariance); bench_snapshot_ingest asserts the MVCC snapshot-read gates
 # (serving q/s under 4-writer ingest >= 0.8x quiescent, zero torn reads,
-# writers actually publishing). Each exits non-zero on violation.
+# writers actually publishing); bench_chunk_ingest asserts the chunked-
+# storage gates (1M-row append batch cost <= 2x the 100k-row cost, one-row
+# append on a 1M-row table retains at most one tail chunk per column,
+# serial morsel scan >= the scalar per-row reference, zero bitwise
+# mismatches across serial/parallel/skipping/indexed scan paths). Each
+# exits non-zero on violation.
 if [ -x "$build_dir/bench/bench_inference_batching" ]; then
   echo "==> bench_inference_batching"
   "$build_dir/bench/bench_inference_batching"
@@ -41,13 +46,18 @@ if [ -x "$build_dir/bench/bench_snapshot_ingest" ]; then
   "$build_dir/bench/bench_snapshot_ingest"
   echo
 fi
+if [ -x "$build_dir/bench/bench_chunk_ingest" ]; then
+  echo "==> bench_chunk_ingest"
+  "$build_dir/bench/bench_chunk_ingest"
+  echo
+fi
 
 # Binaries share build/bench/ with CMake's own files (CMakeFiles/, Makefile);
 # keep only executable regular files.
 for bin in "$build_dir"/bench/*; do
   [ -f "$bin" ] && [ -x "$bin" ] || continue
   case "$(basename "$bin")" in
-    bench_inference_batching|bench_serving_throughput|bench_adaptive_drift|bench_snapshot_ingest)
+    bench_inference_batching|bench_serving_throughput|bench_adaptive_drift|bench_snapshot_ingest|bench_chunk_ingest)
       continue ;;
   esac
   echo "==> $(basename "$bin")"

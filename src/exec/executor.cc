@@ -3,12 +3,118 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "src/util/parallel_for.h"
+
 namespace balsa {
+
+namespace {
+
+/// ANDs one vectorizable predicate into sel[0..n) with a branch-free loop
+/// over a chunk's raw values. NULL (exactly kNullValue) fails every
+/// predicate; for kEq the comparison subsumes the NULL check whenever the
+/// probe itself is non-NULL.
+void ApplyFilterToChunk(PredOp op, int64_t value, const int64_t* v, int64_t n,
+                        uint8_t* sel) {
+  switch (op) {
+    case PredOp::kEq:
+      if (value == kNullValue) {
+        std::fill(sel, sel + n, static_cast<uint8_t>(0));
+        return;
+      }
+      for (int64_t i = 0; i < n; ++i) {
+        sel[i] &= static_cast<uint8_t>(v[i] == value);
+      }
+      return;
+    case PredOp::kNe:
+      for (int64_t i = 0; i < n; ++i) {
+        sel[i] &= static_cast<uint8_t>(v[i] != value) &
+                  static_cast<uint8_t>(v[i] != kNullValue);
+      }
+      return;
+    case PredOp::kLt:
+      for (int64_t i = 0; i < n; ++i) {
+        sel[i] &= static_cast<uint8_t>(v[i] < value) &
+                  static_cast<uint8_t>(v[i] != kNullValue);
+      }
+      return;
+    case PredOp::kLe:
+      for (int64_t i = 0; i < n; ++i) {
+        sel[i] &= static_cast<uint8_t>(v[i] <= value) &
+                  static_cast<uint8_t>(v[i] != kNullValue);
+      }
+      return;
+    case PredOp::kGt:
+      for (int64_t i = 0; i < n; ++i) {
+        sel[i] &= static_cast<uint8_t>(v[i] > value) &
+                  static_cast<uint8_t>(v[i] != kNullValue);
+      }
+      return;
+    case PredOp::kGe:
+      for (int64_t i = 0; i < n; ++i) {
+        sel[i] &= static_cast<uint8_t>(v[i] >= value) &
+                  static_cast<uint8_t>(v[i] != kNullValue);
+      }
+      return;
+    case PredOp::kIn:
+      break;  // handled per-row by the caller (EvalFilter fallback)
+  }
+}
+
+/// Fused single-predicate scan of one chunk: with exactly one vectorizable
+/// filter the selection bitmap's extra passes cost more than they save, so
+/// matches are emitted directly in one pass over the chunk's raw values.
+/// Returns true when the local row cap was hit.
+bool FusedScanChunk(PredOp op, int64_t value, const int64_t* v, int64_t n,
+                    int64_t base, int64_t cap,
+                    std::vector<uint32_t>* matches) {
+  auto emit = [&](int64_t i) {
+    matches->push_back(static_cast<uint32_t>(base + i));
+    return static_cast<int64_t>(matches->size()) >= cap;
+  };
+  switch (op) {
+    case PredOp::kEq:
+      if (value == kNullValue) return false;
+      for (int64_t i = 0; i < n; ++i) {
+        if (v[i] == value && emit(i)) return true;
+      }
+      return false;
+    case PredOp::kNe:
+      for (int64_t i = 0; i < n; ++i) {
+        if (v[i] != value && v[i] != kNullValue && emit(i)) return true;
+      }
+      return false;
+    case PredOp::kLt:
+      for (int64_t i = 0; i < n; ++i) {
+        if (v[i] < value && v[i] != kNullValue && emit(i)) return true;
+      }
+      return false;
+    case PredOp::kLe:
+      for (int64_t i = 0; i < n; ++i) {
+        if (v[i] <= value && v[i] != kNullValue && emit(i)) return true;
+      }
+      return false;
+    case PredOp::kGt:
+      for (int64_t i = 0; i < n; ++i) {
+        if (v[i] > value && v[i] != kNullValue && emit(i)) return true;
+      }
+      return false;
+    case PredOp::kGe:
+      for (int64_t i = 0; i < n; ++i) {
+        if (v[i] >= value && v[i] != kNullValue && emit(i)) return true;
+      }
+      return false;
+    case PredOp::kIn:
+      break;
+  }
+  return false;
+}
+
+}  // namespace
 
 int64_t Executor::ColumnValue(const Query& query, int rel, int col,
                               uint32_t row) const {
   int table_idx = query.relations()[rel].table_idx;
-  return snapshot_.column(table_idx, col)[row];
+  return snapshot_.column(table_idx, col)[static_cast<int64_t>(row)];
 }
 
 bool Executor::EvalFilter(const Query& query, const FilterPredicate& f,
@@ -44,14 +150,6 @@ StatusOr<Intermediate> Executor::Scan(const Query& query, int rel) const {
   out.rels = {rel};
   out.tuples.resize(1);
   auto& rows = out.tuples[0];
-  auto emit = [&](uint32_t r) {
-    rows.push_back(r);
-    if (static_cast<int64_t>(rows.size()) >= options_.row_cap) {
-      out.capped = true;
-      return false;
-    }
-    return true;
-  };
   auto passes_all_but = [&](uint32_t r, int skip) {
     for (size_t i = 0; i < filters.size(); ++i) {
       if (static_cast<int>(i) == skip) continue;
@@ -77,14 +175,115 @@ StatusOr<Intermediate> Executor::Scan(const Query& query, int rel) const {
     const FilterPredicate& f = filters[static_cast<size_t>(eq)];
     const HashIndex& index = snapshot_.index(table_idx, f.col.column);
     for (uint32_t r : index.Lookup(f.value)) {
-      if (passes_all_but(r, eq) && !emit(r)) break;
+      if (!passes_all_but(r, eq)) continue;
+      rows.push_back(r);
+      if (static_cast<int64_t>(rows.size()) >= options_.row_cap) {
+        out.capped = true;
+        break;
+      }
     }
     return out;
   }
 
+  // Morsel-driven chunked scan. Vectorizable predicates run branch-free
+  // over each chunk's raw values into a selection bitmap; kIn (the only
+  // per-row predicate) filters the survivors. Equality predicates first
+  // consult the chunk's sealed min/max summary and skip chunks that cannot
+  // match. Morsels produce disjoint ascending row ranges, so concatenating
+  // their matches in order reproduces the serial scan bitwise.
+  struct VecFilter {
+    PredOp op;
+    int64_t value;
+    const ChunkedColumn* column;
+  };
+  std::vector<VecFilter> vectorized;
+  std::vector<const FilterPredicate*> per_row;
+  for (const FilterPredicate& f : filters) {
+    if (f.op == PredOp::kIn) {
+      per_row.push_back(&f);
+    } else {
+      vectorized.push_back(
+          {f.op, f.value, &snapshot_.column(table_idx, f.col.column)});
+    }
+  }
+
   const int64_t num_rows = snapshot_.row_count(table_idx);
-  for (uint32_t r = 0; r < static_cast<uint32_t>(num_rows); ++r) {
-    if (passes_all_but(r, -1) && !emit(r)) break;
+  const int num_chunks = ChunkCountForRows(num_rows);
+  const int chunks_per_morsel = std::max(1, options_.morsel_chunks);
+  const int num_morsels =
+      (num_chunks + chunks_per_morsel - 1) / chunks_per_morsel;
+
+  std::vector<std::vector<uint32_t>> morsel_rows(
+      static_cast<size_t>(num_morsels));
+  auto scan_morsel = [&](size_t m) {
+    std::vector<uint8_t> sel;
+    std::vector<uint32_t>& matches = morsel_rows[m];
+    const int first = static_cast<int>(m) * chunks_per_morsel;
+    const int last = std::min(num_chunks, first + chunks_per_morsel);
+    for (int ci = first; ci < last; ++ci) {
+      if (options_.use_chunk_skipping) {
+        bool skip = false;
+        for (const VecFilter& f : vectorized) {
+          if (f.op == PredOp::kEq && !f.column->chunk(ci).MayContain(f.value)) {
+            skip = true;
+            break;
+          }
+        }
+        if (skip) continue;
+      }
+      const int64_t base = static_cast<int64_t>(ci) << kChunkShift;
+      const int64_t n = std::min(kChunkRows, num_rows - base);
+      if (vectorized.size() == 1 && per_row.empty()) {
+        const VecFilter& f = vectorized[0];
+        if (FusedScanChunk(f.op, f.value, f.column->chunk(ci).data(), n,
+                           base, options_.row_cap, &matches)) {
+          return;
+        }
+        continue;
+      }
+      sel.assign(static_cast<size_t>(n), 1);
+      for (const VecFilter& f : vectorized) {
+        ApplyFilterToChunk(f.op, f.value, f.column->chunk(ci).data(), n,
+                           sel.data());
+      }
+      for (int64_t i = 0; i < n; ++i) {
+        if (!sel[static_cast<size_t>(i)]) continue;
+        uint32_t r = static_cast<uint32_t>(base + i);
+        bool pass = true;
+        for (const FilterPredicate* f : per_row) {
+          if (!EvalFilter(query, *f, r)) {
+            pass = false;
+            break;
+          }
+        }
+        if (!pass) continue;
+        matches.push_back(r);
+        // A morsel never needs more than row_cap matches: only the first
+        // row_cap overall survive, and hitting the cap locally already
+        // proves the scan is capped.
+        if (static_cast<int64_t>(matches.size()) >= options_.row_cap) return;
+      }
+    }
+  };
+  if (options_.pool != nullptr && num_morsels > 1) {
+    ParallelFor(options_.pool, static_cast<size_t>(num_morsels), scan_morsel);
+  } else {
+    for (size_t m = 0; m < static_cast<size_t>(num_morsels); ++m) {
+      scan_morsel(m);
+    }
+  }
+
+  int64_t total = 0;
+  for (const auto& matches : morsel_rows) {
+    total += static_cast<int64_t>(matches.size());
+  }
+  out.capped = total >= options_.row_cap;
+  rows.reserve(static_cast<size_t>(std::min(total, options_.row_cap)));
+  for (const auto& matches : morsel_rows) {
+    for (uint32_t r : matches) {
+      if (static_cast<int64_t>(rows.size()) >= options_.row_cap) return out;
+      rows.push_back(r);
+    }
   }
   return out;
 }

@@ -1,13 +1,20 @@
-// A real in-memory executor over the column store. It evaluates filters and
-// equi-joins to produce exact intermediate results; the cardinality oracle
-// and the engine latency models are grounded in the row counts it measures.
+// A real in-memory executor over the chunked column store. It evaluates
+// filters and equi-joins to produce exact intermediate results; the
+// cardinality oracle and the engine latency models are grounded in the row
+// counts it measures.
 //
 // Every Executor reads through a pinned storage Snapshot: results are
 // computed against one immutable publication epoch, so scans and joins are
 // safe — and bitwise reproducible — while change-stream writers ingest
-// concurrently. Equality-filtered scans are served from the snapshot's
-// per-version hash index (built lazily, retired with the version) and
-// produce exactly the sequence a full scan would.
+// concurrently. Scans are morsel-driven: the filter pipeline runs
+// chunk-at-a-time with tight branch-free inner loops over each chunk's raw
+// values, equality predicates skip chunks whose sealed min/max summary
+// excludes the probe value, and morsels (fixed runs of chunks) can be
+// scanned in parallel on a caller-provided ThreadPool — results are
+// concatenated in chunk order, so they are bitwise identical for any pool
+// size, including none. Equality-filtered scans are served from the
+// snapshot's per-version hash index (built lazily, retired with the
+// version) and produce exactly the sequence a full scan would.
 //
 // Intermediate relations are materialized as row-id tuples (one row id per
 // participating base relation), so no data copying occurs beyond ids.
@@ -22,6 +29,8 @@
 #include "src/util/status.h"
 
 namespace balsa {
+
+class ThreadPool;
 
 /// An intermediate result: for each tuple, the contributing row id of every
 /// base relation in `rels`. Column-major: tuples[i] is the row-id column for
@@ -50,6 +59,17 @@ struct ExecutorOptions {
   /// of a full pass. Results are identical either way (the index returns
   /// ascending row ids); off only for testing the scan path itself.
   bool use_index_for_eq = true;
+  /// Skip chunks whose sealed min/max summary excludes an equality
+  /// predicate's value. Results are identical either way; off only for
+  /// testing the skip logic against the exhaustive path.
+  bool use_chunk_skipping = true;
+  /// Chunks per morsel (the unit of scan parallelism and of the tight
+  /// filter loops). Only affects performance, never results.
+  int morsel_chunks = 16;
+  /// When set, full scans fan morsels out across this pool and concatenate
+  /// per-morsel matches in chunk order — bitwise identical to the serial
+  /// scan. The pool is borrowed and must outlive the executor's calls.
+  ThreadPool* pool = nullptr;
 };
 
 /// Evaluates scans and joins of a query against a pinned snapshot. All
@@ -68,7 +88,8 @@ class Executor {
   /// The snapshot all reads go through (its epoch tags derived results).
   const Snapshot& snapshot() const { return snapshot_; }
 
-  /// Scans relation `rel` of `query`, applying all its filters.
+  /// Scans relation `rel` of `query`, applying all its filters
+  /// morsel-at-a-time over the table's chunks.
   StatusOr<Intermediate> Scan(const Query& query, int rel) const;
 
   /// Equi-joins two intermediates on all join predicates crossing them.

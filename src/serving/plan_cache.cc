@@ -1,6 +1,7 @@
 #include "src/serving/plan_cache.h"
 
 #include <algorithm>
+#include <unordered_set>
 
 namespace balsa {
 
@@ -123,6 +124,29 @@ std::vector<PlanCache::HotEntry> PlanCache::HottestEntries(int k) const {
     all.resize(static_cast<size_t>(k));
   }
   return all;
+}
+
+size_t PlanCache::ApproxBytes() const {
+  std::unordered_set<const Query*> seen_exemplars;
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& [fingerprint, slot] : shard.map) {
+      (void)fingerprint;
+      total += sizeof(uint64_t) + sizeof(Shard::Slot) + sizeof(CachedPlan);
+      const CachedPlan& entry = *slot.entry;
+      total += static_cast<size_t>(entry.plan.num_nodes()) * sizeof(PlanNode);
+      total += entry.canonical_rank.size() * sizeof(int);
+      const Query* exemplar = entry.exemplar.get();
+      if (exemplar != nullptr && seen_exemplars.insert(exemplar).second) {
+        total += sizeof(Query) +
+                 exemplar->relations().size() * sizeof(QueryRelation) +
+                 exemplar->joins().size() * sizeof(JoinPredicate) +
+                 exemplar->filters().size() * sizeof(FilterPredicate);
+      }
+    }
+  }
+  return total;
 }
 
 size_t PlanCache::size() const {

@@ -117,6 +117,13 @@ class PlanCache {
   };
   std::vector<HotEntry> HottestEntries(int k) const;
 
+  /// Approximate bytes retained by the cache: slot overhead plus each
+  /// entry's plan nodes and canonical rank, with shared exemplar queries —
+  /// many fingerprints may pin the same Query via shared_ptr — counted
+  /// once, the same dedup-by-pointer contract as Snapshot::DataBytes over
+  /// shared chunks.
+  size_t ApproxBytes() const;
+
   size_t size() const;
   int num_shards() const { return static_cast<int>(shards_.size()); }
   /// Which shard `fingerprint` lives in (exposed for shard-level tests).

@@ -10,16 +10,16 @@ namespace balsa {
 
 namespace {
 
-ColumnStats AnalyzeColumn(const std::vector<int64_t>& column,
+ColumnStats AnalyzeColumn(const ChunkedColumn& column,
                           const AnalyzeOptions& options, Rng* rng) {
   ColumnStats stats;
   std::vector<int64_t> values;
-  values.reserve(column.size());
+  values.reserve(static_cast<size_t>(column.size()));
   int64_t nulls = 0;
-  if (options.sample_rows > 0 &&
-      static_cast<int64_t>(column.size()) > options.sample_rows) {
+  if (options.sample_rows > 0 && column.size() > options.sample_rows) {
     for (int64_t i = 0; i < options.sample_rows; ++i) {
-      int64_t v = column[rng->Uniform(column.size())];
+      int64_t v = column[static_cast<int64_t>(
+          rng->Uniform(static_cast<uint64_t>(column.size())))];
       if (IsNull(v)) {
         nulls++;
       } else {

@@ -232,10 +232,9 @@ Status ChangeLog::UpdateValues(
         static_cast<size_t>(column) < state.anchor.columns.size()
             ? state.anchor.columns[static_cast<size_t>(column)]
             : kNoAnchor;
-    const std::vector<int64_t>& old_values = version->column(column);
+    const ChunkedColumn& old_values = version->column(column);
     for (const auto& [row, value] : updates) {
-      Record(anchor, old_values[static_cast<size_t>(row)],
-             /*add=*/false, &sketch);
+      Record(anchor, old_values[row], /*add=*/false, &sketch);
       Record(anchor, value, /*add=*/true, &sketch);
     }
     if (state.rebasing) {
@@ -243,7 +242,7 @@ Status ChangeLog::UpdateValues(
       state.pending.removed.resize(state.delta.columns.size());
       for (const auto& [row, value] : updates) {
         state.pending.removed[static_cast<size_t>(column)].push_back(
-            old_values[static_cast<size_t>(row)]);
+            old_values[row]);
         state.pending.added[static_cast<size_t>(column)].push_back(value);
       }
       state.pending.rows_updated += static_cast<int64_t>(updates.size());

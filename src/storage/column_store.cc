@@ -3,8 +3,149 @@
 #include <algorithm>
 #include <functional>
 #include <string>
+#include <unordered_set>
+#include <utility>
 
 namespace balsa {
+
+namespace {
+
+using ColumnPtr = TableVersion::ColumnPtr;
+using ChunkPtr = ChunkedColumn::ChunkPtr;
+
+/// Tracks copy-on-write chunk edits for one column: chunks are materialized
+/// into mutable value vectors on first write and resealed at the end, so a
+/// mutation's cost is O(chunks touched), never O(table).
+class ColumnEditor {
+ public:
+  explicit ColumnEditor(const ChunkedColumn& prev)
+      : chunks_(prev.ChunkPtrs()), size_(prev.size()) {}
+
+  int64_t size() const { return size_; }
+
+  int64_t Get(int64_t row) const {
+    size_t ci = static_cast<size_t>(row >> kChunkShift);
+    if (ci == cached_ci_) {
+      return cached_->values[static_cast<size_t>(row & kChunkMask)];
+    }
+    auto it = dirty_.find(ci);
+    return it != dirty_.end()
+               ? it->second.values[static_cast<size_t>(row & kChunkMask)]
+               : (*chunks_[ci])[row & kChunkMask];
+  }
+
+  void Set(int64_t row, int64_t value) {
+    Dirty& dirty = Load(static_cast<size_t>(row >> kChunkShift));
+    dirty.values[static_cast<size_t>(row & kChunkMask)] = value;
+    // Widen, never re-scan: the summary stays a conservative superset of
+    // the chunk's live range, so resealing costs O(writes), not O(chunk).
+    dirty.summary.Widen(value);
+  }
+
+  /// Removes the last row (swap-remove's shrink step), dropping the tail
+  /// chunk when it empties. The summary is untouched — removal can only
+  /// shrink the live range, and conservative summaries may stay wide.
+  void PopBack() {
+    size_t tail = static_cast<size_t>((size_ - 1) >> kChunkShift);
+    std::vector<int64_t>& values = Load(tail).values;
+    values.pop_back();
+    if (values.empty()) {
+      dirty_.erase(tail);
+      chunks_.pop_back();
+      cached_ci_ = SIZE_MAX;
+      cached_ = nullptr;
+    }
+    size_--;
+  }
+
+  /// Reseals every dirtied chunk and returns the new immutable column.
+  ColumnPtr Finish() {
+    for (auto& [ci, dirty] : dirty_) {
+      chunks_[ci] = Chunk::SealWithSummary(std::move(dirty.values),
+                                           dirty.summary);
+    }
+    return std::make_shared<const ChunkedColumn>(std::move(chunks_));
+  }
+
+ private:
+  struct Dirty {
+    std::vector<int64_t> values;
+    Chunk::Summary summary;
+  };
+
+  Dirty& Load(size_t ci) {
+    if (ci == cached_ci_) return *cached_;
+    auto it = dirty_.find(ci);
+    if (it == dirty_.end()) {
+      it = dirty_.emplace(ci, Dirty{chunks_[ci]->values(),
+                                    chunks_[ci]->summary()}).first;
+    }
+    // Entries are node-stable across inserts, so the one-entry cache (the
+    // swap-remove loop hammers the same one or two chunks) stays valid
+    // until PopBack erases an emptied tail.
+    cached_ci_ = ci;
+    cached_ = &it->second;
+    return it->second;
+  }
+
+  std::vector<ChunkPtr> chunks_;
+  std::unordered_map<size_t, Dirty> dirty_;
+  size_t cached_ci_ = SIZE_MAX;
+  Dirty* cached_ = nullptr;
+  int64_t size_;
+};
+
+/// New column = the shared full-chunk prefix of `prev` + a rebuilt tail
+/// covering the old partial chunk (if any) and `appended`. When the append
+/// stays within the tail — the common case — the prefix is shared whole
+/// with one refcount bump: no per-chunk work, so the append costs O(batch)
+/// regardless of table size. Crossing a seal boundary copies the prefix's
+/// pointer lists once, amortized O(1/kChunkRows) per appended row.
+ColumnPtr AppendToColumn(const ChunkedColumn& prev,
+                         const std::vector<int64_t>& appended) {
+  std::vector<int64_t> tail;
+  tail.reserve(static_cast<size_t>(kChunkRows));
+  // The rebuilt tail keeps the old partial chunk's summary and widens it
+  // with the appended values — no re-scan of carried-over rows. Chunks made
+  // purely of appended values accumulate an exact summary the same way.
+  Chunk::Summary summary;
+  if (prev.tail() != nullptr) {
+    const std::vector<int64_t>& old_tail = prev.tail()->values();
+    tail.insert(tail.end(), old_tail.begin(), old_tail.end());
+    summary = prev.tail()->summary();
+  }
+  std::vector<ChunkPtr> grown;  // chunks this append filled and sealed
+  for (int64_t v : appended) {
+    tail.push_back(v);
+    summary.Widen(v);
+    if (static_cast<int64_t>(tail.size()) == kChunkRows) {
+      grown.push_back(Chunk::SealWithSummary(std::move(tail), summary));
+      tail = {};
+      tail.reserve(static_cast<size_t>(kChunkRows));
+      summary = Chunk::Summary();
+    }
+  }
+  ChunkPtr new_tail;
+  if (!tail.empty()) {
+    new_tail = Chunk::SealWithSummary(std::move(tail), summary);
+  }
+  if (grown.empty()) {
+    return std::make_shared<const ChunkedColumn>(prev.full_chunks(),
+                                                 std::move(new_tail));
+  }
+  auto full =
+      std::make_shared<ChunkedColumn::FullChunks>(*prev.full_chunks());
+  full->chunks.reserve(full->chunks.size() + grown.size());
+  full->data.reserve(full->chunks.capacity());
+  for (ChunkPtr& chunk : grown) {
+    full->data.push_back(chunk->data());
+    full->chunks.push_back(std::move(chunk));
+  }
+  return std::make_shared<const ChunkedColumn>(std::move(full),
+                                               std::move(new_tail));
+}
+
+}  // namespace
 
 const std::vector<uint32_t> HashIndex::kEmpty;
 
@@ -22,11 +163,17 @@ StatusOr<std::vector<int64_t>> ValidateAndSortRowIds(
   return row_ids;
 }
 
-HashIndex::HashIndex(const std::vector<int64_t>& column) {
-  buckets_.reserve(column.size() / 2 + 1);
-  for (size_t row = 0; row < column.size(); ++row) {
-    if (IsNull(column[row])) continue;  // only NULL (-1) is unindexed
-    buckets_[column[row]].push_back(static_cast<uint32_t>(row));
+HashIndex::HashIndex(const ChunkedColumn& column) {
+  buckets_.reserve(static_cast<size_t>(column.size()) / 2 + 1);
+  uint32_t row = 0;
+  for (int ci = 0; ci < column.num_chunks(); ++ci) {
+    const Chunk& chunk = column.chunk(ci);
+    const int64_t* values = chunk.data();
+    const int64_t n = chunk.size();
+    for (int64_t i = 0; i < n; ++i, ++row) {
+      if (IsNull(values[i])) continue;  // only NULL (-1) is unindexed
+      buckets_[values[i]].push_back(row);
+    }
   }
 }
 
@@ -63,15 +210,36 @@ void TableVersion::InheritIndexes(const TableVersion& prev) {
   }
 }
 
+void TableVersion::CollectChunkBytes(std::unordered_set<const Chunk*>* seen,
+                                     size_t* total) const {
+  for (const ColumnPtr& c : columns_) c->CollectChunkBytes(seen, total);
+}
+
 size_t TableVersion::DataBytes() const {
+  std::unordered_set<const Chunk*> seen;
   size_t total = 0;
-  for (const auto& c : columns_) total += c->size() * sizeof(int64_t);
+  CollectChunkBytes(&seen, &total);
   return total;
 }
 
+void Snapshot::CollectChunkBytes(std::unordered_set<const Chunk*>* seen,
+                                 size_t* total) const {
+  for (const auto& t : tables_) t->CollectChunkBytes(seen, total);
+}
+
 size_t Snapshot::DataBytes() const {
+  std::unordered_set<const Chunk*> seen;
   size_t total = 0;
-  for (const auto& t : tables_) total += t->DataBytes();
+  CollectChunkBytes(&seen, &total);
+  return total;
+}
+
+size_t RetainedDataBytes(std::initializer_list<const Snapshot*> snapshots) {
+  std::unordered_set<const Chunk*> seen;
+  size_t total = 0;
+  for (const Snapshot* snapshot : snapshots) {
+    snapshot->CollectChunkBytes(&seen, &total);
+  }
   return total;
 }
 
@@ -80,9 +248,8 @@ Database::Database(Schema schema) : schema_(std::move(schema)) {
   for (int t = 0; t < schema_.num_tables(); ++t) {
     // Every table starts as an empty schema-width version, so appends to a
     // never-installed table validate row width and materialize columns.
-    std::vector<TableVersion::ColumnPtr> columns(
-        schema_.table(t).columns.size(),
-        std::make_shared<const std::vector<int64_t>>());
+    std::vector<ColumnPtr> columns(schema_.table(t).columns.size(),
+                                   std::make_shared<const ChunkedColumn>());
     versions_.push_back(
         std::make_shared<const TableVersion>(std::move(columns), 0, 0));
   }
@@ -122,7 +289,7 @@ TableData Database::CopyTableData(int table_idx) const {
   data.row_count = version->row_count();
   data.columns.reserve(static_cast<size_t>(version->num_columns()));
   for (int c = 0; c < version->num_columns(); ++c) {
-    data.columns.push_back(version->column(c));
+    data.columns.push_back(version->column(c).Materialize());
   }
   return data;
 }
@@ -142,11 +309,10 @@ Status Database::SetTableData(int table_idx, TableData data) {
       return Status::InvalidArgument("ragged columns in " + def.name);
     }
   }
-  std::vector<TableVersion::ColumnPtr> columns;
+  std::vector<ColumnPtr> columns;
   columns.reserve(data.columns.size());
   for (auto& col : data.columns) {
-    columns.push_back(
-        std::make_shared<const std::vector<int64_t>>(std::move(col)));
+    columns.push_back(ChunkedColumn::FromValues(std::move(col)));
   }
   Publish(table_idx,
           std::make_shared<TableVersion>(std::move(columns), data.row_count,
@@ -171,14 +337,13 @@ Status Database::AppendRows(int table_idx,
                                      std::to_string(num_columns) + " columns");
     }
   }
-  std::vector<TableVersion::ColumnPtr> columns;
+  std::vector<ColumnPtr> columns;
   columns.reserve(num_columns);
+  std::vector<int64_t> appended(rows.size());
   for (size_t c = 0; c < num_columns; ++c) {
-    auto column = std::make_shared<std::vector<int64_t>>();
-    column->reserve(prev->column(static_cast<int>(c)).size() + rows.size());
-    *column = prev->column(static_cast<int>(c));
-    for (const auto& row : rows) column->push_back(row[c]);
-    columns.push_back(std::move(column));
+    for (size_t r = 0; r < rows.size(); ++r) appended[r] = rows[r][c];
+    columns.push_back(
+        AppendToColumn(prev->column(static_cast<int>(c)), appended));
   }
   Publish(table_idx, std::make_shared<TableVersion>(
                          std::move(columns),
@@ -198,16 +363,17 @@ Status Database::RemoveRows(int table_idx, std::vector<int64_t> row_ids) {
   BALSA_ASSIGN_OR_RETURN(row_ids,
                          ValidateAndSortRowIds(prev->row_count(),
                                                std::move(row_ids)));
-  std::vector<TableVersion::ColumnPtr> columns;
+  std::vector<ColumnPtr> columns;
   columns.reserve(static_cast<size_t>(prev->num_columns()));
   int64_t remaining = prev->row_count() - static_cast<int64_t>(row_ids.size());
   for (int c = 0; c < prev->num_columns(); ++c) {
-    auto column = std::make_shared<std::vector<int64_t>>(prev->column(c));
+    ColumnEditor editor(prev->column(c));
     for (int64_t row : row_ids) {
-      (*column)[static_cast<size_t>(row)] = column->back();
-      column->pop_back();
+      int64_t last = editor.size() - 1;
+      if (row != last) editor.Set(row, editor.Get(last));
+      editor.PopBack();
     }
-    columns.push_back(std::move(column));
+    columns.push_back(editor.Finish());
   }
   Publish(table_idx, std::make_shared<TableVersion>(std::move(columns),
                                                     remaining, 0));
@@ -235,18 +401,17 @@ Status Database::SetValues(
       return Status::OutOfRange("row " + std::to_string(row));
     }
   }
-  // Copy-on-write: only the written column is copied; the others (and any
-  // hash indexes already built over them) are shared with the old version.
-  std::vector<TableVersion::ColumnPtr> columns;
+  // Copy-on-write: only the written column's touched chunks are copied; the
+  // other columns — and any hash indexes already built over them — are
+  // shared with the old version, as are the written column's clean chunks.
+  std::vector<ColumnPtr> columns;
   columns.reserve(static_cast<size_t>(prev->num_columns()));
   for (int c = 0; c < prev->num_columns(); ++c) {
     columns.push_back(prev->column_ptr(c));
   }
-  auto column = std::make_shared<std::vector<int64_t>>(prev->column(column_idx));
-  for (const auto& [row, value] : updates) {
-    (*column)[static_cast<size_t>(row)] = value;
-  }
-  columns[static_cast<size_t>(column_idx)] = std::move(column);
+  ColumnEditor editor(prev->column(column_idx));
+  for (const auto& [row, value] : updates) editor.Set(row, value);
+  columns[static_cast<size_t>(column_idx)] = editor.Finish();
   auto version = std::make_shared<TableVersion>(std::move(columns),
                                                 prev->row_count(), 0);
   version->InheritIndexes(*prev);

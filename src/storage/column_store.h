@@ -1,35 +1,34 @@
-// In-memory column store with MVCC-style snapshot reads. Every table is an
-// immutable, refcounted TableVersion (column-major int64 data plus lazily
-// built hash indexes); mutations build a new version — copy-on-write at
-// column granularity, unchanged columns are shared — and publish it under a
-// short pointer-swap lock. Readers pin a Snapshot (one version per table at
-// a single publication epoch) and scan, probe indexes, or ANALYZE against it
-// for as long as they like: writers never block readers, readers never block
-// writers, and a retired version is freed when its last snapshot drops.
+// In-memory column store with MVCC-style snapshot reads over chunked
+// columns. Every table is an immutable, refcounted TableVersion whose
+// columns are refcounted chunk lists (see chunk.h) plus lazily built hash
+// indexes; mutations build a new version — copy-on-write at CHUNK
+// granularity — and publish it under a short pointer-swap lock, so
+// publishing an appended batch costs O(batch), not O(table): all existing
+// full chunks are shared by pointer and only the partial tail (plus the new
+// rows) is materialized. Readers pin a Snapshot (one version per table at a
+// single publication epoch) and scan, probe indexes, or ANALYZE against it
+// for as long as they like: writers never block readers, readers never
+// block writers, and a retired version's unshared chunks are freed when its
+// last snapshot drops.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <initializer_list>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "src/catalog/schema.h"
+#include "src/storage/chunk.h"
 #include "src/util/status.h"
 
 namespace balsa {
 
-/// NULL encoding. Exactly -1 is NULL; every other int64 — including other
-/// negatives, which the mutation API may write — is a real value that
-/// filters, joins, indexes, and ANALYZE must all see.
-inline constexpr int64_t kNullValue = -1;
-
-inline bool IsNull(int64_t value) { return value == kNullValue; }
-
 /// One materialized table: column-major int64 data. The *input* format for
 /// SetTableData / the data generator, and the output of CopyTableData;
-/// internally tables live as immutable TableVersions.
+/// internally tables live as immutable chunked TableVersions.
 struct TableData {
   std::vector<std::vector<int64_t>> columns;
   int64_t row_count = 0;
@@ -43,12 +42,12 @@ struct TableData {
 StatusOr<std::vector<int64_t>> ValidateAndSortRowIds(
     int64_t row_count, std::vector<int64_t> row_ids);
 
-/// Hash index: value -> row ids. Built lazily per (version, column); NULLs
-/// (exactly kNullValue) are not indexed, every other value — negatives
-/// included — is.
+/// Hash index: value -> row ids. Built lazily per (version, column) by one
+/// pass over the column's chunks; NULLs (exactly kNullValue) are not
+/// indexed, every other value — negatives included — is.
 class HashIndex {
  public:
-  explicit HashIndex(const std::vector<int64_t>& column);
+  explicit HashIndex(const ChunkedColumn& column);
 
   /// Row ids whose column value equals `value` (empty if none), ascending.
   const std::vector<uint32_t>& Lookup(int64_t value) const;
@@ -62,10 +61,10 @@ class HashIndex {
 
 /// One immutable published state of one table. Data never changes after
 /// publication; the hash-index cache is the only mutable member and is
-/// mutex-guarded (lazy builds over immutable columns are idempotent).
+/// mutex-guarded (lazy builds over immutable chunks are idempotent).
 class TableVersion {
  public:
-  using ColumnPtr = std::shared_ptr<const std::vector<int64_t>>;
+  using ColumnPtr = std::shared_ptr<const ChunkedColumn>;
 
   TableVersion(std::vector<ColumnPtr> columns, int64_t row_count,
                uint64_t epoch);
@@ -74,7 +73,7 @@ class TableVersion {
   /// Publication epoch this version was installed at (0 = initial state).
   uint64_t epoch() const { return epoch_; }
   int num_columns() const { return static_cast<int>(columns_.size()); }
-  const std::vector<int64_t>& column(int c) const {
+  const ChunkedColumn& column(int c) const {
     return *columns_[static_cast<size_t>(c)];
   }
   const ColumnPtr& column_ptr(int c) const {
@@ -85,7 +84,12 @@ class TableVersion {
   /// valid as long as this version is pinned (e.g. by a Snapshot).
   const HashIndex& index(int c) const;
 
+  /// Bytes of chunk data reachable from this version, each distinct chunk
+  /// counted once even when shared between columns.
   size_t DataBytes() const;
+  /// Folds this version's chunks into a caller-owned dedup accumulator.
+  void CollectChunkBytes(std::unordered_set<const Chunk*>* seen,
+                         size_t* total) const;
 
  private:
   friend class Database;
@@ -122,14 +126,17 @@ class Snapshot {
   const TableVersion& table(int t) const {
     return *tables_[static_cast<size_t>(t)];
   }
-  const std::vector<int64_t>& column(int t, int c) const {
+  const ChunkedColumn& column(int t, int c) const {
     return table(t).column(c);
   }
   /// Hash index on (table, column) of *this snapshot's* data, built lazily.
   const HashIndex& index(int t, int c) const { return table(t).index(c); }
 
-  /// Total bytes of column data reachable from this snapshot.
+  /// Total bytes of chunk data reachable from this snapshot, every distinct
+  /// chunk counted once however many columns or tables share it.
   size_t DataBytes() const;
+  void CollectChunkBytes(std::unordered_set<const Chunk*>* seen,
+                         size_t* total) const;
 
  private:
   friend class Database;
@@ -142,8 +149,15 @@ class Snapshot {
   std::vector<std::shared_ptr<const TableVersion>> tables_;
 };
 
-/// The database: schema + versioned tables. Readers pin snapshots; mutations
-/// publish new versions.
+/// Bytes of chunk data retained across `snapshots` together, counting every
+/// chunk once however many snapshots/versions share it — the number that
+/// proves publication is O(batch): pinning the versions before and after a
+/// 1-row append on a huge table retains ~one extra chunk, not one extra
+/// table.
+size_t RetainedDataBytes(std::initializer_list<const Snapshot*> snapshots);
+
+/// The database: schema + versioned chunked tables. Readers pin snapshots;
+/// mutations publish new versions.
 class Database {
  public:
   explicit Database(Schema schema);
@@ -155,31 +169,36 @@ class Database {
 
   // --- Mutation API (the adaptive statistics change stream) ---------------
   //
-  // Each call builds a new immutable TableVersion (copy-on-write per
-  // column) and publishes it atomically, so mutations are safe concurrently
-  // with any reader: in-flight snapshots keep the version they pinned.
-  // Concurrent writers to the *same* table must still be serialized by the
-  // caller — the ChangeLog's per-table ingest lock does this; writers to
-  // different tables never contend. Memoized true cardinalities expire on
-  // their own: every publication advances the epoch that tags them.
+  // Each call builds a new immutable TableVersion (copy-on-write at chunk
+  // granularity) and publishes it atomically, so mutations are safe
+  // concurrently with any reader: in-flight snapshots keep the version they
+  // pinned. Concurrent writers to the *same* table must still be serialized
+  // by the caller — the ChangeLog's per-table ingest lock does this;
+  // writers to different tables never contend. Memoized true cardinalities
+  // expire on their own: every publication advances the epoch that tags
+  // them.
 
-  /// Appends row-major `rows` (one vector of column values per row). Works
-  /// on a table whose data was never installed: its columns materialize at
-  /// the schema's width, and rows are validated against that width.
+  /// Appends row-major `rows` (one vector of column values per row) in
+  /// O(batch + tail chunk): every existing full chunk is shared with the
+  /// previous version. Works on a table whose data was never installed: its
+  /// columns materialize at the schema's width, and rows are validated
+  /// against that width.
   Status AppendRows(int table_idx,
                     const std::vector<std::vector<int64_t>>& rows);
 
   /// Removes rows by id via swap-remove: the last row moves into each freed
   /// slot, so row ids are NOT stable across a delete. `row_ids` may be in
-  /// any order and must be unique and in range.
+  /// any order and must be unique and in range. Copies only the chunks the
+  /// swap-removes touch (the freed slots' chunks and the shrinking tail).
   Status RemoveRows(int table_idx, std::vector<int64_t> row_ids);
 
-  /// Overwrites one cell.
+  /// Overwrites one cell, copying exactly one chunk of one column.
   Status SetValue(int table_idx, int column_idx, int64_t row, int64_t value);
 
   /// Overwrites a batch of (row, value) cells in one column: validates the
-  /// whole batch first, then publishes one new version copying only that
-  /// column (the other columns — and their built indexes — are shared).
+  /// whole batch first, then publishes one new version copying only the
+  /// touched chunks of that column (the other columns — and their built
+  /// indexes — are shared).
   Status SetValues(int table_idx, int column_idx,
                    const std::vector<std::pair<int64_t, int64_t>>& updates);
 
@@ -204,7 +223,8 @@ class Database {
   /// hot paths read through a Snapshot instead).
   TableData CopyTableData(int table_idx) const;
 
-  /// Total bytes of materialized column data (current versions).
+  /// Total bytes of chunk data in the current versions (each distinct chunk
+  /// once).
   size_t DataBytes() const;
 
  private:

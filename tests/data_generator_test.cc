@@ -16,7 +16,7 @@ class DataGeneratorTest : public ::testing::Test {
       : fixture_(testing::MakeStarFixture(/*seed=*/5)),
         snap_(fixture_.db->GetSnapshot()) {}
 
-  const std::vector<int64_t>& Column(const char* table, const char* column) {
+  const ChunkedColumn& Column(const char* table, const char* column) {
     int t = fixture_.schema().TableIndex(table);
     int c = fixture_.schema().table(t).ColumnIndex(column);
     return snap_.column(t, c);
@@ -28,8 +28,8 @@ class DataGeneratorTest : public ::testing::Test {
 
 TEST_F(DataGeneratorTest, PrimaryKeysAreDenseAndUnique) {
   const auto& pk = Column("customer", "id");
-  for (size_t i = 0; i < pk.size(); ++i) {
-    EXPECT_EQ(pk[i], static_cast<int64_t>(i));
+  for (int64_t i = 0; i < pk.size(); ++i) {
+    EXPECT_EQ(pk[i], i);
   }
 }
 

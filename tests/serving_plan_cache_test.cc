@@ -261,5 +261,50 @@ TEST(PlanCacheTest, ReplacementResetsHitCount) {
   EXPECT_EQ(hot[0].hits, 1);
 }
 
+TEST(PlanCacheTest, ApproxBytesCountsSharedExemplarsOnce) {
+  // Re-warm entries for many fingerprints often pin the *same* exemplar
+  // Query via shared_ptr; the accounting must count it once, exactly like
+  // Snapshot::DataBytes counts a chunk shared across versions once.
+  auto make_exemplar = [] {
+    return std::make_shared<const Query>(
+        "q", std::vector<QueryRelation>(3), std::vector<JoinPredicate>{},
+        std::vector<FilterPredicate>{});
+  };
+
+  PlanCache with_shared;
+  EXPECT_EQ(with_shared.ApproxBytes(), 0u);
+  auto shared = make_exemplar();
+  CachedPlan a = MakeEntry(1);
+  a.exemplar = shared;
+  a.canonical_rank = {0, 1, 2};
+  CachedPlan b = MakeEntry(2);
+  b.exemplar = shared;
+  b.canonical_rank = {0, 1, 2};
+  with_shared.Insert(1, std::move(a));
+  const size_t one_entry = with_shared.ApproxBytes();
+  EXPECT_GT(one_entry, 0u);
+  with_shared.Insert(2, std::move(b));
+  const size_t shared_bytes = with_shared.ApproxBytes();
+
+  PlanCache with_distinct;
+  CachedPlan c = MakeEntry(1);
+  c.exemplar = make_exemplar();
+  c.canonical_rank = {0, 1, 2};
+  CachedPlan d = MakeEntry(2);
+  d.exemplar = make_exemplar();
+  d.canonical_rank = {0, 1, 2};
+  with_distinct.Insert(1, std::move(c));
+  with_distinct.Insert(2, std::move(d));
+  const size_t distinct_bytes = with_distinct.ApproxBytes();
+
+  // Identical caches except for exemplar sharing: the difference is exactly
+  // one deduped exemplar.
+  EXPECT_LT(shared_bytes, distinct_bytes);
+  EXPECT_EQ(distinct_bytes - shared_bytes,
+            sizeof(Query) + 3 * sizeof(QueryRelation));
+  // The second shared-exemplar entry still pays for its own slot and plan.
+  EXPECT_GT(shared_bytes, one_entry);
+}
+
 }  // namespace
 }  // namespace balsa

@@ -6,16 +6,19 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "src/exec/executor.h"
 #include "src/plan/query_builder.h"
 #include "src/stats/card_oracle.h"
 #include "src/stats/table_stats.h"
 #include "src/storage/change_log.h"
 #include "src/util/logging.h"
+#include "src/util/thread_pool.h"
 
 namespace balsa {
 namespace {
@@ -26,7 +29,7 @@ namespace {
 // must satisfy: inserts write 3 * id, updates flip rows between the two
 // multiples (so an in-place overwrite of pinned data would change a
 // snapshot's checksum), and swap-remove moves whole rows.
-Schema StressSchema() {
+Schema StressSchema(int tables = 2) {
   Schema schema;
   auto pk = [] {
     ColumnDef c;
@@ -41,18 +44,20 @@ Schema StressSchema() {
     c.domain_size = 1 << 20;
     return c;
   };
-  EXPECT_TRUE(schema.AddTable({"t0", 256, {pk(), attr()}}).ok());
-  EXPECT_TRUE(schema.AddTable({"t1", 256, {pk(), attr()}}).ok());
+  for (int t = 0; t < tables; ++t) {
+    EXPECT_TRUE(
+        schema.AddTable({"t" + std::to_string(t), 256, {pk(), attr()}}).ok());
+  }
   return schema;
 }
 
-std::unique_ptr<Database> StressDb() {
-  auto db = std::make_unique<Database>(StressSchema());
-  for (int t = 0; t < 2; ++t) {
+std::unique_ptr<Database> StressDb(int tables = 2, int64_t rows = 256) {
+  auto db = std::make_unique<Database>(StressSchema(tables));
+  for (int t = 0; t < tables; ++t) {
     TableData data;
-    data.row_count = 256;
+    data.row_count = rows;
     data.columns.resize(2);
-    for (int64_t r = 0; r < 256; ++r) {
+    for (int64_t r = 0; r < rows; ++r) {
       data.columns[0].push_back(r);
       data.columns[1].push_back(3 * r);
     }
@@ -115,11 +120,11 @@ TEST(SnapshotStressTest, ReadersRaceIngestWithoutTearingOrBlocking) {
           continue;
         }
         uint64_t sum1 = 0, sum2 = 0;
-        for (size_t r = 0; r < ids.size(); ++r) {
+        for (int64_t r = 0; r < ids.size(); ++r) {
           if (vs[r] != 3 * ids[r] && vs[r] != 5 * ids[r]) torn++;
           sum1 += static_cast<uint64_t>(vs[r]);
         }
-        for (size_t r = 0; r < ids.size(); ++r) {
+        for (int64_t r = 0; r < ids.size(); ++r) {
           sum2 += static_cast<uint64_t>(vs[r]);
         }
         if (sum1 != sum2) torn++;
@@ -182,10 +187,143 @@ TEST(SnapshotStressTest, ReadersRaceIngestWithoutTearingOrBlocking) {
   for (int t = 0; t < 2; ++t) {
     Snapshot snap = db->GetSnapshot();
     EXPECT_EQ(snap.row_count(t), 256);
-    for (size_t r = 0; r < snap.column(t, 0).size(); ++r) {
+    for (int64_t r = 0; r < snap.column(t, 0).size(); ++r) {
       int64_t id = snap.column(t, 0)[r];
       int64_t v = snap.column(t, 1)[r];
       EXPECT_TRUE(v == 3 * id || v == 5 * id) << "row " << r;
+    }
+  }
+}
+
+TEST(SnapshotStressTest, ParallelMorselScansAndIndexBuildsRaceFourWriters) {
+  // Multi-chunk tables so morsel scans genuinely fan out: parallel and
+  // serial executors over the same pinned snapshot must agree bitwise while
+  // four writers ingest (one per table, per contract) and a mid-stream
+  // Rebase replays table 0's traffic. Lazy index builds race the scans on
+  // the same versions. Run under ThreadSanitizer in CI.
+  constexpr int kTables = 4;
+  const int64_t rows = 2 * kChunkRows + 300;
+  auto db = StressDb(kTables, rows);
+  ChangeLog log(db.get());
+  const Schema& schema = db->schema();
+  ThreadPool pool(4);
+
+  std::atomic<bool> stop{false};
+  std::atomic<int64_t> torn{0};
+  std::atomic<int64_t> scans{0};
+
+  // One all-rows query per table: v is always a non-negative multiple of
+  // id, so kGe 0 matches every row of every published version.
+  std::vector<Query> queries;
+  for (int t = 0; t < kTables; ++t) {
+    QueryBuilder builder(&schema, "morsel");
+    auto query = builder.From(schema.table(t).name, "a")
+                     .Filter("a.v", PredOp::kGe, 0)
+                     .Build();
+    BALSA_CHECK(query.ok(), "query");
+    Query q = std::move(query).value();
+    q.set_id(t + 1);
+    queries.push_back(std::move(q));
+  }
+
+  // Morsel readers: scan each table in parallel (single-chunk morsels on a
+  // shared pool) and serially from the same snapshot; results must be
+  // bitwise identical and cover exactly the snapshot's rows.
+  auto morsel_reader = [&] {
+    int t = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      Snapshot snap = db->GetSnapshot();
+      ExecutorOptions parallel;
+      parallel.use_index_for_eq = false;
+      parallel.morsel_chunks = 1;
+      parallel.pool = &pool;
+      ExecutorOptions serial = parallel;
+      serial.pool = nullptr;
+      auto pr = Executor(snap, parallel).Scan(queries[t], 0);
+      auto sr = Executor(snap, serial).Scan(queries[t], 0);
+      if (!pr.ok() || !sr.ok()) {
+        torn++;
+      } else {
+        if (pr->NumRows() != snap.row_count(t)) torn++;
+        if (pr->tuples[0] != sr->tuples[0]) torn++;
+      }
+      scans++;
+      t = (t + 1) % kTables;
+    }
+  };
+
+  // Index readers: force lazy builds on fresh versions while scans and
+  // writers run; every hit must hold the looked-up value in the same
+  // snapshot.
+  auto index_reader = [&] {
+    int64_t probe = 0;
+    int t = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      Snapshot snap = db->GetSnapshot();
+      const auto& ids = snap.column(t, 0);
+      if (!ids.empty()) {
+        int64_t id = ids[probe++ % ids.size()];
+        for (uint32_t r : snap.index(t, 1).Lookup(3 * id)) {
+          if (snap.column(t, 1)[r] != 3 * id) torn++;
+        }
+      }
+      t = (t + 1) % kTables;
+    }
+  };
+
+  std::vector<std::thread> readers;
+  readers.emplace_back(morsel_reader);
+  readers.emplace_back(morsel_reader);
+  readers.emplace_back(index_reader);
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kTables; ++t) {
+    writers.emplace_back(
+        [&, t] { WriteBatches(&log, db.get(), t, 40, t + 1); });
+  }
+
+  // Mid-rebase replay: a Rebase on table 0 runs its (parallel-scanning)
+  // rescan while table 0's writer keeps streaming; the pinned snapshot must
+  // stay frozen under the pool's morsel scans.
+  std::thread rebaser([&] {
+    Status status = log.Rebase(
+        0, [&](const TableDelta&, const TableAnchor&,
+               const Snapshot& pinned) -> StatusOr<TableAnchor> {
+          const int64_t pinned_rows = pinned.row_count(0);
+          ExecutorOptions options;
+          options.use_index_for_eq = false;
+          options.morsel_chunks = 1;
+          options.pool = &pool;
+          for (int pass = 0; pass < 3; ++pass) {
+            auto result = Executor(pinned, options).Scan(queries[0], 0);
+            BALSA_CHECK(result.ok(), "rebase scan");
+            if (result->NumRows() != pinned_rows) torn++;
+            std::this_thread::yield();
+          }
+          TableAnchor anchor;
+          anchor.base_row_count = pinned_rows;
+          anchor.stats_version = 1;
+          anchor.columns.resize(2);
+          return anchor;
+        });
+    BALSA_CHECK(status.ok(), "rebase");
+  });
+
+  for (auto& w : writers) w.join();
+  rebaser.join();
+  stop.store(true, std::memory_order_release);
+  for (auto& r : readers) r.join();
+
+  EXPECT_EQ(torn.load(), 0);
+  EXPECT_GT(scans.load(), 0);
+  // +8 / -8 per batch: every table ends where it started, invariant intact.
+  Snapshot snap = db->GetSnapshot();
+  for (int t = 0; t < kTables; ++t) {
+    EXPECT_EQ(snap.row_count(t), rows);
+    for (int64_t r = 0; r < snap.row_count(t); ++r) {
+      int64_t id = snap.column(t, 0)[r];
+      int64_t v = snap.column(t, 1)[r];
+      ASSERT_TRUE(v == 3 * id || v == 5 * id)
+          << "table " << t << " row " << r;
     }
   }
 }
