@@ -11,6 +11,8 @@
 
 #include "src/harness/env.h"
 #include "src/harness/runner.h"
+#include "src/obs/export.h"
+#include "src/obs/metrics.h"
 #include "src/util/logging.h"
 #include "src/util/stats_util.h"
 #include "src/util/table_printer.h"
@@ -61,6 +63,22 @@ inline void PrintHeader(const char* id, const char* paper_claim,
 inline std::string Speedup(double expert_ms, double agent_ms) {
   if (agent_ms <= 0) return "n/a";
   return TablePrinter::Fmt(expert_ms / agent_ms, 2) + "x";
+}
+
+/// Honors --metrics-json=<path>: dumps the default metrics registry (every
+/// instrument the bench's components attached to obs::MetricsRegistry::
+/// Default()) as JSON. Call once at bench exit. No-op without the flag.
+inline void DumpMetricsJsonIfRequested(const BenchFlags& flags) {
+  if (flags.metrics_json.empty()) return;
+  const obs::RegistrySnapshot snapshot =
+      obs::MetricsRegistry::Default().Snapshot();
+  Status status = obs::WriteJsonFile(snapshot, flags.metrics_json);
+  if (!status.ok()) {
+    std::printf("metrics dump failed: %s\n", status.ToString().c_str());
+    return;
+  }
+  std::printf("metrics: %zu series -> %s\n", snapshot.metrics.size(),
+              flags.metrics_json.c_str());
 }
 
 }  // namespace balsa::bench

@@ -41,7 +41,7 @@ struct ServingConfig {
   int max_relations = 10;
 };
 
-int Run(const ServingConfig& config) {
+int Run(const ServingConfig& config, const BenchFlags& flags) {
   EnvOptions env_options;
   env_options.data_scale = config.scale;
   std::printf("building JOB-like env (scale %.2f) ...\n", config.scale);
@@ -72,7 +72,14 @@ int Run(const ServingConfig& config) {
 
   auto make_server = [&](bool enable_cache) {
     OptimizerServerOptions options = server_options;
-    if (!enable_cache) {
+    if (enable_cache) {
+      // The measured server runs fully instrumented: metrics on the default
+      // registry (dumped by --metrics-json) and 1-in-16 request tracing for
+      // the stage breakdown below. The scratch twin stays unattached so the
+      // two servers' series don't merge.
+      options.metrics = &obs::MetricsRegistry::Default();
+      options.trace.sample_every = 16;
+    } else {
       options.cache.shard_capacity = 0;  // every request misses
       options.coalesce_misses = false;   // and plans for itself
     }
@@ -132,6 +139,10 @@ int Run(const ServingConfig& config) {
               "(%.1fx)\n",
               scratch->requests_per_sec, cached->requests_per_sec, speedup);
 
+  // Where the cached server's requests spent their time, from its sampled
+  // traces: cache_lookup dominating beam_search is the plan cache working.
+  obs::PrintStageBreakdown(*server->tracer());
+
   bool ok = true;
   if (!cached->plans_consistent || !scratch->plans_consistent) {
     std::printf("FAIL: clients observed differing plans for one query\n");
@@ -174,6 +185,9 @@ int Run(const ServingConfig& config) {
   }
   std::printf("%s\n", ok ? "PASS: all serving gates hold"
                          : "FAIL: serving gates violated");
+  // Dump while the instrumented server is alive — destruction detaches its
+  // series from the default registry.
+  bench::DumpMetricsJsonIfRequested(flags);
   return ok ? 0 : 1;
 }
 
@@ -214,5 +228,5 @@ int main(int argc, char** argv) {
       config.smoke ? " (smoke)" : "", config.clients, config.beam_size,
       config.top_k, config.max_relations, config.scratch_requests_per_client,
       config.cached_requests_per_client);
-  return Run(config);
+  return Run(config, flags);
 }

@@ -105,9 +105,17 @@ Stack MakeStack(const IngestBenchConfig& config) {
 
   stack.log = std::make_unique<ChangeLog>(stack.env->db.get());
 
+  // Full instrumentation: server metrics + 1-in-16 tracing for the stage
+  // breakdown, storage and change-log counters for the ingest summary, all
+  // on the default registry (dumped by --metrics-json).
+  stack.env->db->AttachMetrics(&obs::MetricsRegistry::Default());
+  stack.log->AttachMetrics(&obs::MetricsRegistry::Default());
+
   OptimizerServerOptions server_options;
   server_options.planner.beam_size = config.beam_size;
   server_options.planner.top_k = config.top_k;
+  server_options.metrics = &obs::MetricsRegistry::Default();
+  server_options.trace.sample_every = 16;
   stack.server = std::make_unique<OptimizerServer>(
       &stack.env->schema(), stack.featurizer.get(), stack.network.get(),
       stack.env->oracle.get(), server_options);
@@ -231,7 +239,7 @@ int64_t RunPhase(Stack& stack, int check_table,
   return ops.load();
 }
 
-int Run(const IngestBenchConfig& config) {
+int Run(const IngestBenchConfig& config, const BenchFlags& flags) {
   std::printf("building a JOB-like env (scale %.2f) ...\n", config.scale);
   Stack stack = MakeStack(config);
   Database& db = *stack.env->db;
@@ -301,6 +309,24 @@ int Run(const IngestBenchConfig& config) {
   std::printf("serving under ingest runs at %.2fx the quiescent rate "
               "(gate: >= %.2fx)\n", ratio, kMinThroughputRatio);
 
+  // Where served requests spent their time (sampled traces), and what the
+  // writers cost the store: shared chunks are publications riding the
+  // copy-on-write path, copied chunks are the actual write amplification.
+  obs::PrintStageBreakdown(*stack.server->tracer());
+  const Database::StorageStats storage = db.storage_stats();
+  std::printf(
+      "storage: %lld publications, %lld chunks copied / %lld shared "
+      "(%.1f%% shared), %lld bytes retained\n",
+      static_cast<long long>(storage.publications),
+      static_cast<long long>(storage.chunks_copied),
+      static_cast<long long>(storage.chunks_shared),
+      storage.chunks_copied + storage.chunks_shared > 0
+          ? 100.0 * static_cast<double>(storage.chunks_shared) /
+                static_cast<double>(storage.chunks_copied +
+                                    storage.chunks_shared)
+          : 0.0,
+      static_cast<long long>(db.DataBytes()));
+
   gate(ratio >= kMinThroughputRatio,
        "serving q/s under ingest fell below the throughput-ratio gate");
   gate(torn.load() == 0, "zero torn reads (checksum-stable snapshot scans)");
@@ -309,6 +335,9 @@ int Run(const IngestBenchConfig& config) {
 
   std::printf("%s\n", ok ? "PASS: all snapshot-ingest gates hold"
                          : "FAIL: snapshot-ingest gates violated");
+  // Dump while the instrumented components are alive — their Registrations
+  // detach everything from the default registry on destruction.
+  bench::DumpMetricsJsonIfRequested(flags);
   return ok ? 0 : 1;
 }
 
@@ -352,5 +381,5 @@ int main(int argc, char** argv) {
       config.smoke ? " (smoke)" : "", config.clients, config.writers,
       config.rows_per_batch, config.writer_sleep_us, config.beam_size,
       config.top_k, config.max_relations, config.phase_ms);
-  return Run(config);
+  return Run(config, flags);
 }

@@ -24,8 +24,11 @@ fi
 # storage gates (1M-row append batch cost <= 2x the 100k-row cost, one-row
 # append on a 1M-row table retains at most one tail chunk per column,
 # serial morsel scan >= the scalar per-row reference, zero bitwise
-# mismatches across serial/parallel/skipping/indexed scan paths). Each
-# exits non-zero on violation.
+# mismatches across serial/parallel/skipping/indexed scan paths);
+# bench_obs_overhead asserts the observability gates (instrumented serving
+# >= 0.97x the recording-disabled baseline on the closed-loop replay, and
+# >= 0.90x on a single-thread cache-hit hammer). Each exits non-zero on
+# violation.
 if [ -x "$build_dir/bench/bench_inference_batching" ]; then
   echo "==> bench_inference_batching"
   "$build_dir/bench/bench_inference_batching"
@@ -51,13 +54,18 @@ if [ -x "$build_dir/bench/bench_chunk_ingest" ]; then
   "$build_dir/bench/bench_chunk_ingest"
   echo
 fi
+if [ -x "$build_dir/bench/bench_obs_overhead" ]; then
+  echo "==> bench_obs_overhead"
+  "$build_dir/bench/bench_obs_overhead"
+  echo
+fi
 
 # Binaries share build/bench/ with CMake's own files (CMakeFiles/, Makefile);
 # keep only executable regular files.
 for bin in "$build_dir"/bench/*; do
   [ -f "$bin" ] && [ -x "$bin" ] || continue
   case "$(basename "$bin")" in
-    bench_inference_batching|bench_serving_throughput|bench_adaptive_drift|bench_snapshot_ingest|bench_chunk_ingest)
+    bench_inference_batching|bench_serving_throughput|bench_adaptive_drift|bench_snapshot_ingest|bench_chunk_ingest|bench_obs_overhead)
       continue ;;
   esac
   echo "==> $(basename "$bin")"

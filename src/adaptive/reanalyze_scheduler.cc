@@ -4,6 +4,7 @@
 #include <chrono>
 #include <utility>
 
+#include "src/obs/trace.h"
 #include "src/stats/incremental_analyze.h"
 
 namespace balsa {
@@ -22,7 +23,26 @@ ReanalyzeScheduler::ReanalyzeScheduler(Database* db, ChangeLog* log,
       pool_(pool),
       options_(options),
       detector_(options.thresholds),
-      incremental_rounds_(static_cast<size_t>(log->num_tables()), 0) {}
+      incremental_rounds_(static_cast<size_t>(log->num_tables()), 0) {
+  if (options_.metrics != nullptr) {
+    obs::MetricsRegistry* reg = options_.metrics;
+    registrations_.push_back(reg->AttachCounter("adaptive.passes", &passes_));
+    registrations_.push_back(reg->AttachCounter("adaptive.bumps", &bumps_));
+    registrations_.push_back(reg->AttachCounter(
+        "adaptive.incremental_merges", &incremental_merges_));
+    registrations_.push_back(
+        reg->AttachCounter("adaptive.full_reanalyzes", &full_reanalyzes_));
+    registrations_.push_back(
+        reg->AttachCounter("adaptive.rewarm_replans", &rewarm_replans_));
+    registrations_.push_back(reg->AttachCounter("adaptive.errors", &errors_));
+    registrations_.push_back(
+        reg->AttachHistogram("adaptive.reanalyze_us", &reanalyze_us_));
+    registrations_.push_back(reg->AttachHistogram(
+        "adaptive.drift_score_milli", &drift_score_milli_));
+    registrations_.push_back(reg->AttachGauge("adaptive.max_drift_score_milli",
+                                              &max_drift_score_milli_));
+  }
+}
 
 ReanalyzeScheduler::~ReanalyzeScheduler() { Stop(); }
 
@@ -32,7 +52,7 @@ ReanalyzeScheduler::PassReport ReanalyzeScheduler::RunOnce() {
 
 ReanalyzeScheduler::PassReport ReanalyzeScheduler::RunPass() {
   std::lock_guard<std::mutex> pass_lock(pass_mu_);
-  passes_.fetch_add(1, std::memory_order_relaxed);
+  passes_.Inc();
   PassReport report;
 
   std::shared_ptr<const CardinalityEstimator> current = estimator_->current();
@@ -49,6 +69,11 @@ ReanalyzeScheduler::PassReport ReanalyzeScheduler::RunPass() {
     DriftScore score = detector_.Score(stats[static_cast<size_t>(t)],
                                        log_->anchor(t), delta);
     report.max_score = std::max(report.max_score, score.score);
+    // Milli-units: log2 buckets can't resolve [0, 2), and scores hover
+    // around the 1.0 drift threshold.
+    const int64_t score_milli = static_cast<int64_t>(score.score * 1000.0);
+    drift_score_milli_.Record(static_cast<double>(score_milli));
+    max_drift_score_milli_.UpdateMax(score_milli);
     if (!score.drifted) continue;
     report.tables_drifted++;
 
@@ -59,45 +84,55 @@ ReanalyzeScheduler::PassReport ReanalyzeScheduler::RunPass() {
     int& rounds = incremental_rounds_[static_cast<size_t>(t)];
     TableStats merged;
     bool full = false;
-    Status status = log_->Rebase(
-        t, [&](const TableDelta& locked_delta, const TableAnchor& anchor,
-               const Snapshot& snapshot) -> StatusOr<TableAnchor> {
-          const double changed =
-              static_cast<double>(locked_delta.rows_inserted +
-                                  locked_delta.rows_deleted +
-                                  locked_delta.rows_updated);
-          const double base = static_cast<double>(
-              std::max<int64_t>(1, anchor.base_row_count));
-          full = rounds >= options_.max_incremental_rounds ||
-                 changed / base > options_.full_reanalyze_fraction;
-          if (full) {
-            AnalyzeOptions analyze = options_.analyze;
-            analyze.stats_version = new_version;
-            BALSA_ASSIGN_OR_RETURN(merged,
-                                   AnalyzeTable(snapshot, t, analyze));
-          } else {
-            merged = MergeTableDelta(stats[static_cast<size_t>(t)], anchor,
-                                     locked_delta, new_version);
-          }
-          return MakeTableAnchor(merged);
-        });
+    const auto reanalyze_start = std::chrono::steady_clock::now();
+    Status status = [&] {
+      // kReanalyze span: inert unless the pass runs under a trace context
+      // (e.g. a traced end-to-end driver).
+      obs::SpanTimer reanalyze_span(obs::TraceStage::kReanalyze);
+      return log_->Rebase(
+          t, [&](const TableDelta& locked_delta, const TableAnchor& anchor,
+                 const Snapshot& snapshot) -> StatusOr<TableAnchor> {
+            const double changed =
+                static_cast<double>(locked_delta.rows_inserted +
+                                    locked_delta.rows_deleted +
+                                    locked_delta.rows_updated);
+            const double base = static_cast<double>(
+                std::max<int64_t>(1, anchor.base_row_count));
+            full = rounds >= options_.max_incremental_rounds ||
+                   changed / base > options_.full_reanalyze_fraction;
+            if (full) {
+              AnalyzeOptions analyze = options_.analyze;
+              analyze.stats_version = new_version;
+              BALSA_ASSIGN_OR_RETURN(merged,
+                                     AnalyzeTable(snapshot, t, analyze));
+            } else {
+              merged = MergeTableDelta(stats[static_cast<size_t>(t)], anchor,
+                                       locked_delta, new_version);
+            }
+            return MakeTableAnchor(merged);
+          });
+    }();
+    reanalyze_us_.Record(std::chrono::duration<double, std::micro>(
+                             std::chrono::steady_clock::now() -
+                             reanalyze_start)
+                             .count());
     if (!status.ok()) {
       // Skip this table (its delta keeps accumulating; the next pass
       // retries) but keep going: aborting here would discard another
       // table's completed Rebase, whose anchor already reflects merged
       // stats that MUST still be installed below.
-      errors_.fetch_add(1, std::memory_order_relaxed);
+      errors_.Inc();
       report.errors++;
       continue;
     }
     if (full) {
       rounds = 0;
       report.full_reanalyzes++;
-      full_reanalyzes_.fetch_add(1, std::memory_order_relaxed);
+      full_reanalyzes_.Inc();
     } else {
       rounds++;
       report.incremental_merges++;
-      incremental_merges_.fetch_add(1, std::memory_order_relaxed);
+      incremental_merges_.Inc();
     }
     next_stats[static_cast<size_t>(t)] = std::move(merged);
     any = true;
@@ -115,12 +150,11 @@ ReanalyzeScheduler::PassReport ReanalyzeScheduler::RunPass() {
 
   if (server_ != nullptr && options_.rewarm_top_k > 0) {
     report.rewarm = server_->Rewarm(options_.rewarm_top_k);
-    rewarm_replans_.fetch_add(report.rewarm.replanned,
-                              std::memory_order_relaxed);
+    rewarm_replans_.Inc(report.rewarm.replanned);
   }
   // Counted after the re-warm: a poller that waits for counters().bumps to
   // advance observes the warmed cache, not a half-finished pass.
-  bumps_.fetch_add(1, std::memory_order_relaxed);
+  bumps_.Inc();
   return report;
 }
 
@@ -162,14 +196,12 @@ void ReanalyzeScheduler::TimerLoop() {
 
 ReanalyzeScheduler::Counters ReanalyzeScheduler::counters() const {
   Counters counters;
-  counters.passes = passes_.load(std::memory_order_relaxed);
-  counters.bumps = bumps_.load(std::memory_order_relaxed);
-  counters.incremental_merges =
-      incremental_merges_.load(std::memory_order_relaxed);
-  counters.full_reanalyzes =
-      full_reanalyzes_.load(std::memory_order_relaxed);
-  counters.rewarm_replans = rewarm_replans_.load(std::memory_order_relaxed);
-  counters.errors = errors_.load(std::memory_order_relaxed);
+  counters.passes = passes_.Value();
+  counters.bumps = bumps_.Value();
+  counters.incremental_merges = incremental_merges_.Value();
+  counters.full_reanalyzes = full_reanalyzes_.Value();
+  counters.rewarm_replans = rewarm_replans_.Value();
+  counters.errors = errors_.Value();
   return counters;
 }
 

@@ -40,6 +40,7 @@
 #include <vector>
 
 #include "src/adaptive/drift_detector.h"
+#include "src/obs/metrics.h"
 #include "src/serving/optimizer_server.h"
 #include "src/stats/card_oracle.h"
 #include "src/stats/swappable_estimator.h"
@@ -66,6 +67,10 @@ struct ReanalyzeSchedulerOptions {
   int rewarm_top_k = 8;
   /// Knobs for the full-rescan fallback.
   AnalyzeOptions analyze;
+  /// When set, the scheduler attaches its counters, the drift-score and
+  /// re-ANALYZE duration histograms, and a peak-drift gauge under
+  /// "adaptive.". Borrowed; must outlive the scheduler.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 class ReanalyzeScheduler {
@@ -121,6 +126,15 @@ class ReanalyzeScheduler {
   };
   Counters counters() const;
 
+  /// Wall µs of each table's re-ANALYZE (the Rebase call: incremental
+  /// merge or full rescan, writers live throughout).
+  const obs::Log2Histogram& reanalyze_us() const { return reanalyze_us_; }
+  /// Drift scores observed per checked table, in milli-units (score ×
+  /// 1000, so sub-threshold drift still lands above bucket zero).
+  const obs::Log2Histogram& drift_score_milli() const {
+    return drift_score_milli_;
+  }
+
   const DriftDetector& detector() const { return detector_; }
 
  private:
@@ -139,17 +153,23 @@ class ReanalyzeScheduler {
   std::mutex pass_mu_;  // serializes passes
   std::vector<int> incremental_rounds_;  // per table, guarded by pass_mu_
 
-  std::atomic<int64_t> passes_{0};
-  std::atomic<int64_t> bumps_{0};
-  std::atomic<int64_t> incremental_merges_{0};
-  std::atomic<int64_t> full_reanalyzes_{0};
-  std::atomic<int64_t> rewarm_replans_{0};
-  std::atomic<int64_t> errors_{0};
+  obs::Counter passes_;
+  obs::Counter bumps_;
+  obs::Counter incremental_merges_;
+  obs::Counter full_reanalyzes_;
+  obs::Counter rewarm_replans_;
+  obs::Counter errors_;
+  obs::Log2Histogram reanalyze_us_;
+  obs::Log2Histogram drift_score_milli_;
+  obs::Gauge max_drift_score_milli_;  // high-water mark across passes
 
   std::mutex timer_mu_;
   std::condition_variable timer_cv_;
   bool stop_ = true;
   std::thread timer_;
+
+  /// Registry attachments (empty without options.metrics). Last member.
+  std::vector<obs::Registration> registrations_;
 };
 
 }  // namespace balsa

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "src/obs/trace.h"
 #include "src/util/parallel_for.h"
 
 namespace balsa {
@@ -136,6 +137,9 @@ bool Executor::EvalFilter(const Query& query, const FilterPredicate& f,
 }
 
 StatusOr<Intermediate> Executor::Scan(const Query& query, int rel) const {
+  // One span per relation scanned; inert unless the calling thread carries
+  // a sampled request's trace context (obs::ScopedTraceContext).
+  obs::SpanTimer span(obs::TraceStage::kExecScan);
   if (rel < 0 || rel >= query.num_relations()) {
     return Status::OutOfRange("relation " + std::to_string(rel));
   }
@@ -291,6 +295,7 @@ StatusOr<Intermediate> Executor::Scan(const Query& query, int rel) const {
 StatusOr<Intermediate> Executor::Join(const Query& query,
                                       const Intermediate& left,
                                       const Intermediate& right) const {
+  obs::SpanTimer span(obs::TraceStage::kExecJoin);
   TableSet lset, rset;
   for (int r : left.rels) lset = lset.With(r);
   for (int r : right.rels) rset = rset.With(r);

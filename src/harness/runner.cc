@@ -24,6 +24,7 @@ BenchFlags BenchFlags::Parse(int argc, char** argv) {
     else if (const char* v = value("--iters")) flags.iters = std::atoi(v);
     else if (const char* v = value("--seeds")) flags.seeds = std::atoi(v);
     else if (const char* v = value("--threads")) flags.threads = std::atoi(v);
+    else if (const char* v = value("--metrics-json")) flags.metrics_json = v;
     else if (std::strcmp(argv[i], "--full") == 0) flags.full = true;
   }
   if (flags.full) {

@@ -23,6 +23,10 @@ struct BenchFlags {
   /// (0 = hardware concurrency). Results are thread-count independent.
   int threads = 0;
   bool full = false;
+  /// --metrics-json=<path>: where to dump the default metrics registry as
+  /// JSON when the bench exits (empty = no dump). See
+  /// bench::DumpMetricsJsonIfRequested.
+  std::string metrics_json;
 
   static BenchFlags Parse(int argc, char** argv);
   std::string ToString() const;

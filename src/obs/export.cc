@@ -1,0 +1,127 @@
+#include "src/obs/export.h"
+
+#include <cstdio>
+
+#include "src/util/table_printer.h"
+
+namespace balsa::obs {
+
+namespace {
+
+const char* KindName(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "hist";
+  }
+  return "unknown";
+}
+
+std::string FmtDouble(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string TextDump(const RegistrySnapshot& snapshot) {
+  std::string out;
+  char line[256];
+  for (const MetricValue& m : snapshot.metrics) {
+    if (m.kind == MetricKind::kHistogram) {
+      std::snprintf(line, sizeof(line),
+                    "%-8s %s  count=%lld mean=%.1f p50<=%.0f p90<=%.0f "
+                    "p99<=%.0f\n",
+                    KindName(m.kind), m.name.c_str(),
+                    static_cast<long long>(m.histogram.count),
+                    m.histogram.Mean(), m.histogram.Percentile(50),
+                    m.histogram.Percentile(90), m.histogram.Percentile(99));
+    } else {
+      std::snprintf(line, sizeof(line), "%-8s %s  %lld\n", KindName(m.kind),
+                    m.name.c_str(), static_cast<long long>(m.value));
+    }
+    out += line;
+  }
+  return out;
+}
+
+std::string JsonDump(const RegistrySnapshot& snapshot) {
+  std::string out = "{\"metrics\":[";
+  bool first = true;
+  for (const MetricValue& m : snapshot.metrics) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"";
+    // Metric names are code-chosen identifiers ([a-z0-9._{}=,]-ish); escape
+    // the two JSON-significant characters anyway so a hostile label cannot
+    // break the document.
+    for (char c : m.name) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    out += "\",\"kind\":\"";
+    out += KindName(m.kind);
+    out += "\"";
+    if (m.kind == MetricKind::kHistogram) {
+      out += ",\"count\":" + std::to_string(m.histogram.count);
+      out += ",\"sum\":" + std::to_string(m.histogram.sum);
+      out += ",\"p50\":" + FmtDouble(m.histogram.Percentile(50));
+      out += ",\"p99\":" + FmtDouble(m.histogram.Percentile(99));
+      int last = -1;
+      for (int i = 0; i < HistogramData::kBuckets; ++i) {
+        if (m.histogram.buckets[static_cast<size_t>(i)] != 0) last = i;
+      }
+      out += ",\"buckets\":[";
+      for (int i = 0; i <= last; ++i) {
+        if (i > 0) out += ',';
+        out += std::to_string(m.histogram.buckets[static_cast<size_t>(i)]);
+      }
+      out += ']';
+    } else {
+      out += ",\"value\":" + std::to_string(m.value);
+    }
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+Status WriteJsonFile(const RegistrySnapshot& snapshot,
+                     const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::Internal("cannot open " + path + " for writing");
+  }
+  const std::string json = JsonDump(snapshot);
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const bool closed = std::fclose(f) == 0;
+  if (written != json.size() || !closed) {
+    return Status::Internal("short write to " + path);
+  }
+  return Status::OK();
+}
+
+void PrintStageBreakdown(const RequestTracer& tracer) {
+  TablePrinter table({"stage", "samples", "mean us", "p50 us<=", "p99 us<="});
+  int rows = 0;
+  for (int i = 0; i < kNumTraceStages; ++i) {
+    const auto stage = static_cast<TraceStage>(i);
+    const HistogramData data = tracer.stage_histogram(stage).Snapshot();
+    if (data.count == 0) continue;
+    table.AddRow({TraceStageName(stage), TablePrinter::Fmt(data.count, 0),
+                  TablePrinter::Fmt(data.Mean(), 1),
+                  TablePrinter::Fmt(data.Percentile(50), 0),
+                  TablePrinter::Fmt(data.Percentile(99), 0)});
+    rows++;
+  }
+  if (rows == 0) {
+    std::printf("stage breakdown: no sampled spans (tracing off?)\n");
+    return;
+  }
+  std::printf("per-stage latency breakdown (sampled 1/%d):\n",
+              tracer.options().sample_every);
+  table.Print();
+}
+
+}  // namespace balsa::obs

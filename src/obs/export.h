@@ -1,0 +1,34 @@
+// Snapshot export: stable text and JSON renderings of a RegistrySnapshot,
+// plus the per-stage latency breakdown table the serving benches print.
+// Everything here reads snapshots — no live instrument access, so dumping
+// never perturbs a running workload beyond taking the snapshot itself.
+#pragma once
+
+#include <string>
+
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "src/util/status.h"
+
+namespace balsa::obs {
+
+/// One line per metric, sorted by name:
+///   counter  serving.requests  12345
+///   hist     serving.request_us{outcome=hit}  count=100 mean=3.2 p50<=4 ...
+std::string TextDump(const RegistrySnapshot& snapshot);
+
+/// {"metrics":[{"name":...,"kind":...,"value":...}|{...,"count":...,
+/// "sum":...,"buckets":[...]}]} — buckets trimmed at the last non-zero.
+std::string JsonDump(const RegistrySnapshot& snapshot);
+
+/// JsonDump of `snapshot` written to `path` (the --metrics-json target).
+Status WriteJsonFile(const RegistrySnapshot& snapshot,
+                     const std::string& path);
+
+/// Prints the per-stage latency breakdown (count, mean, p50, p99 upper
+/// bounds in us) of `tracer`'s sampled spans as a table — the component
+/// view of where served requests spent their time. Stages with no samples
+/// are omitted; prints a note instead when nothing was sampled.
+void PrintStageBreakdown(const RequestTracer& tracer);
+
+}  // namespace balsa::obs

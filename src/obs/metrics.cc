@@ -1,0 +1,222 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+#include <map>
+
+namespace balsa::obs {
+
+namespace {
+std::atomic<bool> g_enabled{true};
+
+// Round-robin stripe assignment: the first kThreadStripes recording threads
+// get private stripes; later threads wrap. Assigned once per thread.
+std::atomic<uint32_t> g_next_stripe{0};
+}  // namespace
+
+size_t ThreadStripe() {
+  static thread_local const uint32_t slot =
+      g_next_stripe.fetch_add(1, std::memory_order_relaxed);
+  return slot % static_cast<uint32_t>(kThreadStripes);
+}
+
+void SetEnabled(bool enabled) {
+  g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool Enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void HistogramData::Merge(const HistogramData& other) {
+  for (int i = 0; i < kBuckets; ++i) buckets[size_t(i)] += other.buckets[size_t(i)];
+  count += other.count;
+  sum += other.sum;
+}
+
+double HistogramData::Percentile(double p) const {
+  if (count == 0) return 0;
+  int64_t rank = static_cast<int64_t>(p / 100.0 * static_cast<double>(count));
+  if (rank >= count) rank = count - 1;
+  int64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += buckets[static_cast<size_t>(i)];
+    if (seen > rank) return static_cast<double>(uint64_t{1} << i);
+  }
+  return static_cast<double>(uint64_t{1} << (kBuckets - 1));
+}
+
+void Log2Histogram::Record(double value) {
+  if (!Enabled()) return;
+  uint64_t v = value <= 0 ? 0 : static_cast<uint64_t>(value);
+  int bucket = v == 0 ? 0 : 64 - __builtin_clzll(v);
+  if (bucket >= kBuckets) bucket = kBuckets - 1;
+  Stripe& stripe = stripes_[ThreadStripe()];
+  stripe.buckets[static_cast<size_t>(bucket)].fetch_add(
+      1, std::memory_order_relaxed);
+  stripe.sum.fetch_add(static_cast<int64_t>(v), std::memory_order_relaxed);
+}
+
+int64_t Log2Histogram::Count() const { return Snapshot().count; }
+
+HistogramData Log2Histogram::Snapshot() const {
+  // The count is derived from the bucket mass, so count == sum(buckets) by
+  // construction and a percentile rank never points past the mass actually
+  // read. Every bucket only grows, so count is monotone across snapshots.
+  HistogramData data;
+  for (const Stripe& stripe : stripes_) {
+    data.sum += stripe.sum.load(std::memory_order_relaxed);
+    for (int i = 0; i < kBuckets; ++i) {
+      const int64_t b =
+          stripe.buckets[static_cast<size_t>(i)].load(
+              std::memory_order_relaxed);
+      data.buckets[static_cast<size_t>(i)] += b;
+      data.count += b;
+    }
+  }
+  return data;
+}
+
+std::string Labeled(
+    const std::string& name,
+    std::initializer_list<std::pair<const char*, const char*>> labels) {
+  if (labels.size() == 0) return name;
+  std::string out = name;
+  out += '{';
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += key;
+    out += '=';
+    out += value;
+  }
+  out += '}';
+  return out;
+}
+
+const MetricValue* RegistrySnapshot::Find(const std::string& name) const {
+  for (const MetricValue& m : metrics) {
+    if (m.name == name) return &m;
+  }
+  return nullptr;
+}
+
+Registration& Registration::operator=(Registration&& other) noexcept {
+  if (this != &other) {
+    Reset();
+    registry_ = other.registry_;
+    id_ = other.id_;
+    other.registry_ = nullptr;
+    other.id_ = 0;
+  }
+  return *this;
+}
+
+void Registration::Reset() {
+  if (registry_ != nullptr) registry_->Detach(id_);
+  registry_ = nullptr;
+  id_ = 0;
+}
+
+Registration MetricsRegistry::AttachCounter(std::string name,
+                                            const Counter* counter) {
+  Entry entry;
+  entry.name = std::move(name);
+  entry.kind = MetricKind::kCounter;
+  entry.counter = counter;
+  return Attach(std::move(entry));
+}
+
+Registration MetricsRegistry::AttachGauge(std::string name,
+                                          const Gauge* gauge) {
+  Entry entry;
+  entry.name = std::move(name);
+  entry.kind = MetricKind::kGauge;
+  entry.gauge = gauge;
+  return Attach(std::move(entry));
+}
+
+Registration MetricsRegistry::AttachHistogram(std::string name,
+                                              const Log2Histogram* histogram) {
+  Entry entry;
+  entry.name = std::move(name);
+  entry.kind = MetricKind::kHistogram;
+  entry.histogram = histogram;
+  return Attach(std::move(entry));
+}
+
+Registration MetricsRegistry::AttachCallbackGauge(std::string name,
+                                                  std::function<int64_t()> fn) {
+  Entry entry;
+  entry.name = std::move(name);
+  entry.kind = MetricKind::kGauge;
+  entry.callback = std::move(fn);
+  return Attach(std::move(entry));
+}
+
+Registration MetricsRegistry::Attach(Entry entry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  entry.id = next_id_++;
+  int64_t id = entry.id;
+  entries_.push_back(std::move(entry));
+  return Registration(this, id);
+}
+
+void MetricsRegistry::Detach(int64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].id == id) {
+      entries_.erase(entries_.begin() + static_cast<ptrdiff_t>(i));
+      return;
+    }
+  }
+}
+
+RegistrySnapshot MetricsRegistry::Snapshot() const {
+  // Copy the entry list under the lock, then read instruments outside it:
+  // callback gauges may take component locks (cache shards, the versions
+  // mutex) that must not nest inside the registry mutex. Instruments are
+  // guaranteed alive for the read by the Registration contract — detach
+  // happens before instrument death, and this copy holds raw pointers only
+  // for the duration of the call. A concurrent detach mid-snapshot is the
+  // caller's lifetime bug, same as destroying any component mid-read.
+  std::vector<Entry> entries;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    entries = entries_;
+  }
+
+  std::map<std::pair<std::string, int>, MetricValue> merged;
+  for (const Entry& entry : entries) {
+    auto key = std::make_pair(entry.name, static_cast<int>(entry.kind));
+    MetricValue& out = merged[key];
+    out.name = entry.name;
+    out.kind = entry.kind;
+    if (entry.counter != nullptr) {
+      out.value += entry.counter->Value();
+    } else if (entry.gauge != nullptr) {
+      out.value += entry.gauge->Value();
+    } else if (entry.callback) {
+      out.value += entry.callback();
+    } else if (entry.histogram != nullptr) {
+      out.histogram.Merge(entry.histogram->Snapshot());
+    }
+  }
+
+  RegistrySnapshot snapshot;
+  snapshot.metrics.reserve(merged.size());
+  for (auto& [key, value] : merged) {
+    snapshot.metrics.push_back(std::move(value));
+  }
+  return snapshot;  // std::map iteration is already name-sorted
+}
+
+size_t MetricsRegistry::NumAttached() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+MetricsRegistry& MetricsRegistry::Default() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+}  // namespace balsa::obs

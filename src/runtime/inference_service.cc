@@ -1,6 +1,9 @@
 #include "src/runtime/inference_service.h"
 
 #include <algorithm>
+#include <chrono>
+
+#include "src/obs/trace.h"
 
 namespace balsa {
 
@@ -10,6 +13,20 @@ InferenceService::InferenceService(const ValueNetwork* network,
   options_.max_batch_size = std::max(1, options_.max_batch_size);
   for (int i = 0; i < options_.num_workers; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  if (options_.metrics != nullptr) {
+    obs::MetricsRegistry* reg = options_.metrics;
+    const std::string& p = options_.metrics_prefix;
+    registrations_.push_back(reg->AttachCounter(p + ".requests", &requests_));
+    registrations_.push_back(reg->AttachCounter(p + ".items", &items_));
+    registrations_.push_back(
+        reg->AttachCounter(p + ".forward_batches", &forward_batches_));
+    registrations_.push_back(
+        reg->AttachGauge(p + ".max_fused_items", &max_fused_));
+    registrations_.push_back(
+        reg->AttachHistogram(p + ".batch_items", &batch_items_));
+    registrations_.push_back(
+        reg->AttachHistogram(p + ".batch_serve_us", &batch_serve_us_));
   }
 }
 
@@ -25,16 +42,16 @@ InferenceService::~InferenceService() {
 std::vector<double> InferenceService::ScoreBatch(
     const nn::Vec& query, const std::vector<const nn::TreeSample*>& plans) {
   if (plans.empty()) return {};
+  // On a traced planning thread this records one kInference span per
+  // ScoreBatch: queue wait plus the fused forward pass. Inert otherwise.
+  obs::SpanTimer span(obs::TraceStage::kInference);
+  requests_.Inc();
 
   if (workers_.empty()) {
     // Synchronous mode: evaluate on the calling thread, still chunked.
     Request request;
     request.query = &query;
     request.plans = &plans;
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      stats_.requests++;
-    }
     ServeBatch({&request});
     return std::move(request.scores);
   }
@@ -44,7 +61,6 @@ std::vector<double> InferenceService::ScoreBatch(
   request.plans = &plans;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    stats_.requests++;
     queue_.push_back(&request);
   }
   queue_cv_.notify_one();
@@ -82,6 +98,7 @@ void InferenceService::WorkerLoop() {
 }
 
 void InferenceService::ServeBatch(const std::vector<Request*>& batch) {
+  const auto start = std::chrono::steady_clock::now();
   // Flatten the fused requests into per-item (query, plan) arrays.
   std::vector<const nn::Vec*> queries;
   std::vector<const nn::TreeSample*> plans;
@@ -95,8 +112,6 @@ void InferenceService::ServeBatch(const std::vector<Request*>& batch) {
 
   std::vector<double> scores;
   scores.reserve(static_cast<size_t>(total));
-  int64_t forward_batches = 0;
-  int64_t max_fused = 0;
   for (int lo = 0; lo < total; lo += options_.max_batch_size) {
     const int hi = std::min(total, lo + options_.max_batch_size);
     std::vector<const nn::Vec*> chunk_queries(queries.begin() + lo,
@@ -106,8 +121,9 @@ void InferenceService::ServeBatch(const std::vector<Request*>& batch) {
     std::vector<double> chunk = network_->ForwardBatch(chunk_queries,
                                                        chunk_plans);
     scores.insert(scores.end(), chunk.begin(), chunk.end());
-    forward_batches++;
-    max_fused = std::max<int64_t>(max_fused, hi - lo);
+    forward_batches_.Inc();
+    max_fused_.UpdateMax(hi - lo);
+    batch_items_.Record(hi - lo);
   }
 
   size_t pos = 0;
@@ -116,15 +132,19 @@ void InferenceService::ServeBatch(const std::vector<Request*>& batch) {
                      scores.begin() + pos + r->plans->size());
     pos += r->plans->size();
   }
-  std::lock_guard<std::mutex> lock(mu_);
-  stats_.items += total;
-  stats_.forward_batches += forward_batches;
-  stats_.max_fused_items = std::max(stats_.max_fused_items, max_fused);
+  items_.Inc(total);
+  batch_serve_us_.Record(std::chrono::duration<double, std::micro>(
+                             std::chrono::steady_clock::now() - start)
+                             .count());
 }
 
 InferenceService::Stats InferenceService::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  Stats stats;
+  stats.requests = requests_.Value();
+  stats.items = items_.Value();
+  stats.forward_batches = forward_batches_.Value();
+  stats.max_fused_items = max_fused_.Value();
+  return stats;
 }
 
 }  // namespace balsa

@@ -18,10 +18,12 @@
 #include <cstdint>
 #include <deque>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "src/model/value_network.h"
+#include "src/obs/metrics.h"
 
 namespace balsa {
 
@@ -33,6 +35,11 @@ struct InferenceServiceOptions {
   /// runs the forward pass on the calling thread (no queue, no fusion) —
   /// useful for profiling and single-threaded callers.
   int num_workers = 1;
+  /// When set, the service attaches its counters, the fused-batch-size
+  /// histogram, and the forward-pass duration histogram under
+  /// metrics_prefix. Borrowed; must outlive the service.
+  obs::MetricsRegistry* metrics = nullptr;
+  std::string metrics_prefix = "runtime.inference";
 };
 
 class InferenceService {
@@ -59,6 +66,17 @@ class InferenceService {
   };
   Stats stats() const;
 
+  /// Items per ForwardBatch call — the fusion-quality distribution (a
+  /// service doing its job shows this clustering near max_batch_size under
+  /// concurrent load). Same bucketing the registry exports.
+  const obs::Log2Histogram& batch_items_histogram() const {
+    return batch_items_;
+  }
+  /// Wall µs per ServeBatch call (all chunks of one fused drain).
+  const obs::Log2Histogram& batch_serve_us_histogram() const {
+    return batch_serve_us_;
+  }
+
   const ValueNetwork* network() const { return network_; }
 
  private:
@@ -82,8 +100,20 @@ class InferenceService {
   std::condition_variable done_cv_;   // clients wait for their scores
   std::deque<Request*> queue_;
   bool stop_ = false;
-  Stats stats_;
   std::vector<std::thread> workers_;
+
+  // Lock-free stats: ScoreBatch/ServeBatch record without touching mu_
+  // (the old Stats struct lived under it; moving to obs instruments took
+  // the bookkeeping out of the queue's critical sections entirely).
+  obs::Counter requests_;
+  obs::Counter items_;
+  obs::Counter forward_batches_;
+  obs::Gauge max_fused_;  // high-water mark via UpdateMax
+  obs::Log2Histogram batch_items_;
+  obs::Log2Histogram batch_serve_us_;
+  /// Registry attachments (empty without options.metrics). Last member:
+  /// detaches before the instruments die.
+  std::vector<obs::Registration> registrations_;
 };
 
 }  // namespace balsa

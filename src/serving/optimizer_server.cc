@@ -1,45 +1,38 @@
 #include "src/serving/optimizer_server.h"
 
 #include <chrono>
+#include <utility>
 
 #include "src/serving/query_fingerprint.h"
 #include "src/sql/parser.h"
 
 namespace balsa {
 
-void LatencyHistogram::Record(double micros) {
-  uint64_t us = micros <= 0 ? 0 : static_cast<uint64_t>(micros);
-  int bucket = us == 0 ? 0 : 64 - __builtin_clzll(us);
-  if (bucket >= kBuckets) bucket = kBuckets - 1;
-  buckets_[static_cast<size_t>(bucket)].fetch_add(1,
-                                                  std::memory_order_relaxed);
-  total_.fetch_add(1, std::memory_order_relaxed);
-}
-
-double LatencyHistogram::PercentileMicros(double p) const {
-  int64_t counts[kBuckets];
-  int64_t total = 0;
-  for (int i = 0; i < kBuckets; ++i) {
-    counts[i] = buckets_[static_cast<size_t>(i)].load(
-        std::memory_order_relaxed);
-    total += counts[i];
-  }
-  if (total == 0) return 0;
-  int64_t rank = static_cast<int64_t>(p / 100.0 * static_cast<double>(total));
-  if (rank >= total) rank = total - 1;
-  int64_t seen = 0;
-  for (int i = 0; i < kBuckets; ++i) {
-    seen += counts[i];
-    if (seen > rank) return static_cast<double>(uint64_t{1} << i);
-  }
-  return static_cast<double>(uint64_t{1} << (kBuckets - 1));
-}
-
 namespace {
 
 PlannerOptions ServingPlannerOptions(PlannerOptions planner) {
   planner.epsilon_collapse = 0;  // a server never randomizes plans
   return planner;
+}
+
+/// The cache and the inference service attach their own instruments; the
+/// server hands its registry down unless the caller already wired one.
+PlanCacheOptions ServingCacheOptions(const OptimizerServerOptions& options) {
+  PlanCacheOptions cache = options.cache;
+  if (cache.metrics == nullptr && options.metrics != nullptr) {
+    cache.metrics = options.metrics;
+    cache.metrics_prefix = options.metrics_prefix + ".plan_cache";
+  }
+  return cache;
+}
+
+InferenceServiceOptions ServingInferenceOptions(
+    const OptimizerServerOptions& options) {
+  InferenceServiceOptions inference = options.inference;
+  if (inference.metrics == nullptr && options.metrics != nullptr) {
+    inference.metrics = options.metrics;
+  }
+  return inference;
 }
 
 uint64_t InFlightKey(uint64_t fingerprint, int64_t version) {
@@ -76,14 +69,41 @@ OptimizerServer::OptimizerServer(const Schema* schema,
     : schema_(schema),
       oracle_(oracle),
       options_(options),
-      inference_(std::make_unique<InferenceService>(network,
-                                                    options.inference)),
+      inference_(std::make_unique<InferenceService>(
+          network, ServingInferenceOptions(options))),
       executor_(std::make_unique<ParallelExecutor>(
           ParallelExecutorOptions{options.num_planning_threads})),
       planner_(schema, featurizer, network,
                ServingPlannerOptions(options.planner)),
-      cache_(options.cache) {
+      cache_(ServingCacheOptions(options)),
+      tracer_(options.trace) {
   planner_.set_inference_service(inference_.get());
+  if (options_.metrics != nullptr) {
+    obs::MetricsRegistry* reg = options_.metrics;
+    const std::string& p = options_.metrics_prefix;
+    registrations_.push_back(reg->AttachCounter(p + ".requests", &requests_));
+    registrations_.push_back(reg->AttachCounter(p + ".hits", &hits_));
+    registrations_.push_back(reg->AttachCounter(p + ".misses", &misses_));
+    registrations_.push_back(
+        reg->AttachCounter(p + ".coalesced", &coalesced_));
+    registrations_.push_back(reg->AttachCounter(p + ".planned", &planned_));
+    registrations_.push_back(reg->AttachCounter(p + ".rewarmed", &rewarmed_));
+    static constexpr const char* kOutcomes[] = {"hit", "miss", "coalesced"};
+    for (size_t i = 0; i < request_us_.size(); ++i) {
+      registrations_.push_back(reg->AttachHistogram(
+          obs::Labeled(p + ".request_us", {{"outcome", kOutcomes[i]}}),
+          &request_us_[i]));
+    }
+    for (obs::Registration& r : tracer_.AttachTo(reg, p)) {
+      registrations_.push_back(std::move(r));
+    }
+    // The planning pool belongs to the runtime layer, so its queue depth is
+    // named under runtime.*, not under the serving prefix.
+    registrations_.push_back(reg->AttachCallbackGauge(
+        "runtime.pool.queue_depth", [pool = executor_->pool()] {
+          return pool->ApproxQueueDepth();
+        }));
+  }
 }
 
 StatusOr<OptimizerServer::OptimizeResult> OptimizerServer::Optimize(
@@ -92,6 +112,10 @@ StatusOr<OptimizerServer::OptimizeResult> OptimizerServer::Optimize(
   // One epoch pin per request: everything this request derives describes
   // data at (or after) this publication epoch.
   const uint64_t epoch = data_epoch();
+  // Sampled requests carry a trace through every stage they touch; for the
+  // rest, MaybeStartTrace returns nullptr and installing the context is a
+  // no-op, leaving every SpanTimer below inert.
+  obs::ScopedTraceContext trace_scope(&tracer_, tracer_.MaybeStartTrace());
   StatusOr<OptimizeResult> result = Serve(query);
   if (result.ok()) {
     double micros = std::chrono::duration<double, std::micro>(
@@ -99,7 +123,10 @@ StatusOr<OptimizerServer::OptimizeResult> OptimizerServer::Optimize(
                         .count();
     result.value().data_epoch = epoch;
     result.value().serve_micros = micros;
-    latency_.Record(micros);
+    const Outcome outcome = result.value().cache_hit ? Outcome::kHit
+                            : result.value().coalesced ? Outcome::kCoalesced
+                                                       : Outcome::kMiss;
+    request_us_[static_cast<size_t>(outcome)].Record(micros);
   }
   return result;
 }
@@ -110,18 +137,25 @@ StatusOr<OptimizerServer::OptimizeResult> OptimizerServer::OptimizeSql(
   return Optimize(query);
 }
 
-StatusOr<CachedPlan> OptimizerServer::PlanMiss(const Query& query,
-                                               int64_t version) {
-  planned_.fetch_add(1, std::memory_order_relaxed);
+StatusOr<CachedPlan> OptimizerServer::PlanMiss(
+    const Query& query, int64_t version,
+    const obs::TraceContext& trace_context) {
+  // Runs on a planning-pool thread: re-install the requester's trace so the
+  // beam-search span (and the inference spans under it) land in it.
+  obs::ScopedTraceContext trace_scope(trace_context);
+  planned_.Inc();
   auto start = std::chrono::steady_clock::now();
-  BALSA_ASSIGN_OR_RETURN(BeamSearchPlanner::PlanningResult result,
-                         planner_.TopK(query, nullptr));
-  if (result.plans.empty()) {
+  StatusOr<BeamSearchPlanner::PlanningResult> result = [&] {
+    obs::SpanTimer span(obs::TraceStage::kBeamSearch);
+    return planner_.TopK(query, nullptr);
+  }();
+  BALSA_RETURN_IF_ERROR(result.status());
+  if (result.value().plans.empty()) {
     return Status::Internal("beam search found no plan for " + query.name());
   }
   CachedPlan entry;
-  entry.plan = result.plans[0].plan;
-  entry.predicted_ms = result.plans[0].predicted_ms;
+  entry.plan = result.value().plans[0].plan;
+  entry.predicted_ms = result.value().plans[0].predicted_ms;
   entry.stats_version = version;
   entry.planning_micros = std::chrono::duration<double, std::micro>(
                               std::chrono::steady_clock::now() - start)
@@ -132,9 +166,13 @@ StatusOr<CachedPlan> OptimizerServer::PlanMiss(const Query& query,
 StatusOr<std::shared_ptr<const CachedPlan>> OptimizerServer::PlanAndAdmit(
     const Query& query, uint64_t fingerprint,
     const std::vector<int>& canonical_rank, int64_t version) {
+  // Capture the trace context *before* crossing onto the pool thread.
   auto future = executor_->pool()->Submit(
-      [this, &query, version] { return PlanMiss(query, version); });
+      [this, &query, version, context = obs::CurrentTraceContextCopy()] {
+        return PlanMiss(query, version, context);
+      });
   BALSA_ASSIGN_OR_RETURN(CachedPlan planned, future.get());
+  obs::SpanTimer span(obs::TraceStage::kAdmit);
   // Store in canonical relation space so any FROM-ordering of this query
   // can translate the entry to its own numbering. The exemplar query and
   // its rank let the re-warm pass replan this fingerprint after a stats
@@ -150,7 +188,9 @@ StatusOr<std::shared_ptr<const CachedPlan>> OptimizerServer::PlanAndAdmit(
 StatusOr<OptimizerServer::OptimizeResult> OptimizerServer::PlanUncached(
     const Query& query, int64_t version, bool coalesced) {
   auto future = executor_->pool()->Submit(
-      [this, &query, version] { return PlanMiss(query, version); });
+      [this, &query, version, context = obs::CurrentTraceContextCopy()] {
+        return PlanMiss(query, version, context);
+      });
   BALSA_ASSIGN_OR_RETURN(CachedPlan planned, future.get());
   OptimizeResult result;
   result.plan = std::move(planned.plan);
@@ -162,8 +202,11 @@ StatusOr<OptimizerServer::OptimizeResult> OptimizerServer::PlanUncached(
 
 StatusOr<OptimizerServer::OptimizeResult> OptimizerServer::Serve(
     const Query& query) {
-  requests_.fetch_add(1, std::memory_order_relaxed);
-  const CanonicalQuery canonical = CanonicalizeQuery(query);
+  requests_.Inc();
+  const CanonicalQuery canonical = [&] {
+    obs::SpanTimer span(obs::TraceStage::kFingerprint);
+    return CanonicalizeQuery(query);
+  }();
   const uint64_t fingerprint = canonical.fingerprint;
   const int64_t version = stats_version();
 
@@ -195,21 +238,26 @@ StatusOr<OptimizerServer::OptimizeResult> OptimizerServer::Serve(
   };
 
   std::shared_ptr<const CachedPlan> cached;
-  if (cache_.Lookup(fingerprint, version, &cached)) {
+  bool found = false;
+  {
+    obs::SpanTimer span(obs::TraceStage::kCacheLookup);
+    found = cache_.Lookup(fingerprint, version, &cached);
+  }
+  if (found) {
     if (servable(*cached)) {
       OptimizeResult result = to_result(*cached, /*hit=*/true,
                                         /*coalesced=*/false);
       if (PlanMatchesQuery(query, result.plan)) {
-        hits_.fetch_add(1, std::memory_order_relaxed);
+        hits_.Inc();
         return result;
       }
     }
-    misses_.fetch_add(1, std::memory_order_relaxed);
+    misses_.Inc();
     return PlanUncached(query, version, /*coalesced=*/false);
   }
 
   if (!options_.coalesce_misses) {
-    misses_.fetch_add(1, std::memory_order_relaxed);
+    misses_.Inc();
     BALSA_ASSIGN_OR_RETURN(
         std::shared_ptr<const CachedPlan> shared,
         PlanAndAdmit(query, fingerprint, canonical.canonical_rank, version));
@@ -235,7 +283,7 @@ StatusOr<OptimizerServer::OptimizeResult> OptimizerServer::Serve(
         OptimizeResult result = to_result(*cached, /*hit=*/true,
                                           /*coalesced=*/false);
         if (PlanMatchesQuery(query, result.plan)) {
-          hits_.fetch_add(1, std::memory_order_relaxed);
+          hits_.Inc();
           return result;
         }
       }
@@ -246,7 +294,7 @@ StatusOr<OptimizerServer::OptimizeResult> OptimizerServer::Serve(
   }
 
   if (leader) {
-    misses_.fetch_add(1, std::memory_order_relaxed);
+    misses_.Inc();
     StatusOr<std::shared_ptr<const CachedPlan>> planned =
         PlanAndAdmit(query, fingerprint, canonical.canonical_rank, version);
     {
@@ -264,9 +312,10 @@ StatusOr<OptimizerServer::OptimizeResult> OptimizerServer::Serve(
     return to_result(*planned.value(), /*hit=*/false, /*coalesced=*/false);
   }
 
-  misses_.fetch_add(1, std::memory_order_relaxed);
-  coalesced_.fetch_add(1, std::memory_order_relaxed);
+  misses_.Inc();
+  coalesced_.Inc();
   {
+    obs::SpanTimer span(obs::TraceStage::kCoalesceWait);
     std::unique_lock<std::mutex> lock(mu_);
     cv_.wait(lock, [&] { return flight->done; });
   }
@@ -304,9 +353,11 @@ OptimizerServer::RewarmReport OptimizerServer::Rewarm(int top_k) {
     }
     // The exemplar is kept alive by h.entry (shared) for the future's
     // lifetime; plans run concurrently on the planning pool and batch
-    // their scoring through the shared inference service.
+    // their scoring through the shared inference service. Re-warm is not a
+    // client request, so it plans without a trace context.
     pending.push_back({&h, executor_->pool()->Submit([this, &h, version] {
-                        return PlanMiss(*h.entry->exemplar, version);
+                        return PlanMiss(*h.entry->exemplar, version,
+                                        obs::TraceContext{});
                       })});
   }
   for (Pending& p : pending) {
@@ -321,19 +372,19 @@ OptimizerServer::RewarmReport OptimizerServer::Rewarm(int top_k) {
     entry.canonical_rank = p.hot->entry->canonical_rank;
     cache_.Insert(p.hot->fingerprint, std::move(entry));
     report.replanned++;
-    rewarmed_.fetch_add(1, std::memory_order_relaxed);
+    rewarmed_.Inc();
   }
   return report;
 }
 
 OptimizerServer::Stats OptimizerServer::stats() const {
   Stats stats;
-  stats.requests = requests_.load(std::memory_order_relaxed);
-  stats.hits = hits_.load(std::memory_order_relaxed);
-  stats.misses = misses_.load(std::memory_order_relaxed);
-  stats.coalesced = coalesced_.load(std::memory_order_relaxed);
-  stats.planned = planned_.load(std::memory_order_relaxed);
-  stats.rewarmed = rewarmed_.load(std::memory_order_relaxed);
+  stats.requests = requests_.Value();
+  stats.hits = hits_.Value();
+  stats.misses = misses_.Value();
+  stats.coalesced = coalesced_.Value();
+  stats.planned = planned_.Value();
+  stats.rewarmed = rewarmed_.Value();
   return stats;
 }
 

@@ -26,20 +26,32 @@
 // (lookups require an exact version match), so stale plans are never
 // served; the entries themselves are evicted lazily by the cache.
 //
+// Observability: request latency is recorded into per-outcome
+// (hit/miss/coalesced) obs::Log2Histograms, and a sampling
+// obs::RequestTracer threads a TraceContext through the request — the
+// fingerprint, cache-lookup, coalesce-wait, beam-search, inference, and
+// admit stages each record a span (per-stage histograms feed the benches'
+// breakdown tables; sampled traces retain the span list). Pass
+// OptimizerServerOptions::metrics to export everything — server counters,
+// outcome histograms, stage histograms, plan-cache counters, inference
+// stats, planning-pool queue depth — through one MetricsRegistry.
+//
 // The network pointer is borrowed and must not be trained while requests
 // are in flight (serve and train are distinct phases, as in the agent).
 #pragma once
 
 #include <array>
-#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "src/balsa/planner.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/runtime/inference_service.h"
 #include "src/runtime/parallel_executor.h"
 #include "src/serving/plan_cache.h"
@@ -61,22 +73,15 @@ struct OptimizerServerOptions {
   /// into one planning call. Off only for baselines that deliberately plan
   /// every request from scratch.
   bool coalesce_misses = true;
-};
-
-/// Lock-free log2-bucketed latency recorder (microsecond resolution).
-/// Percentiles come from bucket upper bounds: within ~2x, which is enough
-/// to tell a microsecond cache hit from a millisecond beam search.
-class LatencyHistogram {
- public:
-  void Record(double micros);
-  /// p in [0, 100]; returns an upper bound of the p-th percentile in µs.
-  double PercentileMicros(double p) const;
-  int64_t count() const { return total_.load(std::memory_order_relaxed); }
-
- private:
-  static constexpr int kBuckets = 40;  // 2^39 µs ≈ 6.4 days
-  std::array<std::atomic<int64_t>, kBuckets> buckets_{};
-  std::atomic<int64_t> total_{0};
+  /// Request-trace sampling (sample_every = 0 disables tracing).
+  obs::RequestTracerOptions trace;
+  /// When set, every serving instrument — counters, latency histograms,
+  /// trace stage histograms, plan-cache and inference-service stats, the
+  /// planning pool's queue depth — is attached under metrics_prefix.
+  /// Borrowed; must outlive the server. nullptr = instruments still work
+  /// (they ARE the server's stats), they just aren't exported anywhere.
+  obs::MetricsRegistry* metrics = nullptr;
+  std::string metrics_prefix = "serving";
 };
 
 class OptimizerServer {
@@ -152,8 +157,16 @@ class OptimizerServer {
     return oracle_ == nullptr ? 0 : oracle_->data_epoch();
   }
 
+  /// How a request was served; indexes the per-outcome latency histograms.
+  enum class Outcome { kHit = 0, kMiss, kCoalesced };
+
   const PlanCache& cache() const { return cache_; }
-  const LatencyHistogram& latency() const { return latency_; }
+  /// Request latency (µs) of every request served with `outcome`.
+  const obs::Log2Histogram& latency(Outcome outcome) const {
+    return request_us_[static_cast<size_t>(outcome)];
+  }
+  obs::RequestTracer* tracer() { return &tracer_; }
+  const obs::RequestTracer& tracer() const { return tracer_; }
   const InferenceService* inference() const { return inference_.get(); }
   int num_planning_threads() const { return executor_->num_threads(); }
 
@@ -167,7 +180,9 @@ class OptimizerServer {
   };
 
   /// Runs one beam search on the planning pool and returns its best plan.
-  StatusOr<CachedPlan> PlanMiss(const Query& query, int64_t version);
+  /// `trace_context` re-installs the requester's trace on the pool thread.
+  StatusOr<CachedPlan> PlanMiss(const Query& query, int64_t version,
+                                const obs::TraceContext& trace_context);
   /// Plans `query`, admits the canonical-space entry to the cache, and
   /// returns it (shared by the leader's response and any waiters).
   StatusOr<std::shared_ptr<const CachedPlan>> PlanAndAdmit(
@@ -194,13 +209,19 @@ class OptimizerServer {
   /// let a new request join a plan computed under the old statistics.
   std::unordered_map<uint64_t, std::shared_ptr<InFlight>> in_flight_;
 
-  std::atomic<int64_t> requests_{0};
-  std::atomic<int64_t> hits_{0};
-  std::atomic<int64_t> misses_{0};
-  std::atomic<int64_t> coalesced_{0};
-  std::atomic<int64_t> planned_{0};
-  std::atomic<int64_t> rewarmed_{0};
-  LatencyHistogram latency_;
+  obs::Counter requests_;
+  obs::Counter hits_;
+  obs::Counter misses_;
+  obs::Counter coalesced_;
+  obs::Counter planned_;
+  obs::Counter rewarmed_;
+  /// Request latency by outcome, indexed by Outcome. The merge of the
+  /// three is the overall latency distribution (HistogramData::Merge).
+  std::array<obs::Log2Histogram, 3> request_us_;
+  obs::RequestTracer tracer_;
+  /// Registry attachments (empty when options.metrics == nullptr). Last
+  /// member: detaches before any instrument dies.
+  std::vector<obs::Registration> registrations_;
 };
 
 }  // namespace balsa

@@ -7,7 +7,34 @@ namespace balsa {
 
 PlanCache::PlanCache(PlanCacheOptions options)
     : options_(options),
-      shards_(static_cast<size_t>(std::max(1, options.num_shards))) {}
+      shards_(static_cast<size_t>(std::max(1, options.num_shards))) {
+  if (options_.metrics == nullptr) return;
+  obs::MetricsRegistry* reg = options_.metrics;
+  const std::string& p = options_.metrics_prefix;
+  // Every shard attaches under the same names; the registry merges
+  // duplicates at snapshot time, so the export reads as cache-wide totals.
+  for (Shard& shard : shards_) {
+    registrations_.push_back(reg->AttachCounter(p + ".hits",
+                                                &shard.stats.hits));
+    registrations_.push_back(reg->AttachCounter(p + ".misses",
+                                                &shard.stats.misses));
+    registrations_.push_back(reg->AttachCounter(p + ".insertions",
+                                                &shard.stats.insertions));
+    registrations_.push_back(reg->AttachCounter(
+        p + ".stale_evictions", &shard.stats.stale_evictions));
+    registrations_.push_back(reg->AttachCounter(p + ".lru_evictions",
+                                                &shard.stats.lru_evictions));
+    registrations_.push_back(reg->AttachCounter(
+        p + ".admission_rejections", &shard.stats.admission_rejections));
+  }
+  // Occupancy and footprint are snapshot-time reads (they take the shard
+  // mutexes), not hot-path pushes.
+  registrations_.push_back(reg->AttachCallbackGauge(
+      p + ".entries", [this] { return static_cast<int64_t>(size()); }));
+  registrations_.push_back(reg->AttachCallbackGauge(
+      p + ".approx_bytes",
+      [this] { return static_cast<int64_t>(ApproxBytes()); }));
+}
 
 bool PlanCache::Lookup(uint64_t fingerprint, int64_t stats_version,
                        std::shared_ptr<const CachedPlan>* out) {
@@ -26,7 +53,7 @@ bool PlanCache::LookupImpl(uint64_t fingerprint, int64_t stats_version,
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.map.find(fingerprint);
   if (it == shard.map.end()) {
-    if (count_miss) shard.stats.misses++;
+    if (count_miss) shard.stats.misses.Inc();
     return false;
   }
   if (it->second.entry->stats_version != stats_version) {
@@ -37,15 +64,15 @@ bool PlanCache::LookupImpl(uint64_t fingerprint, int64_t stats_version,
     if (it->second.entry->stats_version < stats_version) {
       shard.lru.erase(it->second.lru_pos);
       shard.map.erase(it);
-      shard.stats.stale_evictions++;
+      shard.stats.stale_evictions.Inc();
     }
-    if (count_miss) shard.stats.misses++;
+    if (count_miss) shard.stats.misses.Inc();
     return false;
   }
   shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_pos);
   it->second.hits++;
   *out = it->second.entry;
-  shard.stats.hits++;
+  shard.stats.hits.Inc();
   return true;
 }
 
@@ -65,31 +92,37 @@ void PlanCache::Insert(uint64_t fingerprint, CachedPlan entry) {
     // through HottestEntries/Rewarm ranking.
     it->second.hits = 0;
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_pos);
-    shard.stats.insertions++;
+    shard.stats.insertions.Inc();
     return;
   }
   // Cost-aware admission: a fresh slot (and possibly an eviction) is only
   // worth spending on a plan that was expensive to compute.
   if (shared->planning_micros < options_.admission_min_plan_micros) {
-    shard.stats.admission_rejections++;
+    shard.stats.admission_rejections.Inc();
     return;
   }
   if (shard.map.size() >= options_.shard_capacity) {
     uint64_t victim = shard.lru.back();
     shard.lru.pop_back();
     shard.map.erase(victim);
-    shard.stats.lru_evictions++;
+    shard.stats.lru_evictions.Inc();
   }
   shard.lru.push_front(fingerprint);
   shard.map.emplace(fingerprint,
                     Shard::Slot{std::move(shared), shard.lru.begin(), 0});
-  shard.stats.insertions++;
+  shard.stats.insertions.Inc();
 }
 
 PlanCache::Metrics PlanCache::shard_metrics(int shard) const {
   const Shard& s = shards_[static_cast<size_t>(shard)];
+  Metrics stats;
+  stats.hits = s.stats.hits.Value();
+  stats.misses = s.stats.misses.Value();
+  stats.insertions = s.stats.insertions.Value();
+  stats.stale_evictions = s.stats.stale_evictions.Value();
+  stats.lru_evictions = s.stats.lru_evictions.Value();
+  stats.admission_rejections = s.stats.admission_rejections.Value();
   std::lock_guard<std::mutex> lock(s.mu);
-  Metrics stats = s.stats;
   stats.entries = s.map.size();
   return stats;
 }

@@ -28,9 +28,11 @@
 #include <list>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "src/obs/metrics.h"
 #include "src/plan/plan.h"
 #include "src/plan/query_graph.h"
 
@@ -44,6 +46,12 @@ struct PlanCacheOptions {
   /// Cost-aware admission floor: entries whose planning_micros is below
   /// this are not admitted (0 = admit everything).
   double admission_min_plan_micros = 0;
+  /// When set, every shard attaches its counters under
+  /// "<metrics_prefix>.hits" etc. — all shards share the names, and the
+  /// registry snapshot merges them into totals — plus occupancy and
+  /// retained-bytes callback gauges. Borrowed; must outlive the cache.
+  obs::MetricsRegistry* metrics = nullptr;
+  std::string metrics_prefix = "serving.plan_cache";
 };
 
 /// A cached planning result. `stats_version` records the statistics
@@ -104,7 +112,15 @@ class PlanCache {
     size_t entries = 0;
   };
   Metrics shard_metrics(int shard) const;
-  /// Sum of every shard's counters.
+  /// Sum of every shard's counters. Relaxed semantics, by design: the
+  /// counters are obs::Counters read one atomic load at a time while
+  /// traffic runs, so a Totals() is NOT a consistent cut — a concurrent
+  /// lookup may have bumped `hits` but not yet be visible in `entries`,
+  /// and cross-field identities (e.g. hits + misses == requests observed
+  /// elsewhere) only hold at quiescence. What IS guaranteed is per-field
+  /// monotonicity: every counter in a later Totals() (or registry
+  /// snapshot) is >= its value in an earlier one, because each read is a
+  /// single load of a value that only grows. tests/obs_test.cc pins this.
   Metrics Totals() const;
 
   /// The `k` entries with the most hits across all shards, most-hit first
@@ -143,7 +159,18 @@ class PlanCache {
       int64_t hits = 0;
     };
     std::unordered_map<uint64_t, Slot> map;
-    Metrics stats;
+    /// Mutated under mu (with the structures they describe) but readable
+    /// lock-free: shard_metrics/Totals and the registry read them as plain
+    /// atomic loads, which is what makes snapshots monotone.
+    struct Counters {
+      obs::Counter hits;
+      obs::Counter misses;
+      obs::Counter insertions;
+      obs::Counter stale_evictions;
+      obs::Counter lru_evictions;
+      obs::Counter admission_rejections;
+    };
+    Counters stats;
   };
 
   bool LookupImpl(uint64_t fingerprint, int64_t stats_version,
@@ -151,6 +178,9 @@ class PlanCache {
 
   PlanCacheOptions options_;
   std::vector<Shard> shards_;
+  /// Registry attachments (empty without options.metrics). Last member:
+  /// detaches before the shards' counters die.
+  std::vector<obs::Registration> registrations_;
 };
 
 }  // namespace balsa

@@ -159,6 +159,8 @@ Status ChangeLog::InsertRows(int table,
       state.pending.epochs++;
     }
   }
+  rows_inserted_.Inc(static_cast<int64_t>(rows.size()));
+  batches_.Inc();
   Notify(table);
   return Status::OK();
 }
@@ -201,7 +203,9 @@ Status ChangeLog::DeleteRows(int table, std::vector<int64_t> row_ids) {
     BALSA_RETURN_IF_ERROR(db_->RemoveRows(table, std::move(row_ids)));
     state.delta.rows_deleted += num_deleted;
     state.delta.epoch++;
+    rows_deleted_.Inc(num_deleted);
   }
+  batches_.Inc();
   Notify(table);
   return Status::OK();
 }
@@ -252,6 +256,8 @@ Status ChangeLog::UpdateValues(
     state.delta.rows_updated += static_cast<int64_t>(updates.size());
     state.delta.epoch++;
   }
+  values_updated_.Inc(static_cast<int64_t>(updates.size()));
+  batches_.Inc();
   Notify(table);
   return Status::OK();
 }
@@ -317,7 +323,26 @@ Status ChangeLog::Rebase(
     state.rebasing = false;
   }
   state.rebase_cv.notify_all();
+  // How many publications (any table) the stream landed while the unlocked
+  // re-ANALYZE ran — the replay debt this rebase just paid off.
+  rebase_epoch_lag_.Record(static_cast<double>(db_->publication_epoch() -
+                                               snapshot.epoch()));
   return anchor.status();
+}
+
+void ChangeLog::AttachMetrics(obs::MetricsRegistry* registry) {
+  registrations_.clear();
+  if (registry == nullptr) return;
+  registrations_.push_back(registry->AttachCounter(
+      "storage.changelog.rows_inserted", &rows_inserted_));
+  registrations_.push_back(registry->AttachCounter(
+      "storage.changelog.rows_deleted", &rows_deleted_));
+  registrations_.push_back(registry->AttachCounter(
+      "storage.changelog.values_updated", &values_updated_));
+  registrations_.push_back(
+      registry->AttachCounter("storage.changelog.batches", &batches_));
+  registrations_.push_back(registry->AttachHistogram(
+      "storage.changelog.rebase_epoch_lag", &rebase_epoch_lag_));
 }
 
 int ChangeLog::AddListener(std::function<void(int)> fn) {

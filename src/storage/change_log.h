@@ -26,6 +26,7 @@
 #include <mutex>
 #include <vector>
 
+#include "src/obs/metrics.h"
 #include "src/storage/column_store.h"
 #include "src/util/hll.h"
 #include "src/util/status.h"
@@ -139,6 +140,22 @@ class ChangeLog {
 
   int num_tables() const { return static_cast<int>(tables_.size()); }
 
+  // --- Observability ------------------------------------------------------
+
+  /// Publication epochs that landed while a Rebase's unlocked re-ANALYZE
+  /// callback ran (db epoch at rebase end minus the pinned snapshot's
+  /// epoch) — how far the stream ran ahead of the statistics pass. Large
+  /// values mean heavy replay work per rebase.
+  const obs::Log2Histogram& rebase_epoch_lag() const {
+    return rebase_epoch_lag_;
+  }
+
+  /// Attaches ingest-volume counters ("storage.changelog.rows_inserted",
+  /// ".rows_deleted", ".values_updated", ".batches" — one per successful
+  /// ingest call) and the rebase epoch-lag histogram. Registry is borrowed
+  /// and must outlive the log; calling again replaces the attachments.
+  void AttachMetrics(obs::MetricsRegistry* registry);
+
  private:
   /// Raw values recorded while a Rebase's callback runs unlocked. Folding
   /// commutes, so replay needs no batch boundaries — just every added and
@@ -176,6 +193,14 @@ class ChangeLog {
   mutable std::mutex listeners_mu_;
   int next_listener_id_ = 0;
   std::vector<std::pair<int, std::function<void(int)>>> listeners_;
+
+  obs::Counter rows_inserted_;
+  obs::Counter rows_deleted_;
+  obs::Counter values_updated_;
+  obs::Counter batches_;
+  obs::Log2Histogram rebase_epoch_lag_;
+  /// Registry attachments (empty until AttachMetrics). Last member.
+  std::vector<obs::Registration> registrations_;
 };
 
 }  // namespace balsa

@@ -60,12 +60,20 @@ class ColumnEditor {
 
   /// Reseals every dirtied chunk and returns the new immutable column.
   ColumnPtr Finish() {
+    chunks_copied_ = static_cast<int64_t>(dirty_.size());
+    chunks_shared_ = static_cast<int64_t>(chunks_.size()) - chunks_copied_;
     for (auto& [ci, dirty] : dirty_) {
       chunks_[ci] = Chunk::SealWithSummary(std::move(dirty.values),
                                            dirty.summary);
     }
     return std::make_shared<const ChunkedColumn>(std::move(chunks_));
   }
+
+  /// Valid after Finish(): how many chunks this edit materialized vs
+  /// carried into the new column by pointer (the storage copy-on-write
+  /// counters the database exports).
+  int64_t chunks_copied() const { return chunks_copied_; }
+  int64_t chunks_shared() const { return chunks_shared_; }
 
  private:
   struct Dirty {
@@ -93,6 +101,8 @@ class ColumnEditor {
   size_t cached_ci_ = SIZE_MAX;
   Dirty* cached_ = nullptr;
   int64_t size_;
+  int64_t chunks_copied_ = 0;
+  int64_t chunks_shared_ = 0;
 };
 
 /// New column = the shared full-chunk prefix of `prev` + a rebuilt tail
@@ -256,9 +266,38 @@ Database::Database(Schema schema) : schema_(std::move(schema)) {
 }
 
 void Database::Publish(int table_idx, std::shared_ptr<TableVersion> version) {
+  publications_.Inc();
   std::lock_guard<std::mutex> lock(versions_mu_);
   version->epoch_ = epoch_.fetch_add(1, std::memory_order_acq_rel) + 1;
   versions_[static_cast<size_t>(table_idx)] = std::move(version);
+}
+
+Database::StorageStats Database::storage_stats() const {
+  StorageStats stats;
+  stats.publications = publications_.Value();
+  stats.chunks_copied = chunks_copied_.Value();
+  stats.chunks_shared = chunks_shared_.Value();
+  return stats;
+}
+
+void Database::AttachMetrics(obs::MetricsRegistry* registry) {
+  registrations_.clear();
+  if (registry == nullptr) return;
+  registrations_.push_back(
+      registry->AttachCounter("storage.publications", &publications_));
+  registrations_.push_back(
+      registry->AttachCounter("storage.chunks_copied", &chunks_copied_));
+  registrations_.push_back(
+      registry->AttachCounter("storage.chunks_shared", &chunks_shared_));
+  registrations_.push_back(registry->AttachCallbackGauge(
+      "storage.publication_epoch",
+      [this] { return static_cast<int64_t>(publication_epoch()); }));
+  // Snapshot-time walk over the current versions' chunks (dedup by chunk):
+  // costly enough that it must never run on a mutation path, cheap enough
+  // for an export.
+  registrations_.push_back(registry->AttachCallbackGauge(
+      "storage.retained_bytes",
+      [this] { return static_cast<int64_t>(DataBytes()); }));
 }
 
 Snapshot Database::GetSnapshot() const {
@@ -340,11 +379,22 @@ Status Database::AppendRows(int table_idx,
   std::vector<ColumnPtr> columns;
   columns.reserve(num_columns);
   std::vector<int64_t> appended(rows.size());
+  int64_t copied = 0;
+  int64_t shared = 0;
   for (size_t c = 0; c < num_columns; ++c) {
+    const ChunkedColumn& prev_column = prev->column(static_cast<int>(c));
+    // Every full chunk of the previous column rides into the new version by
+    // pointer; only the rebuilt tail (and any chunks the batch filled) is
+    // materialized — the copied/shared split IS the O(batch) evidence.
+    const int prev_full =
+        prev_column.num_chunks() - (prev_column.tail() != nullptr ? 1 : 0);
     for (size_t r = 0; r < rows.size(); ++r) appended[r] = rows[r][c];
-    columns.push_back(
-        AppendToColumn(prev->column(static_cast<int>(c)), appended));
+    columns.push_back(AppendToColumn(prev_column, appended));
+    copied += columns.back()->num_chunks() - prev_full;
+    shared += prev_full;
   }
+  chunks_copied_.Inc(copied);
+  chunks_shared_.Inc(shared);
   Publish(table_idx, std::make_shared<TableVersion>(
                          std::move(columns),
                          prev->row_count() + static_cast<int64_t>(rows.size()),
@@ -374,6 +424,8 @@ Status Database::RemoveRows(int table_idx, std::vector<int64_t> row_ids) {
       editor.PopBack();
     }
     columns.push_back(editor.Finish());
+    chunks_copied_.Inc(editor.chunks_copied());
+    chunks_shared_.Inc(editor.chunks_shared());
   }
   Publish(table_idx, std::make_shared<TableVersion>(std::move(columns),
                                                     remaining, 0));
@@ -408,10 +460,13 @@ Status Database::SetValues(
   columns.reserve(static_cast<size_t>(prev->num_columns()));
   for (int c = 0; c < prev->num_columns(); ++c) {
     columns.push_back(prev->column_ptr(c));
+    if (c != column_idx) chunks_shared_.Inc(prev->column(c).num_chunks());
   }
   ColumnEditor editor(prev->column(column_idx));
   for (const auto& [row, value] : updates) editor.Set(row, value);
   columns[static_cast<size_t>(column_idx)] = editor.Finish();
+  chunks_copied_.Inc(editor.chunks_copied());
+  chunks_shared_.Inc(editor.chunks_shared());
   auto version = std::make_shared<TableVersion>(std::move(columns),
                                                 prev->row_count(), 0);
   version->InheritIndexes(*prev);

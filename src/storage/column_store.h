@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "src/catalog/schema.h"
+#include "src/obs/metrics.h"
 #include "src/storage/chunk.h"
 #include "src/util/status.h"
 
@@ -227,6 +228,24 @@ class Database {
   /// once).
   size_t DataBytes() const;
 
+  // --- Observability -------------------------------------------------------
+
+  struct StorageStats {
+    int64_t publications = 0;    // versions installed (any table)
+    int64_t chunks_copied = 0;   // chunks materialized by mutations
+    int64_t chunks_shared = 0;   // chunks carried by pointer into new versions
+  };
+  StorageStats storage_stats() const;
+
+  /// Attaches the publication/chunk counters plus two snapshot-time gauges —
+  /// "storage.publication_epoch" and "storage.retained_bytes" (current
+  /// versions' DataBytes) — under the "storage." prefix. The
+  /// copied-vs-shared counters are what make the O(batch) publication claim
+  /// observable: an append to a huge table shares thousands of chunks and
+  /// copies ~one per column. Registry is borrowed and must outlive the
+  /// database; calling again replaces the previous attachments.
+  void AttachMetrics(obs::MetricsRegistry* registry);
+
  private:
   /// Installs `version` (stamping the next epoch) as table `table_idx`'s
   /// current state.
@@ -238,6 +257,12 @@ class Database {
   mutable std::mutex versions_mu_;
   std::vector<std::shared_ptr<const TableVersion>> versions_;
   std::atomic<uint64_t> epoch_{0};
+
+  obs::Counter publications_;
+  obs::Counter chunks_copied_;
+  obs::Counter chunks_shared_;
+  /// Registry attachments (empty until AttachMetrics). Last member.
+  std::vector<obs::Registration> registrations_;
 };
 
 }  // namespace balsa

@@ -30,6 +30,7 @@ void ThreadPool::Schedule(std::function<void()> fn) {
     std::lock_guard<std::mutex> lock(mu_);
     queue_.push(std::move(fn));
   }
+  queued_.fetch_add(1, std::memory_order_relaxed);
   cv_.notify_one();
 }
 
@@ -45,6 +46,7 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop();
     }
+    queued_.fetch_sub(1, std::memory_order_relaxed);
     task();
   }
 }

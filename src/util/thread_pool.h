@@ -5,6 +5,7 @@
 // callables go through Schedule().
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <functional>
 #include <future>
@@ -44,6 +45,14 @@ class ThreadPool {
 
   int num_threads() const { return static_cast<int>(threads_.size()); }
 
+  /// Tasks scheduled but not yet started, read without the queue lock —
+  /// approximate under concurrency but exact at quiescence. Fed to the
+  /// observability layer as a queue-depth gauge (util stays below obs in
+  /// the DAG, so the pool exposes the number and obs attaches it).
+  int64_t ApproxQueueDepth() const {
+    return queued_.load(std::memory_order_relaxed);
+  }
+
   /// The pool size used when num_threads <= 0.
   static int DefaultNumThreads();
 
@@ -53,6 +62,7 @@ class ThreadPool {
   std::mutex mu_;
   std::condition_variable cv_;
   std::queue<std::function<void()>> queue_;
+  std::atomic<int64_t> queued_{0};
   bool stop_ = false;
   std::vector<std::thread> threads_;
 };

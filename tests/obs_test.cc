@@ -1,0 +1,405 @@
+// Tests for the obs layer: exactness of the lock-free primitives under
+// concurrency, snapshot monotonicity (the documented guarantee of
+// MetricsRegistry::Snapshot and PlanCache::Totals), histogram merge
+// semantics, deterministic trace sampling, and the global kill switch.
+// The concurrent tests double as the TSan stress suite (`ctest -L obs`
+// runs in the TSan CI job).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/obs/export.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
+namespace balsa::obs {
+namespace {
+
+// Restores the global kill switch even when an assertion fails mid-test.
+struct EnabledGuard {
+  ~EnabledGuard() { SetEnabled(true); }
+};
+
+TEST(CounterTest, ConcurrentIncrementsAreExact) {
+  constexpr int kThreads = 8;
+  constexpr int kIncsPerThread = 20000;
+  Counter counter;
+  Counter weighted;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIncsPerThread; ++i) {
+        counter.Inc();
+        weighted.Inc(3);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(counter.Value(), kThreads * kIncsPerThread);
+  EXPECT_EQ(weighted.Value(), int64_t{3} * kThreads * kIncsPerThread);
+}
+
+TEST(GaugeTest, UpdateMaxKeepsHighWaterMarkUnderContention) {
+  constexpr int kThreads = 8;
+  constexpr int kValuesPerThread = 10000;
+  Gauge gauge;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kValuesPerThread; ++i) {
+        gauge.UpdateMax(t * kValuesPerThread + i);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(gauge.Value(), kThreads * kValuesPerThread - 1);
+}
+
+TEST(Log2HistogramTest, ConcurrentRecordingMatchesSerialReference) {
+  constexpr int kThreads = 8;
+  constexpr int kValuesPerThread = 5000;
+  auto value_for = [](int t, int i) {
+    // A deterministic spread across many buckets.
+    return static_cast<double>(((t * kValuesPerThread + i) % 19) * 37 + 1);
+  };
+
+  Log2Histogram serial;
+  for (int t = 0; t < kThreads; ++t) {
+    for (int i = 0; i < kValuesPerThread; ++i) serial.Record(value_for(t, i));
+  }
+
+  Log2Histogram concurrent;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kValuesPerThread; ++i) {
+        concurrent.Record(value_for(t, i));
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  EXPECT_EQ(concurrent.Count(), kThreads * kValuesPerThread);
+  EXPECT_TRUE(concurrent.Snapshot() == serial.Snapshot());
+}
+
+TEST(Log2HistogramTest, MergedHalvesEqualTheWhole) {
+  Log2Histogram whole, left, right;
+  for (int i = 0; i < 1000; ++i) {
+    const double value = (i % 23) * 11 + 1;
+    whole.Record(value);
+    (i % 2 == 0 ? left : right).Record(value);
+  }
+  HistogramData merged = left.Snapshot();
+  merged.Merge(right.Snapshot());
+  EXPECT_TRUE(merged == whole.Snapshot());
+}
+
+// The semantics the serving layer's old LatencyHistogram test pinned:
+// log2 buckets separate a microsecond-scale majority from a
+// millisecond-scale tail.
+TEST(Log2HistogramTest, PercentilesSeparateMicrosFromMillis) {
+  Log2Histogram hist;
+  for (int i = 0; i < 99; ++i) hist.Record(3.0);
+  hist.Record(30000.0);
+  EXPECT_EQ(hist.Count(), 100);
+  EXPECT_LE(hist.Percentile(50), 8.0);
+  EXPECT_GE(hist.Percentile(99.5), 16000.0);
+}
+
+TEST(Log2HistogramTest, MeanUsesExactSumNotBuckets) {
+  Log2Histogram hist;
+  hist.Record(10);
+  hist.Record(20);
+  hist.Record(30);
+  EXPECT_DOUBLE_EQ(hist.Snapshot().Mean(), 20.0);
+}
+
+TEST(LabeledTest, FormatsNameWithLabels) {
+  EXPECT_EQ(Labeled("serving.request_us", {{"outcome", "hit"}}),
+            "serving.request_us{outcome=hit}");
+  EXPECT_EQ(Labeled("x", {{"a", "1"}, {"b", "2"}}), "x{a=1,b=2}");
+}
+
+TEST(MetricsRegistryTest, SnapshotMergesDuplicateNames) {
+  MetricsRegistry registry;
+  Counter shard_a, shard_b;
+  shard_a.Inc(5);
+  shard_b.Inc(7);
+  Log2Histogram hist_a, hist_b;
+  hist_a.Record(4);
+  hist_b.Record(4);
+  hist_b.Record(1000);
+  Registration r1 = registry.AttachCounter("cache.hits", &shard_a);
+  Registration r2 = registry.AttachCounter("cache.hits", &shard_b);
+  Registration r3 = registry.AttachHistogram("cache.us", &hist_a);
+  Registration r4 = registry.AttachHistogram("cache.us", &hist_b);
+
+  const RegistrySnapshot snapshot = registry.Snapshot();
+  const MetricValue* hits = snapshot.Find("cache.hits");
+  ASSERT_NE(hits, nullptr);
+  EXPECT_EQ(hits->kind, MetricKind::kCounter);
+  EXPECT_EQ(hits->value, 12);
+  const MetricValue* us = snapshot.Find("cache.us");
+  ASSERT_NE(us, nullptr);
+  EXPECT_EQ(us->kind, MetricKind::kHistogram);
+  EXPECT_EQ(us->histogram.count, 3);
+}
+
+TEST(MetricsRegistryTest, RegistrationDetachesOnDestruction) {
+  MetricsRegistry registry;
+  Counter counter;
+  counter.Inc();
+  {
+    Registration r = registry.AttachCounter("scoped", &counter);
+    EXPECT_EQ(registry.NumAttached(), 1u);
+    EXPECT_NE(registry.Snapshot().Find("scoped"), nullptr);
+  }
+  EXPECT_EQ(registry.NumAttached(), 0u);
+  EXPECT_EQ(registry.Snapshot().Find("scoped"), nullptr);
+}
+
+TEST(MetricsRegistryTest, RegistrationSurvivesMove) {
+  MetricsRegistry registry;
+  Counter counter;
+  Registration outer;
+  {
+    Registration inner = registry.AttachCounter("moved", &counter);
+    outer = std::move(inner);
+  }
+  EXPECT_EQ(registry.NumAttached(), 1u);
+  outer.Reset();
+  EXPECT_EQ(registry.NumAttached(), 0u);
+}
+
+TEST(MetricsRegistryTest, CallbackGaugeReadsAtSnapshotTime) {
+  MetricsRegistry registry;
+  std::atomic<int64_t> depth{3};
+  Registration r = registry.AttachCallbackGauge(
+      "pool.queue_depth", [&] { return depth.load(); });
+  EXPECT_EQ(registry.Snapshot().Find("pool.queue_depth")->value, 3);
+  depth.store(9);
+  EXPECT_EQ(registry.Snapshot().Find("pool.queue_depth")->value, 9);
+}
+
+// The documented guarantee: snapshots are not atomic cuts, but every
+// counter is monotone across snapshots even while writers are running.
+// (PlanCache::Totals documents the same contract in terms of this test.)
+TEST(MetricsRegistryTest, SnapshotCountersAreMonotoneUnderConcurrentTraffic) {
+  constexpr int kWriters = 4;
+  constexpr int kSnapshots = 200;
+  MetricsRegistry registry;
+  std::vector<std::unique_ptr<Counter>> shards;
+  std::vector<Registration> registrations;
+  for (int i = 0; i < kWriters; ++i) {
+    shards.push_back(std::make_unique<Counter>());
+    registrations.push_back(
+        registry.AttachCounter("traffic.ops", shards.back().get()));
+  }
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int i = 0; i < kWriters; ++i) {
+    writers.emplace_back([&, i] {
+      while (!stop.load(std::memory_order_relaxed)) shards[i]->Inc();
+    });
+  }
+
+  // Wait for the writers to actually produce traffic before sampling.
+  while (registry.Snapshot().Find("traffic.ops")->value == 0) {
+    std::this_thread::yield();
+  }
+
+  int64_t previous = -1;
+  bool monotone = true;
+  for (int i = 0; i < kSnapshots; ++i) {
+    const MetricValue* ops = registry.Snapshot().Find("traffic.ops");
+    ASSERT_NE(ops, nullptr);
+    if (ops->value < previous) monotone = false;
+    previous = ops->value;
+  }
+  stop.store(true);
+  for (std::thread& writer : writers) writer.join();
+  EXPECT_TRUE(monotone);
+  EXPECT_GT(previous, 0);
+}
+
+// Attach/detach churn racing recording and snapshots: the TSan stress for
+// the registry lock discipline (snapshot copies entries under the lock,
+// reads instruments outside it).
+TEST(MetricsRegistryTest, AttachDetachChurnUnderConcurrentSnapshots) {
+  MetricsRegistry registry;
+  Counter stable;
+  Registration keep = registry.AttachCounter("stable", &stable);
+
+  std::atomic<bool> stop{false};
+  std::thread churn([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      Counter transient;
+      transient.Inc();
+      Registration r = registry.AttachCounter("transient", &transient);
+      (void)registry.Snapshot();
+    }
+  });
+  std::thread writer([&] {
+    while (!stop.load(std::memory_order_relaxed)) stable.Inc();
+  });
+  for (int i = 0; i < 500; ++i) {
+    stable.Inc();
+    const RegistrySnapshot snapshot = registry.Snapshot();
+    ASSERT_NE(snapshot.Find("stable"), nullptr);
+  }
+  stop.store(true);
+  churn.join();
+  writer.join();
+  EXPECT_GE(stable.Value(), 500);
+}
+
+TEST(KillSwitchTest, DisablesHistogramRecordingAndTraceSampling) {
+  EnabledGuard guard;
+  Log2Histogram hist;
+  RequestTracerOptions options;
+  options.sample_every = 1;
+  RequestTracer tracer(options);
+
+  SetEnabled(false);
+  hist.Record(5);
+  EXPECT_EQ(hist.Count(), 0);
+  EXPECT_EQ(tracer.MaybeStartTrace(), nullptr);
+  EXPECT_EQ(tracer.traces_started(), 0);
+
+  SetEnabled(true);
+  hist.Record(5);
+  EXPECT_EQ(hist.Count(), 1);
+  EXPECT_NE(tracer.MaybeStartTrace(), nullptr);
+}
+
+TEST(RequestTracerTest, SamplingIsDeterministicUnderFixedSeed) {
+  RequestTracerOptions options;
+  options.sample_every = 4;
+  options.seed = 2;
+  options.max_traces = 1024;
+
+  // Two tracers with identical options sample exactly the same request
+  // indices: on one thread, sampling is a pure function of (arrival index,
+  // seed). Trace ids encode (arrival k, stripe) as k * kThreadStripes +
+  // stripe; id / kThreadStripes recovers the arrival index.
+  RequestTracer a(options), b(options);
+  std::vector<uint64_t> sampled_a, sampled_b;
+  for (int i = 0; i < 64; ++i) {
+    if (auto trace = a.MaybeStartTrace()) sampled_a.push_back(trace->id());
+    if (auto trace = b.MaybeStartTrace()) sampled_b.push_back(trace->id());
+  }
+  EXPECT_EQ(sampled_a, sampled_b);
+  ASSERT_EQ(sampled_a.size(), 16u);
+  for (uint64_t id : sampled_a) {
+    EXPECT_EQ((id / kThreadStripes + options.seed) % 4, 0u) << id;
+  }
+  EXPECT_EQ(a.requests_seen(), 64);
+  EXPECT_EQ(a.traces_started(), 16);
+}
+
+TEST(RequestTracerTest, SampleEveryZeroDisablesTracing) {
+  RequestTracerOptions options;
+  options.sample_every = 0;
+  RequestTracer tracer(options);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(tracer.MaybeStartTrace(), nullptr);
+  EXPECT_EQ(tracer.traces_started(), 0);
+  EXPECT_TRUE(tracer.RecentTraces().empty());
+}
+
+TEST(RequestTracerTest, RetainedTraceRingIsBounded) {
+  RequestTracerOptions options;
+  options.sample_every = 1;
+  options.max_traces = 4;
+  RequestTracer tracer(options);
+  for (int i = 0; i < 10; ++i) tracer.MaybeStartTrace();
+  const auto traces = tracer.RecentTraces();
+  ASSERT_EQ(traces.size(), 4u);
+  // Arrival indices (id / kThreadStripes) 6..9 survive: oldest evicted.
+  EXPECT_EQ(traces.front()->id() / kThreadStripes, 6u);
+  EXPECT_EQ(traces.back()->id() / kThreadStripes, 9u);
+}
+
+TEST(SpanTimerTest, InertWithoutContextRecordsWithOne) {
+  RequestTracerOptions options;
+  options.sample_every = 1;
+  RequestTracer tracer(options);
+
+  // No installed context: nothing is recorded anywhere.
+  { SpanTimer span(TraceStage::kBeamSearch); }
+  EXPECT_EQ(tracer.stage_histogram(TraceStage::kBeamSearch).Count(), 0);
+
+  std::shared_ptr<Trace> trace = tracer.MaybeStartTrace();
+  ASSERT_NE(trace, nullptr);
+  {
+    ScopedTraceContext scope(&tracer, trace);
+    { SpanTimer span(TraceStage::kBeamSearch); }
+    { SpanTimer span(TraceStage::kInference); }
+  }
+  // Context uninstalled again: inert once more.
+  { SpanTimer span(TraceStage::kBeamSearch); }
+
+  EXPECT_EQ(trace->spans().size(), 2u);
+  EXPECT_TRUE(trace->HasStage(TraceStage::kBeamSearch));
+  EXPECT_TRUE(trace->HasStage(TraceStage::kInference));
+  EXPECT_EQ(trace->NumDistinctStages(), 2);
+  EXPECT_EQ(tracer.stage_histogram(TraceStage::kBeamSearch).Count(), 1);
+  EXPECT_EQ(tracer.stage_histogram(TraceStage::kInference).Count(), 1);
+}
+
+TEST(SpanTimerTest, ConcurrentSpansOnOneTraceAreAllRecorded) {
+  constexpr int kThreads = 8;
+  constexpr int kSpansPerThread = 500;
+  RequestTracerOptions options;
+  options.sample_every = 1;
+  RequestTracer tracer(options);
+  std::shared_ptr<Trace> trace = tracer.MaybeStartTrace();
+  ASSERT_NE(trace, nullptr);
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      ScopedTraceContext scope(&tracer, trace);
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        SpanTimer span(TraceStage::kExecScan);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  EXPECT_EQ(trace->spans().size(),
+            static_cast<size_t>(kThreads * kSpansPerThread));
+  EXPECT_EQ(tracer.stage_histogram(TraceStage::kExecScan).Count(),
+            kThreads * kSpansPerThread);
+}
+
+TEST(ExportTest, TextAndJsonDumpsContainAttachedMetrics) {
+  MetricsRegistry registry;
+  Counter requests;
+  requests.Inc(42);
+  Log2Histogram latency;
+  latency.Record(100);
+  Registration r1 = registry.AttachCounter("serving.requests", &requests);
+  Registration r2 = registry.AttachHistogram("serving.request_us", &latency);
+
+  const RegistrySnapshot snapshot = registry.Snapshot();
+  const std::string text = TextDump(snapshot);
+  EXPECT_NE(text.find("serving.requests"), std::string::npos);
+  EXPECT_NE(text.find("42"), std::string::npos);
+  EXPECT_NE(text.find("serving.request_us"), std::string::npos);
+
+  const std::string json = JsonDump(snapshot);
+  EXPECT_NE(json.find("\"serving.requests\""), std::string::npos);
+  EXPECT_NE(json.find("\"counter\""), std::string::npos);
+  EXPECT_NE(json.find("\"hist\""), std::string::npos);
+  EXPECT_NE(json.find("\"buckets\":["), std::string::npos);
+}
+
+}  // namespace
+}  // namespace balsa::obs

@@ -295,13 +295,72 @@ TEST_F(OptimizerServerTest, RewarmRefreshesHottestEntriesAfterBump) {
   EXPECT_EQ(again.fresh, 2);
 }
 
-TEST(LatencyHistogramTest, PercentilesSeparateMicrosFromMillis) {
-  LatencyHistogram histogram;
-  for (int i = 0; i < 99; ++i) histogram.Record(3.0);       // ~µs hits
-  histogram.Record(30000.0);                                // one ~30ms miss
-  EXPECT_EQ(histogram.count(), 100);
-  EXPECT_LE(histogram.PercentileMicros(50), 8.0);
-  EXPECT_GE(histogram.PercentileMicros(99.5), 16000.0);
+// The acceptance criterion for the request tracer: one served request,
+// followed by executing its plan under the same trace, yields a single
+// trace whose spans cover the whole stack — serving (fingerprint, cache
+// lookup, admit), planning (beam search), runtime (inference), and the
+// executor (scan, join) — with at least 4 distinct stages.
+TEST_F(OptimizerServerTest, TracedRequestProducesSpansAcrossTheStack) {
+  OptimizerServerOptions options = SmallOptions();
+  options.trace.sample_every = 1;  // trace every request
+  auto server = MakeServer(options);
+
+  auto result = server->Optimize(query_);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_FALSE(result->cache_hit);
+
+  auto traces = server->tracer()->RecentTraces();
+  ASSERT_EQ(traces.size(), 1u);
+  std::shared_ptr<obs::Trace> trace = traces[0];
+  // A served miss records its serving- and planning-side spans, including
+  // the inference calls made from the planning-pool thread (the trace
+  // context crossed the pool boundary with the task).
+  EXPECT_TRUE(trace->HasStage(obs::TraceStage::kFingerprint));
+  EXPECT_TRUE(trace->HasStage(obs::TraceStage::kCacheLookup));
+  EXPECT_TRUE(trace->HasStage(obs::TraceStage::kBeamSearch));
+  EXPECT_TRUE(trace->HasStage(obs::TraceStage::kInference));
+  EXPECT_TRUE(trace->HasStage(obs::TraceStage::kAdmit));
+
+  // Execute the served plan under the same trace: the executor's scan and
+  // join spans land in it too.
+  Executor exec(fixture_.db.get());
+  {
+    obs::ScopedTraceContext scope(server->tracer(), trace);
+    auto executed = exec.Execute(query_, result->plan);
+    ASSERT_TRUE(executed.ok()) << executed.status().ToString();
+  }
+  EXPECT_TRUE(trace->HasStage(obs::TraceStage::kExecScan));
+  EXPECT_TRUE(trace->HasStage(obs::TraceStage::kExecJoin));
+  EXPECT_GE(trace->NumDistinctStages(), 4);
+
+  // The tracer's per-stage histograms saw the same spans (they feed the
+  // bench breakdown tables).
+  EXPECT_GT(
+      server->tracer()->stage_histogram(obs::TraceStage::kBeamSearch).Count(),
+      0);
+  EXPECT_GT(
+      server->tracer()->stage_histogram(obs::TraceStage::kExecScan).Count(),
+      0);
+
+  // An untraced server (sampling disabled) records nothing.
+  OptimizerServerOptions untraced = SmallOptions();
+  untraced.trace.sample_every = 0;
+  auto quiet = MakeServer(untraced);
+  ASSERT_TRUE(quiet->Optimize(query_).ok());
+  EXPECT_TRUE(quiet->tracer()->RecentTraces().empty());
+  EXPECT_EQ(quiet->tracer()->traces_started(), 0);
+}
+
+// The per-outcome latency histograms replace the old single histogram: each
+// request lands in exactly one outcome's distribution.
+TEST_F(OptimizerServerTest, LatencyHistogramsSplitByOutcome) {
+  auto server = MakeServer(SmallOptions());
+  ASSERT_TRUE(server->Optimize(query_).ok());  // miss
+  ASSERT_TRUE(server->Optimize(query_).ok());  // hit
+  ASSERT_TRUE(server->Optimize(query_).ok());  // hit
+  EXPECT_EQ(server->latency(OptimizerServer::Outcome::kMiss).Count(), 1);
+  EXPECT_EQ(server->latency(OptimizerServer::Outcome::kHit).Count(), 2);
+  EXPECT_EQ(server->latency(OptimizerServer::Outcome::kCoalesced).Count(), 0);
 }
 
 }  // namespace
