@@ -1,0 +1,368 @@
+// Introspection overhead + fidelity gate for the EXPLAIN ANALYZE stack.
+//
+// Three acceptance gates (binary exits non-zero when one fails; CI runs
+// --smoke):
+//   1. serving replay with the slow-query log armed (latency threshold set,
+//      ring allocated) >= 0.97x the same server with the log disabled —
+//      the non-slow path must stay a couple of comparisons (0.90x under
+//      TSan);
+//   2. Executor::ExecuteProfiled with profiling on >= 0.90x the throughput
+//      of plain Execute on the same plans (0.75x under TSan) — per-node
+//      clocks and counter sums must not distort what they measure;
+//   3. on a 4-relation Ext-JOB plan, every node's actual_rows in
+//      ExplainAnalyze equals Executor::Execute(query, plan, node_idx)
+//      ->NumRows() bitwise, and the root intermediate under profiling is
+//      bitwise identical to the unprofiled one — the profile observes the
+//      execution, it never changes it.
+//
+//   ./build/bench/bench_explain_overhead [--scale=S] [--threads=N] [--smoke]
+//                                        [--metrics-json=PATH]
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/exec/executor.h"
+#include "src/introspect/explain.h"
+#include "src/obs/export.h"
+#include "src/obs/metrics.h"
+#include "src/serving/optimizer_server.h"
+#include "src/serving/replay_driver.h"
+
+namespace balsa {
+namespace {
+
+#if defined(__SANITIZE_THREAD__)
+constexpr bool kTsanBuild = true;
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+constexpr bool kTsanBuild = true;
+#else
+constexpr bool kTsanBuild = false;
+#endif
+#else
+constexpr bool kTsanBuild = false;
+#endif
+
+struct ExplainConfig {
+  bool smoke = false;
+  double scale = 0.25;
+  int clients = 16;
+  int warm_requests_per_client = 30;
+  int measure_requests_per_client = 4000;
+  int exec_iters = 40;
+  int rounds = 3;
+  int beam_size = 10;
+  int top_k = 5;
+  int max_relations = 8;
+};
+
+double ReplayRps(OptimizerServer* server,
+                 const std::vector<const Query*>& queries,
+                 ReplayOptions replay, int requests_per_client) {
+  replay.requests_per_client = requests_per_client;
+  auto report = ReplayWorkload(server, queries, replay);
+  BALSA_CHECK(report.ok(), report.status().ToString());
+  return report->requests_per_sec;
+}
+
+/// Plans executed per second over a fixed (query, plan) set.
+double ExecRps(const Executor& executor,
+               const std::vector<std::pair<const Query*, Plan>>& work,
+               int iters, bool profiled) {
+  ExecutionProfile profile;
+  int executed = 0;
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < iters; ++i) {
+    for (const auto& [query, plan] : work) {
+      StatusOr<Intermediate> result =
+          profiled ? executor.ExecuteProfiled(*query, plan, &profile)
+                   : executor.Execute(*query, plan);
+      BALSA_CHECK(result.ok(), result.status().ToString());
+      ++executed;
+    }
+  }
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return seconds > 0 ? executed / seconds : 0;
+}
+
+/// Collects the arena indices the plan's tree actually contains.
+void CollectNodes(const Plan& plan, int idx, std::vector<int>* out) {
+  out->push_back(idx);
+  const PlanNode& n = plan.node(idx);
+  if (n.is_join) {
+    CollectNodes(plan, n.left, out);
+    CollectNodes(plan, n.right, out);
+  }
+}
+
+int Run(const ExplainConfig& config, const BenchFlags& flags) {
+  EnvOptions env_options;
+  env_options.data_scale = config.scale;
+  std::printf("building JOB-like env (scale %.2f) ...\n", config.scale);
+  auto env_or = MakeEnv(WorkloadKind::kJobTrainAll, env_options);
+  BALSA_CHECK(env_or.ok(), env_or.status().ToString());
+  Env& env = **env_or;
+
+  Featurizer featurizer(&env.schema(), env.estimator.get());
+  ValueNetConfig net_config;
+  net_config.query_dim = featurizer.query_dim();
+  net_config.node_dim = featurizer.node_dim();
+  net_config.tree_hidden1 = 32;
+  net_config.tree_hidden2 = 16;
+  net_config.mlp_hidden = 16;
+  net_config.init_seed = 7;
+  ValueNetwork network(net_config);
+
+  std::vector<const Query*> queries;
+  for (const Query& q : env.workload.queries()) {
+    if (q.num_relations() <= config.max_relations) queries.push_back(&q);
+  }
+  BALSA_CHECK(!queries.empty(), "no queries under the relation cap");
+
+  bool ok = true;
+
+  // --- Gate 1: slow-query log armed vs disabled on the serving path ------
+  OptimizerServerOptions base_options;
+  base_options.planner.beam_size = config.beam_size;
+  base_options.planner.top_k = config.top_k;
+  base_options.metrics = &obs::MetricsRegistry::Default();
+  base_options.trace.sample_every = 64;
+
+  OptimizerServerOptions logged_options = base_options;
+  logged_options.slow_query.capacity = 128;
+  // A threshold no warmed cache hit reaches: the trigger is evaluated on
+  // every request but almost never fires — the path whose cost the gate
+  // bounds.
+  logged_options.slow_query.latency_threshold_us = 1'000'000;
+  auto logged = std::make_unique<OptimizerServer>(
+      &env.schema(), &featurizer, &network, env.oracle.get(), logged_options);
+
+  OptimizerServerOptions plain_options = base_options;
+  plain_options.metrics = nullptr;  // keep the two servers' series apart
+  plain_options.slow_query.capacity = 0;
+  auto plain = std::make_unique<OptimizerServer>(
+      &env.schema(), &featurizer, &network, env.oracle.get(), plain_options);
+
+  ReplayOptions replay;
+  replay.num_clients = config.clients;
+  replay.zipf_s = 0.9;
+  replay.seed = 17;
+
+  ReplayRps(logged.get(), queries, replay, config.warm_requests_per_client);
+  ReplayRps(plain.get(), queries, replay, config.warm_requests_per_client);
+
+  // Paired rounds, alternating order, median ratio, up to 3 attempts — the
+  // same discipline as bench_obs_overhead: on a shared machine noise can
+  // only fail a perf gate, never pass it, so re-measuring does not weaken
+  // the gate's direction.
+  const double serving_threshold = kTsanBuild ? 0.90 : 0.97;
+  std::vector<double> logged_rps, plain_rps, ratios;
+  double serving_ratio = 0;
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    if (attempt > 0) {
+      std::printf("serving gate missed (%.3f); re-measuring\n", serving_ratio);
+    }
+    ratios.clear();
+    for (int round = 0; round < config.rounds; ++round) {
+      if (round % 2 == 0) {
+        plain_rps.push_back(ReplayRps(plain.get(), queries, replay,
+                                      config.measure_requests_per_client));
+        logged_rps.push_back(ReplayRps(logged.get(), queries, replay,
+                                       config.measure_requests_per_client));
+      } else {
+        logged_rps.push_back(ReplayRps(logged.get(), queries, replay,
+                                       config.measure_requests_per_client));
+        plain_rps.push_back(ReplayRps(plain.get(), queries, replay,
+                                      config.measure_requests_per_client));
+      }
+      ratios.push_back(logged_rps.back() / plain_rps.back());
+    }
+    serving_ratio = Median(ratios);
+    if (serving_ratio >= serving_threshold) break;
+  }
+
+  // --- Gate 2: ExecuteProfiled vs Execute --------------------------------
+  // A handful of expert plans over small-to-mid queries; both executors pin
+  // the same snapshot so the measured work is identical.
+  std::vector<std::pair<const Query*, Plan>> work;
+  for (size_t i = 0; i < queries.size() && work.size() < 6; i += 5) {
+    auto planned = env.pg_expert->Optimize(*queries[i]);
+    BALSA_CHECK(planned.ok(), planned.status().ToString());
+    work.emplace_back(queries[i], planned->plan);
+  }
+  Executor unprofiled(env.db.get());
+  ExecutorOptions profiled_options;
+  profiled_options.profile = true;
+  Executor profiled(unprofiled.snapshot(), profiled_options);
+
+  const double exec_threshold = kTsanBuild ? 0.75 : 0.90;
+  std::vector<double> exec_plain_rps, exec_prof_rps, exec_ratios;
+  double exec_ratio = 0;
+  ExecRps(unprofiled, work, 2, false);  // warm both paths
+  ExecRps(profiled, work, 2, true);
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    if (attempt > 0) {
+      std::printf("exec gate missed (%.3f); re-measuring\n", exec_ratio);
+    }
+    exec_ratios.clear();
+    for (int round = 0; round < config.rounds; ++round) {
+      if (round % 2 == 0) {
+        exec_plain_rps.push_back(
+            ExecRps(unprofiled, work, config.exec_iters, false));
+        exec_prof_rps.push_back(
+            ExecRps(profiled, work, config.exec_iters, true));
+      } else {
+        exec_prof_rps.push_back(
+            ExecRps(profiled, work, config.exec_iters, true));
+        exec_plain_rps.push_back(
+            ExecRps(unprofiled, work, config.exec_iters, false));
+      }
+      exec_ratios.push_back(exec_prof_rps.back() / exec_plain_rps.back());
+    }
+    exec_ratio = Median(exec_ratios);
+    if (exec_ratio >= exec_threshold) break;
+  }
+
+  TablePrinter table({"gate", "baseline/s", "candidate/s", "median ratio",
+                      "threshold"});
+  table.AddRow({"serving + slow-query log",
+                TablePrinter::Fmt(Median(plain_rps), 1),
+                TablePrinter::Fmt(Median(logged_rps), 1),
+                TablePrinter::Fmt(serving_ratio, 3),
+                TablePrinter::Fmt(serving_threshold, 2)});
+  table.AddRow({"ExecuteProfiled",
+                TablePrinter::Fmt(Median(exec_plain_rps), 1),
+                TablePrinter::Fmt(Median(exec_prof_rps), 1),
+                TablePrinter::Fmt(exec_ratio, 3),
+                TablePrinter::Fmt(exec_threshold, 2)});
+  table.Print();
+
+  if (serving_ratio < serving_threshold) {
+    std::printf("FAIL: slow-query log costs %.1f%% of serving throughput\n",
+                (1 - serving_ratio) * 100);
+    ok = false;
+  }
+  if (exec_ratio < exec_threshold) {
+    std::printf("FAIL: profiling costs %.1f%% of executor throughput\n",
+                (1 - exec_ratio) * 100);
+    ok = false;
+  }
+
+  // --- Gate 3: ExplainAnalyze fidelity on a 4-relation Ext-JOB plan ------
+  const Query* ext_query = nullptr;
+  for (const Query& q : env.ext_workload.queries()) {
+    if (q.num_relations() == 4) {
+      ext_query = &q;
+      break;
+    }
+  }
+  if (ext_query == nullptr) {
+    // Tiny smoke envs may trim Ext-JOB; the gate still runs, on JOB.
+    for (const Query* q : queries) {
+      if (q->num_relations() == 4) {
+        ext_query = q;
+        break;
+      }
+    }
+  }
+  BALSA_CHECK(ext_query != nullptr, "no 4-relation query available");
+  auto ext_planned = env.pg_expert->Optimize(*ext_query);
+  BALSA_CHECK(ext_planned.ok(), ext_planned.status().ToString());
+  const Plan& ext_plan = ext_planned->plan;
+
+  auto explain = introspect::ExplainAnalyze(unprofiled, *ext_query, ext_plan,
+                                            env.estimator.get());
+  BALSA_CHECK(explain.ok(), explain.status().ToString());
+
+  std::vector<int> node_indices;
+  CollectNodes(ext_plan, ext_plan.root(), &node_indices);
+  int checked = 0;
+  for (int idx : node_indices) {
+    auto sub = unprofiled.Execute(*ext_query, ext_plan, idx);
+    BALSA_CHECK(sub.ok(), sub.status().ToString());
+    const introspect::ExplainNode* node = explain->node(idx);
+    if (node == nullptr || !node->analyzed) {
+      std::printf("FAIL: node %d missing from the analyzed tree\n", idx);
+      ok = false;
+      continue;
+    }
+    if (node->actual_rows != sub->NumRows()) {
+      std::printf("FAIL: node %d actual_rows %lld != Execute's %lld\n", idx,
+                  static_cast<long long>(node->actual_rows),
+                  static_cast<long long>(sub->NumRows()));
+      ok = false;
+    }
+    ++checked;
+  }
+
+  // Profiling must not perturb results: the profiled root intermediate is
+  // bitwise identical to the unprofiled one.
+  auto plain_root = unprofiled.Execute(*ext_query, ext_plan);
+  ExecutionProfile root_profile;
+  auto prof_root = profiled.ExecuteProfiled(*ext_query, ext_plan,
+                                            &root_profile);
+  BALSA_CHECK(plain_root.ok() && prof_root.ok(), "root execution failed");
+  if (plain_root->rels != prof_root->rels ||
+      plain_root->tuples != prof_root->tuples ||
+      plain_root->capped != prof_root->capped) {
+    std::printf("FAIL: profiled execution changed the result\n");
+    ok = false;
+  }
+
+  std::printf("\nExplainAnalyze on %s (%d nodes, all actuals bitwise-checked "
+              "against per-node Execute):\n",
+              ext_query->name().c_str(), checked);
+  std::fputs(explain->ToText().c_str(), stdout);
+
+  std::printf("%s\n", ok ? "PASS: introspection overhead and fidelity gates "
+                           "hold"
+                         : "FAIL: introspection gates violated");
+  bench::DumpMetricsJsonIfRequested(flags);
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace balsa
+
+int main(int argc, char** argv) {
+  using namespace balsa;
+  BenchFlags flags = BenchFlags::Parse(argc, argv);
+  ExplainConfig config;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) config.smoke = true;
+  }
+  if (config.smoke) {
+    config.scale = 0.03;
+    config.clients = 8;
+    config.warm_requests_per_client = 10;
+    config.measure_requests_per_client = kTsanBuild ? 1500 : 6000;
+    config.exec_iters = kTsanBuild ? 5 : 15;
+    config.rounds = kTsanBuild ? 3 : 5;
+    config.beam_size = 3;
+    config.top_k = 1;
+    // Full-size queries: the gates are ratios, and shrinking per-request
+    // work just measures overhead against an unrealistic denominator.
+    config.max_relations = 8;
+  } else {
+    config.scale = flags.scale;
+    if (flags.threads > 0) config.clients = flags.threads;
+  }
+  flags.scale = config.scale;
+  flags.threads = config.clients;
+  bench::PrintHeader(
+      "Introspect: EXPLAIN ANALYZE overhead and fidelity",
+      "no paper counterpart; gates: slow-query log >= 0.97x serving, "
+      "profiling >= 0.90x execution, actuals bitwise-equal",
+      flags);
+  std::printf("explain config:%s %d clients, %d rounds, %d measured "
+              "requests/client, %d exec iters\n",
+              config.smoke ? " (smoke)" : "", config.clients, config.rounds,
+              config.measure_requests_per_client, config.exec_iters);
+  return Run(config, flags);
+}

@@ -20,6 +20,8 @@
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "src/introspect/statusz.h"
+#include "src/obs/sampler.h"
 #include "src/serving/optimizer_server.h"
 #include "src/serving/query_fingerprint.h"
 #include "src/serving/replay_driver.h"
@@ -100,23 +102,34 @@ int Run(const ServingConfig& config, const BenchFlags& flags) {
   BALSA_CHECK(scratch.ok(), scratch.status().ToString());
 
   // --- Cached serving ----------------------------------------------------
+  // The sampler snapshots the registry while the replay runs, so the
+  // statusz view below can report a real QPS over the measured window.
   auto server = make_server(/*enable_cache=*/true);
+  obs::TimeSeriesSamplerOptions sampler_options;
+  sampler_options.interval_ms = 25;
+  obs::TimeSeriesSampler sampler(&obs::MetricsRegistry::Default(),
+                                 sampler_options);
+  sampler.Start();
   replay.requests_per_client = config.cached_requests_per_client;
   auto cached = ReplayWorkload(server.get(), queries, replay);
+  sampler.Stop();
+  sampler.SampleOnce();  // close the window on the final totals
   BALSA_CHECK(cached.ok(), cached.status().ToString());
 
   TablePrinter table({"mode", "requests", "req/s", "hit rate", "p50 us",
-                      "p99 us", "planned"});
+                      "p95 us", "p99 us", "planned"});
   table.AddRow({"scratch", TablePrinter::Fmt(scratch->requests, 0),
                 TablePrinter::Fmt(scratch->requests_per_sec, 1),
                 TablePrinter::Fmt(scratch->hit_rate, 3),
                 TablePrinter::Fmt(scratch->p50_us, 0),
+                TablePrinter::Fmt(scratch->p95_us, 0),
                 TablePrinter::Fmt(scratch->p99_us, 0),
                 TablePrinter::Fmt(scratch->server.planned, 0)});
   table.AddRow({"cached", TablePrinter::Fmt(cached->requests, 0),
                 TablePrinter::Fmt(cached->requests_per_sec, 1),
                 TablePrinter::Fmt(cached->hit_rate, 3),
                 TablePrinter::Fmt(cached->p50_us, 0),
+                TablePrinter::Fmt(cached->p95_us, 0),
                 TablePrinter::Fmt(cached->p99_us, 0),
                 TablePrinter::Fmt(cached->server.planned, 0)});
   table.Print();
@@ -142,6 +155,14 @@ int Run(const ServingConfig& config, const BenchFlags& flags) {
   // Where the cached server's requests spent their time, from its sampled
   // traces: cache_lookup dominating beam_search is the plan cache working.
   obs::PrintStageBreakdown(*server->tracer());
+
+  // The one-page health view the serving stack exposes (examples/statusz
+  // renders the same thing for any running configuration).
+  introspect::StatuszSources statusz;
+  statusz.registry = &obs::MetricsRegistry::Default();
+  statusz.sampler = &sampler;
+  statusz.server = server.get();
+  std::fputs(introspect::StatuszText(statusz).c_str(), stdout);
 
   bool ok = true;
   if (!cached->plans_consistent || !scratch->plans_consistent) {

@@ -4,10 +4,13 @@
 // followed from fingerprinting through plan-cache lookup, beam search,
 // inference batches, and the executor's scans/joins.
 //
-//   ./build/examples/metrics_dump [requests] [--json=PATH]
+//   ./build/examples/metrics_dump [requests] [--json=PATH] [--explain]
 //
 // With --json=PATH the registry snapshot is also written as JSON (the same
-// format the benches emit for --metrics-json).
+// format the benches emit for --metrics-json). With --explain, one Ext-JOB
+// query is planned and executed with profiling on, and its EXPLAIN ANALYZE
+// tree (estimated vs actual rows, per-node Q-error, per-node timings) is
+// printed next to the stage breakdown.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -17,6 +20,7 @@
 
 #include "src/exec/executor.h"
 #include "src/harness/env.h"
+#include "src/introspect/explain.h"
 #include "src/model/value_network.h"
 #include "src/obs/export.h"
 #include "src/obs/metrics.h"
@@ -28,9 +32,12 @@ int main(int argc, char** argv) {
   using namespace balsa;
   int requests = 64;
   std::string json_path;
+  bool explain = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--json=", 7) == 0) {
       json_path = argv[i] + 7;
+    } else if (std::strcmp(argv[i], "--explain") == 0) {
+      explain = true;
     } else {
       requests = std::atoi(argv[i]);
     }
@@ -117,6 +124,42 @@ int main(int argc, char** argv) {
     std::printf("no traces retained\n");
   } else {
     std::fputs(traces.front()->ToString().c_str(), stdout);
+  }
+
+  if (explain) {
+    // One Ext-JOB query, served by the same server, executed with
+    // profiling on: the tree shows where the estimator's predictions and
+    // the executor's actuals diverge (per-node Q-error).
+    std::printf("\n--- EXPLAIN ANALYZE (one Ext-JOB query) --------------\n");
+    const Query* ext = nullptr;
+    for (const Query& q : env.ext_workload.queries()) {
+      if (q.num_relations() >= 4 && q.num_relations() <= 6) {
+        ext = &q;
+        break;
+      }
+    }
+    if (ext == nullptr && !env.ext_workload.queries().empty()) {
+      ext = &env.ext_workload.queries().front();
+    }
+    if (ext == nullptr) {
+      std::printf("no Ext-JOB queries in this environment\n");
+    } else {
+      auto served = server.Optimize(*ext);
+      if (!served.ok()) {
+        std::fprintf(stderr, "Optimize: %s\n",
+                     served.status().ToString().c_str());
+        return 1;
+      }
+      Executor exec(env.db.get());
+      auto analyzed = introspect::ExplainAnalyze(exec, *ext, served->plan,
+                                                 env.estimator.get());
+      if (!analyzed.ok()) {
+        std::fprintf(stderr, "ExplainAnalyze: %s\n",
+                     analyzed.status().ToString().c_str());
+        return 1;
+      }
+      std::fputs(analyzed->ToText().c_str(), stdout);
+    }
   }
 
   if (!json_path.empty()) {

@@ -1,0 +1,132 @@
+// Statusz: stand up the instrumented serving stack, drive a short Zipf
+// replay with the time-series sampler running, and print the one-page
+// health dashboard — current QPS, per-outcome and per-stage latency
+// percentiles, plan-cache occupancy, storage state, and the most recent
+// slow queries (the demo arms the slow-query log so cold-cache misses
+// land in it).
+//
+//   ./build/examples/statusz [requests_per_client] [--json]
+//                            [--slow-jsonl=PATH]
+//
+// --json prints the same dashboard as one JSON object instead of text;
+// --slow-jsonl additionally exports the slow-query ring as JSONL.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/harness/env.h"
+#include "src/introspect/statusz.h"
+#include "src/model/value_network.h"
+#include "src/obs/metrics.h"
+#include "src/obs/sampler.h"
+#include "src/serving/optimizer_server.h"
+#include "src/serving/replay_driver.h"
+
+int main(int argc, char** argv) {
+  using namespace balsa;
+  int requests_per_client = 200;
+  bool as_json = false;
+  std::string slow_jsonl;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      as_json = true;
+    } else if (std::strncmp(argv[i], "--slow-jsonl=", 13) == 0) {
+      slow_jsonl = argv[i] + 13;
+    } else {
+      requests_per_client = std::atoi(argv[i]);
+    }
+  }
+  if (requests_per_client < 1) requests_per_client = 1;
+
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Default();
+
+  std::fprintf(stderr, "Building a small JOB-like environment ...\n");
+  EnvOptions env_options;
+  env_options.data_scale = 0.05;
+  auto env_or = MakeEnv(WorkloadKind::kJobTrainAll, env_options);
+  if (!env_or.ok()) {
+    std::fprintf(stderr, "MakeEnv: %s\n", env_or.status().ToString().c_str());
+    return 1;
+  }
+  Env& env = **env_or;
+  env.db->AttachMetrics(&registry);
+
+  Featurizer featurizer(&env.schema(), env.estimator.get());
+  ValueNetConfig net_config;
+  net_config.query_dim = featurizer.query_dim();
+  net_config.node_dim = featurizer.node_dim();
+  net_config.tree_hidden1 = 32;
+  net_config.tree_hidden2 = 16;
+  net_config.mlp_hidden = 16;
+  net_config.init_seed = 7;
+  ValueNetwork network(net_config);
+
+  OptimizerServerOptions options;
+  options.planner.beam_size = 5;
+  options.planner.top_k = 3;
+  options.metrics = &registry;
+  options.trace.sample_every = 4;
+  // Arm the slow-query log so the dashboard has something to show: every
+  // uncoalesced miss (a cold-cache beam search) is a "slow query" here.
+  options.slow_query.capacity = 64;
+  options.slow_query.log_uncoalesced_misses = true;
+  OptimizerServer server(&env.schema(), &featurizer, &network,
+                         env.oracle.get(), options);
+
+  std::vector<const Query*> queries;
+  for (const Query& q : env.workload.queries()) {
+    if (q.num_relations() <= 6) queries.push_back(&q);
+  }
+  if (queries.empty()) {
+    std::fprintf(stderr, "no small queries in the workload\n");
+    return 1;
+  }
+
+  obs::TimeSeriesSamplerOptions sampler_options;
+  sampler_options.interval_ms = 20;
+  obs::TimeSeriesSampler sampler(&registry, sampler_options);
+  sampler.Start();
+
+  std::fprintf(stderr, "Serving %d requests x 8 clients over %zu queries\n",
+               requests_per_client, queries.size());
+  ReplayOptions replay;
+  replay.num_clients = 8;
+  replay.requests_per_client = requests_per_client;
+  replay.zipf_s = 0.9;
+  replay.seed = 17;
+  auto report = ReplayWorkload(&server, queries, replay);
+  sampler.Stop();
+  sampler.SampleOnce();  // close the window on the final totals
+  if (!report.ok()) {
+    std::fprintf(stderr, "replay: %s\n", report.status().ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr,
+               "replay: %.1f req/s, hit rate %.3f, p50/p95/p99 %.0f/%.0f/"
+               "%.0f us\n\n",
+               report->requests_per_sec, report->hit_rate, report->p50_us,
+               report->p95_us, report->p99_us);
+
+  introspect::StatuszSources sources;
+  sources.registry = &registry;
+  sources.sampler = &sampler;
+  sources.server = &server;
+  std::string page = as_json ? introspect::StatuszJson(sources)
+                             : introspect::StatuszText(sources);
+  std::fputs(page.c_str(), stdout);
+  if (as_json) std::fputc('\n', stdout);
+
+  if (!slow_jsonl.empty()) {
+    Status status = server.slow_query_log().WriteJsonlFile(slow_jsonl);
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "wrote %zu slow-query events to %s\n",
+                 server.RecentSlowQueries().size(), slow_jsonl.c_str());
+  }
+  return 0;
+}

@@ -27,8 +27,11 @@ fi
 # mismatches across serial/parallel/skipping/indexed scan paths);
 # bench_obs_overhead asserts the observability gates (instrumented serving
 # >= 0.97x the recording-disabled baseline on the closed-loop replay, and
-# >= 0.90x on a single-thread cache-hit hammer). Each exits non-zero on
-# violation.
+# >= 0.90x on a single-thread cache-hit hammer); bench_explain_overhead
+# asserts the introspection gates (serving with the slow-query log armed
+# >= 0.97x a server without it, profiled execution >= 0.90x plain Execute,
+# and EXPLAIN ANALYZE actuals bitwise-equal to per-node Execute results).
+# Each exits non-zero on violation.
 if [ -x "$build_dir/bench/bench_inference_batching" ]; then
   echo "==> bench_inference_batching"
   "$build_dir/bench/bench_inference_batching"
@@ -59,13 +62,18 @@ if [ -x "$build_dir/bench/bench_obs_overhead" ]; then
   "$build_dir/bench/bench_obs_overhead"
   echo
 fi
+if [ -x "$build_dir/bench/bench_explain_overhead" ]; then
+  echo "==> bench_explain_overhead"
+  "$build_dir/bench/bench_explain_overhead"
+  echo
+fi
 
 # Binaries share build/bench/ with CMake's own files (CMakeFiles/, Makefile);
 # keep only executable regular files.
 for bin in "$build_dir"/bench/*; do
   [ -f "$bin" ] && [ -x "$bin" ] || continue
   case "$(basename "$bin")" in
-    bench_inference_batching|bench_serving_throughput|bench_adaptive_drift|bench_snapshot_ingest|bench_chunk_ingest|bench_obs_overhead)
+    bench_inference_batching|bench_serving_throughput|bench_adaptive_drift|bench_snapshot_ingest|bench_chunk_ingest|bench_obs_overhead|bench_explain_overhead)
       continue ;;
   esac
   echo "==> $(basename "$bin")"

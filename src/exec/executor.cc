@@ -1,6 +1,7 @@
 #include "src/exec/executor.h"
 
 #include <algorithm>
+#include <chrono>
 #include <unordered_map>
 
 #include "src/obs/trace.h"
@@ -136,10 +137,31 @@ bool Executor::EvalFilter(const Query& query, const FilterPredicate& f,
   return false;
 }
 
-StatusOr<Intermediate> Executor::Scan(const Query& query, int rel) const {
+StatusOr<Intermediate> Executor::Scan(const Query& query, int rel,
+                                      NodeProfile* prof) const {
   // One span per relation scanned; inert unless the calling thread carries
   // a sampled request's trace context (obs::ScopedTraceContext).
   obs::SpanTimer span(obs::TraceStage::kExecScan);
+  // Profiling observes only: with the option off (or no sink) no clock is
+  // read and no counter is kept — the scan below is byte-for-byte the
+  // unprofiled one.
+  const bool profiled = options_.profile && prof != nullptr;
+  std::chrono::steady_clock::time_point prof_start;
+  if (profiled) {
+    *prof = NodeProfile{};
+    prof->relation = rel;
+    prof_start = std::chrono::steady_clock::now();
+  }
+  auto finish = [&](Intermediate&& out) -> Intermediate {
+    if (profiled) {
+      prof->rows_out = out.NumRows();
+      prof->capped = out.capped;
+      prof->wall_micros = std::chrono::duration<double, std::micro>(
+                              std::chrono::steady_clock::now() - prof_start)
+                              .count();
+    }
+    return std::move(out);
+  };
   if (rel < 0 || rel >= query.num_relations()) {
     return Status::OutOfRange("relation " + std::to_string(rel));
   }
@@ -176,6 +198,7 @@ StatusOr<Intermediate> Executor::Scan(const Query& query, int rel) const {
     }
   }
   if (eq >= 0) {
+    if (profiled) prof->used_index = true;
     const FilterPredicate& f = filters[static_cast<size_t>(eq)];
     const HashIndex& index = snapshot_.index(table_idx, f.col.column);
     for (uint32_t r : index.Lookup(f.value)) {
@@ -186,7 +209,7 @@ StatusOr<Intermediate> Executor::Scan(const Query& query, int rel) const {
         break;
       }
     }
-    return out;
+    return finish(std::move(out));
   }
 
   // Morsel-driven chunked scan. Vectorizable predicates run branch-free
@@ -219,6 +242,14 @@ StatusOr<Intermediate> Executor::Scan(const Query& query, int rel) const {
 
   std::vector<std::vector<uint32_t>> morsel_rows(
       static_cast<size_t>(num_morsels));
+  // Skip counts are per-morsel (summed after the parallel section), so
+  // profiling stays race-free and deterministic under any pool size.
+  std::vector<int64_t> morsel_skipped;
+  if (profiled) {
+    prof->chunks_total = num_chunks;
+    prof->morsels = num_morsels;
+    morsel_skipped.assign(static_cast<size_t>(num_morsels), 0);
+  }
   auto scan_morsel = [&](size_t m) {
     std::vector<uint8_t> sel;
     std::vector<uint32_t>& matches = morsel_rows[m];
@@ -233,7 +264,10 @@ StatusOr<Intermediate> Executor::Scan(const Query& query, int rel) const {
             break;
           }
         }
-        if (skip) continue;
+        if (skip) {
+          if (profiled) morsel_skipped[m]++;
+          continue;
+        }
       }
       const int64_t base = static_cast<int64_t>(ci) << kChunkShift;
       const int64_t n = std::min(kChunkRows, num_rows - base);
@@ -277,6 +311,10 @@ StatusOr<Intermediate> Executor::Scan(const Query& query, int rel) const {
     }
   }
 
+  if (profiled) {
+    for (int64_t skipped : morsel_skipped) prof->chunks_skipped += skipped;
+  }
+
   int64_t total = 0;
   for (const auto& matches : morsel_rows) {
     total += static_cast<int64_t>(matches.size());
@@ -285,17 +323,29 @@ StatusOr<Intermediate> Executor::Scan(const Query& query, int rel) const {
   rows.reserve(static_cast<size_t>(std::min(total, options_.row_cap)));
   for (const auto& matches : morsel_rows) {
     for (uint32_t r : matches) {
-      if (static_cast<int64_t>(rows.size()) >= options_.row_cap) return out;
+      if (static_cast<int64_t>(rows.size()) >= options_.row_cap) {
+        return finish(std::move(out));
+      }
       rows.push_back(r);
     }
   }
-  return out;
+  return finish(std::move(out));
 }
 
 StatusOr<Intermediate> Executor::Join(const Query& query,
                                       const Intermediate& left,
-                                      const Intermediate& right) const {
+                                      const Intermediate& right,
+                                      NodeProfile* prof) const {
   obs::SpanTimer span(obs::TraceStage::kExecJoin);
+  const bool profiled = options_.profile && prof != nullptr;
+  std::chrono::steady_clock::time_point prof_start;
+  if (profiled) {
+    *prof = NodeProfile{};
+    prof->is_join = true;
+    prof->rows_in_left = left.NumRows();
+    prof->rows_in_right = right.NumRows();
+    prof_start = std::chrono::steady_clock::now();
+  }
   TableSet lset, rset;
   for (int r : left.rels) lset = lset.With(r);
   for (int r : right.rels) rset = rset.With(r);
@@ -310,6 +360,18 @@ StatusOr<Intermediate> Executor::Join(const Query& query,
   const bool build_left = left.NumRows() <= right.NumRows();
   const Intermediate& build = build_left ? left : right;
   const Intermediate& probe = build_left ? right : left;
+  auto finish = [&](Intermediate&& joined) -> Intermediate {
+    if (profiled) {
+      prof->build_rows = build.NumRows();
+      prof->probe_rows = probe.NumRows();
+      prof->rows_out = joined.NumRows();
+      prof->capped = joined.capped;
+      prof->wall_micros = std::chrono::duration<double, std::micro>(
+                              std::chrono::steady_clock::now() - prof_start)
+                              .count();
+    }
+    return std::move(joined);
+  };
 
   // Orient predicates so .left refers to the build side.
   std::vector<JoinPredicate> oriented;
@@ -383,24 +445,57 @@ StatusOr<Intermediate> Executor::Join(const Query& query,
       }
       if (out.NumRows() >= options_.row_cap) {
         out.capped = true;
-        return out;
+        return finish(std::move(out));
       }
     }
   }
-  return out;
+  return finish(std::move(out));
 }
 
 StatusOr<Intermediate> Executor::Execute(const Query& query, const Plan& plan,
                                          int node_idx) const {
   if (node_idx < 0) node_idx = plan.root();
   if (node_idx < 0) return Status::InvalidArgument("empty plan");
+  return ExecuteNode(query, plan, node_idx, nullptr);
+}
+
+StatusOr<Intermediate> Executor::ExecuteProfiled(
+    const Query& query, const Plan& plan, ExecutionProfile* profile) const {
+  const int root = plan.root();
+  if (root < 0) return Status::InvalidArgument("empty plan");
+  if (!options_.profile || profile == nullptr) {
+    if (profile != nullptr) *profile = ExecutionProfile{};
+    return ExecuteNode(query, plan, root, nullptr);
+  }
+  *profile = ExecutionProfile{};
+  profile->nodes.resize(static_cast<size_t>(plan.num_nodes()));
+  const auto start = std::chrono::steady_clock::now();
+  auto result = ExecuteNode(query, plan, root, profile);
+  profile->total_micros = std::chrono::duration<double, std::micro>(
+                              std::chrono::steady_clock::now() - start)
+                              .count();
+  return result;
+}
+
+StatusOr<Intermediate> Executor::ExecuteNode(const Query& query,
+                                             const Plan& plan, int node_idx,
+                                             ExecutionProfile* profile) const {
   const PlanNode& n = plan.node(node_idx);
-  if (!n.is_join) return Scan(query, n.relation);
+  NodeProfile* prof =
+      profile != nullptr ? &profile->nodes[static_cast<size_t>(node_idx)]
+                         : nullptr;
+  if (!n.is_join) {
+    auto out = Scan(query, n.relation, prof);
+    if (prof != nullptr && out.ok()) prof->node_idx = node_idx;
+    return out;
+  }
   BALSA_ASSIGN_OR_RETURN(Intermediate left,
-                         Execute(query, plan, n.left));
+                         ExecuteNode(query, plan, n.left, profile));
   BALSA_ASSIGN_OR_RETURN(Intermediate right,
-                         Execute(query, plan, n.right));
-  return Join(query, left, right);
+                         ExecuteNode(query, plan, n.right, profile));
+  auto out = Join(query, left, right, prof);
+  if (prof != nullptr && out.ok()) prof->node_idx = node_idx;
+  return out;
 }
 
 }  // namespace balsa

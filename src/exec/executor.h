@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/exec/profile.h"
 #include "src/plan/plan.h"
 #include "src/plan/query_graph.h"
 #include "src/storage/column_store.h"
@@ -70,6 +71,11 @@ struct ExecutorOptions {
   /// per-morsel matches in chunk order — bitwise identical to the serial
   /// scan. The pool is borrowed and must outlive the executor's calls.
   ThreadPool* pool = nullptr;
+  /// Collect per-node measurements (src/exec/profile.h) into the sinks
+  /// passed to Scan/Join/ExecuteProfiled. Off (the default) costs nothing:
+  /// no clock reads, no extra allocations, and results are bitwise
+  /// identical either way — profiling only observes.
+  bool profile = false;
 };
 
 /// Evaluates scans and joins of a query against a pinned snapshot. All
@@ -88,24 +94,40 @@ class Executor {
   /// The snapshot all reads go through (its epoch tags derived results).
   const Snapshot& snapshot() const { return snapshot_; }
 
+  const ExecutorOptions& options() const { return options_; }
+
   /// Scans relation `rel` of `query`, applying all its filters
-  /// morsel-at-a-time over the table's chunks.
-  StatusOr<Intermediate> Scan(const Query& query, int rel) const;
+  /// morsel-at-a-time over the table's chunks. With options.profile on and
+  /// `prof` non-null, fills `prof` with the scan's measurements.
+  StatusOr<Intermediate> Scan(const Query& query, int rel,
+                              NodeProfile* prof = nullptr) const;
 
   /// Equi-joins two intermediates on all join predicates crossing them.
   /// Fails if no predicate connects them (no cross products in SPJ plans).
+  /// With options.profile on and `prof` non-null, fills `prof`.
   StatusOr<Intermediate> Join(const Query& query, const Intermediate& left,
-                              const Intermediate& right) const;
+                              const Intermediate& right,
+                              NodeProfile* prof = nullptr) const;
 
   /// Executes a whole plan subtree, returning the final intermediate.
   StatusOr<Intermediate> Execute(const Query& query, const Plan& plan,
                                  int node_idx = -1) const;
+
+  /// Execute with a per-node profile tree: `profile` is resized to the
+  /// plan's arena and each executed node's measurements land at its arena
+  /// index. Results are bitwise identical to Execute. When options.profile
+  /// is off this IS Execute — the profile comes back empty.
+  StatusOr<Intermediate> ExecuteProfiled(const Query& query, const Plan& plan,
+                                         ExecutionProfile* profile) const;
 
   /// True if `row` of the relation's base table passes filter `f`.
   bool EvalFilter(const Query& query, const FilterPredicate& f,
                   uint32_t row) const;
 
  private:
+  StatusOr<Intermediate> ExecuteNode(const Query& query, const Plan& plan,
+                                     int node_idx,
+                                     ExecutionProfile* profile) const;
   int64_t ColumnValue(const Query& query, int rel, int col,
                       uint32_t row) const;
 

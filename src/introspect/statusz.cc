@@ -1,0 +1,225 @@
+#include "src/introspect/statusz.h"
+
+#include <cstdio>
+
+#include "src/obs/export.h"
+
+namespace balsa::introspect {
+
+namespace {
+
+std::string FmtF(const char* fmt, double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), fmt, v);
+  return buf;
+}
+
+int64_t CounterValue(const obs::RegistrySnapshot& snapshot,
+                     const std::string& name) {
+  const obs::MetricValue* m = snapshot.Find(name);
+  return m == nullptr ? 0 : m->value;
+}
+
+/// Everything Statusz reports, gathered once and rendered twice.
+struct StatuszData {
+  int64_t requests = 0;
+  int64_t hits = 0;
+  int64_t slow_queries = 0;
+  double hit_rate = 0;
+  double qps = -1;  // -1 = no sampler window
+  struct OutcomeLatency {
+    std::string outcome;
+    int64_t count = 0;
+    double p50 = 0, p99 = 0;
+  };
+  std::vector<OutcomeLatency> outcomes;
+  struct StageLatency {
+    std::string stage;
+    int64_t count = 0;
+    double p50 = 0, p99 = 0;
+  };
+  std::vector<StageLatency> stages;
+  int64_t cache_entries = 0;
+  int64_t cache_bytes = 0;
+  int64_t cache_hits = 0;
+  int64_t cache_misses = 0;
+  int64_t publication_epoch = 0;
+  int64_t retained_bytes = 0;
+  double ingest_rows_per_sec = -1;
+  int64_t sampler_ticks = 0;
+  size_t sampler_series = 0;
+  std::vector<SlowQueryEvent> slow;  // newest first, truncated
+};
+
+StatuszData Gather(const StatuszSources& sources) {
+  StatuszData data;
+  const obs::RegistrySnapshot snapshot = sources.registry->Snapshot();
+  const std::string& p = sources.serving_prefix;
+  data.requests = CounterValue(snapshot, p + ".requests");
+  data.hits = CounterValue(snapshot, p + ".hits");
+  data.slow_queries = CounterValue(snapshot, p + ".slow_queries");
+  data.hit_rate = data.requests > 0
+                      ? static_cast<double>(data.hits) / data.requests
+                      : 0;
+
+  // Per-outcome request latency and per-stage span histograms both ride in
+  // the snapshot under labeled names; scan by prefix so exactly what is
+  // attached is what shows up.
+  const std::string outcome_prefix = p + ".request_us{outcome=";
+  const std::string stage_prefix = p + ".stage_us{stage=";
+  for (const obs::MetricValue& m : snapshot.metrics) {
+    if (m.kind != obs::MetricKind::kHistogram) continue;
+    auto label_of = [&](const std::string& prefix) -> std::string {
+      if (m.name.compare(0, prefix.size(), prefix) != 0) return "";
+      std::string label = m.name.substr(prefix.size());
+      if (!label.empty() && label.back() == '}') label.pop_back();
+      return label;
+    };
+    std::string label = label_of(outcome_prefix);
+    if (!label.empty() && m.histogram.count > 0) {
+      data.outcomes.push_back({label, m.histogram.count,
+                               m.histogram.Percentile(50),
+                               m.histogram.Percentile(99)});
+      continue;
+    }
+    label = label_of(stage_prefix);
+    if (!label.empty() && m.histogram.count > 0) {
+      data.stages.push_back({label, m.histogram.count,
+                             m.histogram.Percentile(50),
+                             m.histogram.Percentile(99)});
+    }
+  }
+
+  data.cache_entries = CounterValue(snapshot, p + ".plan_cache.entries");
+  data.cache_bytes = CounterValue(snapshot, p + ".plan_cache.approx_bytes");
+  data.cache_hits = CounterValue(snapshot, p + ".plan_cache.hits");
+  data.cache_misses = CounterValue(snapshot, p + ".plan_cache.misses");
+  data.publication_epoch = CounterValue(snapshot, "storage.publication_epoch");
+  data.retained_bytes = CounterValue(snapshot, "storage.retained_bytes");
+
+  if (sources.sampler != nullptr) {
+    const obs::SeriesWindow qps = sources.sampler->GetSeries(p + ".requests");
+    if (qps.points.size() >= 2) data.qps = qps.RatePerSec();
+    const obs::SeriesWindow ingest =
+        sources.sampler->GetSeries("storage.changelog.rows_inserted");
+    if (ingest.points.size() >= 2) {
+      data.ingest_rows_per_sec = ingest.RatePerSec();
+    }
+    data.sampler_ticks = sources.sampler->samples_taken();
+    data.sampler_series = sources.sampler->Series().size();
+  }
+
+  if (sources.server != nullptr && sources.max_slow_queries > 0) {
+    std::vector<SlowQueryEvent> events = sources.server->RecentSlowQueries();
+    for (auto it = events.rbegin();
+         it != events.rend() &&
+         data.slow.size() < static_cast<size_t>(sources.max_slow_queries);
+         ++it) {
+      data.slow.push_back(*it);
+    }
+  }
+  return data;
+}
+
+}  // namespace
+
+std::string StatuszText(const StatuszSources& sources) {
+  const StatuszData d = Gather(sources);
+  std::string out = "== statusz ==\n";
+  out += "serving: " + std::to_string(d.requests) + " requests";
+  if (d.qps >= 0) out += ", " + FmtF("%.1f", d.qps) + " req/s";
+  out += ", hit rate " + FmtF("%.3f", d.hit_rate);
+  out += ", " + std::to_string(d.slow_queries) + " slow queries\n";
+  if (!d.outcomes.empty()) {
+    out += "  p50/p99 us by outcome:";
+    for (const auto& o : d.outcomes) {
+      out += " " + o.outcome + " " + FmtF("%.0f", o.p50) + "/" +
+             FmtF("%.0f", o.p99);
+    }
+    out += '\n';
+  }
+  if (!d.stages.empty()) {
+    out += "  p50/p99 us by stage:";
+    bool first = true;
+    for (const auto& s : d.stages) {
+      out += first ? " " : " | ";
+      first = false;
+      out += s.stage + " " + FmtF("%.0f", s.p50) + "/" + FmtF("%.0f", s.p99);
+    }
+    out += '\n';
+  }
+  out += "cache: " + std::to_string(d.cache_entries) + " entries, " +
+         std::to_string(d.cache_bytes) + " bytes, " +
+         std::to_string(d.cache_hits) + " hits / " +
+         std::to_string(d.cache_misses) + " misses\n";
+  out += "storage: epoch " + std::to_string(d.publication_epoch) +
+         ", retained " + std::to_string(d.retained_bytes) + " bytes";
+  if (d.ingest_rows_per_sec >= 0) {
+    out += ", ingest " + FmtF("%.1f", d.ingest_rows_per_sec) + " rows/s";
+  }
+  out += '\n';
+  if (sources.sampler != nullptr) {
+    out += "sampler: " + std::to_string(d.sampler_ticks) + " ticks over " +
+           std::to_string(d.sampler_series) + " series\n";
+  }
+  if (!d.slow.empty()) {
+    out += "recent slow queries (newest first):\n";
+    for (const SlowQueryEvent& e : d.slow) {
+      out += "  #" + std::to_string(e.sequence) + " " +
+             SlowQueryCauseName(e.cause) + " " + e.query_name + " [" +
+             e.outcome + "] " + FmtF("%.1f", e.serve_micros) + "us " +
+             e.plan_summary + '\n';
+    }
+  }
+  return out;
+}
+
+std::string StatuszJson(const StatuszSources& sources) {
+  const StatuszData d = Gather(sources);
+  std::string out = "{\"serving\":{";
+  out += "\"requests\":" + std::to_string(d.requests);
+  out += ",\"hit_rate\":" + FmtF("%.4f", d.hit_rate);
+  out += ",\"slow_queries\":" + std::to_string(d.slow_queries);
+  if (d.qps >= 0) out += ",\"qps\":" + FmtF("%.1f", d.qps);
+  out += ",\"outcomes\":[";
+  for (size_t i = 0; i < d.outcomes.size(); ++i) {
+    if (i > 0) out += ',';
+    out += "{\"outcome\":\"" + obs::JsonEscape(d.outcomes[i].outcome) +
+           "\",\"count\":" + std::to_string(d.outcomes[i].count) +
+           ",\"p50_us\":" + FmtF("%.1f", d.outcomes[i].p50) +
+           ",\"p99_us\":" + FmtF("%.1f", d.outcomes[i].p99) + '}';
+  }
+  out += "],\"stages\":[";
+  for (size_t i = 0; i < d.stages.size(); ++i) {
+    if (i > 0) out += ',';
+    out += "{\"stage\":\"" + obs::JsonEscape(d.stages[i].stage) +
+           "\",\"count\":" + std::to_string(d.stages[i].count) +
+           ",\"p50_us\":" + FmtF("%.1f", d.stages[i].p50) +
+           ",\"p99_us\":" + FmtF("%.1f", d.stages[i].p99) + '}';
+  }
+  out += "]}";
+  out += ",\"cache\":{\"entries\":" + std::to_string(d.cache_entries) +
+         ",\"approx_bytes\":" + std::to_string(d.cache_bytes) +
+         ",\"hits\":" + std::to_string(d.cache_hits) +
+         ",\"misses\":" + std::to_string(d.cache_misses) + '}';
+  out += ",\"storage\":{\"publication_epoch\":" +
+         std::to_string(d.publication_epoch) +
+         ",\"retained_bytes\":" + std::to_string(d.retained_bytes);
+  if (d.ingest_rows_per_sec >= 0) {
+    out += ",\"ingest_rows_per_sec\":" + FmtF("%.1f", d.ingest_rows_per_sec);
+  }
+  out += '}';
+  if (sources.sampler != nullptr) {
+    out += ",\"sampler\":{\"ticks\":" + std::to_string(d.sampler_ticks) +
+           ",\"series\":" + std::to_string(d.sampler_series) + '}';
+  }
+  out += ",\"recent_slow_queries\":[";
+  for (size_t i = 0; i < d.slow.size(); ++i) {
+    if (i > 0) out += ',';
+    out += SlowQueryLog::EventJson(d.slow[i]);
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace balsa::introspect

@@ -1,0 +1,40 @@
+// Statusz: the one-page "is it healthy" dashboard, assembled from whatever
+// observability sources the caller has — a registry snapshot (required),
+// a TimeSeriesSampler (adds rates: QPS, ingest rows/s), and an
+// OptimizerServer (adds its recent slow queries). Renders as text for
+// terminals (examples/statusz, bench_serving_throughput) and as JSON for
+// tooling. Pure read path: one registry snapshot, one sampler read, one
+// slow-log copy — nothing here perturbs serving.
+#pragma once
+
+#include <string>
+
+#include "src/obs/metrics.h"
+#include "src/obs/sampler.h"
+#include "src/serving/optimizer_server.h"
+
+namespace balsa::introspect {
+
+struct StatuszSources {
+  /// Required: the registry everything is attached to.
+  const obs::MetricsRegistry* registry = nullptr;
+  /// Optional: adds derived rates (QPS, ingest rows/s) over the sampler's
+  /// retained window.
+  const obs::TimeSeriesSampler* sampler = nullptr;
+  /// Optional: adds recent slow-query events.
+  const OptimizerServer* server = nullptr;
+  /// Metric name prefix the serving stack was attached under.
+  std::string serving_prefix = "serving";
+  /// Slow-query events shown (newest first).
+  int max_slow_queries = 5;
+};
+
+/// The text dashboard: serving totals + QPS, per-outcome and per-stage
+/// latency percentiles, plan-cache occupancy and hit traffic, storage
+/// epoch/retained-bytes/ingest-rate, and the most recent slow queries.
+std::string StatuszText(const StatuszSources& sources);
+
+/// The same content as one JSON object.
+std::string StatuszJson(const StatuszSources& sources);
+
+}  // namespace balsa::introspect

@@ -25,6 +25,32 @@ std::string FmtDouble(double v) {
 
 }  // namespace
 
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char raw : s) {
+    const unsigned char c = static_cast<unsigned char>(raw);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += raw;
+        }
+    }
+  }
+  return out;
+}
+
 std::string TextDump(const RegistrySnapshot& snapshot) {
   std::string out;
   char line[256];
@@ -53,13 +79,11 @@ std::string JsonDump(const RegistrySnapshot& snapshot) {
     if (!first) out += ',';
     first = false;
     out += "{\"name\":\"";
-    // Metric names are code-chosen identifiers ([a-z0-9._{}=,]-ish); escape
-    // the two JSON-significant characters anyway so a hostile label cannot
-    // break the document.
-    for (char c : m.name) {
-      if (c == '"' || c == '\\') out += '\\';
-      out += c;
-    }
+    // Metric names are mostly code-chosen identifiers, but label *values*
+    // ride inside them ("name{k=v}") and may carry quotes, backslashes, or
+    // control characters — full escaping keeps the document parseable no
+    // matter what a label holds.
+    out += JsonEscape(m.name);
     out += "\",\"kind\":\"";
     out += KindName(m.kind);
     out += "\"";

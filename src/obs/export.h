@@ -12,6 +12,13 @@
 
 namespace balsa::obs {
 
+/// `s` escaped for inclusion inside a JSON string literal: quote,
+/// backslash, and the named control characters get two-character escapes;
+/// any other control character becomes \u00XX. Label values and span names
+/// flow into dumps verbatim ("name{k=\"v\"}"), so everything that renders
+/// JSON here routes strings through this.
+std::string JsonEscape(const std::string& s);
+
 /// One line per metric, sorted by name:
 ///   counter  serving.requests  12345
 ///   hist     serving.request_us{outcome=hit}  count=100 mean=3.2 p50<=4 ...

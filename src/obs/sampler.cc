@@ -1,0 +1,127 @@
+#include "src/obs/sampler.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace balsa::obs {
+
+double SeriesWindow::RatePerSec() const {
+  if (points.size() < 2) return 0;
+  const SamplePoint& first = points.front();
+  const SamplePoint& last = points.back();
+  const double dt = last.t_seconds - first.t_seconds;
+  if (dt <= 0) return 0;
+  return static_cast<double>(last.value - first.value) / dt;
+}
+
+double SeriesWindow::WindowMean() const {
+  if (points.size() < 2) return 0;
+  const int64_t dcount = points.back().value - points.front().value;
+  const int64_t dsum = points.back().sum - points.front().sum;
+  return dcount > 0 ? static_cast<double>(dsum) / dcount : 0;
+}
+
+TimeSeriesSampler::TimeSeriesSampler(const MetricsRegistry* registry,
+                                     TimeSeriesSamplerOptions options)
+    : registry_(registry),
+      options_(options),
+      start_(std::chrono::steady_clock::now()) {}
+
+TimeSeriesSampler::~TimeSeriesSampler() { Stop(); }
+
+void TimeSeriesSampler::Start() {
+  std::lock_guard<std::mutex> lock(thread_mu_);
+  if (running_) return;
+  stop_ = false;
+  running_ = true;
+  thread_ = std::thread([this] {
+    const auto interval = std::chrono::milliseconds(
+        std::max(1, options_.interval_ms));
+    std::unique_lock<std::mutex> lock(thread_mu_);
+    while (!stop_) {
+      // Sample outside the thread mutex: Stop() must never block on a
+      // registry snapshot in flight longer than one tick.
+      lock.unlock();
+      SampleOnce();
+      lock.lock();
+      cv_.wait_for(lock, interval, [this] { return stop_; });
+    }
+  });
+}
+
+void TimeSeriesSampler::Stop() {
+  std::thread joinable;
+  {
+    std::lock_guard<std::mutex> lock(thread_mu_);
+    if (!running_) return;
+    stop_ = true;
+    running_ = false;
+    joinable = std::move(thread_);
+  }
+  cv_.notify_all();
+  joinable.join();
+}
+
+bool TimeSeriesSampler::running() const {
+  std::lock_guard<std::mutex> lock(thread_mu_);
+  return running_;
+}
+
+void TimeSeriesSampler::SampleOnce() {
+  // The snapshot (instrument reads, possible callback gauges) runs outside
+  // mu_, so concurrent Series() readers only wait for the ring appends.
+  const RegistrySnapshot snapshot = registry_->Snapshot();
+  const double t = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - start_)
+                       .count();
+  const size_t capacity =
+      static_cast<size_t>(std::max(2, options_.ring_capacity));
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const MetricValue& m : snapshot.metrics) {
+    Ring& ring = series_[m.name];
+    ring.kind = m.kind;
+    SamplePoint point;
+    point.t_seconds = t;
+    if (m.kind == MetricKind::kHistogram) {
+      point.value = m.histogram.count;
+      point.sum = m.histogram.sum;
+    } else {
+      point.value = m.value;
+    }
+    ring.points.push_back(point);
+    while (ring.points.size() > capacity) ring.points.pop_front();
+  }
+  samples_.Inc();
+}
+
+std::vector<SeriesWindow> TimeSeriesSampler::Series() const {
+  std::vector<SeriesWindow> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  out.reserve(series_.size());
+  for (const auto& [name, ring] : series_) {
+    SeriesWindow window;
+    window.name = name;
+    window.kind = ring.kind;
+    window.points.assign(ring.points.begin(), ring.points.end());
+    out.push_back(std::move(window));
+  }
+  return out;  // std::map iteration is already name-sorted
+}
+
+SeriesWindow TimeSeriesSampler::GetSeries(const std::string& name) const {
+  SeriesWindow window;
+  window.name = name;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = series_.find(name);
+  if (it != series_.end()) {
+    window.kind = it->second.kind;
+    window.points.assign(it->second.points.begin(), it->second.points.end());
+  }
+  return window;
+}
+
+double TimeSeriesSampler::RatePerSec(const std::string& name) const {
+  return GetSeries(name).RatePerSec();
+}
+
+}  // namespace balsa::obs

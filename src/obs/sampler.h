@@ -1,0 +1,117 @@
+// Continuous metrics sampling: cumulative counters answer "how much ever",
+// but a live system needs "how fast right now" — QPS, ingest rate, cache
+// churn. The TimeSeriesSampler snapshots a MetricsRegistry every
+// interval_ms on a background thread and retains, per metric name, a
+// fixed-capacity ring of (time, value) points; rates are derived as the
+// delta between the oldest and newest retained points, so a rate is always
+// an average over the retained window, never an instantaneous guess.
+//
+// The sampler only ever *reads* the registry (Snapshot() — the same call
+// the benches' --metrics-json makes), so sampling perturbs a running
+// workload no more than any other snapshot. SampleOnce() is public and the
+// thread calls exactly it, so tests drive deterministic ticks without the
+// thread (tests/obs_test.cc brackets a replay with two manual ticks and
+// checks the derived rate against the replay's measured QPS).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/obs/metrics.h"
+
+namespace balsa::obs {
+
+struct TimeSeriesSamplerOptions {
+  /// Background sampling period. The thread is started explicitly
+  /// (Start()); constructing a sampler starts nothing.
+  int interval_ms = 250;
+  /// Points retained per series; at the default interval the window is
+  /// about a minute.
+  int ring_capacity = 240;
+};
+
+/// One retained observation of one metric.
+struct SamplePoint {
+  /// Seconds since the sampler was constructed (monotonic clock).
+  double t_seconds = 0;
+  /// Counter/gauge value; for histograms, the recorded-value count.
+  int64_t value = 0;
+  /// Histograms only: sum of recorded values at this point.
+  int64_t sum = 0;
+};
+
+/// The retained window of one metric, oldest point first.
+struct SeriesWindow {
+  std::string name;
+  MetricKind kind = MetricKind::kCounter;
+  std::vector<SamplePoint> points;
+
+  /// Average increase of `value` per second between the oldest and newest
+  /// retained points (0 when fewer than two points or no time passed).
+  /// For counters this is the rate (requests/sec, rows/sec); for gauges it
+  /// is the drift, rarely meaningful.
+  double RatePerSec() const;
+  /// Histograms: mean recorded value over the window, delta-sum over
+  /// delta-count (0 when nothing was recorded in the window).
+  double WindowMean() const;
+};
+
+class TimeSeriesSampler {
+ public:
+  /// `registry` is borrowed and must outlive the sampler.
+  explicit TimeSeriesSampler(const MetricsRegistry* registry,
+                             TimeSeriesSamplerOptions options = {});
+  ~TimeSeriesSampler();
+
+  TimeSeriesSampler(const TimeSeriesSampler&) = delete;
+  TimeSeriesSampler& operator=(const TimeSeriesSampler&) = delete;
+
+  /// Starts the background sampling thread (idempotent).
+  void Start();
+  /// Stops and joins the thread (idempotent; the destructor calls it).
+  void Stop();
+  bool running() const;
+
+  /// Takes one sample now, on the calling thread — the same tick the
+  /// background thread takes. Safe concurrently with the thread.
+  void SampleOnce();
+
+  /// Every retained series, sorted by name.
+  std::vector<SeriesWindow> Series() const;
+  /// The series named `name` (empty window when never sampled).
+  SeriesWindow GetSeries(const std::string& name) const;
+  /// Shorthand: GetSeries(name).RatePerSec().
+  double RatePerSec(const std::string& name) const;
+
+  /// Total ticks taken (background + manual).
+  int64_t samples_taken() const { return samples_.Value(); }
+
+ private:
+  struct Ring {
+    MetricKind kind = MetricKind::kCounter;
+    std::deque<SamplePoint> points;
+  };
+
+  const MetricsRegistry* registry_;
+  const TimeSeriesSamplerOptions options_;
+  const std::chrono::steady_clock::time_point start_;
+  Counter samples_;
+
+  mutable std::mutex mu_;  // guards series_
+  std::map<std::string, Ring> series_;
+
+  mutable std::mutex thread_mu_;  // guards stop_/thread_
+  std::condition_variable cv_;
+  bool stop_ = false;
+  bool running_ = false;
+  std::thread thread_;
+};
+
+}  // namespace balsa::obs

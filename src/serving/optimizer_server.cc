@@ -40,6 +40,15 @@ uint64_t InFlightKey(uint64_t fingerprint, int64_t version) {
          (static_cast<uint64_t>(version) * 0x9E3779B97F4A7C15ULL);
 }
 
+const char* OutcomeName(OptimizerServer::Outcome outcome) {
+  switch (outcome) {
+    case OptimizerServer::Outcome::kHit: return "hit";
+    case OptimizerServer::Outcome::kMiss: return "miss";
+    case OptimizerServer::Outcome::kCoalesced: return "coalesced";
+  }
+  return "unknown";
+}
+
 /// True iff every join of `plan` crosses a cut connected by some join
 /// predicate of `query` — i.e. the plan is executable against this query's
 /// relation numbering (Executor::Join requires a crossing predicate).
@@ -76,7 +85,8 @@ OptimizerServer::OptimizerServer(const Schema* schema,
       planner_(schema, featurizer, network,
                ServingPlannerOptions(options.planner)),
       cache_(ServingCacheOptions(options)),
-      tracer_(options.trace) {
+      tracer_(options.trace),
+      slow_log_(options.slow_query) {
   planner_.set_inference_service(inference_.get());
   if (options_.metrics != nullptr) {
     obs::MetricsRegistry* reg = options_.metrics;
@@ -97,6 +107,7 @@ OptimizerServer::OptimizerServer(const Schema* schema,
     for (obs::Registration& r : tracer_.AttachTo(reg, p)) {
       registrations_.push_back(std::move(r));
     }
+    registrations_.push_back(slow_log_.AttachTo(reg, p));
     // The planning pool belongs to the runtime layer, so its queue depth is
     // named under runtime.*, not under the serving prefix.
     registrations_.push_back(reg->AttachCallbackGauge(
@@ -115,7 +126,8 @@ StatusOr<OptimizerServer::OptimizeResult> OptimizerServer::Optimize(
   // Sampled requests carry a trace through every stage they touch; for the
   // rest, MaybeStartTrace returns nullptr and installing the context is a
   // no-op, leaving every SpanTimer below inert.
-  obs::ScopedTraceContext trace_scope(&tracer_, tracer_.MaybeStartTrace());
+  std::shared_ptr<obs::Trace> trace = tracer_.MaybeStartTrace();
+  obs::ScopedTraceContext trace_scope(&tracer_, trace);
   StatusOr<OptimizeResult> result = Serve(query);
   if (result.ok()) {
     double micros = std::chrono::duration<double, std::micro>(
@@ -127,8 +139,62 @@ StatusOr<OptimizerServer::OptimizeResult> OptimizerServer::Optimize(
                             : result.value().coalesced ? Outcome::kCoalesced
                                                        : Outcome::kMiss;
     request_us_[static_cast<size_t>(outcome)].Record(micros);
+    // Slow-query triggers. The fast path pays exactly these comparisons:
+    // the log's mutex is only ever taken by requests that already
+    // qualified as slow.
+    if (slow_log_.enabled()) {
+      const bool over_threshold =
+          options_.slow_query.latency_threshold_us > 0 &&
+          micros > options_.slow_query.latency_threshold_us;
+      const bool uncoalesced_miss =
+          options_.slow_query.log_uncoalesced_misses &&
+          outcome == Outcome::kMiss;
+      if (over_threshold || uncoalesced_miss) {
+        SlowQueryEvent event;
+        event.fingerprint = result.value().fingerprint;
+        event.query_name = query.name();
+        event.cause = over_threshold ? SlowQueryCause::kLatency
+                                     : SlowQueryCause::kUncoalescedMiss;
+        event.outcome = OutcomeName(outcome);
+        event.serve_micros = micros;
+        event.stats_version = result.value().stats_version;
+        event.data_epoch = epoch;
+        event.plan_summary = result.value().plan.ToString(query);
+        if (trace != nullptr) event.spans = trace->spans();
+        slow_log_.Record(std::move(event));
+      }
+    }
   }
   return result;
+}
+
+void OptimizerServer::RecordExecution(const Query& query,
+                                      const OptimizeResult& result,
+                                      const ExecutionProfile& profile) {
+  if (!slow_log_.enabled() || !profile.AnyCapped()) return;
+  SlowQueryEvent event;
+  event.fingerprint = result.fingerprint;
+  event.query_name = query.name();
+  event.cause = SlowQueryCause::kRowCap;
+  event.outcome = OutcomeName(result.cache_hit     ? Outcome::kHit
+                              : result.coalesced   ? Outcome::kCoalesced
+                                                   : Outcome::kMiss);
+  event.serve_micros = result.serve_micros;
+  event.stats_version = result.stats_version;
+  event.data_epoch = result.data_epoch;
+  event.plan_summary = result.plan.ToString(query);
+  event.capped = true;
+  event.exec_micros = profile.total_micros;
+  if (const NodeProfile* root = profile.node(result.plan.root())) {
+    event.rows_out = root->rows_out;
+  }
+  // The caller may have re-installed the request's trace context around the
+  // execution; if so its spans (serve + exec stages) tell the whole story.
+  const obs::TraceContext* context = obs::CurrentTraceContext();
+  if (context != nullptr && context->trace != nullptr) {
+    event.spans = context->trace->spans();
+  }
+  slow_log_.Record(std::move(event));
 }
 
 StatusOr<OptimizerServer::OptimizeResult> OptimizerServer::OptimizeSql(
@@ -186,7 +252,8 @@ StatusOr<std::shared_ptr<const CachedPlan>> OptimizerServer::PlanAndAdmit(
 }
 
 StatusOr<OptimizerServer::OptimizeResult> OptimizerServer::PlanUncached(
-    const Query& query, int64_t version, bool coalesced) {
+    const Query& query, uint64_t fingerprint, int64_t version,
+    bool coalesced) {
   auto future = executor_->pool()->Submit(
       [this, &query, version, context = obs::CurrentTraceContextCopy()] {
         return PlanMiss(query, version, context);
@@ -197,6 +264,7 @@ StatusOr<OptimizerServer::OptimizeResult> OptimizerServer::PlanUncached(
   result.predicted_ms = planned.predicted_ms;
   result.stats_version = planned.stats_version;
   result.coalesced = coalesced;
+  result.fingerprint = fingerprint;
   return result;
 }
 
@@ -226,14 +294,15 @@ StatusOr<OptimizerServer::OptimizeResult> OptimizerServer::Serve(
     return entry.plan.RootTables() ==
            TableSet::FirstN(static_cast<int>(from_canonical.size()));
   };
-  auto to_result = [&from_canonical](const CachedPlan& entry, bool hit,
-                                     bool coalesced) {
+  auto to_result = [&from_canonical, fingerprint](const CachedPlan& entry,
+                                                  bool hit, bool coalesced) {
     OptimizeResult result;
     result.plan = RemapPlanRelations(entry.plan, from_canonical);
     result.predicted_ms = entry.predicted_ms;
     result.stats_version = entry.stats_version;
     result.cache_hit = hit;
     result.coalesced = coalesced;
+    result.fingerprint = fingerprint;
     return result;
   };
 
@@ -253,7 +322,7 @@ StatusOr<OptimizerServer::OptimizeResult> OptimizerServer::Serve(
       }
     }
     misses_.Inc();
-    return PlanUncached(query, version, /*coalesced=*/false);
+    return PlanUncached(query, fingerprint, version, /*coalesced=*/false);
   }
 
   if (!options_.coalesce_misses) {
@@ -327,7 +396,7 @@ StatusOr<OptimizerServer::OptimizeResult> OptimizerServer::Serve(
   }
   // Shared result can't be remapped onto this FROM-ordering; plan it
   // directly (still counted as coalesced: the wait happened).
-  return PlanUncached(query, version, /*coalesced=*/true);
+  return PlanUncached(query, fingerprint, version, /*coalesced=*/true);
 }
 
 OptimizerServer::RewarmReport OptimizerServer::Rewarm(int top_k) {

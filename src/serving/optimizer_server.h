@@ -50,11 +50,13 @@
 #include <vector>
 
 #include "src/balsa/planner.h"
+#include "src/exec/profile.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/runtime/inference_service.h"
 #include "src/runtime/parallel_executor.h"
 #include "src/serving/plan_cache.h"
+#include "src/serving/slow_query_log.h"
 #include "src/stats/card_oracle.h"
 
 namespace balsa {
@@ -75,6 +77,10 @@ struct OptimizerServerOptions {
   bool coalesce_misses = true;
   /// Request-trace sampling (sample_every = 0 disables tracing).
   obs::RequestTracerOptions trace;
+  /// Slow-query log triggers and capacity (src/serving/slow_query_log.h).
+  /// The defaults retain row-cap feedback (RecordExecution) but trigger on
+  /// nothing else, so the request path pays only a comparison.
+  SlowQueryLogOptions slow_query;
   /// When set, every serving instrument — counters, latency histograms,
   /// trace stage histograms, plan-cache and inference-service stats, the
   /// planning pool's queue depth — is attached under metrics_prefix.
@@ -111,6 +117,9 @@ class OptimizerServer {
     /// Served by waiting on another request's in-flight planning call.
     bool coalesced = false;
     double serve_micros = 0;
+    /// The request's canonical structural fingerprint (the cache key and
+    /// the slow-query log's correlation id).
+    uint64_t fingerprint = 0;
   };
 
   /// Plans `query` (or serves it from the cache). Thread-safe.
@@ -160,6 +169,21 @@ class OptimizerServer {
   /// How a request was served; indexes the per-outcome latency histograms.
   enum class Outcome { kHit = 0, kMiss, kCoalesced };
 
+  /// Feeds back an executed plan's measured profile: when the execution
+  /// hit the executor's row cap, the query lands in the slow-query log as
+  /// a row_cap event (the "disastrous plan" the learning loop retrains
+  /// on). If the calling thread still carries the request's trace context
+  /// (ScopedTraceContext re-install, see examples/metrics_dump), the
+  /// trace's spans — serve stages plus exec_scan/exec_join — ride along.
+  void RecordExecution(const Query& query, const OptimizeResult& result,
+                       const ExecutionProfile& profile);
+
+  /// Retained slow-query events, oldest first.
+  std::vector<SlowQueryEvent> RecentSlowQueries() const {
+    return slow_log_.Recent();
+  }
+  const SlowQueryLog& slow_query_log() const { return slow_log_; }
+
   const PlanCache& cache() const { return cache_; }
   /// Request latency (µs) of every request served with `outcome`.
   const obs::Log2Histogram& latency(Outcome outcome) const {
@@ -190,7 +214,8 @@ class OptimizerServer {
       const std::vector<int>& canonical_rank, int64_t version);
   /// Plans `query` without touching the cache — the fallback when a
   /// canonical plan cannot be remapped onto this query's numbering.
-  StatusOr<OptimizeResult> PlanUncached(const Query& query, int64_t version,
+  StatusOr<OptimizeResult> PlanUncached(const Query& query,
+                                        uint64_t fingerprint, int64_t version,
                                         bool coalesced);
   StatusOr<OptimizeResult> Serve(const Query& query);
 
@@ -219,6 +244,7 @@ class OptimizerServer {
   /// three is the overall latency distribution (HistogramData::Merge).
   std::array<obs::Log2Histogram, 3> request_us_;
   obs::RequestTracer tracer_;
+  SlowQueryLog slow_log_;
   /// Registry attachments (empty when options.metrics == nullptr). Last
   /// member: detaches before any instrument dies.
   std::vector<obs::Registration> registrations_;

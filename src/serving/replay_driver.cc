@@ -100,7 +100,9 @@ StatusOr<ReplayReport> ReplayWorkload(
   report.hit_rate = report.requests > 0
                         ? report.hit_rate / static_cast<double>(report.requests)
                         : 0;
+  report.mean_us = Mean(latencies);
   report.p50_us = Percentile(latencies, 50);
+  report.p95_us = Percentile(latencies, 95);
   report.p99_us = Percentile(latencies, 99);
   report.server = server->stats();
   report.plans_consistent = consistent.load(std::memory_order_relaxed);

@@ -38,8 +38,12 @@ struct ReplayReport {
   double requests_per_sec = 0;
   /// Fraction of requests served straight from the plan cache.
   double hit_rate = 0;
-  /// Exact percentiles over every request's serve time.
+  /// Exact per-request end-to-end latency summary, merged across clients
+  /// (each request's OptimizeResult::serve_micros — the same definition
+  /// the slow-query log's latency threshold compares against).
+  double mean_us = 0;
   double p50_us = 0;
+  double p95_us = 0;
   double p99_us = 0;
   OptimizerServer::Stats server;
   /// True iff all clients saw one plan fingerprint per query index.

@@ -1,0 +1,111 @@
+#include "src/serving/slow_query_log.h"
+
+#include <cstdio>
+#include <utility>
+
+#include "src/obs/export.h"
+
+namespace balsa {
+
+const char* SlowQueryCauseName(SlowQueryCause cause) {
+  switch (cause) {
+    case SlowQueryCause::kLatency: return "latency";
+    case SlowQueryCause::kUncoalescedMiss: return "uncoalesced_miss";
+    case SlowQueryCause::kRowCap: return "row_cap";
+  }
+  return "unknown";
+}
+
+SlowQueryLog::SlowQueryLog(SlowQueryLogOptions options) : options_(options) {}
+
+void SlowQueryLog::Record(SlowQueryEvent event) {
+  if (!enabled()) return;
+  recorded_.Inc();
+  std::lock_guard<std::mutex> lock(mu_);
+  event.sequence = next_sequence_++;
+  ring_.push_back(std::move(event));
+  while (ring_.size() > static_cast<size_t>(options_.capacity)) {
+    ring_.pop_front();
+  }
+}
+
+std::vector<SlowQueryEvent> SlowQueryLog::Recent() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<SlowQueryEvent>(ring_.begin(), ring_.end());
+}
+
+std::string SlowQueryLog::EventJson(const SlowQueryEvent& event) {
+  char buf[64];
+  std::string out = "{";
+  auto num = [&](const char* key, double v, const char* fmt) {
+    std::snprintf(buf, sizeof(buf), fmt, v);
+    out += '"';
+    out += key;
+    out += "\":";
+    out += buf;
+  };
+  out += "\"seq\":" + std::to_string(event.sequence);
+  std::snprintf(buf, sizeof(buf), "\"fingerprint\":\"%016llx\"",
+                static_cast<unsigned long long>(event.fingerprint));
+  out += ',';
+  out += buf;
+  out += ",\"query\":\"" + obs::JsonEscape(event.query_name) + '"';
+  out += ",\"cause\":\"";
+  out += SlowQueryCauseName(event.cause);
+  out += '"';
+  out += ",\"outcome\":\"" + obs::JsonEscape(event.outcome) + '"';
+  out += ',';
+  num("serve_us", event.serve_micros, "%.1f");
+  out += ",\"stats_version\":" + std::to_string(event.stats_version);
+  out += ",\"data_epoch\":" + std::to_string(event.data_epoch);
+  out += ",\"plan\":\"" + obs::JsonEscape(event.plan_summary) + '"';
+  out += ",\"rows_out\":" + std::to_string(event.rows_out);
+  out += ",\"capped\":";
+  out += event.capped ? "true" : "false";
+  out += ',';
+  num("exec_us", event.exec_micros, "%.1f");
+  out += ",\"spans\":[";
+  for (size_t i = 0; i < event.spans.size(); ++i) {
+    const obs::TraceSpan& span = event.spans[i];
+    if (i > 0) out += ',';
+    out += "{\"stage\":\"";
+    out += obs::JsonEscape(obs::TraceStageName(span.stage));
+    out += "\",";
+    num("start_us", span.start_us, "%.1f");
+    out += ',';
+    num("dur_us", span.duration_us, "%.1f");
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+std::string SlowQueryLog::ToJsonl() const {
+  std::string out;
+  for (const SlowQueryEvent& event : Recent()) {
+    out += EventJson(event);
+    out += '\n';
+  }
+  return out;
+}
+
+Status SlowQueryLog::WriteJsonlFile(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::Internal("cannot open " + path + " for writing");
+  }
+  const std::string jsonl = ToJsonl();
+  const size_t written = std::fwrite(jsonl.data(), 1, jsonl.size(), f);
+  const bool closed = std::fclose(f) == 0;
+  if (written != jsonl.size() || !closed) {
+    return Status::Internal("short write to " + path);
+  }
+  return Status::OK();
+}
+
+obs::Registration SlowQueryLog::AttachTo(obs::MetricsRegistry* registry,
+                                         const std::string& prefix) {
+  return registry->AttachCounter(prefix + ".slow_queries", &recorded_);
+}
+
+}  // namespace balsa

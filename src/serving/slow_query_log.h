@@ -1,0 +1,114 @@
+// Structured slow-query log: when one request is slow — or a learned plan
+// is disastrous — aggregate histograms say *that* it happened; this ring
+// says *which query*, with enough structure (fingerprint, outcome, the
+// request's own stage spans, the plan it was served) to debug or retrain
+// from. Three triggers feed it:
+//   - latency: the request's end-to-end serve time crossed the threshold
+//     (the same serve_micros definition ReplayWorkload's percentiles use);
+//   - uncoalesced miss: the request paid a full beam search that in-flight
+//     coalescing did not absorb;
+//   - row cap: an executed plan's intermediate hit ExecutorOptions::row_cap
+//     (reported back via OptimizerServer::RecordExecution) — the paper's
+//     "disastrous plan" signal.
+//
+// The log is deliberately dumb and cheap: a fixed-capacity ring under a
+// mutex that only slow-path requests ever take. The fast path's entire
+// cost is the trigger comparison — no lock, no allocation
+// (bench_explain_overhead gates serving with the log enabled at >= 0.97x
+// of a server without it). Events export as JSONL, one self-contained
+// object per line, so a fleet can ship them to whatever ingests logs.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "src/util/status.h"
+
+namespace balsa {
+
+struct SlowQueryLogOptions {
+  /// Record requests whose serve time exceeds this many microseconds
+  /// (0 disables the latency trigger).
+  double latency_threshold_us = 0;
+  /// Record misses that planned for themselves (not absorbed by
+  /// coalescing).
+  bool log_uncoalesced_misses = false;
+  /// Events retained (oldest evicted first). 0 disables the log entirely,
+  /// including the row-cap trigger.
+  int capacity = 128;
+};
+
+enum class SlowQueryCause : int {
+  kLatency = 0,       // serve time over the threshold
+  kUncoalescedMiss,   // paid a full beam search
+  kRowCap,            // executed plan hit the executor's row cap
+};
+const char* SlowQueryCauseName(SlowQueryCause cause);
+
+struct SlowQueryEvent {
+  /// Monotone per-log sequence number (assigned by Record).
+  uint64_t sequence = 0;
+  uint64_t fingerprint = 0;
+  std::string query_name;
+  SlowQueryCause cause = SlowQueryCause::kLatency;
+  /// How the request was served: "hit", "miss", or "coalesced".
+  std::string outcome;
+  double serve_micros = 0;
+  int64_t stats_version = 0;
+  uint64_t data_epoch = 0;
+  /// One-line nested plan rendering ("HashJoin(SeqScan(a), ...)").
+  std::string plan_summary;
+  /// Stage spans copied from the request's live TraceContext at record
+  /// time; empty when the request was not sampled.
+  std::vector<obs::TraceSpan> spans;
+  /// Row-cap events: the executed output cardinality and wall time.
+  int64_t rows_out = 0;
+  bool capped = false;
+  double exec_micros = 0;
+};
+
+class SlowQueryLog {
+ public:
+  explicit SlowQueryLog(SlowQueryLogOptions options = {});
+
+  SlowQueryLog(const SlowQueryLog&) = delete;
+  SlowQueryLog& operator=(const SlowQueryLog&) = delete;
+
+  const SlowQueryLogOptions& options() const { return options_; }
+  /// True when the log retains anything at all (capacity > 0).
+  bool enabled() const { return options_.capacity > 0; }
+
+  /// Assigns the event's sequence number and appends it, evicting the
+  /// oldest event at capacity. No-op when disabled.
+  void Record(SlowQueryEvent event);
+
+  /// Retained events, oldest first.
+  std::vector<SlowQueryEvent> Recent() const;
+  /// Events ever recorded (not capped by capacity).
+  int64_t recorded() const { return recorded_.Value(); }
+
+  /// One JSON object per line for every retained event, oldest first.
+  std::string ToJsonl() const;
+  /// One event as a single-line JSON object (no trailing newline).
+  static std::string EventJson(const SlowQueryEvent& event);
+  /// ToJsonl() written to `path`.
+  Status WriteJsonlFile(const std::string& path) const;
+
+  /// Attaches the recorded-event counter as "<prefix>.slow_queries".
+  [[nodiscard]] obs::Registration AttachTo(obs::MetricsRegistry* registry,
+                                           const std::string& prefix);
+
+ private:
+  const SlowQueryLogOptions options_;
+  obs::Counter recorded_;
+  mutable std::mutex mu_;
+  uint64_t next_sequence_ = 1;
+  std::deque<SlowQueryEvent> ring_;
+};
+
+}  // namespace balsa

@@ -15,7 +15,11 @@
 
 #include "src/obs/export.h"
 #include "src/obs/metrics.h"
+#include "src/obs/sampler.h"
 #include "src/obs/trace.h"
+#include "src/serving/optimizer_server.h"
+#include "src/serving/replay_driver.h"
+#include "test_util.h"
 
 namespace balsa::obs {
 namespace {
@@ -218,7 +222,8 @@ TEST(MetricsRegistryTest, SnapshotCountersAreMonotoneUnderConcurrentTraffic) {
   int64_t previous = -1;
   bool monotone = true;
   for (int i = 0; i < kSnapshots; ++i) {
-    const MetricValue* ops = registry.Snapshot().Find("traffic.ops");
+    const RegistrySnapshot snapshot = registry.Snapshot();
+    const MetricValue* ops = snapshot.Find("traffic.ops");
     ASSERT_NE(ops, nullptr);
     if (ops->value < previous) monotone = false;
     previous = ops->value;
@@ -231,7 +236,10 @@ TEST(MetricsRegistryTest, SnapshotCountersAreMonotoneUnderConcurrentTraffic) {
 
 // Attach/detach churn racing recording and snapshots: the TSan stress for
 // the registry lock discipline (snapshot copies entries under the lock,
-// reads instruments outside it).
+// reads instruments outside it). The churned instrument outlives the loop:
+// the Registration contract requires detach to happen before instrument
+// death, and a snapshot that copied the entry just before a detach may
+// still read the counter afterwards.
 TEST(MetricsRegistryTest, AttachDetachChurnUnderConcurrentSnapshots) {
   MetricsRegistry registry;
   Counter stable;
@@ -239,8 +247,8 @@ TEST(MetricsRegistryTest, AttachDetachChurnUnderConcurrentSnapshots) {
 
   std::atomic<bool> stop{false};
   std::thread churn([&] {
+    Counter transient;
     while (!stop.load(std::memory_order_relaxed)) {
-      Counter transient;
       transient.Inc();
       Registration r = registry.AttachCounter("transient", &transient);
       (void)registry.Snapshot();
@@ -399,6 +407,245 @@ TEST(ExportTest, TextAndJsonDumpsContainAttachedMetrics) {
   EXPECT_NE(json.find("\"counter\""), std::string::npos);
   EXPECT_NE(json.find("\"hist\""), std::string::npos);
   EXPECT_NE(json.find("\"buckets\":["), std::string::npos);
+}
+
+/// Inverse of JsonEscape over its output alphabet (no \uXXXX above 0x1f is
+/// ever emitted, so only the short escapes and \u00XX need decoding).
+std::string JsonUnescape(const std::string& s) {
+  std::string out;
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '\\') {
+      out += s[i];
+      continue;
+    }
+    ++i;
+    switch (s[i]) {
+      case '"': out += '"'; break;
+      case '\\': out += '\\'; break;
+      case 'b': out += '\b'; break;
+      case 'f': out += '\f'; break;
+      case 'n': out += '\n'; break;
+      case 'r': out += '\r'; break;
+      case 't': out += '\t'; break;
+      case 'u':
+        out += static_cast<char>(std::stoi(s.substr(i + 1, 4), nullptr, 16));
+        i += 4;
+        break;
+      default: ADD_FAILURE() << "unknown escape \\" << s[i];
+    }
+  }
+  return out;
+}
+
+TEST(ExportTest, JsonEscapeRoundTripsHostileStrings) {
+  const std::vector<std::string> hostile = {
+      "plain",
+      "with \"quotes\" inside",
+      "back\\slash",
+      "line\nbreak\tand\ttabs",
+      "control\x01\x1f chars",
+      "label{k=\"v\"}",
+      std::string("embedded\0nul", 12),
+  };
+  for (const std::string& s : hostile) {
+    const std::string escaped = JsonEscape(s);
+    // The escaped form never contains a raw quote, backslash run that
+    // breaks a string, or control byte.
+    for (char c : escaped) {
+      EXPECT_GE(static_cast<unsigned char>(c), 0x20) << "raw control byte";
+    }
+    EXPECT_EQ(JsonUnescape(escaped), s);
+  }
+}
+
+TEST(ExportTest, JsonDumpEscapesHostileMetricNames) {
+  MetricsRegistry registry;
+  Counter counter;
+  counter.Inc(7);
+  // A label value with quotes and a backslash — the exact shape that used
+  // to produce unparseable output.
+  const std::string name = "cache.hits{path=\"C:\\temp\"}";
+  Registration r = registry.AttachCounter(name, &counter);
+  const std::string json = JsonDump(registry.Snapshot());
+  EXPECT_NE(json.find("cache.hits{path=\\\"C:\\\\temp\\\"}"),
+            std::string::npos)
+      << json;
+  // Structurally valid: quotes pair up and braces balance outside strings.
+  int depth = 0;
+  bool in_string = false;
+  for (size_t i = 0; i < json.size(); ++i) {
+    if (in_string) {
+      if (json[i] == '\\') ++i;
+      else if (json[i] == '"') in_string = false;
+    } else if (json[i] == '"') {
+      in_string = true;
+    } else if (json[i] == '{' || json[i] == '[') {
+      ++depth;
+    } else if (json[i] == '}' || json[i] == ']') {
+      ASSERT_GE(--depth, 0);
+    }
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_FALSE(in_string);
+}
+
+// --- TimeSeriesSampler ---------------------------------------------------
+
+TEST(SamplerTest, ManualSamplesDeriveRatesAndWindowMeans) {
+  MetricsRegistry registry;
+  Counter requests;
+  Log2Histogram latency;
+  Registration r1 = registry.AttachCounter("serving.requests", &requests);
+  Registration r2 = registry.AttachHistogram("serving.request_us", &latency);
+
+  TimeSeriesSampler sampler(&registry);
+  sampler.SampleOnce();
+  requests.Inc(500);
+  latency.Record(100);
+  latency.Record(300);
+  sampler.SampleOnce();
+
+  EXPECT_EQ(sampler.samples_taken(), 2);
+  SeriesWindow counter_series = sampler.GetSeries("serving.requests");
+  ASSERT_EQ(counter_series.points.size(), 2u);
+  EXPECT_EQ(counter_series.points.back().value -
+                counter_series.points.front().value,
+            500);
+  EXPECT_GT(counter_series.RatePerSec(), 0);
+
+  // Histogram series carry (count, sum): the window mean is the mean of
+  // what landed between the two samples.
+  SeriesWindow hist_series = sampler.GetSeries("serving.request_us");
+  ASSERT_EQ(hist_series.points.size(), 2u);
+  EXPECT_DOUBLE_EQ(hist_series.WindowMean(), 200.0);
+
+  EXPECT_TRUE(sampler.GetSeries("absent").points.empty());
+}
+
+TEST(SamplerTest, RingRetainsOnlyTheConfiguredWindow) {
+  MetricsRegistry registry;
+  Counter c;
+  Registration r = registry.AttachCounter("c", &c);
+  TimeSeriesSamplerOptions options;
+  options.ring_capacity = 4;
+  TimeSeriesSampler sampler(&registry, options);
+  for (int i = 0; i < 10; ++i) {
+    c.Inc();
+    sampler.SampleOnce();
+  }
+  SeriesWindow series = sampler.GetSeries("c");
+  ASSERT_EQ(series.points.size(), 4u);
+  // Oldest retained point is sample 7 of 10 (values 7..10 survive).
+  EXPECT_EQ(series.points.front().value, 7);
+  EXPECT_EQ(series.points.back().value, 10);
+}
+
+TEST(SamplerTest, BackgroundThreadSamplesConcurrentlyWithWriters) {
+  MetricsRegistry registry;
+  Counter c;
+  Log2Histogram h;
+  Registration r1 = registry.AttachCounter("writes", &c);
+  Registration r2 = registry.AttachHistogram("write_us", &h);
+
+  TimeSeriesSamplerOptions options;
+  options.interval_ms = 1;
+  TimeSeriesSampler sampler(&registry, options);
+  EXPECT_FALSE(sampler.running());
+  sampler.Start();
+  EXPECT_TRUE(sampler.running());
+
+  // Writers hammer the instruments while the sampler thread snapshots them
+  // (the TSan job proves this pairing race-free).
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&] {
+      for (int i = 0; i < 20000; ++i) {
+        c.Inc();
+        h.Record(i % 1024);
+      }
+    });
+  }
+  for (std::thread& w : writers) w.join();
+  sampler.Stop();
+  EXPECT_FALSE(sampler.running());
+  const int64_t taken = sampler.samples_taken();
+  EXPECT_GE(taken, 1);
+  sampler.SampleOnce();  // close the window after the writers finish
+  EXPECT_EQ(sampler.samples_taken(), taken + 1);
+
+  SeriesWindow series = sampler.GetSeries("writes");
+  ASSERT_GE(series.points.size(), 2u);
+  EXPECT_EQ(series.points.back().value, 4 * 20000);
+
+  // Stop is idempotent and Start/Stop can cycle.
+  sampler.Stop();
+  sampler.Start();
+  sampler.Stop();
+}
+
+// The acceptance bar for the sampler's derived rates: two samples
+// bracketing a closed-loop replay must reproduce the driver's own measured
+// QPS within 10%. The server plans every request from scratch (cache off)
+// so per-request work dwarfs the fixed bracketing overhead the sampler's
+// window adds over the driver's wall clock.
+TEST(SamplerTest, BracketedRateMatchesReplayDriverQps) {
+  balsa::testing::StarFixture fixture = balsa::testing::MakeStarFixture();
+  Featurizer featurizer(&fixture.schema(), fixture.estimator.get());
+  ValueNetConfig config;
+  config.query_dim = featurizer.query_dim();
+  config.node_dim = featurizer.node_dim();
+  config.tree_hidden1 = 16;
+  config.tree_hidden2 = 8;
+  config.mlp_hidden = 8;
+  config.init_seed = 11;
+  ValueNetwork network(config);
+
+  MetricsRegistry registry;
+  OptimizerServerOptions options;
+  options.planner.beam_size = 5;
+  options.planner.top_k = 2;
+  options.cache.shard_capacity = 0;  // every request pays a beam search
+  options.coalesce_misses = false;
+  options.metrics = &registry;
+  OptimizerServer server(&fixture.schema(), &featurizer, &network,
+                         fixture.oracle.get(), options);
+
+  std::vector<Query> variants;
+  for (int region = 0; region < 6; ++region) {
+    QueryBuilder builder(&fixture.schema(), "v" + std::to_string(region));
+    auto query = builder.From("sales", "s")
+                     .From("customer", "c")
+                     .From("product", "p")
+                     .JoinEq("s.customer_id", "c.id")
+                     .JoinEq("s.product_id", "p.id")
+                     .Filter("c.region", PredOp::kEq, region)
+                     .Build();
+    ASSERT_TRUE(query.ok());
+    variants.push_back(std::move(query).value());
+    variants.back().set_id(region);
+  }
+  std::vector<const Query*> workload;
+  for (const Query& q : variants) workload.push_back(&q);
+
+  ReplayOptions replay;
+  replay.num_clients = 4;
+  replay.requests_per_client = 150;
+  replay.zipf_s = 0.9;
+  replay.seed = 3;
+
+  TimeSeriesSampler sampler(&registry);
+  sampler.SampleOnce();
+  auto report = ReplayWorkload(&server, workload, replay);
+  sampler.SampleOnce();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ASSERT_GT(report->requests_per_sec, 0);
+
+  const double sampled_qps =
+      sampler.GetSeries("serving.requests").RatePerSec();
+  ASSERT_GT(sampled_qps, 0);
+  EXPECT_NEAR(sampled_qps / report->requests_per_sec, 1.0, 0.10)
+      << "sampled " << sampled_qps << " vs driver "
+      << report->requests_per_sec;
 }
 
 }  // namespace

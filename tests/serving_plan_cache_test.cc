@@ -2,7 +2,9 @@
 // stats-version (lazy) invalidation.
 #include "src/serving/plan_cache.h"
 
+#include <atomic>
 #include <memory>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -304,6 +306,87 @@ TEST(PlanCacheTest, ApproxBytesCountsSharedExemplarsOnce) {
             sizeof(Query) + 3 * sizeof(QueryRelation));
   // The second shared-exemplar entry still pays for its own slot and plan.
   EXPECT_GT(shared_bytes, one_entry);
+}
+
+// Totals() under racing lookups and inserts: no consistent cut is promised,
+// but every monotone counter must (a) never decrease across successive
+// Totals() calls and (b) lie within the per-shard sums taken before and
+// after it — Totals() reads the shards in the same order as shard_metrics,
+// so an interleaved read can only land between the two fences.
+TEST(PlanCacheTest, TotalsStayMonotoneAndBoundedUnderConcurrency) {
+  PlanCacheOptions options;
+  options.num_shards = 4;
+  options.shard_capacity = 16;  // small: force LRU evictions too
+  PlanCache cache(options);
+
+  auto sum_shards = [&] {
+    PlanCache::Metrics sum;
+    for (int s = 0; s < cache.num_shards(); ++s) {
+      PlanCache::Metrics m = cache.shard_metrics(s);
+      sum.hits += m.hits;
+      sum.misses += m.misses;
+      sum.insertions += m.insertions;
+      sum.stale_evictions += m.stale_evictions;
+      sum.lru_evictions += m.lru_evictions;
+      sum.admission_rejections += m.admission_rejections;
+    }
+    return sum;
+  };
+
+  std::atomic<int> active{4};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&, t] {
+      uint64_t key = static_cast<uint64_t>(t) * 7919 + 1;
+      for (int i = 0; i < 30000; ++i) {
+        key = key * 6364136223846793005ULL + 1442695040888963407ULL;
+        const uint64_t fp = key % 256;
+        std::shared_ptr<const CachedPlan> out;
+        if (!cache.Lookup(fp, 0, &out)) {
+          cache.Insert(fp, MakeEntry(static_cast<int>(fp % 4)));
+        }
+      }
+      active.fetch_sub(1, std::memory_order_relaxed);
+    });
+  }
+
+  // Read concurrently for as long as the writers run (and a few rounds
+  // past quiescence), checking the bounds on every read.
+  PlanCache::Metrics prev;
+  for (int round = 0;
+       round < 50 || active.load(std::memory_order_relaxed) > 0; ++round) {
+    const PlanCache::Metrics before = sum_shards();
+    const PlanCache::Metrics totals = cache.Totals();
+    const PlanCache::Metrics after = sum_shards();
+
+    auto check = [&](int64_t lo, int64_t mid, int64_t hi, int64_t last,
+                     const char* field) {
+      EXPECT_LE(lo, mid) << field << " below the pre-fence shard sum";
+      EXPECT_LE(mid, hi) << field << " above the post-fence shard sum";
+      EXPECT_GE(mid, last) << field << " went backwards across Totals()";
+    };
+    check(before.hits, totals.hits, after.hits, prev.hits, "hits");
+    check(before.misses, totals.misses, after.misses, prev.misses, "misses");
+    check(before.insertions, totals.insertions, after.insertions,
+          prev.insertions, "insertions");
+    check(before.stale_evictions, totals.stale_evictions,
+          after.stale_evictions, prev.stale_evictions, "stale_evictions");
+    check(before.lru_evictions, totals.lru_evictions, after.lru_evictions,
+          prev.lru_evictions, "lru_evictions");
+    check(before.admission_rejections, totals.admission_rejections,
+          after.admission_rejections, prev.admission_rejections,
+          "admission_rejections");
+    prev = totals;
+  }
+  for (std::thread& w : workers) w.join();
+
+  // At quiescence the cross-field identities hold exactly.
+  const PlanCache::Metrics final_totals = cache.Totals();
+  const PlanCache::Metrics final_sum = sum_shards();
+  EXPECT_EQ(final_totals.hits, final_sum.hits);
+  EXPECT_EQ(final_totals.misses, final_sum.misses);
+  EXPECT_EQ(final_totals.insertions, final_sum.insertions);
+  EXPECT_GT(final_totals.hits + final_totals.misses, 0);
 }
 
 }  // namespace
