@@ -30,7 +30,12 @@ fi
 # >= 0.90x on a single-thread cache-hit hammer); bench_explain_overhead
 # asserts the introspection gates (serving with the slow-query log armed
 # >= 0.97x a server without it, profiled execution >= 0.90x plain Execute,
-# and EXPLAIN ANALYZE actuals bitwise-equal to per-node Execute results).
+# and EXPLAIN ANALYZE actuals bitwise-equal to per-node Execute results);
+# bench_flight_recorder asserts the flight-recorder gates (armed serving
+# >= 0.97x unarmed, the max-latency request retained by construction, a
+# p99 histogram exemplar resolving to a span-consistent retained trace,
+# row-capped requests promoted into the store, and the SLO monitor firing
+# on an injected miss storm then resolving after re-warm).
 # Each exits non-zero on violation.
 if [ -x "$build_dir/bench/bench_inference_batching" ]; then
   echo "==> bench_inference_batching"
@@ -67,13 +72,18 @@ if [ -x "$build_dir/bench/bench_explain_overhead" ]; then
   "$build_dir/bench/bench_explain_overhead"
   echo
 fi
+if [ -x "$build_dir/bench/bench_flight_recorder" ]; then
+  echo "==> bench_flight_recorder"
+  "$build_dir/bench/bench_flight_recorder"
+  echo
+fi
 
 # Binaries share build/bench/ with CMake's own files (CMakeFiles/, Makefile);
 # keep only executable regular files.
 for bin in "$build_dir"/bench/*; do
   [ -f "$bin" ] && [ -x "$bin" ] || continue
   case "$(basename "$bin")" in
-    bench_inference_batching|bench_serving_throughput|bench_adaptive_drift|bench_snapshot_ingest|bench_chunk_ingest|bench_obs_overhead|bench_explain_overhead)
+    bench_inference_batching|bench_serving_throughput|bench_adaptive_drift|bench_snapshot_ingest|bench_chunk_ingest|bench_obs_overhead|bench_explain_overhead|bench_flight_recorder)
       continue ;;
   esac
   echo "==> $(basename "$bin")"

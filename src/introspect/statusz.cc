@@ -1,8 +1,10 @@
 #include "src/introspect/statusz.h"
 
+#include <algorithm>
 #include <cstdio>
 
 #include "src/obs/export.h"
+#include "src/obs/flight_recorder.h"
 
 namespace balsa::introspect {
 
@@ -31,6 +33,9 @@ struct StatuszData {
     std::string outcome;
     int64_t count = 0;
     double p50 = 0, p99 = 0;
+    /// Trace id tagged on the p99 bucket (0 = none); resolves in the
+    /// flight recorder's retained set.
+    uint64_t p99_exemplar = 0;
   };
   std::vector<OutcomeLatency> outcomes;
   struct StageLatency {
@@ -49,6 +54,12 @@ struct StatuszData {
   int64_t sampler_ticks = 0;
   size_t sampler_series = 0;
   std::vector<SlowQueryEvent> slow;  // newest first, truncated
+  std::vector<obs::RuleStatus> alerts;
+  std::vector<obs::AlertEvent> alert_events;  // newest first, truncated
+  int alerts_firing = 0;
+  bool has_flight = false;
+  obs::TraceStore::Stats flight;
+  std::vector<obs::RetainedTrace> flight_top;  // slowest first, truncated
 };
 
 StatuszData Gather(const StatuszSources& sources) {
@@ -79,7 +90,8 @@ StatuszData Gather(const StatuszSources& sources) {
     if (!label.empty() && m.histogram.count > 0) {
       data.outcomes.push_back({label, m.histogram.count,
                                m.histogram.Percentile(50),
-                               m.histogram.Percentile(99)});
+                               m.histogram.Percentile(99),
+                               m.histogram.PercentileExemplar(99)});
       continue;
     }
     label = label_of(stage_prefix);
@@ -118,6 +130,38 @@ StatuszData Gather(const StatuszSources& sources) {
       data.slow.push_back(*it);
     }
   }
+
+  if (sources.health != nullptr) {
+    data.alerts = sources.health->Rules();
+    for (const obs::RuleStatus& r : data.alerts) {
+      if (r.state == obs::AlertState::kFiring) data.alerts_firing++;
+    }
+    std::vector<obs::AlertEvent> events = sources.health->Events();
+    for (auto it = events.rbegin();
+         it != events.rend() &&
+         data.alert_events.size() <
+             static_cast<size_t>(sources.max_alert_events);
+         ++it) {
+      data.alert_events.push_back(*it);
+    }
+  }
+
+  if (sources.server != nullptr &&
+      sources.server->flight_recorder().enabled()) {
+    const obs::TraceStore& store = sources.server->flight_recorder();
+    data.has_flight = true;
+    data.flight = store.stats();
+    data.flight_top = store.Retained();
+    std::sort(data.flight_top.begin(), data.flight_top.end(),
+              [](const obs::RetainedTrace& a, const obs::RetainedTrace& b) {
+                return a.latency_us > b.latency_us;
+              });
+    if (data.flight_top.size() >
+        static_cast<size_t>(sources.max_flight_traces)) {
+      data.flight_top.resize(
+          static_cast<size_t>(sources.max_flight_traces));
+    }
+  }
   return data;
 }
 
@@ -135,6 +179,9 @@ std::string StatuszText(const StatuszSources& sources) {
     for (const auto& o : d.outcomes) {
       out += " " + o.outcome + " " + FmtF("%.0f", o.p50) + "/" +
              FmtF("%.0f", o.p99);
+      if (o.p99_exemplar != 0) {
+        out += " ex=#" + std::to_string(o.p99_exemplar);
+      }
     }
     out += '\n';
   }
@@ -147,6 +194,23 @@ std::string StatuszText(const StatuszSources& sources) {
       out += s.stage + " " + FmtF("%.0f", s.p50) + "/" + FmtF("%.0f", s.p99);
     }
     out += '\n';
+  }
+  if (!d.alerts.empty()) {
+    out += "alerts: " + std::to_string(d.alerts_firing) + " firing / " +
+           std::to_string(d.alerts.size()) + " rules\n";
+    for (const obs::RuleStatus& r : d.alerts) {
+      out += std::string("  ") +
+             (r.state == obs::AlertState::kFiring ? "FIRING " : "ok     ") +
+             r.rule.name + " (" + obs::RuleKindName(r.rule.kind) + " " +
+             r.rule.metric + "): " + FmtF("%.1f", r.last_value) +
+             " vs " + FmtF("%.1f", r.rule.threshold) + ", fired " +
+             std::to_string(r.times_fired) + "x\n";
+    }
+    for (const obs::AlertEvent& e : d.alert_events) {
+      out += std::string("  [tick ") + std::to_string(e.tick) + "] " +
+             (e.firing ? "FIRED" : "resolved") + " " + e.rule + " at " +
+             FmtF("%.1f", e.value) + '\n';
+    }
   }
   out += "cache: " + std::to_string(d.cache_entries) + " entries, " +
          std::to_string(d.cache_bytes) + " bytes, " +
@@ -161,6 +225,21 @@ std::string StatuszText(const StatuszSources& sources) {
   if (sources.sampler != nullptr) {
     out += "sampler: " + std::to_string(d.sampler_ticks) + " ticks over " +
            std::to_string(d.sampler_series) + " series\n";
+  }
+  if (d.has_flight) {
+    out += "flight recorder: " + std::to_string(d.flight.completions) +
+           " completions, retained " +
+           std::to_string(d.flight.retained_top_k) + " top-k + " +
+           std::to_string(d.flight.retained_outcome) + " outcome + " +
+           std::to_string(d.flight.retained_reservoir) + " reservoir, " +
+           std::to_string(d.flight.evicted) + " evicted\n";
+    for (const obs::RetainedTrace& t : d.flight_top) {
+      out += "  #" + std::to_string(t.trace_id) + " " +
+             FmtF("%.1f", t.latency_us) + "us [" + t.outcome + "] " +
+             t.query_name + " (" + obs::RetainReasonName(t.reason) + ", " +
+             std::to_string(t.trace != nullptr ? t.trace->spans().size() : 0) +
+             " spans)\n";
+    }
   }
   if (!d.slow.empty()) {
     out += "recent slow queries (newest first):\n";
@@ -187,7 +266,11 @@ std::string StatuszJson(const StatuszSources& sources) {
     out += "{\"outcome\":\"" + obs::JsonEscape(d.outcomes[i].outcome) +
            "\",\"count\":" + std::to_string(d.outcomes[i].count) +
            ",\"p50_us\":" + FmtF("%.1f", d.outcomes[i].p50) +
-           ",\"p99_us\":" + FmtF("%.1f", d.outcomes[i].p99) + '}';
+           ",\"p99_us\":" + FmtF("%.1f", d.outcomes[i].p99);
+    if (d.outcomes[i].p99_exemplar != 0) {
+      out += ",\"p99_exemplar\":" + std::to_string(d.outcomes[i].p99_exemplar);
+    }
+    out += '}';
   }
   out += "],\"stages\":[";
   for (size_t i = 0; i < d.stages.size(); ++i) {
@@ -212,6 +295,51 @@ std::string StatuszJson(const StatuszSources& sources) {
   if (sources.sampler != nullptr) {
     out += ",\"sampler\":{\"ticks\":" + std::to_string(d.sampler_ticks) +
            ",\"series\":" + std::to_string(d.sampler_series) + '}';
+  }
+  if (sources.health != nullptr) {
+    out += ",\"alerts\":{\"firing\":" + std::to_string(d.alerts_firing) +
+           ",\"rules\":[";
+    for (size_t i = 0; i < d.alerts.size(); ++i) {
+      if (i > 0) out += ',';
+      const obs::RuleStatus& r = d.alerts[i];
+      out += "{\"name\":\"" + obs::JsonEscape(r.rule.name) +
+             "\",\"kind\":\"" + obs::RuleKindName(r.rule.kind) +
+             "\",\"metric\":\"" + obs::JsonEscape(r.rule.metric) +
+             "\",\"state\":\"" +
+             (r.state == obs::AlertState::kFiring ? "firing" : "ok") +
+             "\",\"value\":" + FmtF("%.1f", r.last_value) +
+             ",\"threshold\":" + FmtF("%.1f", r.rule.threshold) +
+             ",\"times_fired\":" + std::to_string(r.times_fired) + '}';
+    }
+    out += "],\"events\":[";
+    for (size_t i = 0; i < d.alert_events.size(); ++i) {
+      if (i > 0) out += ',';
+      const obs::AlertEvent& e = d.alert_events[i];
+      out += "{\"rule\":\"" + obs::JsonEscape(e.rule) + "\",\"firing\":" +
+             (e.firing ? "true" : "false") +
+             ",\"value\":" + FmtF("%.1f", e.value) +
+             ",\"tick\":" + std::to_string(e.tick) + '}';
+    }
+    out += "]}";
+  }
+  if (d.has_flight) {
+    out += ",\"flight_recorder\":{\"completions\":" +
+           std::to_string(d.flight.completions) +
+           ",\"top_k\":" + std::to_string(d.flight.retained_top_k) +
+           ",\"outcome\":" + std::to_string(d.flight.retained_outcome) +
+           ",\"reservoir\":" + std::to_string(d.flight.retained_reservoir) +
+           ",\"evicted\":" + std::to_string(d.flight.evicted) +
+           ",\"slowest\":[";
+    for (size_t i = 0; i < d.flight_top.size(); ++i) {
+      if (i > 0) out += ',';
+      const obs::RetainedTrace& t = d.flight_top[i];
+      out += "{\"trace_id\":" + std::to_string(t.trace_id) +
+             ",\"latency_us\":" + FmtF("%.1f", t.latency_us) +
+             ",\"outcome\":\"" + obs::JsonEscape(t.outcome) +
+             "\",\"query\":\"" + obs::JsonEscape(t.query_name) +
+             "\",\"reason\":\"" + obs::RetainReasonName(t.reason) + "\"}";
+    }
+    out += "]}";
   }
   out += ",\"recent_slow_queries\":[";
   for (size_t i = 0; i < d.slow.size(); ++i) {

@@ -9,6 +9,7 @@
 
 #include <string>
 
+#include "src/obs/health.h"
 #include "src/obs/metrics.h"
 #include "src/obs/sampler.h"
 #include "src/serving/optimizer_server.h"
@@ -21,17 +22,28 @@ struct StatuszSources {
   /// Optional: adds derived rates (QPS, ingest rows/s) over the sampler's
   /// retained window.
   const obs::TimeSeriesSampler* sampler = nullptr;
-  /// Optional: adds recent slow-query events.
+  /// Optional: adds recent slow-query events and — when the server's
+  /// flight recorder is enabled — the flight_recorder section with its
+  /// slowest retained traces.
   const OptimizerServer* server = nullptr;
+  /// Optional: adds the alerts section (SLO rules with firing state plus
+  /// recent fire/resolve transitions).
+  const obs::HealthMonitor* health = nullptr;
   /// Metric name prefix the serving stack was attached under.
   std::string serving_prefix = "serving";
   /// Slow-query events shown (newest first).
   int max_slow_queries = 5;
+  /// Alert transitions shown (newest first).
+  int max_alert_events = 5;
+  /// Retained flight-recorder traces shown (slowest first).
+  int max_flight_traces = 5;
 };
 
-/// The text dashboard: serving totals + QPS, per-outcome and per-stage
-/// latency percentiles, plan-cache occupancy and hit traffic, storage
-/// epoch/retained-bytes/ingest-rate, and the most recent slow queries.
+/// The text dashboard: serving totals + QPS, per-outcome (with p99
+/// exemplar trace ids) and per-stage latency percentiles, SLO alert
+/// states, plan-cache occupancy and hit traffic, storage
+/// epoch/retained-bytes/ingest-rate, flight-recorder retention, and the
+/// most recent slow queries.
 std::string StatuszText(const StatuszSources& sources);
 
 /// The same content as one JSON object.

@@ -2,8 +2,6 @@
 
 #include <cstdio>
 
-#include "src/util/table_printer.h"
-
 namespace balsa::obs {
 
 namespace {
@@ -56,13 +54,19 @@ std::string TextDump(const RegistrySnapshot& snapshot) {
   char line[256];
   for (const MetricValue& m : snapshot.metrics) {
     if (m.kind == MetricKind::kHistogram) {
+      const uint64_t exemplar = m.histogram.PercentileExemplar(99);
+      std::string suffix;
+      if (exemplar != 0) {
+        suffix = " p99_ex=#" + std::to_string(exemplar);
+      }
       std::snprintf(line, sizeof(line),
                     "%-8s %s  count=%lld mean=%.1f p50<=%.0f p90<=%.0f "
-                    "p99<=%.0f\n",
+                    "p99<=%.0f%s\n",
                     KindName(m.kind), m.name.c_str(),
                     static_cast<long long>(m.histogram.count),
                     m.histogram.Mean(), m.histogram.Percentile(50),
-                    m.histogram.Percentile(90), m.histogram.Percentile(99));
+                    m.histogram.Percentile(90), m.histogram.Percentile(99),
+                    suffix.c_str());
     } else {
       std::snprintf(line, sizeof(line), "%-8s %s  %lld\n", KindName(m.kind),
                     m.name.c_str(), static_cast<long long>(m.value));
@@ -92,6 +96,9 @@ std::string JsonDump(const RegistrySnapshot& snapshot) {
       out += ",\"sum\":" + std::to_string(m.histogram.sum);
       out += ",\"p50\":" + FmtDouble(m.histogram.Percentile(50));
       out += ",\"p99\":" + FmtDouble(m.histogram.Percentile(99));
+      if (const uint64_t exemplar = m.histogram.PercentileExemplar(99)) {
+        out += ",\"p99_exemplar\":" + std::to_string(exemplar);
+      }
       int last = -1;
       for (int i = 0; i < HistogramData::kBuckets; ++i) {
         if (m.histogram.buckets[static_cast<size_t>(i)] != 0) last = i;
@@ -126,26 +133,44 @@ Status WriteJsonFile(const RegistrySnapshot& snapshot,
   return Status::OK();
 }
 
-void PrintStageBreakdown(const RequestTracer& tracer) {
-  TablePrinter table({"stage", "samples", "mean us", "p50 us<=", "p99 us<="});
-  int rows = 0;
+std::string StageBreakdownText(const RequestTracer& tracer) {
+  std::string rows;
+  char line[160];
   for (int i = 0; i < kNumTraceStages; ++i) {
     const auto stage = static_cast<TraceStage>(i);
     const HistogramData data = tracer.stage_histogram(stage).Snapshot();
     if (data.count == 0) continue;
-    table.AddRow({TraceStageName(stage), TablePrinter::Fmt(data.count, 0),
-                  TablePrinter::Fmt(data.Mean(), 1),
-                  TablePrinter::Fmt(data.Percentile(50), 0),
-                  TablePrinter::Fmt(data.Percentile(99), 0)});
-    rows++;
+    std::snprintf(line, sizeof(line),
+                  "  %-14s %10lld %10.1f %10.0f %10.0f\n",
+                  TraceStageName(stage),
+                  static_cast<long long>(data.count), data.Mean(),
+                  data.Percentile(50), data.Percentile(99));
+    rows += line;
   }
-  if (rows == 0) {
-    std::printf("stage breakdown: no sampled spans (tracing off?)\n");
-    return;
+  if (rows.empty()) {
+    // Distinguish "nothing sampled yet" from "nothing can ever be sampled":
+    // with head sampling off and no always-on feed, the caption used to
+    // claim "sampled 1/0".
+    if (tracer.options().sample_every <= 0 && !tracer.always_on()) {
+      return "stage breakdown: tracing disabled\n";
+    }
+    return "stage breakdown: no sampled spans yet\n";
   }
-  std::printf("per-stage latency breakdown (sampled 1/%d):\n",
-              tracer.options().sample_every);
-  table.Print();
+  std::string caption;
+  if (tracer.always_on()) {
+    caption =
+        "per-stage latency breakdown (flight recorder, miss-path stages):";
+  } else {
+    caption = "per-stage latency breakdown (sampled 1/" +
+              std::to_string(tracer.options().sample_every) + "):";
+  }
+  std::snprintf(line, sizeof(line), "  %-14s %10s %10s %10s %10s\n", "stage",
+                "samples", "mean us", "p50 us<=", "p99 us<=");
+  return caption + '\n' + line + rows;
+}
+
+void PrintStageBreakdown(const RequestTracer& tracer) {
+  std::fputs(StageBreakdownText(tracer).c_str(), stdout);
 }
 
 }  // namespace balsa::obs

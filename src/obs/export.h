@@ -22,20 +22,30 @@ std::string JsonEscape(const std::string& s);
 /// One line per metric, sorted by name:
 ///   counter  serving.requests  12345
 ///   hist     serving.request_us{outcome=hit}  count=100 mean=3.2 p50<=4 ...
+/// Histograms whose p99 bucket carries an exemplar append " p99_ex=#<id>"
+/// — the trace id to look up in the flight recorder.
 std::string TextDump(const RegistrySnapshot& snapshot);
 
 /// {"metrics":[{"name":...,"kind":...,"value":...}|{...,"count":...,
 /// "sum":...,"buckets":[...]}]} — buckets trimmed at the last non-zero.
+/// Histograms gain "p99_exemplar":<trace id> when their p99 bucket has one.
 std::string JsonDump(const RegistrySnapshot& snapshot);
 
 /// JsonDump of `snapshot` written to `path` (the --metrics-json target).
 Status WriteJsonFile(const RegistrySnapshot& snapshot,
                      const std::string& path);
 
-/// Prints the per-stage latency breakdown (count, mean, p50, p99 upper
-/// bounds in us) of `tracer`'s sampled spans as a table — the component
-/// view of where served requests spent their time. Stages with no samples
-/// are omitted; prints a note instead when nothing was sampled.
+/// The per-stage latency breakdown (count, mean, p50, p99 upper bounds in
+/// us) of `tracer`'s spans as a table — the component view of where served
+/// requests spent their time. Stages with no samples are omitted. The
+/// caption states where the rows came from: "sampled 1/N" under head
+/// sampling, "flight recorder, all requests" when the tracer is fed by the
+/// always-on path, and with no rows either "no sampled spans" or — when
+/// the tracer cannot produce any (sample_every <= 0, not always-on) —
+/// "tracing disabled".
+std::string StageBreakdownText(const RequestTracer& tracer);
+
+/// Prints StageBreakdownText(tracer) to stdout.
 void PrintStageBreakdown(const RequestTracer& tracer);
 
 }  // namespace balsa::obs

@@ -1,0 +1,226 @@
+#include "src/obs/health.h"
+
+#include <algorithm>
+
+namespace balsa::obs {
+
+namespace {
+
+/// Bucket-wise difference cur - prev; the histogram of values recorded
+/// between the two snapshots. Buckets only grow, so deltas are >= 0.
+HistogramData DeltaHistogram(const HistogramData& cur,
+                             const HistogramData& prev) {
+  HistogramData delta;
+  for (int i = 0; i < HistogramData::kBuckets; ++i) {
+    const auto b = static_cast<size_t>(i);
+    delta.buckets[b] = cur.buckets[b] - prev.buckets[b];
+    delta.count += delta.buckets[b];
+  }
+  delta.sum = cur.sum - prev.sum;
+  return delta;
+}
+
+}  // namespace
+
+const char* RuleKindName(RuleKind kind) {
+  switch (kind) {
+    case RuleKind::kWindowP99Above: return "window_p99_above";
+    case RuleKind::kWindowRateAbove: return "window_rate_above";
+    case RuleKind::kRatioAbove: return "ratio_above";
+    case RuleKind::kBurnRateAbove: return "burn_rate_above";
+    case RuleKind::kGaugeAbove: return "gauge_above";
+  }
+  return "unknown";
+}
+
+HealthMonitor::HealthMonitor(const MetricsRegistry* registry,
+                             HealthMonitorOptions options)
+    : registry_(registry), options_(options) {}
+
+HealthMonitor::~HealthMonitor() { Stop(); }
+
+void HealthMonitor::SetSampler(const TimeSeriesSampler* sampler) {
+  sampler_ = sampler;
+}
+
+void HealthMonitor::AddRule(HealthRule rule) {
+  if (rule.for_ticks < 1) rule.for_ticks = 1;
+  if (rule.clear_ticks < 1) rule.clear_ticks = 1;
+  std::lock_guard<std::mutex> lock(mu_);
+  RuleSlot slot;
+  slot.rule = std::move(rule);
+  rules_.push_back(std::move(slot));
+}
+
+double HealthMonitor::Evaluate(const HealthRule& rule,
+                               const RegistrySnapshot& prev,
+                               const RegistrySnapshot& cur) const {
+  const MetricValue* now = cur.Find(rule.metric);
+  if (now == nullptr) return 0;
+  const MetricValue* before = prev.Find(rule.metric);
+  switch (rule.kind) {
+    case RuleKind::kWindowP99Above: {
+      const HistogramData delta =
+          before != nullptr ? DeltaHistogram(now->histogram, before->histogram)
+                            : HistogramData{};
+      return delta.Percentile(99);
+    }
+    case RuleKind::kWindowRateAbove:
+      return before != nullptr
+                 ? static_cast<double>(now->value - before->value)
+                 : 0;
+    case RuleKind::kRatioAbove: {
+      const MetricValue* den_now = cur.Find(rule.denominator);
+      const MetricValue* den_before = prev.Find(rule.denominator);
+      if (before == nullptr || den_now == nullptr || den_before == nullptr) {
+        return 0;
+      }
+      const double num = static_cast<double>(now->value - before->value);
+      const double den =
+          static_cast<double>(den_now->value - den_before->value);
+      return den <= 0 ? 0 : num / den;
+    }
+    case RuleKind::kBurnRateAbove: {
+      if (sampler_ == nullptr) return 0;
+      const double num = sampler_->RatePerSec(rule.metric);
+      const double den = sampler_->RatePerSec(rule.denominator);
+      return den <= 0 ? 0 : num / den;
+    }
+    case RuleKind::kGaugeAbove:
+      return static_cast<double>(now->value);
+  }
+  return 0;
+}
+
+void HealthMonitor::EvaluateOnce() {
+  RegistrySnapshot cur = registry_->Snapshot();
+  evaluations_.Inc();
+  const int64_t tick = evaluations_.Value();
+
+  std::lock_guard<std::mutex> lock(mu_);
+  const RegistrySnapshot& prev = have_prev_ ? prev_ : cur;
+  // With no previous tick, delta rules see prev == cur (delta 0): the first
+  // tick establishes the baseline instead of judging all-time cumulatives.
+  int firing = 0;
+  for (RuleSlot& slot : rules_) {
+    slot.last_value = Evaluate(slot.rule, prev, cur);
+    const bool breached = slot.last_value > slot.rule.threshold;
+    if (breached) {
+      slot.breached_ticks += 1;
+      slot.healthy_ticks = 0;
+    } else {
+      slot.healthy_ticks += 1;
+      slot.breached_ticks = 0;
+    }
+    if (slot.state == AlertState::kOk && breached &&
+        slot.breached_ticks >= slot.rule.for_ticks) {
+      slot.state = AlertState::kFiring;
+      slot.times_fired += 1;
+      alerts_fired_.Inc();
+      events_.push_back({slot.rule.name, true, slot.last_value,
+                         slot.rule.threshold, tick});
+    } else if (slot.state == AlertState::kFiring && !breached &&
+               slot.healthy_ticks >= slot.rule.clear_ticks) {
+      slot.state = AlertState::kOk;
+      events_.push_back({slot.rule.name, false, slot.last_value,
+                         slot.rule.threshold, tick});
+    }
+    if (slot.state == AlertState::kFiring) firing += 1;
+  }
+  while (events_.size() > static_cast<size_t>(options_.max_events)) {
+    events_.pop_front();
+  }
+  alerts_firing_.Set(firing);
+  prev_ = std::move(cur);
+  have_prev_ = true;
+}
+
+void HealthMonitor::Start() {
+  std::lock_guard<std::mutex> lock(thread_mu_);
+  if (running_) return;
+  stop_ = false;
+  running_ = true;
+  thread_ = std::thread([this] {
+    std::unique_lock<std::mutex> lock(thread_mu_);
+    while (!stop_) {
+      lock.unlock();
+      EvaluateOnce();
+      lock.lock();
+      cv_.wait_for(lock, std::chrono::milliseconds(options_.interval_ms),
+                   [this] { return stop_; });
+    }
+  });
+}
+
+void HealthMonitor::Stop() {
+  std::thread to_join;
+  {
+    std::lock_guard<std::mutex> lock(thread_mu_);
+    if (!running_) return;
+    stop_ = true;
+    running_ = false;
+    to_join = std::move(thread_);
+  }
+  cv_.notify_all();
+  to_join.join();
+}
+
+bool HealthMonitor::running() const {
+  std::lock_guard<std::mutex> lock(thread_mu_);
+  return running_;
+}
+
+std::vector<RuleStatus> HealthMonitor::Rules() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<RuleStatus> out;
+  out.reserve(rules_.size());
+  for (const RuleSlot& slot : rules_) {
+    RuleStatus status;
+    status.rule = slot.rule;
+    status.state = slot.state;
+    status.last_value = slot.last_value;
+    status.breached_ticks = slot.breached_ticks;
+    status.healthy_ticks = slot.healthy_ticks;
+    status.times_fired = slot.times_fired;
+    out.push_back(std::move(status));
+  }
+  return out;
+}
+
+std::vector<AlertEvent> HealthMonitor::Events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {events_.begin(), events_.end()};
+}
+
+int HealthMonitor::FiringCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int firing = 0;
+  for (const RuleSlot& slot : rules_) {
+    if (slot.state == AlertState::kFiring) firing += 1;
+  }
+  return firing;
+}
+
+bool HealthMonitor::IsFiring(const std::string& rule_name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const RuleSlot& slot : rules_) {
+    if (slot.rule.name == rule_name) {
+      return slot.state == AlertState::kFiring;
+    }
+  }
+  return false;
+}
+
+std::vector<Registration> HealthMonitor::AttachTo(MetricsRegistry* registry,
+                                                  const std::string& prefix) {
+  std::vector<Registration> registrations;
+  registrations.push_back(registry->AttachCounter(
+      prefix + ".health.evaluations", &evaluations_));
+  registrations.push_back(registry->AttachCounter(
+      prefix + ".health.alerts_fired", &alerts_fired_));
+  registrations.push_back(registry->AttachGauge(
+      prefix + ".health.alerts_firing", &alerts_firing_));
+  return registrations;
+}
+
+}  // namespace balsa::obs

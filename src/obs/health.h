@@ -1,0 +1,175 @@
+// SLO health monitor: declarative rules evaluated over metric *deltas*.
+//
+// Cumulative instruments answer "how much ever"; an alert needs "is it bad
+// right now". The monitor keeps the previous registry snapshot and, each
+// evaluation tick, computes per-metric deltas — bucket-wise for histograms,
+// value-wise for counters — so a rule like "window p99 of
+// serving.request_us{outcome=miss} above 5ms" is judged on what happened
+// *since the last tick*, and resolves on its own once the storm passes
+// (a cumulative p99 never forgets a bad minute; a delta p99 does).
+//
+// Rule kinds:
+//   - kWindowP99Above:  p99 of the histogram's delta buckets this tick
+//   - kWindowRateAbove: counter increase this tick
+//   - kRatioAbove:      delta(metric) / delta(denominator) this tick
+//   - kBurnRateAbove:   RatePerSec(metric) / RatePerSec(denominator) over a
+//                       TimeSeriesSampler's retained window (needs a
+//                       sampler attached; evaluates to 0 without one)
+//   - kGaugeAbove:      the gauge's instantaneous value
+//
+// Transitions have hysteresis: a rule fires only after `for_ticks`
+// consecutive breached evaluations and resolves only after `clear_ticks`
+// consecutive healthy ones, so a single noisy tick neither pages nor
+// un-pages. Every transition lands in a bounded event log (oldest evicted)
+// that statusz renders as the `alerts` section.
+//
+// EvaluateOnce() is public and the background thread calls exactly it, the
+// same testability idiom as TimeSeriesSampler::SampleOnce — tests and
+// benches drive deterministic ticks without a thread or a clock.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/obs/metrics.h"
+#include "src/obs/sampler.h"
+
+namespace balsa::obs {
+
+enum class RuleKind : int {
+  kWindowP99Above = 0,
+  kWindowRateAbove,
+  kRatioAbove,
+  kBurnRateAbove,
+  kGaugeAbove,
+};
+const char* RuleKindName(RuleKind kind);
+
+struct HealthRule {
+  /// Stable identifier ("planning-stall"); also the alert name.
+  std::string name;
+  RuleKind kind = RuleKind::kGaugeAbove;
+  /// The metric the rule watches (exact registry name, labels included).
+  std::string metric;
+  /// kRatioAbove / kBurnRateAbove only: the denominator metric.
+  std::string denominator;
+  /// Fire when the evaluated value exceeds this.
+  double threshold = 0;
+  /// Consecutive breached ticks before the rule fires.
+  int for_ticks = 1;
+  /// Consecutive healthy ticks before a firing rule resolves.
+  int clear_ticks = 1;
+};
+
+enum class AlertState : int { kOk = 0, kFiring };
+
+/// One state transition: fired or resolved.
+struct AlertEvent {
+  std::string rule;
+  /// true = fired, false = resolved.
+  bool firing = false;
+  /// The evaluated value at the transition tick.
+  double value = 0;
+  double threshold = 0;
+  /// Evaluation tick index (1-based) the transition happened on.
+  int64_t tick = 0;
+};
+
+/// A rule plus its live evaluation state.
+struct RuleStatus {
+  HealthRule rule;
+  AlertState state = AlertState::kOk;
+  /// Value from the most recent evaluation.
+  double last_value = 0;
+  int breached_ticks = 0;
+  int healthy_ticks = 0;
+  int64_t times_fired = 0;
+};
+
+struct HealthMonitorOptions {
+  /// Background evaluation period (thread started explicitly).
+  int interval_ms = 1000;
+  /// Transition events retained (ring, oldest evicted).
+  int max_events = 128;
+};
+
+class HealthMonitor {
+ public:
+  /// `registry` is borrowed and must outlive the monitor.
+  explicit HealthMonitor(const MetricsRegistry* registry,
+                         HealthMonitorOptions options = {});
+  ~HealthMonitor();
+
+  HealthMonitor(const HealthMonitor&) = delete;
+  HealthMonitor& operator=(const HealthMonitor&) = delete;
+
+  /// Burn-rate rules read their window from this sampler (borrowed; must
+  /// outlive the monitor). Optional — without it burn-rate rules read 0.
+  void SetSampler(const TimeSeriesSampler* sampler);
+
+  void AddRule(HealthRule rule);
+
+  /// One evaluation tick, on the calling thread: snapshot, delta against
+  /// the previous tick, judge every rule, log transitions.
+  void EvaluateOnce();
+
+  /// Starts/stops the background evaluation thread (both idempotent; the
+  /// destructor stops).
+  void Start();
+  void Stop();
+  bool running() const;
+
+  std::vector<RuleStatus> Rules() const;
+  /// Transition log, oldest first.
+  std::vector<AlertEvent> Events() const;
+  /// Rules currently in kFiring.
+  int FiringCount() const;
+  bool IsFiring(const std::string& rule_name) const;
+  int64_t evaluations() const { return evaluations_.Value(); }
+
+  /// Attaches "<prefix>.health.{evaluations,alerts_firing,alerts_fired}".
+  [[nodiscard]] std::vector<Registration> AttachTo(MetricsRegistry* registry,
+                                                   const std::string& prefix);
+
+ private:
+  struct RuleSlot {
+    HealthRule rule;
+    AlertState state = AlertState::kOk;
+    double last_value = 0;
+    int breached_ticks = 0;
+    int healthy_ticks = 0;
+    int64_t times_fired = 0;
+  };
+
+  /// The rule's value this tick, given the previous and current snapshots.
+  double Evaluate(const HealthRule& rule, const RegistrySnapshot& prev,
+                  const RegistrySnapshot& cur) const;
+
+  const MetricsRegistry* registry_;
+  const HealthMonitorOptions options_;
+  const TimeSeriesSampler* sampler_ = nullptr;  // set before Start()
+
+  Counter evaluations_;
+  Counter alerts_fired_;
+  Gauge alerts_firing_;
+
+  mutable std::mutex mu_;  // guards rules_/events_/prev_/have_prev_
+  std::vector<RuleSlot> rules_;
+  std::deque<AlertEvent> events_;
+  RegistrySnapshot prev_;
+  bool have_prev_ = false;
+
+  mutable std::mutex thread_mu_;  // guards stop_/running_/thread_
+  std::condition_variable cv_;
+  bool stop_ = false;
+  bool running_ = false;
+  std::thread thread_;
+};
+
+}  // namespace balsa::obs

@@ -29,6 +29,14 @@ void HistogramData::Merge(const HistogramData& other) {
   for (int i = 0; i < kBuckets; ++i) buckets[size_t(i)] += other.buckets[size_t(i)];
   count += other.count;
   sum += other.sum;
+  // "Most recent across sources" is unknowable from two read-outs; any
+  // non-zero tag still links the bucket to a real trace, so keep other's
+  // when it has one.
+  for (int i = 0; i < kBuckets; ++i) {
+    if (other.exemplars[size_t(i)] != 0) {
+      exemplars[size_t(i)] = other.exemplars[size_t(i)];
+    }
+  }
 }
 
 double HistogramData::Percentile(double p) const {
@@ -43,7 +51,27 @@ double HistogramData::Percentile(double p) const {
   return static_cast<double>(uint64_t{1} << (kBuckets - 1));
 }
 
-void Log2Histogram::Record(double value) {
+int HistogramData::PercentileBucket(double p) const {
+  if (count == 0) return -1;
+  int64_t rank = static_cast<int64_t>(p / 100.0 * static_cast<double>(count));
+  if (rank >= count) rank = count - 1;
+  int64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += buckets[static_cast<size_t>(i)];
+    if (seen > rank) return i;
+  }
+  return kBuckets - 1;
+}
+
+uint64_t HistogramData::PercentileExemplar(double p) const {
+  for (int i = PercentileBucket(p); i >= 0; --i) {
+    const uint64_t id = exemplars[static_cast<size_t>(i)];
+    if (id != 0) return id;
+  }
+  return 0;
+}
+
+void Log2Histogram::Record(double value, uint64_t exemplar_id) {
   if (!Enabled()) return;
   uint64_t v = value <= 0 ? 0 : static_cast<uint64_t>(value);
   int bucket = v == 0 ? 0 : 64 - __builtin_clzll(v);
@@ -52,6 +80,10 @@ void Log2Histogram::Record(double value) {
   stripe.buckets[static_cast<size_t>(bucket)].fetch_add(
       1, std::memory_order_relaxed);
   stripe.sum.fetch_add(static_cast<int64_t>(v), std::memory_order_relaxed);
+  if (exemplar_id != 0) {
+    stripe.exemplars[static_cast<size_t>(bucket)].store(
+        exemplar_id, std::memory_order_relaxed);
+  }
 }
 
 int64_t Log2Histogram::Count() const { return Snapshot().count; }
@@ -69,6 +101,10 @@ HistogramData Log2Histogram::Snapshot() const {
               std::memory_order_relaxed);
       data.buckets[static_cast<size_t>(i)] += b;
       data.count += b;
+      const uint64_t exemplar =
+          stripe.exemplars[static_cast<size_t>(i)].load(
+              std::memory_order_relaxed);
+      if (exemplar != 0) data.exemplars[static_cast<size_t>(i)] = exemplar;
     }
   }
   return data;

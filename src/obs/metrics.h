@@ -101,13 +101,28 @@ struct HistogramData {
   std::array<int64_t, kBuckets> buckets{};
   int64_t count = 0;
   int64_t sum = 0;
+  /// Per-bucket exemplar trace ids (0 = none): the id passed with the most
+  /// recent Record(value, id) call that landed in the bucket. Links a
+  /// latency bucket — "something took 2-4ms" — straight to a retained
+  /// flight-recorder trace saying *what* did. Ids may dangle once the
+  /// trace store evicts the trace; resolvers must tolerate a miss.
+  std::array<uint64_t, kBuckets> exemplars{};
 
   void Merge(const HistogramData& other);
   /// Upper bound of the p-th percentile (p in [0, 100]); 0 when empty.
   double Percentile(double p) const;
+  /// Index of the bucket the p-th percentile falls in (-1 when empty).
+  int PercentileBucket(double p) const;
+  /// The exemplar tag on the p-th percentile's bucket, falling back to the
+  /// nearest lower tagged bucket (0 when none): striped recording can
+  /// leave the exact percentile bucket untagged while a neighbor holds an
+  /// equally representative trace id.
+  uint64_t PercentileExemplar(double p) const;
   double Mean() const {
     return count == 0 ? 0 : static_cast<double>(sum) / count;
   }
+  /// Compares the recorded-value mass only; exemplar tags are metadata
+  /// (which id happened to land last) and deliberately excluded.
   bool operator==(const HistogramData& other) const {
     return buckets == other.buckets && count == other.count &&
            sum == other.sum;
@@ -127,7 +142,11 @@ class Log2Histogram {
   static constexpr int kBuckets = HistogramData::kBuckets;
   static constexpr int kStripes = kThreadStripes;
 
-  void Record(double value);
+  void Record(double value) { Record(value, 0); }
+  /// Records `value` and, when `exemplar_id` is non-zero, tags the value's
+  /// bucket with it (one extra relaxed store into the caller's stripe).
+  /// The id is typically a trace id; see HistogramData::exemplars.
+  void Record(double value, uint64_t exemplar_id);
   int64_t Count() const;
   /// Upper bound of the p-th percentile over everything recorded so far.
   double Percentile(double p) const { return Snapshot().Percentile(p); }
@@ -137,6 +156,7 @@ class Log2Histogram {
   struct alignas(64) Stripe {
     std::array<std::atomic<int64_t>, kBuckets> buckets{};
     std::atomic<int64_t> sum{0};
+    std::array<std::atomic<uint64_t>, kBuckets> exemplars{};
   };
   std::array<Stripe, kStripes> stripes_;
 };

@@ -11,6 +11,7 @@ const char* TraceStageName(TraceStage stage) {
     case TraceStage::kFingerprint: return "fingerprint";
     case TraceStage::kCacheLookup: return "cache_lookup";
     case TraceStage::kCoalesceWait: return "coalesce_wait";
+    case TraceStage::kQueueWait: return "queue_wait";
     case TraceStage::kBeamSearch: return "beam_search";
     case TraceStage::kInference: return "inference";
     case TraceStage::kAdmit: return "admit";
@@ -50,6 +51,28 @@ bool Trace::HasStage(TraceStage stage) const {
     if (span.stage == stage) return true;
   }
   return false;
+}
+
+double Trace::SpanUnionMicros() const {
+  std::vector<TraceSpan> spans = this->spans();
+  std::vector<std::pair<double, double>> intervals;
+  intervals.reserve(spans.size());
+  for (const TraceSpan& span : spans) {
+    intervals.emplace_back(span.start_us, span.start_us + span.duration_us);
+  }
+  std::sort(intervals.begin(), intervals.end());
+  double total = 0;
+  double cover_end = -1;
+  for (const auto& [begin, end] : intervals) {
+    if (begin > cover_end) {
+      total += end - begin;
+      cover_end = end;
+    } else if (end > cover_end) {
+      total += end - cover_end;
+      cover_end = end;
+    }
+  }
+  return total;
 }
 
 std::string Trace::ToString() const {
@@ -107,8 +130,9 @@ int64_t RequestTracer::requests_seen() const {
   return total;
 }
 
-void RequestTracer::RecordStageMicros(TraceStage stage, double micros) {
-  stage_us_[static_cast<size_t>(stage)].Record(micros);
+void RequestTracer::RecordStageMicros(TraceStage stage, double micros,
+                                      uint64_t exemplar_id) {
+  stage_us_[static_cast<size_t>(stage)].Record(micros, exemplar_id);
 }
 
 std::vector<std::shared_ptr<Trace>> RequestTracer::RecentTraces() const {

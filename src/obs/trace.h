@@ -48,6 +48,7 @@ enum class TraceStage : int {
   kFingerprint = 0,  // query canonicalization (serving)
   kCacheLookup,      // plan-cache probe (serving)
   kCoalesceWait,     // blocked on another request's in-flight planning
+  kQueueWait,        // enqueue->dequeue wait on the planning pool
   kBeamSearch,       // the full beam search of a miss (serving/balsa)
   kInference,        // one ScoreBatch call: queue wait + fused forward pass
   kAdmit,            // canonicalize + insert the planned entry (serving)
@@ -82,6 +83,11 @@ class Trace {
   /// Number of distinct stages among the recorded spans.
   int NumDistinctStages() const;
   bool HasStage(TraceStage stage) const;
+  /// Total microseconds covered by the union of the span intervals. Spans
+  /// nest (inference inside beam_search), so this — not the plain sum of
+  /// durations — is the time the trace accounts for; it can never exceed
+  /// the request's end-to-end latency by more than clock skew.
+  double SpanUnionMicros() const;
   /// "  cache_lookup  +12.3us  4.5us" lines, one per span, in order.
   std::string ToString() const;
 
@@ -116,8 +122,18 @@ class RequestTracer {
   std::shared_ptr<Trace> MaybeStartTrace();
 
   /// Feeds the per-stage histogram (called by SpanTimer; also usable
-  /// directly for stages timed by other means).
-  void RecordStageMicros(TraceStage stage, double micros);
+  /// directly for stages timed by other means). A non-zero `exemplar_id`
+  /// tags the value's bucket with the recording trace's id, linking the
+  /// bucket to a full trace (see Log2Histogram exemplars).
+  void RecordStageMicros(TraceStage stage, double micros,
+                         uint64_t exemplar_id = 0);
+
+  /// Marks the tracer as fed by an always-on span path (the flight
+  /// recorder traces every request through this tracer's stage
+  /// histograms instead of head-sampling). Purely descriptive: it only
+  /// changes how exports caption the stage breakdown.
+  void SetAlwaysOn(bool always_on) { always_on_ = always_on; }
+  bool always_on() const { return always_on_; }
 
   const Log2Histogram& stage_histogram(TraceStage stage) const {
     return stage_us_[static_cast<size_t>(stage)];
@@ -140,6 +156,7 @@ class RequestTracer {
 
  private:
   RequestTracerOptions options_;
+  bool always_on_ = false;
   /// Power-of-two sample_every takes a mask instead of a modulo on the
   /// per-request path (the default 64 qualifies).
   bool sample_pow2_ = false;
@@ -211,7 +228,8 @@ class SpanTimer {
             start_ - context_->trace->start_time())
             .count();
     context_->trace->AddSpan(stage_, start_us, duration_us);
-    context_->tracer->RecordStageMicros(stage_, duration_us);
+    context_->tracer->RecordStageMicros(stage_, duration_us,
+                                        context_->trace->id());
   }
 
   SpanTimer(const SpanTimer&) = delete;

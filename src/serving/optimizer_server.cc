@@ -1,6 +1,7 @@
 #include "src/serving/optimizer_server.h"
 
 #include <chrono>
+#include <optional>
 #include <utility>
 
 #include "src/serving/query_fingerprint.h"
@@ -86,8 +87,16 @@ OptimizerServer::OptimizerServer(const Schema* schema,
                ServingPlannerOptions(options.planner)),
       cache_(ServingCacheOptions(options)),
       tracer_(options.trace),
-      slow_log_(options.slow_query) {
+      slow_log_(options.slow_query),
+      flight_store_(options.flight_recorder) {
   planner_.set_inference_service(inference_.get());
+  if (flight_store_.enabled()) tracer_.SetAlwaysOn(true);
+  // Arm the pool's queue-wait clock only when someone will read the
+  // histogram; an un-instrumented server's pool never touches the clock.
+  if (options_.metrics != nullptr || flight_store_.enabled()) {
+    executor_->pool()->SetQueueWaitObserver(
+        [this](double wait_us) { pool_wait_us_.Record(wait_us); });
+  }
   if (options_.metrics != nullptr) {
     obs::MetricsRegistry* reg = options_.metrics;
     const std::string& p = options_.metrics_prefix;
@@ -108,12 +117,17 @@ OptimizerServer::OptimizerServer(const Schema* schema,
       registrations_.push_back(std::move(r));
     }
     registrations_.push_back(slow_log_.AttachTo(reg, p));
-    // The planning pool belongs to the runtime layer, so its queue depth is
-    // named under runtime.*, not under the serving prefix.
+    for (obs::Registration& r : flight_store_.AttachTo(reg, p)) {
+      registrations_.push_back(std::move(r));
+    }
+    // The planning pool belongs to the runtime layer, so its queue depth
+    // and queue wait are named under runtime.*, not the serving prefix.
     registrations_.push_back(reg->AttachCallbackGauge(
         "runtime.pool.queue_depth", [pool = executor_->pool()] {
           return pool->ApproxQueueDepth();
         }));
+    registrations_.push_back(
+        reg->AttachHistogram("runtime.pool.wait_us", &pool_wait_us_));
   }
 }
 
@@ -123,12 +137,18 @@ StatusOr<OptimizerServer::OptimizeResult> OptimizerServer::Optimize(
   // One epoch pin per request: everything this request derives describes
   // data at (or after) this publication epoch.
   const uint64_t epoch = data_epoch();
-  // Sampled requests carry a trace through every stage they touch; for the
-  // rest, MaybeStartTrace returns nullptr and installing the context is a
-  // no-op, leaving every SpanTimer below inert.
-  std::shared_ptr<obs::Trace> trace = tracer_.MaybeStartTrace();
+  // With the flight recorder on, the retention decision happens at
+  // completion (tail-based) and trace shells are lazy: the cache-hit path
+  // allocates nothing (Serve arms a shell only when a request leaves it —
+  // miss or coalesce — which is where tail latency comes from). Otherwise
+  // head sampling decides up front: MaybeStartTrace returns nullptr for
+  // unsampled requests and installing the context is a no-op, leaving
+  // every SpanTimer below inert.
+  std::shared_ptr<obs::Trace> trace;
+  if (!flight_store_.enabled()) trace = tracer_.MaybeStartTrace();
   obs::ScopedTraceContext trace_scope(&tracer_, trace);
-  StatusOr<OptimizeResult> result = Serve(query);
+  std::shared_ptr<obs::Trace> flight_trace;
+  StatusOr<OptimizeResult> result = Serve(query, &flight_trace);
   if (result.ok()) {
     double micros = std::chrono::duration<double, std::micro>(
                         std::chrono::steady_clock::now() - start)
@@ -138,7 +158,28 @@ StatusOr<OptimizerServer::OptimizeResult> OptimizerServer::Optimize(
     const Outcome outcome = result.value().cache_hit ? Outcome::kHit
                             : result.value().coalesced ? Outcome::kCoalesced
                                                        : Outcome::kMiss;
-    request_us_[static_cast<size_t>(outcome)].Record(micros);
+    // Retention is decided *before* the latency histogram records, so an
+    // exemplar id is only ever written for a trace the store actually kept
+    // — a p99 bucket's exemplar always resolves (until eviction).
+    uint64_t exemplar_id = 0;
+    if (flight_store_.enabled()) {
+      obs::TraceCompletion completion;
+      completion.latency_us = micros;
+      completion.outcome = OutcomeName(outcome);
+      completion.fingerprint = result.value().fingerprint;
+      completion.query_name = query.name();
+      exemplar_id = flight_store_.OnComplete(flight_trace, completion);
+      if (flight_trace == nullptr && exemplar_id != 0) {
+        // A retained hit: surface the shell the store just materialized so
+        // callers (RecordExecution, exec re-install) can correlate to it.
+        obs::RetainedTrace kept;
+        if (flight_store_.FindTrace(exemplar_id, &kept)) {
+          flight_trace = kept.trace;
+        }
+      }
+      result.value().trace = flight_trace;
+    }
+    request_us_[static_cast<size_t>(outcome)].Record(micros, exemplar_id);
     // Slow-query triggers. The fast path pays exactly these comparisons:
     // the log's mutex is only ever taken by requests that already
     // qualified as slow.
@@ -160,10 +201,23 @@ StatusOr<OptimizerServer::OptimizeResult> OptimizerServer::Optimize(
         event.stats_version = result.value().stats_version;
         event.data_epoch = epoch;
         event.plan_summary = result.value().plan.ToString(query);
-        if (trace != nullptr) event.spans = trace->spans();
+        const obs::Trace* spans_from =
+            flight_trace != nullptr ? flight_trace.get() : trace.get();
+        if (spans_from != nullptr) event.spans = spans_from->spans();
         slow_log_.Record(std::move(event));
       }
     }
+  } else if (flight_store_.enabled()) {
+    // Failed requests are always retained (outcome ring): the flight
+    // recorder's whole point is that the interesting request is kept.
+    obs::TraceCompletion completion;
+    completion.latency_us = std::chrono::duration<double, std::micro>(
+                                std::chrono::steady_clock::now() - start)
+                                .count();
+    completion.outcome = "error";
+    completion.query_name = query.name();
+    completion.error = true;
+    flight_store_.OnComplete(flight_trace, completion);
   }
   return result;
 }
@@ -171,7 +225,24 @@ StatusOr<OptimizerServer::OptimizeResult> OptimizerServer::Optimize(
 void OptimizerServer::RecordExecution(const Query& query,
                                       const OptimizeResult& result,
                                       const ExecutionProfile& profile) {
-  if (!slow_log_.enabled() || !profile.AnyCapped()) return;
+  if (!profile.AnyCapped()) return;
+  // The row-cap signal arrives after the serve-time retention decision;
+  // promote the trace into the outcome ring (or mark it capped in place)
+  // so every "disastrous plan" request is retained by construction. A null
+  // trace (a hit the store let go at completion) still gets a shell
+  // materialized — the capped request itself is the signal.
+  if (flight_store_.enabled()) {
+    obs::TraceCompletion completion;
+    completion.latency_us = result.serve_micros;
+    completion.outcome = OutcomeName(result.cache_hit   ? Outcome::kHit
+                                     : result.coalesced ? Outcome::kCoalesced
+                                                        : Outcome::kMiss);
+    completion.fingerprint = result.fingerprint;
+    completion.query_name = query.name();
+    completion.capped = true;
+    flight_store_.PromoteCapped(result.trace, completion);
+  }
+  if (!slow_log_.enabled()) return;
   SlowQueryEvent event;
   event.fingerprint = result.fingerprint;
   event.query_name = query.name();
@@ -205,12 +276,29 @@ StatusOr<OptimizerServer::OptimizeResult> OptimizerServer::OptimizeSql(
 
 StatusOr<CachedPlan> OptimizerServer::PlanMiss(
     const Query& query, int64_t version,
-    const obs::TraceContext& trace_context) {
+    const obs::TraceContext& trace_context,
+    std::chrono::steady_clock::time_point enqueued) {
   // Runs on a planning-pool thread: re-install the requester's trace so the
   // beam-search span (and the inference spans under it) land in it.
   obs::ScopedTraceContext trace_scope(trace_context);
   planned_.Inc();
   auto start = std::chrono::steady_clock::now();
+  if (trace_context.active()) {
+    // The pool-level wait histogram (runtime.pool.wait_us) sees every task
+    // via the queue-wait observer; this records the *same interval* as a
+    // span in the request's own trace, where a saturation diagnosis needs
+    // it ("the request was slow because it sat in the queue").
+    const double wait_us =
+        std::chrono::duration<double, std::micro>(start - enqueued).count();
+    const double start_us = std::chrono::duration<double, std::micro>(
+                                enqueued - trace_context.trace->start_time())
+                                .count();
+    trace_context.trace->AddSpan(obs::TraceStage::kQueueWait, start_us,
+                                 wait_us);
+    trace_context.tracer->RecordStageMicros(obs::TraceStage::kQueueWait,
+                                            wait_us,
+                                            trace_context.trace->id());
+  }
   StatusOr<BeamSearchPlanner::PlanningResult> result = [&] {
     obs::SpanTimer span(obs::TraceStage::kBeamSearch);
     return planner_.TopK(query, nullptr);
@@ -234,8 +322,9 @@ StatusOr<std::shared_ptr<const CachedPlan>> OptimizerServer::PlanAndAdmit(
     const std::vector<int>& canonical_rank, int64_t version) {
   // Capture the trace context *before* crossing onto the pool thread.
   auto future = executor_->pool()->Submit(
-      [this, &query, version, context = obs::CurrentTraceContextCopy()] {
-        return PlanMiss(query, version, context);
+      [this, &query, version, context = obs::CurrentTraceContextCopy(),
+       enqueued = std::chrono::steady_clock::now()] {
+        return PlanMiss(query, version, context, enqueued);
       });
   BALSA_ASSIGN_OR_RETURN(CachedPlan planned, future.get());
   obs::SpanTimer span(obs::TraceStage::kAdmit);
@@ -255,8 +344,9 @@ StatusOr<OptimizerServer::OptimizeResult> OptimizerServer::PlanUncached(
     const Query& query, uint64_t fingerprint, int64_t version,
     bool coalesced) {
   auto future = executor_->pool()->Submit(
-      [this, &query, version, context = obs::CurrentTraceContextCopy()] {
-        return PlanMiss(query, version, context);
+      [this, &query, version, context = obs::CurrentTraceContextCopy(),
+       enqueued = std::chrono::steady_clock::now()] {
+        return PlanMiss(query, version, context, enqueued);
       });
   BALSA_ASSIGN_OR_RETURN(CachedPlan planned, future.get());
   OptimizeResult result;
@@ -269,8 +359,19 @@ StatusOr<OptimizerServer::OptimizeResult> OptimizerServer::PlanUncached(
 }
 
 StatusOr<OptimizerServer::OptimizeResult> OptimizerServer::Serve(
-    const Query& query) {
+    const Query& query, std::shared_ptr<obs::Trace>* flight_trace) {
   requests_.Inc();
+  // Lazy flight-recorder shell: armed the moment a request leaves the pure
+  // hit path. From then on every span site on this thread (admit,
+  // coalesce-wait) and on the planning pool (queue-wait, beam-search,
+  // inference) records into the shell; the hit path never reaches this and
+  // stays allocation- and clock-free.
+  std::optional<obs::ScopedTraceContext> flight_scope;
+  auto arm_flight = [&] {
+    if (!flight_store_.enabled() || *flight_trace != nullptr) return;
+    *flight_trace = flight_store_.StartTrace();
+    flight_scope.emplace(&tracer_, *flight_trace);
+  };
   const CanonicalQuery canonical = [&] {
     obs::SpanTimer span(obs::TraceStage::kFingerprint);
     return CanonicalizeQuery(query);
@@ -322,8 +423,10 @@ StatusOr<OptimizerServer::OptimizeResult> OptimizerServer::Serve(
       }
     }
     misses_.Inc();
+    arm_flight();
     return PlanUncached(query, fingerprint, version, /*coalesced=*/false);
   }
+  arm_flight();
 
   if (!options_.coalesce_misses) {
     misses_.Inc();
@@ -424,10 +527,13 @@ OptimizerServer::RewarmReport OptimizerServer::Rewarm(int top_k) {
     // lifetime; plans run concurrently on the planning pool and batch
     // their scoring through the shared inference service. Re-warm is not a
     // client request, so it plans without a trace context.
-    pending.push_back({&h, executor_->pool()->Submit([this, &h, version] {
-                        return PlanMiss(*h.entry->exemplar, version,
-                                        obs::TraceContext{});
-                      })});
+    pending.push_back(
+        {&h, executor_->pool()->Submit(
+                 [this, &h, version,
+                  enqueued = std::chrono::steady_clock::now()] {
+                   return PlanMiss(*h.entry->exemplar, version,
+                                   obs::TraceContext{}, enqueued);
+                 })});
   }
   for (Pending& p : pending) {
     StatusOr<CachedPlan> planned = p.future.get();

@@ -29,12 +29,25 @@
 // Observability: request latency is recorded into per-outcome
 // (hit/miss/coalesced) obs::Log2Histograms, and a sampling
 // obs::RequestTracer threads a TraceContext through the request — the
-// fingerprint, cache-lookup, coalesce-wait, beam-search, inference, and
-// admit stages each record a span (per-stage histograms feed the benches'
-// breakdown tables; sampled traces retain the span list). Pass
+// fingerprint, cache-lookup, coalesce-wait, queue-wait, beam-search,
+// inference, and admit stages each record a span (per-stage histograms feed
+// the benches' breakdown tables; sampled traces retain the span list). Pass
 // OptimizerServerOptions::metrics to export everything — server counters,
 // outcome histograms, stage histograms, plan-cache counters, inference
-// stats, planning-pool queue depth — through one MetricsRegistry.
+// stats, planning-pool queue depth and queue wait — through one
+// MetricsRegistry.
+//
+// Flight recorder: enabling OptimizerServerOptions::flight_recorder
+// replaces head sampling with tail-based retention — *every* request
+// reports its completion to the server's obs::TraceStore, which keeps the
+// top-K slowest, all error/row-capped outcomes, and a uniform reservoir of
+// normals (src/obs/flight_recorder.h). Trace shells are lazy: a request
+// gets one the moment it leaves the pure hit path (miss or coalesce), so
+// retained tail traces carry the queue-wait/beam-search/inference/admit
+// span story while the microsecond hit path stays allocation- and
+// clock-free. Retained completions tag their latency-histogram bucket with
+// the trace id (exemplars), so a p99 bucket in statusz links to a full
+// retained trace.
 //
 // The network pointer is borrowed and must not be trained while requests
 // are in flight (serve and train are distinct phases, as in the agent).
@@ -51,6 +64,7 @@
 
 #include "src/balsa/planner.h"
 #include "src/exec/profile.h"
+#include "src/obs/flight_recorder.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/runtime/inference_service.h"
@@ -77,6 +91,10 @@ struct OptimizerServerOptions {
   bool coalesce_misses = true;
   /// Request-trace sampling (sample_every = 0 disables tracing).
   obs::RequestTracerOptions trace;
+  /// Tail-based trace retention (enabled = false keeps the recorder off).
+  /// When enabled it supersedes head sampling: every request gets a trace
+  /// shell and the TraceStore decides at completion what to retain.
+  obs::TraceStoreOptions flight_recorder;
   /// Slow-query log triggers and capacity (src/serving/slow_query_log.h).
   /// The defaults retain row-cap feedback (RecordExecution) but trigger on
   /// nothing else, so the request path pays only a comparison.
@@ -120,6 +138,14 @@ class OptimizerServer {
     /// The request's canonical structural fingerprint (the cache key and
     /// the slow-query log's correlation id).
     uint64_t fingerprint = 0;
+    /// The request's trace shell (flight recorder only, nullptr otherwise).
+    /// Shells are lazy: non-null when the request planned (miss/coalesced)
+    /// or was retained at completion — a plain unretained hit carries none,
+    /// because allocating one would cost more than the hit itself. Callers
+    /// that execute the plan re-install it with ScopedTraceContext so exec
+    /// spans land in the same trace, and RecordExecution uses it to promote
+    /// row-capped requests into the retained set.
+    std::shared_ptr<obs::Trace> trace;
   };
 
   /// Plans `query` (or serves it from the cache). Thread-safe.
@@ -191,6 +217,14 @@ class OptimizerServer {
   }
   obs::RequestTracer* tracer() { return &tracer_; }
   const obs::RequestTracer& tracer() const { return tracer_; }
+  const obs::TraceStore& flight_recorder() const { return flight_store_; }
+  obs::TraceStore* flight_recorder() { return &flight_store_; }
+  /// Enqueue->dequeue wait (µs) of every planning-pool task; recorded only
+  /// when metrics are attached or the flight recorder is on ("armed"), so
+  /// an un-instrumented pool takes no clock reads.
+  const obs::Log2Histogram& pool_wait_histogram() const {
+    return pool_wait_us_;
+  }
   const InferenceService* inference() const { return inference_.get(); }
   int num_planning_threads() const { return executor_->num_threads(); }
 
@@ -204,9 +238,13 @@ class OptimizerServer {
   };
 
   /// Runs one beam search on the planning pool and returns its best plan.
-  /// `trace_context` re-installs the requester's trace on the pool thread.
-  StatusOr<CachedPlan> PlanMiss(const Query& query, int64_t version,
-                                const obs::TraceContext& trace_context);
+  /// `trace_context` re-installs the requester's trace on the pool thread;
+  /// `enqueued` is when the task was submitted, so the enqueue->start wait
+  /// lands in the trace as a kQueueWait span.
+  StatusOr<CachedPlan> PlanMiss(
+      const Query& query, int64_t version,
+      const obs::TraceContext& trace_context,
+      std::chrono::steady_clock::time_point enqueued);
   /// Plans `query`, admits the canonical-space entry to the cache, and
   /// returns it (shared by the leader's response and any waiters).
   StatusOr<std::shared_ptr<const CachedPlan>> PlanAndAdmit(
@@ -217,11 +255,20 @@ class OptimizerServer {
   StatusOr<OptimizeResult> PlanUncached(const Query& query,
                                         uint64_t fingerprint, int64_t version,
                                         bool coalesced);
-  StatusOr<OptimizeResult> Serve(const Query& query);
+  /// `flight_trace` (never null) receives the request's lazily armed
+  /// flight-recorder shell — set the moment the request leaves the pure
+  /// hit path, left null for hits and when the recorder is off.
+  StatusOr<OptimizeResult> Serve(const Query& query,
+                                 std::shared_ptr<obs::Trace>* flight_trace);
 
   const Schema* schema_;
   const CardOracle* oracle_;
   OptimizerServerOptions options_;
+
+  /// Planning-pool queue wait. Declared before the executor: the pool's
+  /// destructor drains queued tasks, and a drained task's wait observation
+  /// must not land in a dead histogram.
+  obs::Log2Histogram pool_wait_us_;
 
   std::unique_ptr<InferenceService> inference_;
   std::unique_ptr<ParallelExecutor> executor_;
@@ -245,6 +292,7 @@ class OptimizerServer {
   std::array<obs::Log2Histogram, 3> request_us_;
   obs::RequestTracer tracer_;
   SlowQueryLog slow_log_;
+  obs::TraceStore flight_store_;
   /// Registry attachments (empty when options.metrics == nullptr). Last
   /// member: detaches before any instrument dies.
   std::vector<obs::Registration> registrations_;

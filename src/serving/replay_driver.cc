@@ -104,6 +104,9 @@ StatusOr<ReplayReport> ReplayWorkload(
   report.p50_us = Percentile(latencies, 50);
   report.p95_us = Percentile(latencies, 95);
   report.p99_us = Percentile(latencies, 99);
+  report.max_us = latencies.empty()
+                      ? 0
+                      : *std::max_element(latencies.begin(), latencies.end());
   report.server = server->stats();
   report.plans_consistent = consistent.load(std::memory_order_relaxed);
   return report;

@@ -45,6 +45,10 @@ struct ReplayReport {
   double p50_us = 0;
   double p95_us = 0;
   double p99_us = 0;
+  /// The single slowest request (same serve_micros value the flight
+  /// recorder's top-K retention saw, so a tail assertion can compare the
+  /// two for exact equality).
+  double max_us = 0;
   OptimizerServer::Stats server;
   /// True iff all clients saw one plan fingerprint per query index.
   bool plans_consistent = true;

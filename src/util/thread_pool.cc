@@ -25,10 +25,25 @@ ThreadPool::~ThreadPool() {
   for (std::thread& t : threads_) t.join();
 }
 
-void ThreadPool::Schedule(std::function<void()> fn) {
+void ThreadPool::SetQueueWaitObserver(
+    std::function<void(double wait_us)> observer) {
   {
     std::lock_guard<std::mutex> lock(mu_);
-    queue_.push(std::move(fn));
+    observer_ = std::move(observer);
+  }
+  has_observer_.store(true, std::memory_order_release);
+}
+
+void ThreadPool::Schedule(std::function<void()> fn) {
+  Task task;
+  task.fn = std::move(fn);
+  if (has_observer_.load(std::memory_order_acquire)) {
+    task.enqueued = std::chrono::steady_clock::now();
+    task.stamped = true;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push(std::move(task));
   }
   queued_.fetch_add(1, std::memory_order_relaxed);
   cv_.notify_one();
@@ -36,7 +51,7 @@ void ThreadPool::Schedule(std::function<void()> fn) {
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
-    std::function<void()> task;
+    Task task;
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
@@ -47,7 +62,16 @@ void ThreadPool::WorkerLoop() {
       queue_.pop();
     }
     queued_.fetch_sub(1, std::memory_order_relaxed);
-    task();
+    if (task.stamped) {
+      const double wait_us =
+          std::chrono::duration<double, std::micro>(
+              std::chrono::steady_clock::now() - task.enqueued)
+              .count();
+      // The acquire pair on has_observer_ makes observer_ safe to read
+      // lock-free here: a stamped task implies the store completed.
+      observer_(wait_us);
+    }
+    task.fn();
   }
 }
 

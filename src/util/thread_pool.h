@@ -6,6 +6,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <functional>
 #include <future>
@@ -53,17 +54,37 @@ class ThreadPool {
     return queued_.load(std::memory_order_relaxed);
   }
 
+  /// Installs an observer of per-task queue wait — the enqueue->dequeue
+  /// microseconds each task spent waiting for a worker. Same DAG split as
+  /// ApproxQueueDepth: the pool reports the number, the caller (obs layer)
+  /// owns the histogram it lands in. With no observer the pool takes no
+  /// clock reads at all; with one, each task costs two steady_clock reads.
+  /// Install before scheduling work and leave it in place: the callback is
+  /// not synchronized against running workers, and it runs on worker
+  /// threads so it must be thread-safe itself.
+  void SetQueueWaitObserver(std::function<void(double wait_us)> observer);
+
   /// The pool size used when num_threads <= 0.
   static int DefaultNumThreads();
 
  private:
+  struct Task {
+    std::function<void()> fn;
+    /// Valid only when `stamped` (an observer was installed at enqueue).
+    std::chrono::steady_clock::time_point enqueued;
+    bool stamped = false;
+  };
+
   void WorkerLoop();
 
   std::mutex mu_;
   std::condition_variable cv_;
-  std::queue<std::function<void()>> queue_;
+  std::queue<Task> queue_;
   std::atomic<int64_t> queued_{0};
   bool stop_ = false;
+  /// Gates the enqueue-side clock read without touching observer_.
+  std::atomic<bool> has_observer_{false};
+  std::function<void(double)> observer_;
   std::vector<std::thread> threads_;
 };
 

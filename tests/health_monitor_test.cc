@@ -1,0 +1,296 @@
+// Tests for the SLO health monitor: delta-window semantics (the first tick
+// establishes a baseline instead of judging all-time cumulatives; a p99
+// rule fires on what happened since the last tick and resolves on its
+// own), for_ticks/clear_ticks hysteresis, every rule kind, the bounded
+// transition log, and graceful handling of missing metrics. All ticks are
+// driven through the public EvaluateOnce() — no threads, no clocks.
+// Runs under `ctest -L obs`.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/obs/health.h"
+#include "src/obs/metrics.h"
+#include "src/obs/sampler.h"
+
+namespace balsa::obs {
+namespace {
+
+TEST(HealthMonitorTest, FirstTickIsBaselineNotCumulativeJudgement) {
+  MetricsRegistry registry;
+  Log2Histogram latency;
+  auto reg = registry.AttachHistogram("req_us", &latency);
+  // A terrible all-time history recorded *before* the monitor's first look.
+  for (int i = 0; i < 100; ++i) latency.Record(1e6);
+
+  HealthMonitor monitor(&registry);
+  HealthRule rule;
+  rule.name = "p99";
+  rule.kind = RuleKind::kWindowP99Above;
+  rule.metric = "req_us";
+  rule.threshold = 10;
+  monitor.AddRule(rule);
+
+  monitor.EvaluateOnce();  // prev == cur: delta 0, nothing to judge
+  monitor.EvaluateOnce();  // quiet window: still 0
+  EXPECT_EQ(monitor.FiringCount(), 0);
+  EXPECT_TRUE(monitor.Events().empty());
+}
+
+TEST(HealthMonitorTest, WindowP99FiresOnStormAndResolvesAfterIt) {
+  MetricsRegistry registry;
+  Log2Histogram latency;
+  auto reg = registry.AttachHistogram("req_us", &latency);
+
+  HealthMonitor monitor(&registry);
+  HealthRule rule;
+  rule.name = "p99";
+  rule.kind = RuleKind::kWindowP99Above;
+  rule.metric = "req_us";
+  rule.threshold = 1000;
+  monitor.AddRule(rule);
+
+  monitor.EvaluateOnce();  // baseline
+  for (int i = 0; i < 50; ++i) latency.Record(5000);
+  monitor.EvaluateOnce();  // the storm window
+  EXPECT_TRUE(monitor.IsFiring("p99"));
+  // A cumulative p99 would stay poisoned by the storm forever; the delta
+  // window forgets it after one quiet tick.
+  monitor.EvaluateOnce();
+  EXPECT_FALSE(monitor.IsFiring("p99"));
+
+  const std::vector<AlertEvent> events = monitor.Events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_TRUE(events[0].firing);
+  EXPECT_EQ(events[0].tick, 2);
+  EXPECT_GT(events[0].value, rule.threshold);
+  EXPECT_FALSE(events[1].firing);
+  EXPECT_EQ(events[1].tick, 3);
+}
+
+TEST(HealthMonitorTest, HysteresisNeedsConsecutiveTicksBothWays) {
+  MetricsRegistry registry;
+  Log2Histogram latency;
+  auto reg = registry.AttachHistogram("req_us", &latency);
+
+  HealthMonitor monitor(&registry);
+  HealthRule rule;
+  rule.name = "p99";
+  rule.kind = RuleKind::kWindowP99Above;
+  rule.metric = "req_us";
+  rule.threshold = 1000;
+  rule.for_ticks = 2;
+  rule.clear_ticks = 2;
+  monitor.AddRule(rule);
+
+  auto breach = [&] {
+    for (int i = 0; i < 20; ++i) latency.Record(5000);
+    monitor.EvaluateOnce();
+  };
+  monitor.EvaluateOnce();  // baseline
+  breach();                // 1 breached tick: not yet
+  EXPECT_FALSE(monitor.IsFiring("p99"));
+  breach();                // 2 consecutive: fires
+  EXPECT_TRUE(monitor.IsFiring("p99"));
+  monitor.EvaluateOnce();  // 1 healthy tick: still firing
+  EXPECT_TRUE(monitor.IsFiring("p99"));
+  monitor.EvaluateOnce();  // 2 consecutive: resolves
+  EXPECT_FALSE(monitor.IsFiring("p99"));
+
+  const std::vector<RuleStatus> rules = monitor.Rules();
+  ASSERT_EQ(rules.size(), 1u);
+  EXPECT_EQ(rules[0].times_fired, 1);
+}
+
+TEST(HealthMonitorTest, RateRuleJudgesPerTickIncrease) {
+  MetricsRegistry registry;
+  Counter errors;
+  auto reg = registry.AttachCounter("errors", &errors);
+  // A large pre-existing total must not trip a rate rule.
+  errors.Inc(100);
+
+  HealthMonitor monitor(&registry);
+  HealthRule rule;
+  rule.name = "error-rate";
+  rule.kind = RuleKind::kWindowRateAbove;
+  rule.metric = "errors";
+  rule.threshold = 5;
+  monitor.AddRule(rule);
+
+  monitor.EvaluateOnce();  // baseline swallows the 100
+  EXPECT_FALSE(monitor.IsFiring("error-rate"));
+  errors.Inc(10);
+  monitor.EvaluateOnce();
+  EXPECT_TRUE(monitor.IsFiring("error-rate"));
+  errors.Inc(2);
+  monitor.EvaluateOnce();
+  EXPECT_FALSE(monitor.IsFiring("error-rate"));
+}
+
+TEST(HealthMonitorTest, RatioRuleDividesDeltasAndSkipsEmptyWindows) {
+  MetricsRegistry registry;
+  Counter errors;
+  Counter requests;
+  auto reg_e = registry.AttachCounter("errors", &errors);
+  auto reg_r = registry.AttachCounter("requests", &requests);
+
+  HealthMonitor monitor(&registry);
+  HealthRule rule;
+  rule.name = "error-ratio";
+  rule.kind = RuleKind::kRatioAbove;
+  rule.metric = "errors";
+  rule.denominator = "requests";
+  rule.threshold = 0.5;
+  monitor.AddRule(rule);
+
+  monitor.EvaluateOnce();  // baseline
+  monitor.EvaluateOnce();  // zero-traffic window: denominator delta 0 -> 0
+  EXPECT_FALSE(monitor.IsFiring("error-ratio"));
+
+  errors.Inc(8);
+  requests.Inc(10);
+  monitor.EvaluateOnce();  // 0.8 of this window's traffic errored
+  EXPECT_TRUE(monitor.IsFiring("error-ratio"));
+
+  requests.Inc(10);
+  monitor.EvaluateOnce();  // clean window
+  EXPECT_FALSE(monitor.IsFiring("error-ratio"));
+}
+
+TEST(HealthMonitorTest, GaugeRuleIsInstantaneous) {
+  MetricsRegistry registry;
+  Gauge depth;
+  auto reg = registry.AttachGauge("queue_depth", &depth);
+  depth.Set(50);
+
+  HealthMonitor monitor(&registry);
+  HealthRule rule;
+  rule.name = "saturated";
+  rule.kind = RuleKind::kGaugeAbove;
+  rule.metric = "queue_depth";
+  rule.threshold = 32;
+  monitor.AddRule(rule);
+
+  // Gauges are levels, not flows: no baseline tick needed.
+  monitor.EvaluateOnce();
+  EXPECT_TRUE(monitor.IsFiring("saturated"));
+  depth.Set(3);
+  monitor.EvaluateOnce();
+  EXPECT_FALSE(monitor.IsFiring("saturated"));
+}
+
+TEST(HealthMonitorTest, BurnRateReadsZeroWithoutASampler) {
+  MetricsRegistry registry;
+  Counter errors;
+  Counter requests;
+  auto reg_e = registry.AttachCounter("errors", &errors);
+  auto reg_r = registry.AttachCounter("requests", &requests);
+
+  HealthMonitor monitor(&registry);
+  HealthRule rule;
+  rule.name = "burn";
+  rule.kind = RuleKind::kBurnRateAbove;
+  rule.metric = "errors";
+  rule.denominator = "requests";
+  rule.threshold = 0.1;
+  monitor.AddRule(rule);
+
+  monitor.EvaluateOnce();
+  errors.Inc(1000);
+  requests.Inc(1000);
+  monitor.EvaluateOnce();
+  EXPECT_FALSE(monitor.IsFiring("burn"));
+}
+
+TEST(HealthMonitorTest, BurnRateUsesTheSamplersWindow) {
+  MetricsRegistry registry;
+  Counter errors;
+  Counter requests;
+  auto reg_e = registry.AttachCounter("errors", &errors);
+  auto reg_r = registry.AttachCounter("requests", &requests);
+
+  TimeSeriesSampler sampler(&registry);
+  HealthMonitor monitor(&registry);
+  monitor.SetSampler(&sampler);
+  HealthRule rule;
+  rule.name = "burn";
+  rule.kind = RuleKind::kBurnRateAbove;
+  rule.metric = "errors";
+  rule.denominator = "requests";
+  rule.threshold = 0.5;
+  monitor.AddRule(rule);
+
+  // Both rates divide by the same elapsed time, so the burn rate reduces
+  // to delta(errors)/delta(requests) over the sampled window — no timing
+  // sensitivity beyond "some time passed between samples".
+  sampler.SampleOnce();
+  errors.Inc(9);
+  requests.Inc(10);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  sampler.SampleOnce();
+  monitor.EvaluateOnce();
+  EXPECT_TRUE(monitor.IsFiring("burn"));
+
+  errors.Inc(0);
+  requests.Inc(100);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  sampler.SampleOnce();
+  monitor.EvaluateOnce();
+  monitor.EvaluateOnce();
+  EXPECT_FALSE(monitor.IsFiring("burn"));
+}
+
+TEST(HealthMonitorTest, EventLogIsBoundedOldestEvicted) {
+  MetricsRegistry registry;
+  Gauge depth;
+  auto reg = registry.AttachGauge("queue_depth", &depth);
+
+  HealthMonitorOptions options;
+  options.max_events = 4;
+  HealthMonitor monitor(&registry, options);
+  HealthRule rule;
+  rule.name = "saturated";
+  rule.kind = RuleKind::kGaugeAbove;
+  rule.metric = "queue_depth";
+  rule.threshold = 10;
+  monitor.AddRule(rule);
+
+  // 6 full fire/resolve cycles = 12 transitions; only the last 4 survive.
+  for (int cycle = 0; cycle < 6; ++cycle) {
+    depth.Set(100);
+    monitor.EvaluateOnce();
+    depth.Set(0);
+    monitor.EvaluateOnce();
+  }
+  const std::vector<AlertEvent> events = monitor.Events();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events.front().tick, 9);
+  EXPECT_EQ(events.back().tick, 12);
+  const std::vector<RuleStatus> rules = monitor.Rules();
+  ASSERT_EQ(rules.size(), 1u);
+  EXPECT_EQ(rules[0].times_fired, 6);
+}
+
+TEST(HealthMonitorTest, MissingMetricEvaluatesToZero) {
+  MetricsRegistry registry;
+  HealthMonitor monitor(&registry);
+  HealthRule rule;
+  rule.name = "ghost";
+  rule.kind = RuleKind::kWindowP99Above;
+  rule.metric = "does.not.exist";
+  rule.threshold = 1;
+  monitor.AddRule(rule);
+
+  monitor.EvaluateOnce();
+  monitor.EvaluateOnce();
+  EXPECT_FALSE(monitor.IsFiring("ghost"));
+  const std::vector<RuleStatus> rules = monitor.Rules();
+  ASSERT_EQ(rules.size(), 1u);
+  EXPECT_EQ(rules[0].last_value, 0);
+}
+
+}  // namespace
+}  // namespace balsa::obs
