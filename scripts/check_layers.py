@@ -1,0 +1,242 @@
+#!/usr/bin/env python3
+"""Layer-DAG include linter.
+
+Enforces the subsystem dependency DAG declared in scripts/layers.json over
+the actual ``#include "src/..."`` edges in the tree. A file under
+``src/A/`` may include a header from ``src/B/`` iff ``B == A`` or ``B`` is
+in the *transitive closure* of A's declared deps (the closure matters:
+static libraries expose their own deps' headers, so src/serving may
+legitimately include src/plan/... through balsa's closure).
+
+The DAG in layers.json mirrors the DEPS in each src/<layer>/CMakeLists.txt;
+this linter is the compile-time proof that no #include quietly climbs the
+tower the linker was told about.
+
+Exit status: 0 clean, 1 violations (or a malformed/cyclic DAG), 2 usage.
+
+Modes:
+  check_layers.py --root /path/to/repo    lint <root>/src against the DAG
+  check_layers.py --self-test             build a temp tree with a seeded
+                                          upward include and assert the
+                                          linter catches it (and that a
+                                          clean tree passes)
+
+Stdlib only — no third-party imports.
+"""
+
+import argparse
+import json
+import os
+import re
+import sys
+import tempfile
+
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"(src/[^"]+)"')
+SOURCE_EXTENSIONS = (".h", ".hpp", ".cc", ".cpp", ".inl")
+
+
+def load_dag(path):
+    """Returns {layer: [direct deps]} from layers.json, validating shape."""
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    layers = doc.get("layers")
+    if not isinstance(layers, dict) or not layers:
+        raise ValueError(f"{path}: expected a non-empty 'layers' object")
+    for name, deps in layers.items():
+        if not isinstance(deps, list):
+            raise ValueError(f"{path}: layer '{name}' deps must be a list")
+        for dep in deps:
+            if dep not in layers:
+                raise ValueError(
+                    f"{path}: layer '{name}' depends on undeclared "
+                    f"layer '{dep}'")
+    return layers
+
+
+def transitive_closure(layers):
+    """{layer: set of all layers reachable via deps}. Raises on cycles."""
+    closure = {}
+
+    def visit(name, stack):
+        if name in closure:
+            return closure[name]
+        if name in stack:
+            cycle = " -> ".join(list(stack) + [name])
+            raise ValueError(f"dependency cycle in layers.json: {cycle}")
+        stack.append(name)
+        reach = set()
+        for dep in layers[name]:
+            reach.add(dep)
+            reach |= visit(dep, stack)
+        stack.pop()
+        closure[name] = reach
+        return reach
+
+    for name in layers:
+        visit(name, [])
+    return closure
+
+
+def iter_source_files(src_root):
+    for dirpath, _, filenames in os.walk(src_root):
+        for filename in sorted(filenames):
+            if filename.endswith(SOURCE_EXTENSIONS):
+                yield os.path.join(dirpath, filename)
+
+
+def layer_of(rel_path):
+    """'src/serving/server.cc' -> 'serving'; None for files at src/ root."""
+    parts = rel_path.split("/")
+    if len(parts) < 3 or parts[0] != "src":
+        return None
+    return parts[1]
+
+
+def check_tree(root, layers, closure):
+    """Returns a list of human-readable violation strings for <root>/src."""
+    src_root = os.path.join(root, "src")
+    if not os.path.isdir(src_root):
+        return [f"{src_root}: not a directory (wrong --root?)"]
+    violations = []
+    for path in iter_source_files(src_root):
+        rel = os.path.relpath(path, root).replace(os.sep, "/")
+        from_layer = layer_of(rel)
+        if from_layer is None:
+            continue
+        if from_layer not in layers:
+            violations.append(
+                f"{rel}: subsystem 'src/{from_layer}/' is not declared in "
+                f"scripts/layers.json — add it (with its deps) so the "
+                f"linter can check it")
+            continue
+        allowed = {from_layer} | closure[from_layer]
+        with open(path, "r", encoding="utf-8", errors="replace") as f:
+            for lineno, line in enumerate(f, start=1):
+                match = INCLUDE_RE.match(line)
+                if not match:
+                    continue
+                to_layer = layer_of(match.group(1))
+                if to_layer is None or to_layer in allowed:
+                    continue
+                if to_layer not in layers:
+                    violations.append(
+                        f"{rel}:{lineno}: includes \"{match.group(1)}\" "
+                        f"from undeclared subsystem 'src/{to_layer}/'")
+                    continue
+                direct = ", ".join(sorted(layers[from_layer])) or "(none)"
+                violations.append(
+                    f"{rel}:{lineno}: illegal include \"{match.group(1)}\" — "
+                    f"layer '{from_layer}' may not depend on '{to_layer}' "
+                    f"(declared deps of '{from_layer}': {direct}). Either "
+                    f"move the shared code down the DAG or declare the "
+                    f"dependency in scripts/layers.json AND the CMake DEPS.")
+    return violations
+
+
+def run_check(root):
+    dag_path = os.path.join(root, "scripts", "layers.json")
+    try:
+        layers = load_dag(dag_path)
+        closure = transitive_closure(layers)
+    except (OSError, ValueError, json.JSONDecodeError) as err:
+        print(f"check_layers: {err}", file=sys.stderr)
+        return 1
+    violations = check_tree(root, layers, closure)
+    if violations:
+        print(f"check_layers: {len(violations)} layering violation(s):",
+              file=sys.stderr)
+        for v in violations:
+            print(f"  {v}", file=sys.stderr)
+        return 1
+    n_layers = len(layers)
+    print(f"check_layers: OK — src/ respects the {n_layers}-layer DAG")
+    return 0
+
+
+def write(path, text):
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    with open(path, "w", encoding="utf-8") as f:
+        f.write(text)
+
+
+def run_self_test():
+    """Builds throwaway trees and asserts the linter's verdicts on them."""
+    dag = {
+        "layers": {
+            "util": [],
+            "plan": ["util"],
+            "serving": ["plan", "util"],
+        }
+    }
+    with tempfile.TemporaryDirectory(prefix="check_layers_") as tmp:
+        write(os.path.join(tmp, "scripts", "layers.json"), json.dumps(dag))
+        # Legal edges: same layer, direct dep, transitive dep.
+        write(os.path.join(tmp, "src", "util", "logging.h"), "#pragma once\n")
+        write(os.path.join(tmp, "src", "plan", "node.h"),
+              '#pragma once\n#include "src/util/logging.h"\n')
+        write(os.path.join(tmp, "src", "serving", "server.cc"),
+              '#include "src/plan/node.h"\n'
+              '#include "src/util/logging.h"\n')
+        rc = run_check(tmp)
+        if rc != 0:
+            print("self-test FAILED: clean tree was reported as a violation",
+                  file=sys.stderr)
+            return 1
+
+        # Seed an upward include: util (layer 0) reaching into serving.
+        write(os.path.join(tmp, "src", "util", "bad.cc"),
+              '#include "src/serving/server.h"\n')
+        import io
+        from contextlib import redirect_stderr
+        captured = io.StringIO()
+        with redirect_stderr(captured):
+            rc = run_check(tmp)
+        stderr_text = captured.getvalue()
+        sys.stderr.write(stderr_text)
+        if rc == 0:
+            print("self-test FAILED: seeded upward include "
+                  "src/util/bad.cc -> src/serving was not flagged",
+                  file=sys.stderr)
+            return 1
+        if "src/util/bad.cc:1" not in stderr_text or \
+                "'util' may not depend on 'serving'" not in stderr_text:
+            print("self-test FAILED: violation message lacks the file:line "
+                  "and layer names a developer needs; got:\n" + stderr_text,
+                  file=sys.stderr)
+            return 1
+
+        # A cyclic DAG must be rejected, not silently closed over.
+        dag_cyclic = {"layers": {"a": ["b"], "b": ["a"]}}
+        write(os.path.join(tmp, "scripts", "layers.json"),
+              json.dumps(dag_cyclic))
+        captured = io.StringIO()
+        with redirect_stderr(captured):
+            rc = run_check(tmp)
+        if rc == 0 or "cycle" not in captured.getvalue():
+            print("self-test FAILED: cyclic DAG was not rejected",
+                  file=sys.stderr)
+            return 1
+
+    print("check_layers: self-test OK (clean tree passes, seeded upward "
+          "include and cyclic DAG both rejected)")
+    return 0
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=None,
+                        help="repo root containing src/ and "
+                             "scripts/layers.json (default: the repo this "
+                             "script lives in)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="exercise the linter against synthetic trees")
+    args = parser.parse_args(argv)
+    if args.self_test:
+        return run_self_test()
+    root = args.root or os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    return run_check(root)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

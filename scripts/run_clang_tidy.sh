@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Run clang-tidy (config: .clang-tidy at the repo root) over every first-party
+# translation unit, using the compile_commands.json from a CMake build dir.
+#
+#   scripts/run_clang_tidy.sh [build-dir]     default build-dir: build/
+#
+# Exits 0 with a notice when clang-tidy is not installed — local dev
+# machines without LLVM should not fail the pre-commit loop; CI installs
+# clang-tidy and gets the real verdict. Exits 1 on findings.
+set -u
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-${repo_root}/build}"
+
+tidy_bin="${CLANG_TIDY:-}"
+if [[ -z "${tidy_bin}" ]]; then
+  for candidate in clang-tidy clang-tidy-18 clang-tidy-17 clang-tidy-16 \
+                   clang-tidy-15 clang-tidy-14; do
+    if command -v "${candidate}" >/dev/null 2>&1; then
+      tidy_bin="${candidate}"
+      break
+    fi
+  done
+fi
+if [[ -z "${tidy_bin}" ]]; then
+  echo "run_clang_tidy: clang-tidy not found on PATH; skipping (install" \
+       "clang-tidy or set CLANG_TIDY= to run the real check)."
+  exit 0
+fi
+
+if [[ ! -f "${build_dir}/compile_commands.json" ]]; then
+  echo "run_clang_tidy: ${build_dir}/compile_commands.json not found." >&2
+  echo "Configure with: cmake -B \"${build_dir}\" -S \"${repo_root}\"" \
+       "-DCMAKE_EXPORT_COMPILE_COMMANDS=ON" >&2
+  exit 1
+fi
+
+# First-party TUs only: src/, tests/, bench/, examples/. Third-party code
+# pulled into the build (e.g. googletest sources) is out of scope.
+mapfile -t files < <(cd "${repo_root}" &&
+  find src tests bench examples \
+       \( -name '*.cc' -o -name '*.cpp' \) 2>/dev/null | sort)
+if [[ ${#files[@]} -eq 0 ]]; then
+  echo "run_clang_tidy: no source files found under ${repo_root}" >&2
+  exit 1
+fi
+
+echo "run_clang_tidy: ${tidy_bin} over ${#files[@]} files" \
+     "(config: ${repo_root}/.clang-tidy)"
+status=0
+for f in "${files[@]}"; do
+  "${tidy_bin}" -p "${build_dir}" --quiet "${repo_root}/${f}" || status=1
+done
+if [[ ${status} -ne 0 ]]; then
+  echo "run_clang_tidy: findings above — fix or suppress with NOLINT" \
+       "and a reason." >&2
+fi
+exit ${status}

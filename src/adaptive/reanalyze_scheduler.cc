@@ -51,7 +51,7 @@ ReanalyzeScheduler::PassReport ReanalyzeScheduler::RunOnce() {
 }
 
 ReanalyzeScheduler::PassReport ReanalyzeScheduler::RunPass() {
-  std::lock_guard<std::mutex> pass_lock(pass_mu_);
+  MutexLock pass_lock(pass_mu_);
   passes_.Inc();
   PassReport report;
 
@@ -159,7 +159,7 @@ ReanalyzeScheduler::PassReport ReanalyzeScheduler::RunPass() {
 }
 
 void ReanalyzeScheduler::Start() {
-  std::lock_guard<std::mutex> lock(timer_mu_);
+  MutexLock lock(timer_mu_);
   if (!stop_) return;
   stop_ = false;
   timer_ = std::thread([this] { TimerLoop(); });
@@ -167,11 +167,11 @@ void ReanalyzeScheduler::Start() {
 
 void ReanalyzeScheduler::Stop() {
   {
-    std::lock_guard<std::mutex> lock(timer_mu_);
+    MutexLock lock(timer_mu_);
     if (stop_) return;
     stop_ = true;
   }
-  timer_cv_.notify_all();
+  timer_cv_.NotifyAll();
   if (timer_.joinable()) timer_.join();
 }
 
@@ -180,8 +180,13 @@ void ReanalyzeScheduler::TimerLoop() {
       options_.check_interval_ms);
   while (true) {
     {
-      std::unique_lock<std::mutex> lock(timer_mu_);
-      timer_cv_.wait_for(lock, interval, [this] { return stop_; });
+      MutexLock lock(timer_mu_);
+      // One check interval per lap, cut short only by Stop(): spurious
+      // wakeups re-wait against the same deadline.
+      const auto deadline = std::chrono::steady_clock::now() + interval;
+      while (!stop_ && timer_cv_.WaitUntil(timer_mu_, deadline) !=
+                           std::cv_status::timeout) {
+      }
       if (stop_) return;
     }
     // Per-table errors are counted inside the pass; the next tick retries.

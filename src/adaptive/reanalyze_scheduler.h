@@ -32,10 +32,8 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -46,6 +44,7 @@
 #include "src/stats/swappable_estimator.h"
 #include "src/stats/table_stats.h"
 #include "src/storage/change_log.h"
+#include "src/util/thread_annotations.h"
 #include "src/util/thread_pool.h"
 
 namespace balsa {
@@ -138,8 +137,8 @@ class ReanalyzeScheduler {
   const DriftDetector& detector() const { return detector_; }
 
  private:
-  PassReport RunPass();
-  void TimerLoop();
+  PassReport RunPass() EXCLUDES(pass_mu_);
+  void TimerLoop() EXCLUDES(timer_mu_);
 
   Database* db_;
   ChangeLog* log_;
@@ -150,8 +149,8 @@ class ReanalyzeScheduler {
   ReanalyzeSchedulerOptions options_;
   DriftDetector detector_;
 
-  std::mutex pass_mu_;  // serializes passes
-  std::vector<int> incremental_rounds_;  // per table, guarded by pass_mu_
+  Mutex pass_mu_;  // serializes passes
+  std::vector<int> incremental_rounds_ GUARDED_BY(pass_mu_);  // per table
 
   obs::Counter passes_;
   obs::Counter bumps_;
@@ -163,9 +162,9 @@ class ReanalyzeScheduler {
   obs::Log2Histogram drift_score_milli_;
   obs::Gauge max_drift_score_milli_;  // high-water mark across passes
 
-  std::mutex timer_mu_;
-  std::condition_variable timer_cv_;
-  bool stop_ = true;
+  Mutex timer_mu_;
+  CondVar timer_cv_;
+  bool stop_ GUARDED_BY(timer_mu_) = true;
   std::thread timer_;
 
   /// Registry attachments (empty without options.metrics). Last member.

@@ -68,7 +68,7 @@ uint64_t TraceStore::Admit(const std::shared_ptr<Trace>& trace,
   entry.reason = reason;
   entry.completion_index = index;
 
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   switch (reason) {
     case RetainReason::kOutcome:
       outcomes_.push_back(std::move(entry));
@@ -145,7 +145,7 @@ void TraceStore::PromoteCapped(const std::shared_ptr<Trace>& trace,
   if (!options_.enabled) return;
   if (trace != nullptr) {
     const uint64_t id = trace->id();
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto mark = [&](RetainedTrace& entry) {
       if (entry.trace_id != id) return false;
       entry.capped = true;
@@ -167,7 +167,7 @@ void TraceStore::PromoteCapped(const std::shared_ptr<Trace>& trace,
 }
 
 std::vector<RetainedTrace> TraceStore::Retained() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<RetainedTrace> out;
   out.reserve(top_k_.size() + outcomes_.size() + reservoir_.size());
   out.insert(out.end(), top_k_.begin(), top_k_.end());
@@ -177,7 +177,7 @@ std::vector<RetainedTrace> TraceStore::Retained() const {
 }
 
 bool TraceStore::FindTrace(uint64_t trace_id, RetainedTrace* out) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto scan = [&](const auto& entries) {
     for (const RetainedTrace& entry : entries) {
       if (entry.trace_id == trace_id) {
@@ -204,7 +204,7 @@ TraceStore::Stats TraceStore::stats() const {
   Stats stats;
   stats.completions = completions_.Value();
   stats.evicted = evicted_.Value();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   stats.retained_top_k = static_cast<int64_t>(top_k_.size());
   stats.retained_outcome = static_cast<int64_t>(outcomes_.size());
   stats.retained_reservoir = static_cast<int64_t>(reservoir_.size());

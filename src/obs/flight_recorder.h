@@ -32,16 +32,17 @@
 // trace ids of *retained* traces, so a p99 bucket in any dump links here.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/util/status.h"
+#include "src/util/thread_annotations.h"
 
 namespace balsa::obs {
 
@@ -164,20 +165,26 @@ class TraceStore {
                  uint64_t index);
 
   TraceStoreOptions options_;
+  /// Intentionally unguarded: relaxed id allocator (StartTrace runs on the
+  /// miss path before any store lock is taken).
   std::atomic<uint64_t> next_id_{1};
   Counter completions_;
   Counter retained_;
   Counter evicted_;
+  /// Intentionally unguarded: relaxed tally of ordinary completions — the
+  /// reservoir coin flip only needs a unique-ish n, not a consistent cut.
   std::atomic<uint64_t> normal_seen_{0};
   /// Latency of the cheapest top-K entry once the heap is full; -1 admits
-  /// everything. Cached outside the mutex so sub-floor completions skip it.
+  /// everything. Cached outside the mutex so sub-floor completions skip it;
+  /// written under mu_ but read with a relaxed load as a pre-check that
+  /// Admit re-verifies under the lock.
   std::atomic<double> top_k_floor_{-1};
 
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   /// Min-heap by latency (std::*_heap with a greater-than comparator).
-  std::vector<RetainedTrace> top_k_;
-  std::deque<RetainedTrace> outcomes_;
-  std::vector<RetainedTrace> reservoir_;
+  std::vector<RetainedTrace> top_k_ GUARDED_BY(mu_);
+  std::deque<RetainedTrace> outcomes_ GUARDED_BY(mu_);
+  std::vector<RetainedTrace> reservoir_ GUARDED_BY(mu_);
 };
 
 }  // namespace balsa::obs

@@ -1,6 +1,7 @@
 #include "src/obs/health.h"
 
 #include <algorithm>
+#include <chrono>
 
 namespace balsa::obs {
 
@@ -46,7 +47,7 @@ void HealthMonitor::SetSampler(const TimeSeriesSampler* sampler) {
 void HealthMonitor::AddRule(HealthRule rule) {
   if (rule.for_ticks < 1) rule.for_ticks = 1;
   if (rule.clear_ticks < 1) rule.clear_ticks = 1;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   RuleSlot slot;
   slot.rule = std::move(rule);
   rules_.push_back(std::move(slot));
@@ -97,7 +98,7 @@ void HealthMonitor::EvaluateOnce() {
   evaluations_.Inc();
   const int64_t tick = evaluations_.Value();
 
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const RegistrySnapshot& prev = have_prev_ ? prev_ : cur;
   // With no previous tick, delta rules see prev == cur (delta 0): the first
   // tick establishes the baseline instead of judging all-time cumulatives.
@@ -136,18 +137,23 @@ void HealthMonitor::EvaluateOnce() {
 }
 
 void HealthMonitor::Start() {
-  std::lock_guard<std::mutex> lock(thread_mu_);
+  MutexLock lock(thread_mu_);
   if (running_) return;
   stop_ = false;
   running_ = true;
   thread_ = std::thread([this] {
-    std::unique_lock<std::mutex> lock(thread_mu_);
+    MutexLock lock(thread_mu_);
     while (!stop_) {
-      lock.unlock();
+      lock.Unlock();
       EvaluateOnce();
-      lock.lock();
-      cv_.wait_for(lock, std::chrono::milliseconds(options_.interval_ms),
-                   [this] { return stop_; });
+      lock.Lock();
+      // One tick per lap, cut short only by Stop(): spurious wakeups
+      // re-wait against the same deadline.
+      const auto deadline = std::chrono::steady_clock::now() +
+                            std::chrono::milliseconds(options_.interval_ms);
+      while (!stop_ && cv_.WaitUntil(thread_mu_, deadline) !=
+                           std::cv_status::timeout) {
+      }
     }
   });
 }
@@ -155,23 +161,23 @@ void HealthMonitor::Start() {
 void HealthMonitor::Stop() {
   std::thread to_join;
   {
-    std::lock_guard<std::mutex> lock(thread_mu_);
+    MutexLock lock(thread_mu_);
     if (!running_) return;
     stop_ = true;
     running_ = false;
     to_join = std::move(thread_);
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   to_join.join();
 }
 
 bool HealthMonitor::running() const {
-  std::lock_guard<std::mutex> lock(thread_mu_);
+  MutexLock lock(thread_mu_);
   return running_;
 }
 
 std::vector<RuleStatus> HealthMonitor::Rules() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<RuleStatus> out;
   out.reserve(rules_.size());
   for (const RuleSlot& slot : rules_) {
@@ -188,12 +194,12 @@ std::vector<RuleStatus> HealthMonitor::Rules() const {
 }
 
 std::vector<AlertEvent> HealthMonitor::Events() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return {events_.begin(), events_.end()};
 }
 
 int HealthMonitor::FiringCount() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   int firing = 0;
   for (const RuleSlot& slot : rules_) {
     if (slot.state == AlertState::kFiring) firing += 1;
@@ -202,7 +208,7 @@ int HealthMonitor::FiringCount() const {
 }
 
 bool HealthMonitor::IsFiring(const std::string& rule_name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (const RuleSlot& slot : rules_) {
     if (slot.rule.name == rule_name) {
       return slot.state == AlertState::kFiring;

@@ -28,17 +28,16 @@
 // benches drive deterministic ticks without a thread or a clock.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <map>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "src/obs/metrics.h"
 #include "src/obs/sampler.h"
+#include "src/util/thread_annotations.h"
 
 namespace balsa::obs {
 
@@ -159,17 +158,17 @@ class HealthMonitor {
   Counter alerts_fired_;
   Gauge alerts_firing_;
 
-  mutable std::mutex mu_;  // guards rules_/events_/prev_/have_prev_
-  std::vector<RuleSlot> rules_;
-  std::deque<AlertEvent> events_;
-  RegistrySnapshot prev_;
-  bool have_prev_ = false;
+  mutable Mutex mu_;
+  std::vector<RuleSlot> rules_ GUARDED_BY(mu_);
+  std::deque<AlertEvent> events_ GUARDED_BY(mu_);
+  RegistrySnapshot prev_ GUARDED_BY(mu_);
+  bool have_prev_ GUARDED_BY(mu_) = false;
 
-  mutable std::mutex thread_mu_;  // guards stop_/running_/thread_
-  std::condition_variable cv_;
-  bool stop_ = false;
-  bool running_ = false;
-  std::thread thread_;
+  mutable Mutex thread_mu_;
+  CondVar cv_;
+  bool stop_ GUARDED_BY(thread_mu_) = false;
+  bool running_ GUARDED_BY(thread_mu_) = false;
+  std::thread thread_ GUARDED_BY(thread_mu_);
 };
 
 }  // namespace balsa::obs

@@ -189,7 +189,7 @@ Registration MetricsRegistry::AttachCallbackGauge(std::string name,
 }
 
 Registration MetricsRegistry::Attach(Entry entry) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   entry.id = next_id_++;
   int64_t id = entry.id;
   entries_.push_back(std::move(entry));
@@ -197,7 +197,7 @@ Registration MetricsRegistry::Attach(Entry entry) {
 }
 
 void MetricsRegistry::Detach(int64_t id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (size_t i = 0; i < entries_.size(); ++i) {
     if (entries_[i].id == id) {
       entries_.erase(entries_.begin() + static_cast<ptrdiff_t>(i));
@@ -216,7 +216,7 @@ RegistrySnapshot MetricsRegistry::Snapshot() const {
   // caller's lifetime bug, same as destroying any component mid-read.
   std::vector<Entry> entries;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     entries = entries_;
   }
 
@@ -246,7 +246,7 @@ RegistrySnapshot MetricsRegistry::Snapshot() const {
 }
 
 size_t MetricsRegistry::NumAttached() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return entries_.size();
 }
 

@@ -48,10 +48,11 @@
 #include <functional>
 #include <initializer_list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "src/util/thread_annotations.h"
 
 namespace balsa::obs {
 
@@ -256,12 +257,12 @@ class MetricsRegistry {
     std::function<int64_t()> callback;
   };
 
-  Registration Attach(Entry entry);
-  void Detach(int64_t id);
+  Registration Attach(Entry entry) EXCLUDES(mu_);
+  void Detach(int64_t id) EXCLUDES(mu_);
 
-  mutable std::mutex mu_;
-  int64_t next_id_ = 1;
-  std::vector<Entry> entries_;
+  mutable Mutex mu_;
+  int64_t next_id_ GUARDED_BY(mu_) = 1;
+  std::vector<Entry> entries_ GUARDED_BY(mu_);
 };
 
 }  // namespace balsa::obs

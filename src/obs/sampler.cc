@@ -30,21 +30,26 @@ TimeSeriesSampler::TimeSeriesSampler(const MetricsRegistry* registry,
 TimeSeriesSampler::~TimeSeriesSampler() { Stop(); }
 
 void TimeSeriesSampler::Start() {
-  std::lock_guard<std::mutex> lock(thread_mu_);
+  MutexLock lock(thread_mu_);
   if (running_) return;
   stop_ = false;
   running_ = true;
   thread_ = std::thread([this] {
     const auto interval = std::chrono::milliseconds(
         std::max(1, options_.interval_ms));
-    std::unique_lock<std::mutex> lock(thread_mu_);
+    MutexLock lock(thread_mu_);
     while (!stop_) {
       // Sample outside the thread mutex: Stop() must never block on a
       // registry snapshot in flight longer than one tick.
-      lock.unlock();
+      lock.Unlock();
       SampleOnce();
-      lock.lock();
-      cv_.wait_for(lock, interval, [this] { return stop_; });
+      lock.Lock();
+      // One tick per lap, cut short only by Stop(): spurious wakeups
+      // re-wait against the same deadline.
+      const auto deadline = std::chrono::steady_clock::now() + interval;
+      while (!stop_ && cv_.WaitUntil(thread_mu_, deadline) !=
+                           std::cv_status::timeout) {
+      }
     }
   });
 }
@@ -52,18 +57,18 @@ void TimeSeriesSampler::Start() {
 void TimeSeriesSampler::Stop() {
   std::thread joinable;
   {
-    std::lock_guard<std::mutex> lock(thread_mu_);
+    MutexLock lock(thread_mu_);
     if (!running_) return;
     stop_ = true;
     running_ = false;
     joinable = std::move(thread_);
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   joinable.join();
 }
 
 bool TimeSeriesSampler::running() const {
-  std::lock_guard<std::mutex> lock(thread_mu_);
+  MutexLock lock(thread_mu_);
   return running_;
 }
 
@@ -76,7 +81,7 @@ void TimeSeriesSampler::SampleOnce() {
                        .count();
   const size_t capacity =
       static_cast<size_t>(std::max(2, options_.ring_capacity));
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (const MetricValue& m : snapshot.metrics) {
     Ring& ring = series_[m.name];
     ring.kind = m.kind;
@@ -96,7 +101,7 @@ void TimeSeriesSampler::SampleOnce() {
 
 std::vector<SeriesWindow> TimeSeriesSampler::Series() const {
   std::vector<SeriesWindow> out;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   out.reserve(series_.size());
   for (const auto& [name, ring] : series_) {
     SeriesWindow window;
@@ -111,7 +116,7 @@ std::vector<SeriesWindow> TimeSeriesSampler::Series() const {
 SeriesWindow TimeSeriesSampler::GetSeries(const std::string& name) const {
   SeriesWindow window;
   window.name = name;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = series_.find(name);
   if (it != series_.end()) {
     window.kind = it->second.kind;

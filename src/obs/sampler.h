@@ -15,16 +15,15 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <map>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "src/obs/metrics.h"
+#include "src/util/thread_annotations.h"
 
 namespace balsa::obs {
 
@@ -104,14 +103,14 @@ class TimeSeriesSampler {
   const std::chrono::steady_clock::time_point start_;
   Counter samples_;
 
-  mutable std::mutex mu_;  // guards series_
-  std::map<std::string, Ring> series_;
+  mutable Mutex mu_;
+  std::map<std::string, Ring> series_ GUARDED_BY(mu_);
 
-  mutable std::mutex thread_mu_;  // guards stop_/thread_
-  std::condition_variable cv_;
-  bool stop_ = false;
-  bool running_ = false;
-  std::thread thread_;
+  mutable Mutex thread_mu_;
+  CondVar cv_;
+  bool stop_ GUARDED_BY(thread_mu_) = false;
+  bool running_ GUARDED_BY(thread_mu_) = false;
+  std::thread thread_ GUARDED_BY(thread_mu_);
 };
 
 }  // namespace balsa::obs

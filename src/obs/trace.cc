@@ -27,17 +27,17 @@ Trace::Trace(uint64_t id)
     : id_(id), start_(std::chrono::steady_clock::now()) {}
 
 void Trace::AddSpan(TraceStage stage, double start_us, double duration_us) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   spans_.push_back({stage, start_us, duration_us});
 }
 
 std::vector<TraceSpan> Trace::spans() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return spans_;
 }
 
 int Trace::NumDistinctStages() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::unordered_set<int> stages;
   for (const TraceSpan& span : spans_) {
     stages.insert(static_cast<int>(span.stage));
@@ -46,7 +46,7 @@ int Trace::NumDistinctStages() const {
 }
 
 bool Trace::HasStage(TraceStage stage) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (const TraceSpan& span : spans_) {
     if (span.stage == stage) return true;
   }
@@ -112,7 +112,7 @@ std::shared_ptr<Trace> RequestTracer::MaybeStartTrace() {
   auto trace = std::make_shared<Trace>(
       local * static_cast<uint64_t>(kThreadStripes) + stripe);
   {
-    std::lock_guard<std::mutex> lock(traces_mu_);
+    MutexLock lock(traces_mu_);
     traces_.push_back(trace);
     while (traces_.size() > static_cast<size_t>(options_.max_traces)) {
       traces_.pop_front();
@@ -136,7 +136,7 @@ void RequestTracer::RecordStageMicros(TraceStage stage, double micros,
 }
 
 std::vector<std::shared_ptr<Trace>> RequestTracer::RecentTraces() const {
-  std::lock_guard<std::mutex> lock(traces_mu_);
+  MutexLock lock(traces_mu_);
   return {traces_.begin(), traces_.end()};
 }
 

@@ -34,11 +34,11 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "src/obs/metrics.h"
+#include "src/util/thread_annotations.h"
 
 namespace balsa::obs {
 
@@ -94,8 +94,8 @@ class Trace {
  private:
   const uint64_t id_;
   const std::chrono::steady_clock::time_point start_;
-  mutable std::mutex mu_;
-  std::vector<TraceSpan> spans_;
+  mutable Mutex mu_;
+  std::vector<TraceSpan> spans_ GUARDED_BY(mu_);
 };
 
 struct RequestTracerOptions {
@@ -170,8 +170,8 @@ class RequestTracer {
   Counter traces_started_;
   std::array<Log2Histogram, kNumTraceStages> stage_us_;
 
-  mutable std::mutex traces_mu_;
-  std::deque<std::shared_ptr<Trace>> traces_;
+  mutable Mutex traces_mu_;
+  std::deque<std::shared_ptr<Trace>> traces_ GUARDED_BY(traces_mu_);
 };
 
 /// The value threaded through a request: which tracer feeds the stage

@@ -32,10 +32,10 @@ InferenceService::InferenceService(const ValueNetwork* network,
 
 InferenceService::~InferenceService() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
-  queue_cv_.notify_all();
+  queue_cv_.NotifyAll();
   for (std::thread& t : workers_) t.join();
 }
 
@@ -60,12 +60,12 @@ std::vector<double> InferenceService::ScoreBatch(
   request.query = &query;
   request.plans = &plans;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     queue_.push_back(&request);
   }
-  queue_cv_.notify_one();
-  std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock, [&request] { return request.done; });
+  queue_cv_.NotifyOne();
+  MutexLock lock(mu_);
+  while (!request.done) done_cv_.Wait(mu_);
   return std::move(request.scores);
 }
 
@@ -73,8 +73,8 @@ void InferenceService::WorkerLoop() {
   for (;;) {
     std::vector<Request*> batch;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      queue_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      while (!stop_ && queue_.empty()) queue_cv_.Wait(mu_);
       if (queue_.empty()) return;  // stopping, queue drained
       // Fuse queued requests up to max_batch_size items; always take at
       // least one request so oversized requests still make progress.
@@ -90,10 +90,10 @@ void InferenceService::WorkerLoop() {
     }
     ServeBatch(batch);
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       for (Request* r : batch) r->done = true;
     }
-    done_cv_.notify_all();
+    done_cv_.NotifyAll();
   }
 }
 

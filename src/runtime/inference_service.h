@@ -14,16 +14,15 @@
 // requests are in flight (the agent plans and trains in distinct phases).
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "src/model/value_network.h"
 #include "src/obs/metrics.h"
+#include "src/util/thread_annotations.h"
 
 namespace balsa {
 
@@ -56,7 +55,7 @@ class InferenceService {
   /// affecting any score (see file comment).
   std::vector<double> ScoreBatch(
       const nn::Vec& query,
-      const std::vector<const nn::TreeSample*>& plans);
+      const std::vector<const nn::TreeSample*>& plans) EXCLUDES(mu_);
 
   struct Stats {
     int64_t requests = 0;         // ScoreBatch calls
@@ -83,23 +82,28 @@ class InferenceService {
   struct Request {
     const nn::Vec* query = nullptr;
     const std::vector<const nn::TreeSample*>* plans = nullptr;
+    /// Written by the serving worker while the request sits in no queue
+    /// (exclusive access between dequeue and the done flip), read by the
+    /// client only after observing done == true under the service's mu_.
     std::vector<double> scores;
+    /// Guarded by the owning service's mu_ (not annotatable from a nested
+    /// struct: the capability expression cannot name the outer instance).
     bool done = false;
   };
 
-  void WorkerLoop();
+  void WorkerLoop() EXCLUDES(mu_);
   /// Runs the fused forward passes for `batch` (chunked at max_batch_size)
   /// and fills each request's scores. Called without holding mu_.
-  void ServeBatch(const std::vector<Request*>& batch);
+  void ServeBatch(const std::vector<Request*>& batch) EXCLUDES(mu_);
 
   const ValueNetwork* network_;
   InferenceServiceOptions options_;
 
-  mutable std::mutex mu_;
-  std::condition_variable queue_cv_;  // workers wait for requests
-  std::condition_variable done_cv_;   // clients wait for their scores
-  std::deque<Request*> queue_;
-  bool stop_ = false;
+  mutable Mutex mu_;
+  CondVar queue_cv_;  // workers wait for requests
+  CondVar done_cv_;   // clients wait for their scores
+  std::deque<Request*> queue_ GUARDED_BY(mu_);
+  bool stop_ GUARDED_BY(mu_) = false;
   std::vector<std::thread> workers_;
 
   // Lock-free stats: ScoreBatch/ServeBatch record without touching mu_

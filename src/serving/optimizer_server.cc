@@ -440,7 +440,7 @@ StatusOr<OptimizerServer::OptimizeResult> OptimizerServer::Serve(
   std::shared_ptr<InFlight> flight;
   bool leader = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = in_flight_.find(key);
     if (it != in_flight_.end()) {
       flight = it->second;
@@ -470,7 +470,7 @@ StatusOr<OptimizerServer::OptimizeResult> OptimizerServer::Serve(
     StatusOr<std::shared_ptr<const CachedPlan>> planned =
         PlanAndAdmit(query, fingerprint, canonical.canonical_rank, version);
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       flight->done = true;
       if (planned.ok()) {
         flight->result = planned.value();
@@ -479,7 +479,7 @@ StatusOr<OptimizerServer::OptimizeResult> OptimizerServer::Serve(
       }
       in_flight_.erase(key);
     }
-    cv_.notify_all();
+    cv_.NotifyAll();
     BALSA_RETURN_IF_ERROR(planned.status());
     return to_result(*planned.value(), /*hit=*/false, /*coalesced=*/false);
   }
@@ -488,8 +488,8 @@ StatusOr<OptimizerServer::OptimizeResult> OptimizerServer::Serve(
   coalesced_.Inc();
   {
     obs::SpanTimer span(obs::TraceStage::kCoalesceWait);
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [&] { return flight->done; });
+    MutexLock lock(mu_);
+    while (!flight->done) cv_.Wait(mu_);
   }
   BALSA_RETURN_IF_ERROR(flight->status);
   if (servable(*flight->result)) {

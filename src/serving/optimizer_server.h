@@ -54,10 +54,8 @@
 #pragma once
 
 #include <array>
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -72,6 +70,7 @@
 #include "src/serving/plan_cache.h"
 #include "src/serving/slow_query_log.h"
 #include "src/stats/card_oracle.h"
+#include "src/util/thread_annotations.h"
 
 namespace balsa {
 
@@ -230,6 +229,10 @@ class OptimizerServer {
 
  private:
   struct InFlight {
+    /// All three fields are guarded by the owning server's mu_ (not
+    /// annotatable from a nested struct: the capability expression cannot
+    /// name the outer instance). Waiters read result/status only after
+    /// observing done == true under mu_.
     bool done = false;
     Status status = Status::OK();
     /// The planned entry in *canonical* relation space (like the cache):
@@ -275,11 +278,12 @@ class OptimizerServer {
   BeamSearchPlanner planner_;
   PlanCache cache_;
 
-  std::mutex mu_;                // guards in_flight_
-  std::condition_variable cv_;   // waiters for in-flight planning calls
+  Mutex mu_;     // guards in_flight_
+  CondVar cv_;   // waiters for in-flight planning calls
   /// Key mixes fingerprint and stats_version: a bump mid-flight must not
   /// let a new request join a plan computed under the old statistics.
-  std::unordered_map<uint64_t, std::shared_ptr<InFlight>> in_flight_;
+  std::unordered_map<uint64_t, std::shared_ptr<InFlight>> in_flight_
+      GUARDED_BY(mu_);
 
   obs::Counter requests_;
   obs::Counter hits_;

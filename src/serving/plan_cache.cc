@@ -50,7 +50,7 @@ bool PlanCache::LookupImpl(uint64_t fingerprint, int64_t stats_version,
                            std::shared_ptr<const CachedPlan>* out,
                            bool count_miss) {
   Shard& shard = shards_[static_cast<size_t>(ShardOf(fingerprint))];
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto it = shard.map.find(fingerprint);
   if (it == shard.map.end()) {
     if (count_miss) shard.stats.misses.Inc();
@@ -80,7 +80,7 @@ void PlanCache::Insert(uint64_t fingerprint, CachedPlan entry) {
   if (options_.shard_capacity == 0) return;
   auto shared = std::make_shared<const CachedPlan>(std::move(entry));
   Shard& shard = shards_[static_cast<size_t>(ShardOf(fingerprint))];
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto it = shard.map.find(fingerprint);
   if (it != shard.map.end()) {
     // A laggard request that planned under an already-bumped generation
@@ -122,7 +122,7 @@ PlanCache::Metrics PlanCache::shard_metrics(int shard) const {
   stats.stale_evictions = s.stats.stale_evictions.Value();
   stats.lru_evictions = s.stats.lru_evictions.Value();
   stats.admission_rejections = s.stats.admission_rejections.Value();
-  std::lock_guard<std::mutex> lock(s.mu);
+  MutexLock lock(s.mu);
   stats.entries = s.map.size();
   return stats;
 }
@@ -145,7 +145,7 @@ PlanCache::Metrics PlanCache::Totals() const {
 std::vector<PlanCache::HotEntry> PlanCache::HottestEntries(int k) const {
   std::vector<HotEntry> all;
   for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     for (const auto& [fingerprint, slot] : shard.map) {
       all.push_back({fingerprint, slot.hits, slot.entry});
     }
@@ -163,7 +163,7 @@ size_t PlanCache::ApproxBytes() const {
   std::unordered_set<const Query*> seen_exemplars;
   size_t total = 0;
   for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     for (const auto& [fingerprint, slot] : shard.map) {
       (void)fingerprint;
       total += sizeof(uint64_t) + sizeof(Shard::Slot) + sizeof(CachedPlan);
@@ -185,7 +185,7 @@ size_t PlanCache::ApproxBytes() const {
 size_t PlanCache::size() const {
   size_t total = 0;
   for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     total += shard.map.size();
   }
   return total;

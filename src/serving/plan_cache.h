@@ -27,7 +27,6 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -35,6 +34,7 @@
 #include "src/obs/metrics.h"
 #include "src/plan/plan.h"
 #include "src/plan/query_graph.h"
+#include "src/util/thread_annotations.h"
 
 namespace balsa {
 
@@ -150,15 +150,15 @@ class PlanCache {
 
  private:
   struct Shard {
-    mutable std::mutex mu;
+    mutable Mutex mu;
     /// Front = most recently used; values are fingerprints.
-    std::list<uint64_t> lru;
+    std::list<uint64_t> lru GUARDED_BY(mu);
     struct Slot {
       std::shared_ptr<const CachedPlan> entry;
       std::list<uint64_t>::iterator lru_pos;
       int64_t hits = 0;
     };
-    std::unordered_map<uint64_t, Slot> map;
+    std::unordered_map<uint64_t, Slot> map GUARDED_BY(mu);
     /// Mutated under mu (with the structures they describe) but readable
     /// lock-free: shard_metrics/Totals and the registry read them as plain
     /// atomic loads, which is what makes snapshots monotone.

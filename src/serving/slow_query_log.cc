@@ -21,7 +21,7 @@ SlowQueryLog::SlowQueryLog(SlowQueryLogOptions options) : options_(options) {}
 void SlowQueryLog::Record(SlowQueryEvent event) {
   if (!enabled()) return;
   recorded_.Inc();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   event.sequence = next_sequence_++;
   ring_.push_back(std::move(event));
   while (ring_.size() > static_cast<size_t>(options_.capacity)) {
@@ -30,7 +30,7 @@ void SlowQueryLog::Record(SlowQueryEvent event) {
 }
 
 std::vector<SlowQueryEvent> SlowQueryLog::Recent() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return std::vector<SlowQueryEvent>(ring_.begin(), ring_.end());
 }
 

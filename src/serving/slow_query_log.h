@@ -21,13 +21,13 @@
 
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/util/status.h"
+#include "src/util/thread_annotations.h"
 
 namespace balsa {
 
@@ -105,10 +105,12 @@ class SlowQueryLog {
 
  private:
   const SlowQueryLogOptions options_;
+  /// Intentionally unguarded: relaxed event tally, readable lock-free
+  /// (recorded() is a progress probe, not a consistent cut of the ring).
   obs::Counter recorded_;
-  mutable std::mutex mu_;
-  uint64_t next_sequence_ = 1;
-  std::deque<SlowQueryEvent> ring_;
+  mutable Mutex mu_;
+  uint64_t next_sequence_ GUARDED_BY(mu_) = 1;
+  std::deque<SlowQueryEvent> ring_ GUARDED_BY(mu_);
 };
 
 }  // namespace balsa

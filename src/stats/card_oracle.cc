@@ -6,7 +6,7 @@ namespace balsa {
 
 bool CardOracle::TryGet(uint64_t key, uint64_t epoch, TrueCard* out) {
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto it = shard.map.find(key);
   if (it == shard.map.end()) return false;
   if (it->second.epoch != epoch) {
@@ -22,7 +22,7 @@ bool CardOracle::TryGet(uint64_t key, uint64_t epoch, TrueCard* out) {
 
 void CardOracle::Put(uint64_t key, TrueCard card, uint64_t epoch) {
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto it = shard.map.find(key);
   if (it == shard.map.end()) {
     shard.map.emplace(key, Entry{card, epoch});

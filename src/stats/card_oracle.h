@@ -28,12 +28,12 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <unordered_map>
 
 #include "src/exec/executor.h"
 #include "src/plan/plan.h"
 #include "src/util/status.h"
+#include "src/util/thread_annotations.h"
 
 namespace balsa {
 
@@ -68,7 +68,7 @@ class CardOracle {
     const uint64_t epoch = data_epoch();
     size_t total = 0;
     for (const Shard& shard : shards_) {
-      std::lock_guard<std::mutex> lock(shard.mu);
+      MutexLock lock(shard.mu);
       for (const auto& [key, entry] : shard.map) {
         if (entry.epoch == epoch) total++;
       }
@@ -106,8 +106,8 @@ class CardOracle {
     uint64_t epoch = 0;
   };
   struct Shard {
-    mutable std::mutex mu;
-    std::unordered_map<uint64_t, Entry> map;
+    mutable Mutex mu;
+    std::unordered_map<uint64_t, Entry> map GUARDED_BY(mu);
   };
 
   static uint64_t Key(int query_id, TableSet set) {
@@ -139,7 +139,11 @@ class CardOracle {
   const Database* db_;
   ExecutorOptions exec_options_;
   Shard shards_[kNumShards];
+  /// Intentionally unguarded: relaxed execution tally (NumExecutions is a
+  /// progress probe, not a consistent cut over the shard maps).
   std::atomic<int64_t> num_executions_{0};
+  /// Intentionally unguarded: monotone generation published with
+  /// acquire/release (see generation()/BumpGeneration()).
   std::atomic<int64_t> generation_{0};
 };
 

@@ -136,7 +136,7 @@ Status ChangeLog::InsertRows(int table,
   if (rows.empty()) return Status::OK();
   TableState& state = *tables_[static_cast<size_t>(table)];
   {
-    std::lock_guard<std::mutex> lock(state.mu);
+    MutexLock lock(state.mu);
     BALSA_RETURN_IF_ERROR(db_->AppendRows(table, rows));
     for (size_t c = 0; c < state.delta.columns.size(); ++c) {
       const ColumnAnchor& anchor = c < state.anchor.columns.size()
@@ -170,7 +170,7 @@ Status ChangeLog::DeleteRows(int table, std::vector<int64_t> row_ids) {
   if (row_ids.empty()) return Status::OK();
   TableState& state = *tables_[static_cast<size_t>(table)];
   {
-    std::lock_guard<std::mutex> lock(state.mu);
+    MutexLock lock(state.mu);
     // Validate fully before folding anything into the sketches: a rejected
     // delete must not leave phantom deletions behind.
     std::shared_ptr<const TableVersion> version = db_->GetTableVersion(table);
@@ -217,7 +217,7 @@ Status ChangeLog::UpdateValues(
   if (updates.empty()) return Status::OK();
   TableState& state = *tables_[static_cast<size_t>(table)];
   {
-    std::lock_guard<std::mutex> lock(state.mu);
+    MutexLock lock(state.mu);
     std::shared_ptr<const TableVersion> version = db_->GetTableVersion(table);
     if (column < 0 || column >= version->num_columns()) {
       return Status::OutOfRange("column " + std::to_string(column));
@@ -264,20 +264,20 @@ Status ChangeLog::UpdateValues(
 
 TableDelta ChangeLog::Snapshot(int table) const {
   const TableState& state = *tables_[static_cast<size_t>(table)];
-  std::lock_guard<std::mutex> lock(state.mu);
+  MutexLock lock(state.mu);
   return state.delta;
 }
 
 TableAnchor ChangeLog::anchor(int table) const {
   const TableState& state = *tables_[static_cast<size_t>(table)];
-  std::lock_guard<std::mutex> lock(state.mu);
+  MutexLock lock(state.mu);
   return state.anchor;
 }
 
 void ChangeLog::SetAnchor(int table, TableAnchor anchor) {
   TableState& state = *tables_[static_cast<size_t>(table)];
-  std::unique_lock<std::mutex> lock(state.mu);
-  state.rebase_cv.wait(lock, [&] { return !state.rebasing; });
+  MutexLock lock(state.mu);
+  while (state.rebasing) state.rebase_cv.Wait(state.mu);
   state.anchor = std::move(anchor);
   state.delta =
       MakeDelta(state.anchor,
@@ -294,8 +294,8 @@ Status ChangeLog::Rebase(
   TableAnchor old_anchor;
   balsa::Snapshot snapshot;
   {
-    std::unique_lock<std::mutex> lock(state.mu);
-    state.rebase_cv.wait(lock, [&] { return !state.rebasing; });
+    MutexLock lock(state.mu);
+    while (state.rebasing) state.rebase_cv.Wait(state.mu);
     state.rebasing = true;
     state.pending = PendingRaw{};
     // Captured under the ingest lock, so the snapshot holds exactly the
@@ -308,7 +308,7 @@ Status ChangeLog::Rebase(
   // pinned snapshot — runs with writers live.
   StatusOr<TableAnchor> anchor = reanalyze(delta, old_anchor, snapshot);
   {
-    std::lock_guard<std::mutex> lock(state.mu);
+    MutexLock lock(state.mu);
     if (anchor.ok()) {
       state.anchor = std::move(anchor).value();
       state.delta =
@@ -322,7 +322,7 @@ Status ChangeLog::Rebase(
     }
     state.rebasing = false;
   }
-  state.rebase_cv.notify_all();
+  state.rebase_cv.NotifyAll();
   // How many publications (any table) the stream landed while the unlocked
   // re-ANALYZE ran — the replay debt this rebase just paid off.
   rebase_epoch_lag_.Record(static_cast<double>(db_->publication_epoch() -
@@ -346,13 +346,13 @@ void ChangeLog::AttachMetrics(obs::MetricsRegistry* registry) {
 }
 
 int ChangeLog::AddListener(std::function<void(int)> fn) {
-  std::lock_guard<std::mutex> lock(listeners_mu_);
+  MutexLock lock(listeners_mu_);
   listeners_.emplace_back(next_listener_id_, std::move(fn));
   return next_listener_id_++;
 }
 
 void ChangeLog::RemoveListener(int id) {
-  std::lock_guard<std::mutex> lock(listeners_mu_);
+  MutexLock lock(listeners_mu_);
   for (auto it = listeners_.begin(); it != listeners_.end(); ++it) {
     if (it->first == id) {
       listeners_.erase(it);
@@ -364,7 +364,7 @@ void ChangeLog::RemoveListener(int id) {
 void ChangeLog::Notify(int table) {
   std::vector<std::function<void(int)>> listeners;
   {
-    std::lock_guard<std::mutex> lock(listeners_mu_);
+    MutexLock lock(listeners_mu_);
     listeners.reserve(listeners_.size());
     for (const auto& [id, fn] : listeners_) listeners.push_back(fn);
   }

@@ -19,17 +19,16 @@
 // that preserves per-table order yields bit-identical sketches.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "src/obs/metrics.h"
 #include "src/storage/column_store.h"
 #include "src/util/hll.h"
 #include "src/util/status.h"
+#include "src/util/thread_annotations.h"
 
 namespace balsa {
 
@@ -170,12 +169,12 @@ class ChangeLog {
   };
 
   struct TableState {
-    mutable std::mutex mu;
-    std::condition_variable rebase_cv;
-    bool rebasing = false;
-    TableAnchor anchor;
-    TableDelta delta;
-    PendingRaw pending;
+    mutable Mutex mu;
+    CondVar rebase_cv;
+    bool rebasing GUARDED_BY(mu) = false;
+    TableAnchor anchor GUARDED_BY(mu);
+    TableDelta delta GUARDED_BY(mu);
+    PendingRaw pending GUARDED_BY(mu);
   };
 
   Status CheckTable(int table) const;
@@ -185,14 +184,15 @@ class ChangeLog {
   /// Folds state->pending into state->delta against state->anchor (called
   /// with the table lock held, after a successful rebase installed the new
   /// anchor), then clears it.
-  static void ReplayPending(TableState* state);
-  void Notify(int table);
+  static void ReplayPending(TableState* state) REQUIRES(state->mu);
+  void Notify(int table) EXCLUDES(listeners_mu_);
 
   Database* db_;
   std::vector<std::unique_ptr<TableState>> tables_;
-  mutable std::mutex listeners_mu_;
-  int next_listener_id_ = 0;
-  std::vector<std::pair<int, std::function<void(int)>>> listeners_;
+  mutable Mutex listeners_mu_;
+  int next_listener_id_ GUARDED_BY(listeners_mu_) = 0;
+  std::vector<std::pair<int, std::function<void(int)>>> listeners_
+      GUARDED_BY(listeners_mu_);
 
   obs::Counter rows_inserted_;
   obs::Counter rows_deleted_;

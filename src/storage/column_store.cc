@@ -197,7 +197,7 @@ TableVersion::TableVersion(std::vector<ColumnPtr> columns, int64_t row_count,
     : columns_(std::move(columns)), row_count_(row_count), epoch_(epoch) {}
 
 const HashIndex& TableVersion::index(int c) const {
-  std::lock_guard<std::mutex> lock(indexes_mu_);
+  MutexLock lock(indexes_mu_);
   auto it = indexes_.find(c);
   if (it == indexes_.end()) {
     it = indexes_
@@ -210,8 +210,11 @@ const HashIndex& TableVersion::index(int c) const {
 
 void TableVersion::InheritIndexes(const TableVersion& prev) {
   // Called before publication (no concurrent access to *this* yet), but
-  // prev's cache may be racing lazy builds.
-  std::lock_guard<std::mutex> lock(prev.indexes_mu_);
+  // prev's cache may be racing lazy builds. Taking our own (uncontended)
+  // mutex too keeps the guarded writes to indexes_ provably locked; the
+  // prev-then-this order has a single call site, so no inversion exists.
+  MutexLock prev_lock(prev.indexes_mu_);
+  MutexLock lock(indexes_mu_);
   for (const auto& [c, index] : prev.indexes_) {
     if (c < num_columns() &&
         columns_[static_cast<size_t>(c)] == prev.columns_[static_cast<size_t>(c)]) {
@@ -267,7 +270,7 @@ Database::Database(Schema schema) : schema_(std::move(schema)) {
 
 void Database::Publish(int table_idx, std::shared_ptr<TableVersion> version) {
   publications_.Inc();
-  std::lock_guard<std::mutex> lock(versions_mu_);
+  MutexLock lock(versions_mu_);
   version->epoch_ = epoch_.fetch_add(1, std::memory_order_acq_rel) + 1;
   versions_[static_cast<size_t>(table_idx)] = std::move(version);
 }
@@ -301,14 +304,14 @@ void Database::AttachMetrics(obs::MetricsRegistry* registry) {
 }
 
 Snapshot Database::GetSnapshot() const {
-  std::lock_guard<std::mutex> lock(versions_mu_);
+  MutexLock lock(versions_mu_);
   return Snapshot(&schema_, epoch_.load(std::memory_order_relaxed),
                   versions_);
 }
 
 std::shared_ptr<const TableVersion> Database::GetTableVersion(
     int table_idx) const {
-  std::lock_guard<std::mutex> lock(versions_mu_);
+  MutexLock lock(versions_mu_);
   return versions_[static_cast<size_t>(table_idx)];
 }
 

@@ -16,13 +16,13 @@
 #include <cstdint>
 #include <initializer_list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "src/catalog/schema.h"
 #include "src/obs/metrics.h"
 #include "src/storage/chunk.h"
+#include "src/util/thread_annotations.h"
 #include "src/util/status.h"
 
 namespace balsa {
@@ -102,8 +102,9 @@ class TableVersion {
   std::vector<ColumnPtr> columns_;
   int64_t row_count_ = 0;
   uint64_t epoch_ = 0;
-  mutable std::mutex indexes_mu_;
-  mutable std::unordered_map<int, std::shared_ptr<const HashIndex>> indexes_;
+  mutable Mutex indexes_mu_;
+  mutable std::unordered_map<int, std::shared_ptr<const HashIndex>> indexes_
+      GUARDED_BY(indexes_mu_);
 };
 
 /// A pinned, immutable view of the whole database at one publication epoch.
@@ -254,8 +255,12 @@ class Database {
   Schema schema_;
   /// Guards versions_ pointer loads/stores and the epoch stamp — never held
   /// during data copies or index builds.
-  mutable std::mutex versions_mu_;
-  std::vector<std::shared_ptr<const TableVersion>> versions_;
+  mutable Mutex versions_mu_;
+  std::vector<std::shared_ptr<const TableVersion>> versions_
+      GUARDED_BY(versions_mu_);
+  /// Intentionally unguarded: the epoch is an atomic published alongside
+  /// versions_ — stamped under versions_mu_ but read lock-free by
+  /// publication_epoch() pollers (monotone, so a torn cut is impossible).
   std::atomic<uint64_t> epoch_{0};
 
   obs::Counter publications_;

@@ -18,17 +18,17 @@ ThreadPool::ThreadPool(int num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (std::thread& t : threads_) t.join();
 }
 
 void ThreadPool::SetQueueWaitObserver(
     std::function<void(double wait_us)> observer) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     observer_ = std::move(observer);
   }
   has_observer_.store(true, std::memory_order_release);
@@ -42,19 +42,19 @@ void ThreadPool::Schedule(std::function<void()> fn) {
     task.stamped = true;
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     queue_.push(std::move(task));
   }
   queued_.fetch_add(1, std::memory_order_relaxed);
-  cv_.notify_one();
+  cv_.NotifyOne();
 }
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
     Task task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      while (!stop_ && queue_.empty()) cv_.Wait(mu_);
       // Drain the queue even when stopping: destruction must not drop
       // submitted tasks (their futures would never become ready).
       if (queue_.empty()) return;

@@ -7,15 +7,15 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <utility>
 #include <vector>
+
+#include "src/util/thread_annotations.h"
 
 namespace balsa {
 
@@ -31,7 +31,7 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueues a fire-and-forget task. Thread-safe.
-  void Schedule(std::function<void()> fn);
+  void Schedule(std::function<void()> fn) EXCLUDES(mu_);
 
   /// Enqueues a callable and returns a future for its result. Thread-safe.
   template <typename Fn>
@@ -62,7 +62,8 @@ class ThreadPool {
   /// Install before scheduling work and leave it in place: the callback is
   /// not synchronized against running workers, and it runs on worker
   /// threads so it must be thread-safe itself.
-  void SetQueueWaitObserver(std::function<void(double wait_us)> observer);
+  void SetQueueWaitObserver(std::function<void(double wait_us)> observer)
+      EXCLUDES(mu_);
 
   /// The pool size used when num_threads <= 0.
   static int DefaultNumThreads();
@@ -75,15 +76,21 @@ class ThreadPool {
     bool stamped = false;
   };
 
-  void WorkerLoop();
+  void WorkerLoop() EXCLUDES(mu_);
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::queue<Task> queue_;
+  Mutex mu_;
+  CondVar cv_;
+  std::queue<Task> queue_ GUARDED_BY(mu_);
+  /// Intentionally unguarded: relaxed queue-depth estimate, approximate
+  /// under concurrency, exact at quiescence (see ApproxQueueDepth).
   std::atomic<int64_t> queued_{0};
-  bool stop_ = false;
+  bool stop_ GUARDED_BY(mu_) = false;
   /// Gates the enqueue-side clock read without touching observer_.
   std::atomic<bool> has_observer_{false};
+  /// Intentionally unguarded on the read side: written once under mu_,
+  /// then read lock-free by workers — the release store to has_observer_
+  /// paired with the acquire load in WorkerLoop publishes it (a stamped
+  /// task implies the store completed).
   std::function<void(double)> observer_;
   std::vector<std::thread> threads_;
 };
